@@ -1,0 +1,58 @@
+// Shared plumbing for the exhibit-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper and prints the
+// same rows/series. Times are in the library's abstract work units (see
+// support/cost.hpp); the exhibits the paper builds from them are ratios, so
+// units cancel exactly where they did for the authors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gb/parallel.hpp"
+#include "gb/sequential.hpp"
+#include "problems/problems.hpp"
+#include "support/table.hpp"
+
+namespace gbd::bench {
+
+/// True when the caller asked for the (slower) full-size configuration.
+inline bool full_size() {
+  const char* v = std::getenv("GBD_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Run the distributed engine `seeds` times and keep the best (smallest
+/// virtual makespan) run — the paper's "best over N runs" methodology
+/// (§7: speedups are reported as best of 5).
+inline ParallelResult best_of_seeds(const PolySystem& sys, ParallelConfig cfg, int seeds,
+                                    ParallelResult* worst = nullptr) {
+  ParallelResult best;
+  bool first = true;
+  for (int s = 1; s <= seeds; ++s) {
+    cfg.seed = static_cast<std::uint64_t>(s);
+    ParallelResult r = groebner_parallel(sys, cfg);
+    if (first || r.machine.makespan < best.machine.makespan) best = r;
+    if (worst && (first || r.machine.makespan > worst->machine.makespan)) *worst = r;
+    first = false;
+  }
+  return best;
+}
+
+/// The paper's effective criteria strength (Buchberger's criteria of the
+/// era): coprime pruning only. Used by the figure benches so the
+/// zeroed/added profile matches Table 2's regime.
+inline GbConfig paper_era_criteria() {
+  GbConfig gb;
+  gb.chain_criterion = false;
+  gb.gm_update = false;
+  return gb;
+}
+
+inline void print_header(const char* exhibit, const char* caption) {
+  std::printf("=== %s ===\n%s\n\n", exhibit, caption);
+}
+
+}  // namespace gbd::bench

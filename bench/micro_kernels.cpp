@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the substrate kernels, in real
+// nanoseconds: the building blocks whose abstract-unit charges drive the
+// virtual clock (Table 1's "Max Single Reduction Step" column measured on
+// this host's silicon instead of the CM-5's 33 MHz Sparc).
+#include <benchmark/benchmark.h>
+
+#include "support/check.hpp"
+
+#include "bigint/bigint.hpp"
+#include "io/parse.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+BigInt random_bigint(Rng& rng, std::size_t digits) {
+  std::string s;
+  s.push_back(static_cast<char>('1' + rng.below(9)));
+  for (std::size_t i = 1; i < digits; ++i) {
+    s.push_back(static_cast<char>('0' + rng.below(10)));
+  }
+  return BigInt::from_string(s);
+}
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(42);
+  std::size_t digits = static_cast<std::size_t>(state.range(0));
+  BigInt a = random_bigint(rng, digits);
+  BigInt b = random_bigint(rng, digits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(9)->Arg(50)->Arg(400)->Arg(2000);
+
+void BM_BigIntGcd(benchmark::State& state) {
+  Rng rng(43);
+  std::size_t digits = static_cast<std::size_t>(state.range(0));
+  BigInt a = random_bigint(rng, digits);
+  BigInt b = random_bigint(rng, digits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::gcd(a, b));
+  }
+}
+BENCHMARK(BM_BigIntGcd)->Arg(9)->Arg(50)->Arg(200);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(44);
+  BigInt a = random_bigint(rng, 400);
+  BigInt b = random_bigint(rng, 150);
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::divmod(a, b, &q, &r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod);
+
+void BM_MonomialOps(benchmark::State& state) {
+  Monomial a({3, 0, 2, 1, 0, 4});
+  Monomial b({1, 2, 2, 0, 1, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Monomial::lcm(a, b));
+    benchmark::DoNotOptimize(a.divides(b));
+    benchmark::DoNotOptimize(mono_cmp(OrderKind::kGrLex, a, b));
+  }
+}
+BENCHMARK(BM_MonomialOps);
+
+void BM_PolyAdd(benchmark::State& state) {
+  Rng rng(45);
+  PolySystem sys = random_system(rng, 4, 2, 6, 30, 1000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.polys[0].add(sys.ctx, sys.polys[1]));
+  }
+}
+BENCHMARK(BM_PolyAdd);
+
+void BM_ReduceStep(benchmark::State& state) {
+  // A single reduction step on trinks1-sized operands: the minimum grain of
+  // the replicated design (§4.1.1).
+  PolySystem sys = load_problem("trinks1");
+  Polynomial p = sys.polys[2].mul(sys.ctx, sys.polys[4]);
+  const Polynomial& r = sys.polys[2];
+  GBD_CHECK(r.hmono().divides(p.hmono()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_step(sys.ctx, p, r));
+  }
+}
+BENCHMARK(BM_ReduceStep);
+
+void BM_Spoly(benchmark::State& state) {
+  PolySystem sys = load_problem("katsura4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spoly(sys.ctx, sys.polys[1], sys.polys[2]));
+  }
+}
+BENCHMARK(BM_Spoly);
+
+void BM_FullReduction(benchmark::State& state) {
+  // A whole REDUCE(h, G): hundreds of steps; compare with BM_ReduceStep for
+  // the two-orders-of-magnitude grain gap Table 1 shows.
+  PolySystem sys = load_problem("trinks2");
+  Polynomial h = spoly(sys.ctx, sys.polys[0], sys.polys[2]);
+  VectorReducerSet set(&sys.polys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_full(sys.ctx, h, set));
+  }
+}
+BENCHMARK(BM_FullReduction);
+
+void BM_ParseTrinks(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load_problem("trinks1"));
+  }
+}
+BENCHMARK(BM_ParseTrinks);
+
+}  // namespace
+}  // namespace gbd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Implicitizing parametric equations — the second application the paper's
+// introduction names. Given a parametrization x = f(t), y = g(t), the
+// implicit equation of the curve is found by eliminating t: compute a lex
+// Gröbner basis with t ordered first; the basis elements free of t generate
+// the elimination ideal (the implicit equations).
+#include <cstdio>
+
+#include "gb/sequential.hpp"
+#include "io/parse.hpp"
+#include "poly/reduce.hpp"
+
+namespace {
+
+using namespace gbd;
+
+/// Print the basis elements not involving the first `k` variables — the
+/// generators of the k-th elimination ideal.
+void print_eliminated(const PolySystem& sys, const std::vector<Polynomial>& gb, std::size_t k,
+                      const char* label) {
+  std::printf("%s\n", label);
+  for (const auto& g : gb) {
+    bool free_of_params = true;
+    for (const auto& t : g.terms()) {
+      for (std::size_t v = 0; v < k; ++v) {
+        if (t.mono.exp(v) != 0) free_of_params = false;
+      }
+    }
+    if (free_of_params) std::printf("  %s\n", g.to_string(sys.ctx).c_str());
+  }
+}
+
+void implicitize(const char* title, const char* text, std::size_t nparams) {
+  PolySystem sys = parse_system_or_die(text);
+  std::vector<Polynomial> gb = reduce_basis(sys.ctx, groebner_sequential(sys).basis);
+  std::printf("== %s ==\nFull lex basis:\n", title);
+  for (const auto& g : gb) std::printf("  %s\n", g.to_string(sys.ctx).c_str());
+  print_eliminated(sys, gb, nparams, "Implicit equation(s) (parameters eliminated):");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // The cuspidal cubic: x = t^2, y = t^3  =>  y^2 = x^3.
+  implicitize("cuspidal cubic: x = t^2, y = t^3",
+              R"(vars t, x, y; order lex;
+                 x - t^2;
+                 y - t^3;)",
+              1);
+
+  // The folium-like rational curve x = t^2 - 1, y = t^3 - t.
+  implicitize("nodal cubic: x = t^2 - 1, y = t^3 - t",
+              R"(vars t, x, y; order lex;
+                 x - t^2 + 1;
+                 y - t^3 + t;)",
+              1);
+
+  // A parametric surface: the Whitney umbrella x = u*v, y = u, z = v^2
+  // => x^2 = y^2 z.
+  implicitize("Whitney umbrella: x = u*v, y = u, z = v^2",
+              R"(vars u, v, x, y, z; order lex;
+                 x - u*v;
+                 y - u;
+                 z - v^2;)",
+              2);
+  return 0;
+}

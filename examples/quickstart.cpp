@@ -1,0 +1,69 @@
+// Quickstart: parse a polynomial system, compute its Gröbner basis with the
+// sequential engine, print the canonical reduced basis, and verify it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "gb/sequential.hpp"
+#include "gb/verify.hpp"
+#include "io/parse.hpp"
+#include "poly/reduce.hpp"
+
+int main() {
+  using namespace gbd;
+
+  // A system is plain text: variables (declaration order = variable order),
+  // a monomial order, and the generator polynomials.
+  const char* text = R"(
+    vars x, y, z;
+    order grlex;
+    x^2 + y^2 + z^2 - 1;
+    x^2 - y + z^2;
+    x - z;
+  )";
+
+  PolySystem sys;
+  std::string err;
+  if (!parse_system(text, &sys, &err)) {
+    std::fprintf(stderr, "parse error: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::printf("Input generators:\n");
+  for (const auto& p : sys.polys) {
+    std::printf("  %s\n", p.to_string(sys.ctx).c_str());
+  }
+
+  // Compute the Gröbner basis (Buchberger's algorithm with the normal
+  // selection strategy and full pair-elimination criteria).
+  SequentialResult res = groebner_sequential(sys);
+  std::printf("\nBuchberger: %llu s-polynomials, %llu reduced to zero, %llu added\n",
+              static_cast<unsigned long long>(res.stats.spolys_computed),
+              static_cast<unsigned long long>(res.stats.reductions_to_zero),
+              static_cast<unsigned long long>(res.stats.basis_added));
+
+  // The reduced Gröbner basis is canonical: any engine, any schedule, any
+  // criteria configuration produces exactly this set.
+  std::vector<Polynomial> reduced = reduce_basis(sys.ctx, res.basis);
+  std::printf("\nReduced Groebner basis (%zu elements):\n", reduced.size());
+  for (const auto& g : reduced) {
+    std::printf("  %s\n", g.to_string(sys.ctx).c_str());
+  }
+
+  // Verify: every pairwise s-polynomial reduces to zero and every input lies
+  // in the ideal of the output.
+  std::string why;
+  if (!verify_groebner_result(sys.ctx, sys.polys, res.basis, &why)) {
+    std::fprintf(stderr, "verification FAILED: %s\n", why.c_str());
+    return 1;
+  }
+  std::printf("\nVerified: output is a Groebner basis of the input ideal.\n");
+
+  // Use it: ideal membership by reduction to normal form.
+  Polynomial probe = parse_poly_or_die(sys.ctx, "(x - z) * (y + 7)");
+  std::printf("NF((x-z)*(y+7)) = %s  (0 means: in the ideal)\n",
+              ideal_contains(sys.ctx, res.basis, probe) ? "0" : "nonzero");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The basis-storage abstraction the GL-P engine programs against.
+//
+// §4.1.2's interface (AddToSet / Validate / Valid? / ForAll) plus the
+// operations the engine's scheduling needs (prefetch for suspended pairs,
+// pending-reducer detection for stalling). Two policies implement it:
+//
+//  - ReplicatedBasis (replicated_basis.hpp): the paper's main design —
+//    every processor eventually holds every body.
+//  - HybridBasis (hybrid_basis.hpp): the paper's §7 proposal — heads are
+//    replicated everywhere (they are small), but each body permanently
+//    lives only on a configurable number of "home" processors; everyone
+//    else fetches on demand into a bounded, evicting cache. This trades
+//    extra communication for bounded memory: the space-time continuum
+//    between full replication and Siegl-style partitioning.
+//
+// Knowledge of *membership* (ids + head monomials) is always complete up to
+// in-flight invalidations on both stores; what varies is body residency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/reduce.hpp"
+
+namespace gbd {
+
+/// Unique polynomial identity: owner processor in the top 32 bits, the
+/// owner's local sequence number below — "eight byte unique identifiers".
+using PolyId = std::uint64_t;
+
+inline PolyId make_poly_id(int owner, std::uint32_t seq) {
+  return (static_cast<PolyId>(static_cast<std::uint32_t>(owner)) << 32) | seq;
+}
+inline int poly_id_owner(PolyId id) { return static_cast<int>(id >> 32); }
+inline std::uint32_t poly_id_seq(PolyId id) { return static_cast<std::uint32_t>(id); }
+
+struct BasisStats {
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t fetches_sent = 0;
+  std::uint64_t bodies_received = 0;
+  std::uint64_t bodies_served = 0;   ///< fetch requests answered locally
+  std::uint64_t bodies_forwarded = 0;
+  std::uint64_t evictions = 0;       ///< hybrid only
+  std::size_t max_resident = 0;      ///< high-water mark of resident bodies
+};
+
+class BasisStore {
+ public:
+  virtual ~BasisStore() = default;
+
+  /// Install an input polynomial present on every processor from the start.
+  virtual void preload(PolyId id, Polynomial poly) = 0;
+
+  /// AddToSet, split-phase: store locally, broadcast the announcement, and
+  /// collect acknowledgements; poll until add_done().
+  virtual PolyId begin_add(Polynomial poly) = 0;
+  virtual bool add_done() const = 0;
+
+  /// Validate, split-phase: start whatever fetches this store's consistency
+  /// policy wants; poll until valid().
+  virtual void begin_validate() = 0;
+  virtual bool valid() const = 0;
+
+  /// Request one specific body (suspended pairs, stalled reducts). No-op if
+  /// resident or already in flight.
+  virtual void prefetch(PolyId id) = 0;
+
+  /// Body lookup; nullptr when not resident here (fetch with prefetch).
+  virtual const Polynomial* find(PolyId id) = 0;
+
+  /// ForAll as a ReducerSet over the *resident* bodies; reducer ids are
+  /// PolyIds.
+  virtual const ReducerSet& reducer_set() const = 0;
+
+  /// Every announced element (id, head monomial), in local announcement
+  /// order — complete enough for criteria and pair creation under the lock.
+  virtual const std::vector<std::pair<PolyId, Monomial>>& known_heads() const = 0;
+
+  /// An announced element whose head divides m but whose body is not
+  /// resident (0 if none): the reducer the engine should wait for instead
+  /// of taking the lock with a doomed or improvable reduct. (0 is a safe
+  /// sentinel: id 0 is the first preloaded input, resident everywhere.)
+  virtual PolyId pending_reducer(const Monomial& m) const = 0;
+
+  virtual const BasisStats& stats() const = 0;
+};
+
+}  // namespace gbd

@@ -1,0 +1,208 @@
+#include "basis/replicated_basis.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+ReplicatedBasis::ReplicatedBasis(Proc& self) : self_(self), reducer_view_(this) {
+  self_.on(kBaInvalidate, [this](Proc&, int src, Reader& r) { on_invalidate(src, r); });
+  self_.on(kBaInvAck, [this](Proc&, int, Reader&) {
+    GBD_CHECK_MSG(acks_missing_ > 0, "unexpected invalidation ack");
+    acks_missing_ -= 1;
+  });
+  self_.on(kBaFetch, [this](Proc&, int src, Reader& r) { on_fetch(src, r); });
+  self_.on(kBaBody, [this](Proc&, int, Reader& r) { on_body(r); });
+}
+
+void ReplicatedBasis::preload(PolyId id, Polynomial poly) {
+  GBD_CHECK_MSG(replica_.find(id) == replica_.end(), "preload of duplicate id");
+  // Keep locally-assigned ids clear of preloaded ones sharing our owner slot.
+  if (poly_id_owner(id) == self_.id() && poly_id_seq(id) >= next_local_seq_) {
+    next_local_seq_ = poly_id_seq(id) + 1;
+  }
+  store(id, std::move(poly));
+}
+
+void ReplicatedBasis::announce(PolyId id, const Monomial& head) {
+  for (const auto& [kid, khead] : known_heads_) {
+    if (kid == id) return;
+  }
+  known_heads_.emplace_back(id, head);
+}
+
+void ReplicatedBasis::store(PolyId id, Polynomial poly) {
+  announce(id, poly.hmono());
+  auto [it, inserted] = replica_.emplace(id, std::move(poly));
+  if (inserted) order_.push_back(id);
+  stats_.max_resident = std::max(stats_.max_resident, replica_.size());
+}
+
+const Polynomial* ReplicatedBasis::find(PolyId id) const {
+  auto it = replica_.find(id);
+  return it == replica_.end() ? nullptr : &it->second;
+}
+
+bool ReplicatedBasis::known(PolyId id) const {
+  return replica_.count(id) > 0 || shadow_.count(id) > 0;
+}
+
+int ReplicatedBasis::tree_parent(int owner) const {
+  int p = self_.nprocs();
+  int pos = (self_.id() - owner + p) % p;
+  GBD_CHECK_MSG(pos != 0, "owner routing to itself");
+  int parent_pos = (pos - 1) / 2;
+  return (parent_pos + owner) % p;
+}
+
+PolyId ReplicatedBasis::begin_add(Polynomial poly) {
+  GBD_CHECK_MSG(add_done(), "begin_add while a previous add is still in flight");
+  PolyId id = make_poly_id(self_.id(), next_local_seq_++);
+  Monomial head = poly.hmono();
+  store(id, std::move(poly));
+  acks_missing_ = self_.nprocs() - 1;
+  for (int p = 0; p < self_.nprocs(); ++p) {
+    if (p == self_.id()) continue;
+    Writer w;
+    w.u64(id);
+    head.write(w);
+    self_.send(p, kBaInvalidate, w.take());
+    stats_.invalidations_sent += 1;
+  }
+  return id;
+}
+
+void ReplicatedBasis::on_invalidate(int src, Reader& r) {
+  PolyId id = r.u64();
+  Monomial head = Monomial::read(r);
+  announce(id, head);
+  // The body may already be resident if a fetched copy overtook the
+  // invalidation (delivery is by arrival time, not FIFO).
+  if (replica_.find(id) == replica_.end()) {
+    shadow_.emplace(id, std::move(head));
+  }
+  self_.send(src, kBaInvAck, {});
+  if (on_invalidate_) on_invalidate_(id);
+}
+
+void ReplicatedBasis::begin_validate() {
+  for (const auto& [id, head] : shadow_) {
+    request_body(id);
+  }
+}
+
+void ReplicatedBasis::request_body(PolyId id) {
+  auto [it, inserted] = fetch_in_flight_.emplace(id, true);
+  if (!inserted) return;  // already requested (by us or on behalf of a child)
+  Writer w;
+  w.u64(id);
+  self_.send(tree_parent(poly_id_owner(id)), kBaFetch, w.take());
+  stats_.fetches_sent += 1;
+}
+
+void ReplicatedBasis::on_fetch(int src, Reader& r) {
+  PolyId id = r.u64();
+  const Polynomial* body = find(id);
+  if (body != nullptr) {
+    Writer w;
+    w.u64(id);
+    body->write(w);
+    self_.send(src, kBaBody, w.take());
+    stats_.bodies_served += 1;
+    return;
+  }
+  // Not resident here: remember the requester and pull from our own parent.
+  // (We may not even have seen the invalidation yet; that is fine — the
+  // owner at the tree root definitely has the body.)
+  pending_requesters_[id].push_back(src);
+  request_body(id);
+}
+
+void ReplicatedBasis::on_body(Reader& r) {
+  PolyId id = r.u64();
+  Polynomial poly = Polynomial::read(r);
+  stats_.bodies_received += 1;
+  shadow_.erase(id);
+  fetch_in_flight_.erase(id);
+  // Serve children waiting on this id before storing-copy semantics matter.
+  auto pend = pending_requesters_.find(id);
+  if (pend != pending_requesters_.end()) {
+    Writer w;
+    w.u64(id);
+    poly.write(w);
+    const std::vector<std::uint8_t> payload = w.take();
+    for (int child : pend->second) {
+      self_.send(child, kBaBody, payload);
+      stats_.bodies_forwarded += 1;
+    }
+    pending_requesters_.erase(pend);
+  }
+  store(id, std::move(poly));
+}
+
+const Polynomial* ReplicatedBasis::ReducerView::find_reducer(const Monomial& m,
+                                                             std::uint64_t* out_id) const {
+  // Same preference policy as VectorReducerSet (see reducer_preferred) so
+  // sequential and parallel reductions cost alike.
+  const Polynomial* best = nullptr;
+  PolyId best_id = 0;
+  for (PolyId id : b_->order_) {
+    auto it = b_->replica_.find(id);
+    GBD_DCHECK(it != b_->replica_.end());
+    const Polynomial& g = it->second;
+    if (!g.is_zero() && g.hmono().divides(m)) {
+      if (best == nullptr || reducer_preferred(g, *best)) {
+        best = &g;
+        best_id = id;
+      }
+    }
+  }
+  if (best && out_id) *out_id = best_id;
+  return best;
+}
+
+// --- lock ---------------------------------------------------------------------
+
+LockManager::LockManager(Proc& self) : self_(self) {
+  self_.on(kLkRequest, [this](Proc&, int src, Reader&) {
+    if (!held_) {
+      held_ = true;
+      self_.send(src, kLkGrant, {});
+    } else {
+      queue_.push_back(src);
+    }
+  });
+  self_.on(kLkRelease, [this](Proc&, int, Reader&) {
+    GBD_CHECK_MSG(held_, "release of a lock nobody holds");
+    if (queue_.empty()) {
+      held_ = false;
+    } else {
+      int next = queue_.front();
+      queue_.erase(queue_.begin());
+      self_.send(next, kLkGrant, {});
+    }
+  });
+}
+
+LockClient::LockClient(Proc& self, int coordinator) : self_(self), coordinator_(coordinator) {
+  self_.on(kLkGrant, [this](Proc&, int, Reader&) {
+    GBD_CHECK_MSG(requested_ && !granted_, "unexpected lock grant");
+    granted_ = true;
+    wait_units_ += self_.now() - request_time_;
+  });
+}
+
+void LockClient::request() {
+  GBD_CHECK_MSG(!requested_, "lock already requested");
+  requested_ = true;
+  request_time_ = self_.now();
+  self_.send(coordinator_, kLkRequest, {});
+}
+
+void LockClient::release() {
+  GBD_CHECK_MSG(granted_, "release without grant");
+  granted_ = false;
+  requested_ = false;
+  self_.send(coordinator_, kLkRelease, {});
+}
+
+}  // namespace gbd

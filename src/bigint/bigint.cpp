@@ -1,0 +1,488 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+namespace {
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+using Mag = std::vector<std::uint32_t>;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / conversion
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  sign_ = v > 0 ? 1 : -1;
+  // Two's-complement minimum negates safely through uint64.
+  std::uint64_t u = v > 0 ? static_cast<std::uint64_t>(v) : 0 - static_cast<std::uint64_t>(v);
+  mag_.push_back(static_cast<std::uint32_t>(u));
+  if (u >> 32) mag_.push_back(static_cast<std::uint32_t>(u >> 32));
+}
+
+bool BigInt::parse(std::string_view s, BigInt* out) {
+  if (s.empty()) return false;
+  int sign = 1;
+  std::size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    if (s[0] == '-') sign = -1;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  BigInt v;
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * ten + BigInt(s[i] - '0');
+  }
+  if (sign < 0) v = -v;
+  *out = std::move(v);
+  return true;
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  BigInt v;
+  GBD_CHECK_MSG(parse(s, &v), "BigInt::from_string: malformed decimal literal");
+  return v;
+}
+
+bool BigInt::fits_int64() const {
+  if (mag_.size() > 2) return false;
+  if (mag_.size() < 2) return true;
+  std::uint64_t u = (static_cast<std::uint64_t>(mag_[1]) << 32) | mag_[0];
+  return sign_ > 0 ? u <= 0x7fffffffffffffffULL : u <= 0x8000000000000000ULL;
+}
+
+std::int64_t BigInt::to_int64() const {
+  GBD_CHECK_MSG(fits_int64(), "BigInt::to_int64 overflow");
+  std::uint64_t u = 0;
+  if (!mag_.empty()) u = mag_[0];
+  if (mag_.size() > 1) u |= static_cast<std::uint64_t>(mag_[1]) << 32;
+  return sign_ < 0 ? -static_cast<std::int64_t>(u) : static_cast<std::int64_t>(u);
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^9, collecting 9-digit chunks.
+  Mag m = mag_;
+  std::string digits;
+  while (!m.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = m.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | m[i];
+      m[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    trim(m);
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (mag_.empty()) return 0;
+  return 32 * (mag_.size() - 1) + (32 - std::countl_zero(mag_.back()));
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude helpers
+
+void BigInt::trim(Mag& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+void BigInt::normalize() {
+  trim(mag_);
+  if (mag_.empty()) sign_ = 0;
+}
+
+int BigInt::cmp_mag(const Mag& a, const Mag& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Mag BigInt::add_mag(const Mag& a, const Mag& b) {
+  const Mag& big = a.size() >= b.size() ? a : b;
+  const Mag& small = a.size() >= b.size() ? b : a;
+  Mag out(big.size() + 1, 0);
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < small.size(); ++i) {
+    std::uint64_t s = static_cast<std::uint64_t>(big[i]) + small[i] + carry;
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  for (; i < big.size(); ++i) {
+    std::uint64_t s = static_cast<std::uint64_t>(big[i]) + carry;
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out[i] = static_cast<std::uint32_t>(carry);
+  trim(out);
+  CostCounter::charge(big.size() + 1);
+  return out;
+}
+
+Mag BigInt::sub_mag(const Mag& a, const Mag& b) {
+  GBD_DCHECK(cmp_mag(a, b) >= 0);
+  Mag out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - (i < b.size() ? b[i] : 0) - borrow;
+    borrow = d < 0;
+    if (d < 0) d += (1LL << 32);
+    out[i] = static_cast<std::uint32_t>(d);
+  }
+  trim(out);
+  CostCounter::charge(a.size());
+  return out;
+}
+
+Mag BigInt::mul_school(const Mag& a, const Mag& b) {
+  if (a.empty() || b.empty()) return {};
+  Mag out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + b.size()] = static_cast<std::uint32_t>(carry);
+  }
+  trim(out);
+  CostCounter::charge(a.size() * b.size());
+  return out;
+}
+
+Mag BigInt::mul_karatsuba(const Mag& a, const Mag& b) {
+  // Split at half the larger operand: a = a1·B^k + a0, b = b1·B^k + b0.
+  std::size_t k = std::max(a.size(), b.size()) / 2;
+  auto lo = [&](const Mag& v) { return Mag(v.begin(), v.begin() + std::min(k, v.size())); };
+  auto hi = [&](const Mag& v) {
+    return v.size() > k ? Mag(v.begin() + k, v.end()) : Mag{};
+  };
+  Mag a0 = lo(a), a1 = hi(a), b0 = lo(b), b1 = hi(b);
+  trim(a0);
+  trim(b0);
+
+  Mag z0 = mul_mag(a0, b0);
+  Mag z2 = mul_mag(a1, b1);
+  Mag sa = add_mag(a0, a1), sb = add_mag(b0, b1);
+  Mag z1 = mul_mag(sa, sb);
+  // z1 = (a0+a1)(b0+b1) - z0 - z2
+  z1 = sub_mag(z1, z0);
+  z1 = sub_mag(z1, z2);
+
+  Mag out(a.size() + b.size() + 1, 0);
+  auto add_at = [&](const Mag& v, std::size_t shift) {
+    std::uint64_t carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      std::uint64_t s = static_cast<std::uint64_t>(out[shift + i]) + v[i] + carry;
+      out[shift + i] = static_cast<std::uint32_t>(s);
+      carry = s >> 32;
+    }
+    for (; carry; ++i) {
+      std::uint64_t s = static_cast<std::uint64_t>(out[shift + i]) + carry;
+      out[shift + i] = static_cast<std::uint32_t>(s);
+      carry = s >> 32;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, k);
+  add_at(z2, 2 * k);
+  trim(out);
+  return out;
+}
+
+Mag BigInt::mul_mag(const Mag& a, const Mag& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) return mul_school(a, b);
+  return mul_karatsuba(a, b);
+}
+
+// Knuth algorithm D (TAOCP vol. 2, 4.3.1) on normalized operands.
+void BigInt::divmod_mag(const Mag& num, const Mag& den, Mag* quot, Mag* rem) {
+  GBD_CHECK_MSG(!den.empty(), "division by zero");
+  if (cmp_mag(num, den) < 0) {
+    *quot = {};
+    *rem = num;
+    return;
+  }
+  if (den.size() == 1) {
+    std::uint64_t d = den[0];
+    Mag q(num.size());
+    std::uint64_t r = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      std::uint64_t cur = (r << 32) | num[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      r = cur % d;
+    }
+    trim(q);
+    *quot = std::move(q);
+    rem->clear();
+    if (r) rem->push_back(static_cast<std::uint32_t>(r));
+    CostCounter::charge(num.size());
+    return;
+  }
+
+  // Normalize so the divisor's top limb has its high bit set.
+  int shift = std::countl_zero(den.back());
+  auto shl = [&](const Mag& v) {
+    if (shift == 0) return v;
+    Mag out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << shift;
+      out[i + 1] = static_cast<std::uint32_t>(static_cast<std::uint64_t>(v[i]) >> (32 - shift));
+    }
+    trim(out);
+    return out;
+  };
+  Mag u = shl(num), v = shl(den);
+  std::size_t n = v.size(), m = u.size() - n;
+  u.resize(u.size() + 1, 0);
+
+  Mag q(m + 1, 0);
+  std::uint64_t vtop = v[n - 1];
+  std::uint64_t vsec = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t top2 = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = top2 / vtop;
+    std::uint64_t rhat = top2 % vtop;
+    if (qhat > 0xffffffffULL) {
+      qhat = 0xffffffffULL;
+      rhat = top2 - qhat * vtop;
+    }
+    while (rhat <= 0xffffffffULL &&
+           qhat * vsec > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    // u[j..j+n] -= qhat * v
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t d = static_cast<std::int64_t>(u[j + i]) -
+                       static_cast<std::int64_t>(p & 0xffffffffULL) - borrow;
+      borrow = d < 0;
+      if (d < 0) d += (1LL << 32);
+      u[j + i] = static_cast<std::uint32_t>(d);
+    }
+    std::int64_t d = static_cast<std::int64_t>(u[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    bool negative = d < 0;
+    if (d < 0) d += (1LL << 32);
+    u[j + n] = static_cast<std::uint32_t>(d);
+
+    if (negative) {
+      // qhat was one too large: add back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = static_cast<std::uint64_t>(u[j + i]) + v[i] + c;
+        u[j + i] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + c);
+    }
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  trim(q);
+  *quot = std::move(q);
+  // Denormalize the remainder.
+  u.resize(n);
+  if (shift) {
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] >>= shift;
+      if (i + 1 < n)
+        u[i] |= static_cast<std::uint32_t>(static_cast<std::uint64_t>(u[i + 1]) << (32 - shift));
+    }
+  }
+  trim(u);
+  *rem = std::move(u);
+  CostCounter::charge((m + 1) * n);
+}
+
+// ---------------------------------------------------------------------------
+// Signed operations
+
+int BigInt::cmp(const BigInt& rhs) const {
+  if (sign_ != rhs.sign_) return sign_ < rhs.sign_ ? -1 : 1;
+  int c = cmp_mag(mag_, rhs.mag_);
+  return sign_ >= 0 ? c : -c;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  r.sign_ = -r.sign_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  if (r.sign_ < 0) r.sign_ = 1;
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (is_zero()) return rhs;
+  if (rhs.is_zero()) return *this;
+  if (sign_ == rhs.sign_) return BigInt(sign_, add_mag(mag_, rhs.mag_));
+  int c = cmp_mag(mag_, rhs.mag_);
+  if (c == 0) return BigInt();
+  if (c > 0) return BigInt(sign_, sub_mag(mag_, rhs.mag_));
+  return BigInt(rhs.sign_, sub_mag(rhs.mag_, mag_));
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  return BigInt(sign_ * rhs.sign_, mul_mag(mag_, rhs.mag_));
+}
+
+void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt* quot, BigInt* rem) {
+  Mag q, r;
+  divmod_mag(num.mag_, den.mag_, &q, &r);
+  int qs = num.sign_ * den.sign_;
+  int rs = num.sign_;
+  *quot = BigInt(qs, std::move(q));
+  *rem = BigInt(rs, std::move(r));
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q, r;
+  divmod(*this, rhs, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt q, r;
+  divmod(*this, rhs, &q, &r);
+  return r;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  Mag out(mag_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(mag_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  CostCounter::charge(out.size());
+  return BigInt(sign_, std::move(out));
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  if (is_zero()) return *this;
+  std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  if (limb_shift >= mag_.size()) return BigInt();
+  Mag out(mag_.begin() + limb_shift, mag_.end());
+  if (bit_shift) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] >>= bit_shift;
+      if (i + 1 < out.size())
+        out[i] |= static_cast<std::uint32_t>(static_cast<std::uint64_t>(out[i + 1])
+                                             << (32 - bit_shift));
+    }
+  }
+  CostCounter::charge(out.size() + 1);
+  return BigInt(sign_, std::move(out));
+}
+
+BigInt BigInt::gcd(const BigInt& a, const BigInt& b) {
+  // Binary GCD on magnitudes.
+  BigInt u = a.abs(), v = b.abs();
+  if (u.is_zero()) return v;
+  if (v.is_zero()) return u;
+
+  auto trailing_zeros = [](const BigInt& x) {
+    std::size_t tz = 0;
+    for (std::size_t i = 0; i < x.mag_.size(); ++i) {
+      if (x.mag_[i] == 0) {
+        tz += 32;
+      } else {
+        tz += std::countr_zero(x.mag_[i]);
+        break;
+      }
+    }
+    return tz;
+  };
+
+  std::size_t shift = std::min(trailing_zeros(u), trailing_zeros(v));
+  u = u >> trailing_zeros(u);
+  do {
+    v = v >> trailing_zeros(v);
+    if (u > v) std::swap(u, v);
+    v = v - u;
+  } while (!v.is_zero());
+  return u << shift;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  return (a.abs() / gcd(a, b)) * b.abs();
+}
+
+BigInt BigInt::pow(const BigInt& base, std::uint32_t exp) {
+  BigInt result(1), b = base;
+  while (exp) {
+    if (exp & 1) result *= b;
+    exp >>= 1;
+    if (exp) b *= b;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization / hashing
+
+void BigInt::write(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(sign_ + 1));
+  w.words(mag_);
+}
+
+BigInt BigInt::read(Reader& r) {
+  int sign = static_cast<int>(r.u8()) - 1;
+  Mag mag = r.words();
+  GBD_CHECK_MSG(sign >= -1 && sign <= 1, "BigInt::read: bad sign byte");
+  return BigInt(sign, std::move(mag));
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(sign_ + 1));
+  for (std::uint32_t limb : mag_) mix(limb);
+  return h;
+}
+
+}  // namespace gbd

@@ -1,0 +1,132 @@
+// Arbitrary-precision signed integers.
+//
+// The paper's implementation used the CMU bignum package for exact rational
+// coefficient arithmetic; this is our from-scratch equivalent. Representation
+// is sign–magnitude with little-endian 32-bit limbs (no leading zero limbs;
+// zero is the empty limb vector with sign 0). Multiplication switches from
+// schoolbook to Karatsuba above a limb threshold; division is Knuth's
+// algorithm D; gcd is the binary algorithm.
+//
+// All operations charge CostCounter in proportion to the limb work they do,
+// so coefficient growth is visible to the simulated machine's virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gbd {
+
+class Writer;
+class Reader;
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) — int literals are pervasive
+
+  /// Parse a decimal string with optional leading '-'. Aborts on bad input;
+  /// use parse() for fallible parsing.
+  static BigInt from_string(std::string_view s);
+
+  /// Fallible decimal parse; returns false and leaves *out untouched on error.
+  static bool parse(std::string_view s, BigInt* out);
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_one() const { return sign_ == 1 && mag_.size() == 1 && mag_[0] == 1; }
+  bool is_negative() const { return sign_ < 0; }
+  /// -1, 0 or +1.
+  int signum() const { return sign_; }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  std::size_t bit_length() const;
+  /// Number of 32-bit limbs (0 for zero).
+  std::size_t limbs() const { return mag_.size(); }
+
+  /// Value as int64 if it fits; aborts otherwise (see fits_int64).
+  std::int64_t to_int64() const;
+  bool fits_int64() const;
+
+  std::string to_string() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Truncated (C-style) quotient. rhs must be nonzero.
+  BigInt operator/(const BigInt& rhs) const;
+  /// Remainder with the sign of the dividend (C semantics). rhs must be nonzero.
+  BigInt operator%(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+  BigInt& operator/=(const BigInt& rhs) { return *this = *this / rhs; }
+  BigInt& operator%=(const BigInt& rhs) { return *this = *this % rhs; }
+
+  /// Quotient and remainder in one division.
+  static void divmod(const BigInt& num, const BigInt& den, BigInt* quot, BigInt* rem);
+
+  /// Greatest common divisor; always nonnegative. gcd(0,0) == 0.
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+  /// Least common multiple; always nonnegative.
+  static BigInt lcm(const BigInt& a, const BigInt& b);
+  static BigInt pow(const BigInt& base, std::uint32_t exp);
+
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  bool operator==(const BigInt& rhs) const { return sign_ == rhs.sign_ && mag_ == rhs.mag_; }
+  bool operator!=(const BigInt& rhs) const { return !(*this == rhs); }
+  bool operator<(const BigInt& rhs) const { return cmp(rhs) < 0; }
+  bool operator<=(const BigInt& rhs) const { return cmp(rhs) <= 0; }
+  bool operator>(const BigInt& rhs) const { return cmp(rhs) > 0; }
+  bool operator>=(const BigInt& rhs) const { return cmp(rhs) >= 0; }
+
+  /// Three-way comparison: negative, zero or positive.
+  int cmp(const BigInt& rhs) const;
+
+  /// Marshal to / unmarshal from a message payload.
+  void write(Writer& w) const;
+  static BigInt read(Reader& r);
+
+  /// Bytes this value occupies on the wire (for communication-volume stats).
+  std::size_t wire_size() const { return 1 + 8 + 4 * mag_.size(); }
+
+  /// FNV-1a hash of the canonical representation.
+  std::size_t hash() const;
+
+ private:
+  static int cmp_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_school(const std::vector<std::uint32_t>& a,
+                                               const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_karatsuba(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+  static void divmod_mag(const std::vector<std::uint32_t>& num,
+                         const std::vector<std::uint32_t>& den,
+                         std::vector<std::uint32_t>* quot, std::vector<std::uint32_t>* rem);
+  static void trim(std::vector<std::uint32_t>& v);
+  void normalize();
+
+  BigInt(int sign, std::vector<std::uint32_t> mag) : sign_(sign), mag_(std::move(mag)) {
+    normalize();
+  }
+
+  int sign_ = 0;
+  std::vector<std::uint32_t> mag_;
+};
+
+}  // namespace gbd

@@ -1,0 +1,110 @@
+#include "bigint/rational.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+Rational::Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+  GBD_CHECK_MSG(!den_.is_zero(), "Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+bool Rational::parse(std::string_view s, Rational* out) {
+  std::size_t slash = s.find('/');
+  BigInt num, den(1);
+  if (slash == std::string_view::npos) {
+    if (!BigInt::parse(s, &num)) return false;
+  } else {
+    if (!BigInt::parse(s.substr(0, slash), &num)) return false;
+    if (!BigInt::parse(s.substr(slash + 1), &den)) return false;
+    if (den.is_zero()) return false;
+  }
+  *out = Rational(std::move(num), std::move(den));
+  return true;
+}
+
+Rational Rational::from_string(std::string_view s) {
+  Rational r;
+  GBD_CHECK_MSG(parse(s, &r), "Rational::from_string: malformed literal");
+  return r;
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational Rational::inverse() const {
+  GBD_CHECK_MSG(!is_zero(), "Rational::inverse of zero");
+  return Rational(den_, num_);
+}
+
+Rational Rational::operator+(const Rational& rhs) const {
+  return Rational(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator-(const Rational& rhs) const {
+  return Rational(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator*(const Rational& rhs) const {
+  return Rational(num_ * rhs.num_, den_ * rhs.den_);
+}
+
+Rational Rational::operator/(const Rational& rhs) const {
+  GBD_CHECK_MSG(!rhs.is_zero(), "Rational division by zero");
+  return Rational(num_ * rhs.den_, den_ * rhs.num_);
+}
+
+int Rational::cmp(const Rational& rhs) const {
+  return (num_ * rhs.den_).cmp(rhs.num_ * den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_.is_one()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+double Rational::to_double() const {
+  // Scale into int64 range via bit shifts; adequate for diagnostics.
+  BigInt n = num_, d = den_;
+  int exp2 = 0;
+  while (!n.fits_int64()) {
+    n = n >> 32;
+    exp2 += 32;
+  }
+  while (!d.fits_int64()) {
+    d = d >> 32;
+    exp2 -= 32;
+  }
+  if (d.is_zero()) return 0.0;
+  double v = static_cast<double>(n.to_int64()) / static_cast<double>(d.to_int64());
+  while (exp2 >= 32) {
+    v *= 4294967296.0;
+    exp2 -= 32;
+  }
+  while (exp2 <= -32) {
+    v /= 4294967296.0;
+    exp2 += 32;
+  }
+  return v;
+}
+
+}  // namespace gbd

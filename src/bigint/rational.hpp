@@ -1,0 +1,72 @@
+// Exact rational numbers on top of BigInt.
+//
+// Invariants: the denominator is strictly positive and gcd(num, den) == 1;
+// zero is represented as 0/1. Used at the API boundary (input coefficients,
+// monic display forms, evaluation); the Gröbner engines themselves work on
+// primitive integer polynomials (see poly/polynomial.hpp) for speed, which
+// is the standard fraction-free formulation and exactly equivalent over Q.
+#pragma once
+
+#include <string>
+
+#include "bigint/bigint.hpp"
+
+namespace gbd {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT(google-explicit-constructor)
+  explicit Rational(BigInt v) : num_(std::move(v)), den_(1) {}
+  /// num/den, normalized. den must be nonzero.
+  Rational(BigInt num, BigInt den);
+
+  /// Parse "a", "-a", or "a/b" in decimal.
+  static Rational from_string(std::string_view s);
+  static bool parse(std::string_view s, Rational* out);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_one() const { return num_.is_one() && den_.is_one(); }
+  bool is_integer() const { return den_.is_one(); }
+  int signum() const { return num_.signum(); }
+
+  Rational operator-() const;
+  Rational inverse() const;
+
+  Rational operator+(const Rational& rhs) const;
+  Rational operator-(const Rational& rhs) const;
+  Rational operator*(const Rational& rhs) const;
+  /// rhs must be nonzero.
+  Rational operator/(const Rational& rhs) const;
+
+  Rational& operator+=(const Rational& r) { return *this = *this + r; }
+  Rational& operator-=(const Rational& r) { return *this = *this - r; }
+  Rational& operator*=(const Rational& r) { return *this = *this * r; }
+  Rational& operator/=(const Rational& r) { return *this = *this / r; }
+
+  bool operator==(const Rational& rhs) const { return num_ == rhs.num_ && den_ == rhs.den_; }
+  bool operator!=(const Rational& rhs) const { return !(*this == rhs); }
+  bool operator<(const Rational& rhs) const { return cmp(rhs) < 0; }
+  bool operator<=(const Rational& rhs) const { return cmp(rhs) <= 0; }
+  bool operator>(const Rational& rhs) const { return cmp(rhs) > 0; }
+  bool operator>=(const Rational& rhs) const { return cmp(rhs) >= 0; }
+  int cmp(const Rational& rhs) const;
+
+  /// "n" if integral, else "n/d".
+  std::string to_string() const;
+
+  /// Nearest double (approximate; for diagnostics only).
+  double to_double() const;
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace gbd

@@ -1,0 +1,53 @@
+#include "gb/engine_common.hpp"
+
+#include <sstream>
+
+namespace gbd {
+
+const char* selection_name(Selection s) {
+  switch (s) {
+    case Selection::kNormal:
+      return "normal";
+    case Selection::kDegree:
+      return "degree";
+    case Selection::kFifo:
+      return "fifo";
+    case Selection::kSugar:
+      return "sugar";
+  }
+  return "?";
+}
+
+void GbStats::merge(const GbStats& other) {
+  pairs_created += other.pairs_created;
+  pairs_pruned_coprime += other.pairs_pruned_coprime;
+  pairs_pruned_chain += other.pairs_pruned_chain;
+  spolys_computed += other.spolys_computed;
+  reductions_to_zero += other.reductions_to_zero;
+  basis_added += other.basis_added;
+  reduction_steps += other.reduction_steps;
+  max_step_cost = std::max(max_step_cost, other.max_step_cost);
+  work_units += other.work_units;
+  messages_sent += other.messages_sent;
+  bytes_sent += other.bytes_sent;
+  polys_transferred += other.polys_transferred;
+  lock_wait_units += other.lock_wait_units;
+  idle_units += other.idle_units;
+  termination_units += other.termination_units;
+  peak_resident_bodies = std::max(peak_resident_bodies, other.peak_resident_bodies);
+}
+
+std::string GbStats::summary() const {
+  std::ostringstream os;
+  os << "pairs=" << pairs_created << " pruned(coprime)=" << pairs_pruned_coprime
+     << " pruned(chain)=" << pairs_pruned_chain << " spolys=" << spolys_computed
+     << " zeroed=" << reductions_to_zero << " added=" << basis_added
+     << " steps=" << reduction_steps << " work=" << work_units;
+  if (messages_sent > 0) {
+    os << " msgs=" << messages_sent << " bytes=" << bytes_sent
+       << " polys_moved=" << polys_transferred;
+  }
+  return os.str();
+}
+
+}  // namespace gbd

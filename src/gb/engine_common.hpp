@@ -1,0 +1,89 @@
+// Shared configuration, statistics and result types for all Gröbner engines.
+//
+// Five engines compute Gröbner bases in this library (sequential, transition
+// -axiom G-1, distributed GL-P, shared-memory, pipeline). They share the
+// option set and report the same statistics so the benchmark harnesses can
+// compare them exhibit-for-exhibit against the paper.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// Pair selection strategies for the global pair queue. The paper uses the
+/// "traditional" (normal) strategy: pick the pair minimizing
+/// HMONO(f)·HMONO(g)/HCF — the lcm of the heads (footnote 2).
+enum class Selection : std::uint8_t {
+  kNormal,  ///< minimal lcm under the monomial order (paper's choice)
+  kDegree,  ///< minimal total degree of the lcm, ties by lcm order
+  kFifo,    ///< creation order (no heuristic) — ablation baseline
+  kSugar,   ///< minimal sugar degree (Giovini et al. '91), ties by lcm —
+            ///< one of the "wide spectrum" of heuristics §7 discusses.
+            ///< Honored by the sequential engine; elsewhere falls back to
+            ///< kNormal ordering (pair sugar is not propagated over the wire).
+};
+
+const char* selection_name(Selection s);
+
+struct GbConfig {
+  /// Buchberger's first criterion: a pair with coprime head monomials always
+  /// reduces to zero and is pruned without reduction.
+  bool coprime_criterion = true;
+  /// Buchberger's second (chain) criterion: pair (f,g) is pruned when some h
+  /// divides lcm(f,g) and both (f,h) and (g,h) are already treated.
+  bool chain_criterion = true;
+  /// Gebauer–Möller M/F/B1 filtering of the new pairs at basis-augment time
+  /// (order-independent, so also applied by the parallel adder).
+  bool gm_update = true;
+  /// Tail-reduce polynomials before adding them to the basis (ablation; the
+  /// paper discusses head-only vs full reduction as an open heuristic).
+  bool tail_reduce = false;
+  /// Interreduce the input generators before starting ("whether
+  /// interreduction helps or not" is §7's open question; honored by the
+  /// sequential engine).
+  bool interreduce_input = false;
+  Selection selection = Selection::kNormal;
+  /// Abort knob for tests; a correct run never hits it.
+  std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Counters matching the quantities the paper reports (Tables 1-3, §6).
+struct GbStats {
+  std::uint64_t pairs_created = 0;
+  std::uint64_t pairs_pruned_coprime = 0;
+  std::uint64_t pairs_pruned_chain = 0;
+  std::uint64_t spolys_computed = 0;
+  std::uint64_t reductions_to_zero = 0;  ///< Table 2 "Zeroed"
+  std::uint64_t basis_added = 0;         ///< Table 2 "Added" (beyond the input)
+  std::uint64_t reduction_steps = 0;
+  std::uint64_t max_step_cost = 0;  ///< Table 1 "Max Single Reduction Step"
+  std::uint64_t work_units = 0;     ///< total charged term-operations
+
+  // Distributed-run extras (§5-§7): all zero for sequential engines.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t polys_transferred = 0;  ///< polynomial bodies moved between processors
+  std::uint64_t lock_wait_units = 0;    ///< virtual time spent waiting for the invalidation lock
+  std::uint64_t idle_units = 0;         ///< virtual time spent with no enabled axiom
+  std::uint64_t termination_units = 0;  ///< virtual time in termination detection
+  std::uint64_t peak_resident_bodies = 0;  ///< basis-store memory high-water (max over procs)
+
+  void merge(const GbStats& other);
+  std::string summary() const;
+};
+
+struct GbResult {
+  /// The raw basis G on completion (input ∪ added, order of addition).
+  std::vector<Polynomial> basis;
+  GbStats stats;
+  /// Engine running time: charged work units for sequential engines,
+  /// virtual makespan for simulated parallel engines.
+  std::uint64_t elapsed_units = 0;
+};
+
+}  // namespace gbd

@@ -1,0 +1,121 @@
+#include "gb/pairs.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+void SequentialPairQueue::push(std::uint32_t i, std::uint32_t j, Monomial lcm,
+                               std::uint32_t sugar) {
+  GBD_DCHECK(i < j);
+  PendingPair p;
+  p.i = i;
+  p.j = j;
+  p.lcm = std::move(lcm);
+  p.sugar = sugar;
+  p.seq = next_seq_++;
+  pairs_.insert(std::move(p));
+}
+
+bool SequentialPairQueue::before(const PendingPair& a, const PendingPair& b) const {
+  switch (selection_) {
+    case Selection::kNormal: {
+      int c = ctx_->cmp(a.lcm, b.lcm);
+      if (c != 0) return c < 0;
+      break;
+    }
+    case Selection::kDegree: {
+      if (a.lcm.degree() != b.lcm.degree()) return a.lcm.degree() < b.lcm.degree();
+      int c = ctx_->cmp(a.lcm, b.lcm);
+      if (c != 0) return c < 0;
+      break;
+    }
+    case Selection::kFifo:
+      break;
+    case Selection::kSugar: {
+      if (a.sugar != b.sugar) return a.sugar < b.sugar;
+      int c = ctx_->cmp(a.lcm, b.lcm);
+      if (c != 0) return c < 0;
+      break;
+    }
+  }
+  return a.seq < b.seq;
+}
+
+PendingPair SequentialPairQueue::pop_best() {
+  GBD_CHECK_MSG(!pairs_.empty(), "pop_best on empty pair queue");
+  auto it = pairs_.begin();
+  PendingPair p = *it;
+  pairs_.erase(it);
+  return p;
+}
+
+std::vector<std::size_t> gm_new_pairs(const PolyContext& ctx,
+                                      const std::vector<Monomial>& heads, const Monomial& hr,
+                                      GmPruneCounts* counts) {
+  GmPruneCounts local;
+  GmPruneCounts& c = counts ? *counts : local;
+  std::size_t n = heads.size();
+  std::vector<Monomial> lcms;
+  lcms.reserve(n);
+  for (const Monomial& h : heads) lcms.push_back(Monomial::lcm(h, hr));
+
+  std::vector<bool> dropped(n, false);
+  // M: strict-divisor lcm elsewhere.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (lcms[j].divides(lcms[i]) && lcms[j] != lcms[i]) {
+        dropped[i] = true;
+        c.m_rule += 1;
+        break;
+      }
+    }
+  }
+  // F: one representative per equal-lcm group; none if a member is coprime.
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dropped[i]) continue;
+    bool group_handled = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!dropped[j] && lcms[j] == lcms[i]) {
+        group_handled = true;  // an earlier member represents (or killed) the group
+        break;
+      }
+    }
+    if (group_handled) {
+      c.f_rule += 1;
+      dropped[i] = true;
+      continue;
+    }
+    // Group representative: if ANY group member is coprime, the whole group
+    // is superfluous.
+    bool group_coprime = false;
+    for (std::size_t j = i; j < n; ++j) {
+      if (lcms[j] == lcms[i] && Monomial::coprime(heads[j], hr)) {
+        group_coprime = true;
+        break;
+      }
+    }
+    if (group_coprime) {
+      c.coprime += 1;
+      dropped[i] = true;
+      continue;
+    }
+    kept.push_back(i);
+  }
+  (void)ctx;
+  return kept;
+}
+
+bool chain_criterion(std::uint32_t i, std::uint32_t j, const Monomial& lcm,
+                     const std::vector<Monomial>& heads, const DonePairs& done) {
+  for (std::uint32_t k = 0; k < heads.size(); ++k) {
+    if (k == i || k == j) continue;
+    if (heads[k].divides(lcm) && done.contains(i, k) && done.contains(j, k)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gbd

@@ -1,0 +1,110 @@
+// Pair bookkeeping for the sequential-side engines: the priority queue gpq,
+// the treated-pair set, and Buchberger's elimination criteria.
+//
+// The queue orders pairs by heuristic merit (§3.1: "priority ordering is
+// necessary in gpq, so that heuristic merit can be encoded into priority").
+// The treated-pair set supports the chain criterion: pair (i,j) is
+// superfluous if some basis element k has HMONO(k) | lcm(i,j) and the pairs
+// (i,k) and (j,k) were both treated earlier. Soundness relies on citing only
+// pairs completed strictly earlier, so callers must mark a pair done *after*
+// testing it for pruning.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "gb/engine_common.hpp"
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// A queued pair of basis indices (i < j) with its cached head-lcm.
+struct PendingPair {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  Monomial lcm;
+  std::uint32_t sugar = 0;  ///< pair sugar degree (used by Selection::kSugar)
+  std::uint64_t seq = 0;    ///< creation sequence number (FIFO + determinism)
+};
+
+/// Priority queue over PendingPair implementing the Selection strategies.
+/// Deterministic: ties broken by creation sequence.
+class SequentialPairQueue {
+ public:
+  SequentialPairQueue(const PolyContext* ctx, Selection selection)
+      : ctx_(ctx), selection_(selection), pairs_(Cmp{this}) {}
+
+  void push(std::uint32_t i, std::uint32_t j, Monomial lcm, std::uint32_t sugar = 0);
+
+  bool empty() const { return pairs_.empty(); }
+  std::size_t size() const { return pairs_.size(); }
+
+  /// Remove and return the best pair under the selection strategy.
+  PendingPair pop_best();
+
+ private:
+  struct Cmp {
+    const SequentialPairQueue* q;
+    bool operator()(const PendingPair& a, const PendingPair& b) const {
+      return q->before(a, b);
+    }
+  };
+
+  bool before(const PendingPair& a, const PendingPair& b) const;
+
+  const PolyContext* ctx_;
+  Selection selection_;
+  std::uint64_t next_seq_ = 0;
+  std::set<PendingPair, Cmp> pairs_;
+};
+
+/// Set of treated (completed) pairs keyed by index pair.
+class DonePairs {
+ public:
+  void mark(std::uint32_t i, std::uint32_t j) { done_.insert(key(i, j)); }
+  bool contains(std::uint32_t i, std::uint32_t j) const { return done_.count(key(i, j)) > 0; }
+  std::size_t size() const { return done_.size(); }
+
+ private:
+  static std::uint64_t key(std::uint32_t i, std::uint32_t j) {
+    if (i > j) std::swap(i, j);
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+  std::unordered_set<std::uint64_t> done_;
+};
+
+/// Buchberger's first criterion: coprime head monomials.
+inline bool coprime_criterion(const Monomial& hi, const Monomial& hj) {
+  return Monomial::coprime(hi, hj);
+}
+
+/// Buchberger's second (chain) criterion for pair (i,j) against basis heads:
+/// true if some k (≠ i,j) has heads[k] | lcm and both (i,k) and (j,k) are in
+/// `done`. `heads` is indexed by basis position.
+bool chain_criterion(std::uint32_t i, std::uint32_t j, const Monomial& lcm,
+                     const std::vector<Monomial>& heads, const DonePairs& done);
+
+struct GmPruneCounts {
+  std::uint64_t m_rule = 0;
+  std::uint64_t f_rule = 0;
+  std::uint64_t coprime = 0;
+};
+
+/// Gebauer–Möller update: given the head monomials of the current basis and
+/// the head of a new element r, return the indices i whose pair (g_i, r)
+/// must actually be queued. Applies, in order (Becker–Weispfenning,
+/// "Gröbner Bases", GEBAUERMOELLER):
+///   M — drop i when some lcm(h_j, h_r) strictly divides lcm(h_i, h_r);
+///   F — among groups with equal lcm keep one representative, or none if any
+///       member of the group has coprime heads;
+///   B1 — drop survivors with coprime heads (Buchberger's first criterion).
+/// The rules are purely syntactic on head monomials — no processing-order
+/// bookkeeping — which is what makes them usable by the parallel adder,
+/// whose replica is complete and stable under the invalidation lock.
+std::vector<std::size_t> gm_new_pairs(const PolyContext& ctx,
+                                      const std::vector<Monomial>& heads, const Monomial& hr,
+                                      GmPruneCounts* counts = nullptr);
+
+}  // namespace gbd

@@ -1,0 +1,604 @@
+#include "gb/parallel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+
+#include "basis/hybrid_basis.hpp"
+#include "basis/replicated_basis.hpp"
+#include "gb/pairs.hpp"
+#include "machine/thread_machine.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "support/check.hpp"
+#include "support/cost.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+
+namespace {
+
+/// A pair task: the two polynomial ids plus their head monomials, carried so
+/// the receiving processor can evaluate the elimination criteria and the
+/// priority without the bodies.
+struct PairTask {
+  PolyId a = 0;
+  PolyId b = 0;
+  Monomial ha, hb;
+
+  std::vector<std::uint8_t> encode() const {
+    Writer w;
+    w.u64(a);
+    w.u64(b);
+    ha.write(w);
+    hb.write(w);
+    return w.take();
+  }
+
+  static PairTask decode(const std::vector<std::uint8_t>& payload) {
+    Reader r(payload);
+    PairTask t;
+    t.a = r.u64();
+    t.b = r.u64();
+    t.ha = Monomial::read(r);
+    t.hb = Monomial::read(r);
+    return t;
+  }
+};
+
+/// Exact set of treated id-pairs (chain-criterion knowledge is local to each
+/// processor; citing only pairs we completed ourselves keeps the criterion
+/// sound — see DESIGN.md §6).
+class DoneIdPairs {
+ public:
+  void mark(PolyId a, PolyId b) { done_.insert(key(a, b)); }
+  bool contains(PolyId a, PolyId b) const { return done_.count(key(a, b)) > 0; }
+
+ private:
+  static std::pair<PolyId, PolyId> key(PolyId a, PolyId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  std::set<std::pair<PolyId, PolyId>> done_;
+};
+
+/// Per-processor results handed back to the driver after the machine stops.
+struct ProcOutput {
+  std::vector<std::pair<PolyId, Polynomial>> added;
+  GbStats stats;
+  ProcTrace trace;
+  std::uint64_t lock_wait = 0;
+};
+
+/// The augment protocol's split-phase state (§5: the suspended "thread").
+enum class AugState { kIdle, kWaitLock, kValidating, kAdding };
+
+/// One processor's GL-P worker.
+class GlpWorker {
+ public:
+  GlpWorker(Proc& self, const PolySystem& sys, const ParallelConfig& cfg,
+            const std::vector<std::pair<PolyId, Polynomial>>& inputs, ProcOutput* out)
+      : self_(self),
+        sys_(sys),
+        cfg_(cfg),
+        out_(out),
+        basis_owned_(make_store(self, cfg)),
+        basis_(*basis_owned_),
+        lock_mgr_(self.id() == 0 ? std::make_optional<LockManager>(self) : std::nullopt),
+        lock_(self, /*coordinator=*/0),
+        queue_(self, &sys.ctx, [this] { return app_idle(); }, taskq_config(cfg)) {
+    for (const auto& [id, poly] : inputs) basis_.preload(id, poly);
+  }
+
+  void run() {
+    seed_initial_pairs();
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+      self_.poll();
+      // The VALIDATE axiom of Figure 3 is independently schedulable: fire it
+      // whenever the shadow set is nonempty. The fetches stream in while we
+      // keep computing, so the replica stays near-fresh and reductions
+      // rarely run against a badly stale basis (begin_validate dedups
+      // in-flight requests, so re-firing is cheap).
+      if (!basis_.valid()) basis_.begin_validate();
+      pump_augment();
+      if (try_resume_suspended()) continue;
+      if (is_reserved_coordinator()) {
+        queue_.pump_termination();
+        if (queue_.terminated()) break;
+        if (!self_.wait()) break;
+        continue;
+      }
+      if (aug_state_ != AugState::kIdle && aug_state_ != AugState::kWaitLock) {
+        // Validation/adding hold the lock: just serve the network until the
+        // split-phase transfers complete. (While merely *waiting* for the
+        // lock we fall through and overlap other pair work — the paper's
+        // thread suspension.)
+        if (!self_.wait()) {
+          finishing_ = true;  // machine quiescence mid-protocol: checked below
+        } else {
+          continue;
+        }
+      }
+      if (!finishing_) switch (queue_.try_dequeue(&payload)) {
+        case DistTaskQueue::Dequeue::kGot:
+          process_task(PairTask::decode(payload));
+          break;
+        case DistTaskQueue::Dequeue::kTerminated:
+          finishing_ = true;
+          break;
+        case DistTaskQueue::Dequeue::kEmpty:
+          if (!self_.wait()) finishing_ = true;
+          break;
+      }
+      if (finishing_) {
+        GBD_CHECK_MSG(pending_.empty() && suspended_.empty() && stalled_.empty(),
+                      "terminated with unfinished local work — protocol bug");
+        break;
+      }
+    }
+    out_->lock_wait = lock_.wait_units();
+    out_->stats.lock_wait_units = lock_.wait_units();
+    out_->stats.idle_units = self_.comm_stats().idle_units;
+    out_->stats.polys_transferred = basis_.stats().bodies_received;
+    out_->stats.peak_resident_bodies = basis_.stats().max_resident;
+  }
+
+ private:
+  static TaskQueueConfig taskq_config(const ParallelConfig& cfg) {
+    TaskQueueConfig tq = cfg.taskq;
+    tq.coordinator = 0;
+    tq.selection = cfg.gb.selection;
+    return tq;
+  }
+
+  bool is_reserved_coordinator() const {
+    return cfg_.reserve_coordinator && self_.id() == 0;
+  }
+
+  bool app_idle() const {
+    return suspended_.empty() && stalled_.empty() && pending_.empty() && !executing_;
+  }
+
+  int first_worker() const { return cfg_.reserve_coordinator ? 1 : 0; }
+  int nworkers() const { return self_.nprocs() - first_worker(); }
+
+  /// Distribute the initial pairs round-robin over the compute processors,
+  /// rotated by the seed (the run-to-run perturbation knob).
+  void seed_initial_pairs() {
+    if (is_reserved_coordinator()) return;
+    const auto& heads = basis_.known_heads();
+    std::uint64_t k = 0;
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      for (std::size_t j = i + 1; j < heads.size(); ++j, ++k) {
+        int assignee = first_worker() +
+                       static_cast<int>((k + cfg_.seed) % static_cast<std::uint64_t>(nworkers()));
+        if (assignee != self_.id()) continue;
+        create_pair(heads[i].first, heads[j].first, heads[i].second, heads[j].second);
+      }
+    }
+  }
+
+  /// Create (and locally enqueue) one pair, applying the coprime criterion
+  /// at creation as the sequential engine does.
+  void create_pair(PolyId a, PolyId b, const Monomial& ha, const Monomial& hb) {
+    out_->stats.pairs_created += 1;
+    if (cfg_.gb.coprime_criterion && Monomial::coprime(ha, hb)) {
+      out_->stats.pairs_pruned_coprime += 1;
+      done_.mark(a, b);
+      return;
+    }
+    PairTask t{a, b, ha, hb};
+    queue_.enqueue(t.encode(), Monomial::lcm(ha, hb));
+  }
+
+  /// Enqueue without any criterion (the caller already filtered).
+  void enqueue_pair(PolyId a, PolyId b, const Monomial& ha, const Monomial& hb) {
+    PairTask t{a, b, ha, hb};
+    queue_.enqueue(t.encode(), Monomial::lcm(ha, hb));
+  }
+
+  /// Chain criterion against local knowledge: heads come from the replica
+  /// and the shadow set (shadow entries carry their head monomial).
+  bool chain_prunable(const PairTask& t) const {
+    if (!cfg_.gb.chain_criterion) return false;
+    Monomial l = Monomial::lcm(t.ha, t.hb);
+    for (const auto& [k, head] : basis_.known_heads()) {
+      if (k == t.a || k == t.b) continue;
+      if (head.divides(l) && done_.contains(t.a, k) && done_.contains(t.b, k)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void process_task(PairTask task) {
+    executing_ = true;
+    if (cfg_.gb.coprime_criterion && Monomial::coprime(task.ha, task.hb)) {
+      out_->stats.pairs_pruned_coprime += 1;
+      done_.mark(task.a, task.b);
+      executing_ = false;
+      return;
+    }
+    if (chain_prunable(task)) {
+      // Not marked done: only self-grounded treatments are citable (see
+      // sequential.cpp on the justification-cycle hazard).
+      out_->stats.pairs_pruned_chain += 1;
+      executing_ = false;
+      return;
+    }
+    const Polynomial* pa = basis_.find(task.a);
+    const Polynomial* pb = basis_.find(task.b);
+    if (pa == nullptr || pb == nullptr) {
+      // §5 "Local Threads": put the pair on hold and fetch what is missing;
+      // other pairs proceed meanwhile.
+      if (pa == nullptr) basis_.prefetch(task.a);
+      if (pb == nullptr) basis_.prefetch(task.b);
+      suspended_.push_back(std::move(task));
+      executing_ = false;
+      return;
+    }
+
+    TaskTrace trace;
+    trace.a = task.a;
+    trace.b = task.b;
+    Polynomial h;
+    {
+      CostScope cost;
+      h = spoly(sys_.ctx, *pa, *pb);
+      out_->stats.work_units += cost.elapsed();
+    }
+    out_->stats.spolys_computed += 1;
+    continue_reduction(std::move(task), std::move(h), std::move(trace));
+  }
+
+  /// Drive a reduct toward augment: reduce against the local replica, and
+  /// then either retire it (zero), stall it (a shadowed element's head can
+  /// still reduce it — the killing body is already en route, so waiting
+  /// locally is far cheaper than discovering the same thing under the
+  /// lock), or push it into the augment pipeline.
+  void continue_reduction(PairTask task, Polynomial h, TaskTrace trace) {
+    executing_ = true;
+    reduce_by_replica(&h, &trace);
+
+    if (h.is_zero()) {
+      out_->stats.reductions_to_zero += 1;
+      done_.mark(task.a, task.b);
+      if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(trace));
+      executing_ = false;
+      return;
+    }
+    if (PolyId blocked = basis_.pending_reducer(h.hmono()); blocked != 0) {
+      basis_.prefetch(blocked);
+      stalled_.push_back(Stalled{std::move(task), std::move(h), std::move(trace)});
+      executing_ = false;
+      return;
+    }
+    // Nonzero normal form w.r.t. the (possibly stale) replica: suspend into
+    // the augment pipeline and request the lock if it is not already wanted.
+    pending_.push_back(Pending{std::move(h), std::move(trace), task.a, task.b});
+    if (!lock_.requested()) {
+      lock_.request();
+      aug_state_ = AugState::kWaitLock;
+    }
+    executing_ = false;
+  }
+
+  /// Head-reduce *h against the local replica, one step at a time, polling
+  /// the network between steps (the paper's minimum grain is a single
+  /// reduction step). Appends reducer ids to the trace.
+  void reduce_by_replica(Polynomial* h, TaskTrace* trace) {
+    h->make_primitive();
+    while (!h->is_zero()) {
+      std::uint64_t rid = 0;
+      const Polynomial* r = basis_.reducer_set().find_reducer(h->hmono(), &rid);
+      if (r == nullptr) break;
+      CostScope cost;
+      *h = reduce_step(sys_.ctx, *h, *r);
+      h->make_primitive();
+      std::uint64_t c = cost.elapsed();
+      out_->stats.reduction_steps += 1;
+      out_->stats.max_step_cost = std::max(out_->stats.max_step_cost, c);
+      out_->stats.work_units += c;
+      trace->reducers.push_back(rid);
+      self_.poll();  // serve fetches/invalidations/steals between steps
+      // Also advance the augment protocol between steps: a lock grant or the
+      // last invalidation ack must not wait for this (possibly long)
+      // reduction to finish — that would stretch every lock hold by an
+      // unrelated task's length. Guarded against re-entry because the
+      // augment itself reduces.
+      pump_augment();
+    }
+  }
+
+  /// Advance the augment state machine as far as the arrived messages allow.
+  /// Re-entrant calls (from the augment's own reduction) are no-ops.
+  void pump_augment() {
+    if (in_pump_) return;
+    in_pump_ = true;
+    pump_augment_impl();
+    in_pump_ = false;
+  }
+
+  void pump_augment_impl() {
+    if (aug_state_ == AugState::kWaitLock && !lock_.granted() &&
+        basis_.stats().bodies_received != replica_seen_) {
+      // While queued for the lock, keep the pending reduct fresh against
+      // every newly arrived basis element: work done here comes off the
+      // critical section (and a reduct that dies here never needed the
+      // lock's validation round at all).
+      replica_seen_ = basis_.stats().bodies_received;
+      freshen_pending();
+    }
+    if (aug_state_ == AugState::kWaitLock && lock_.granted()) {
+      // Under the lock the basis is stable and all prior invalidations have
+      // reached us (their acks gated the previous holder's release): one
+      // validation round makes the replica the complete current G.
+      aug_state_ = AugState::kValidating;
+      basis_.begin_validate();
+    }
+    if (aug_state_ == AugState::kValidating && basis_.valid()) {
+      finish_augment_under_lock();
+    }
+    if (aug_state_ == AugState::kAdding && basis_.add_done()) {
+      complete_add();
+    }
+  }
+
+  /// With the lock held and a valid replica: re-reduce the pending reduct
+  /// against the full basis (the NORMAL re-check of axiom AUGMENT) and
+  /// either discard it or start the AddToSet broadcast.
+  /// Re-reduce queued reducts against the current replica; retire any that
+  /// reach zero. Runs outside the lock.
+  void freshen_pending() {
+    for (std::size_t i = 0; i < pending_.size();) {
+      Pending& p = pending_[i];
+      reduce_by_replica(&p.poly, &p.trace);
+      if (p.poly.is_zero()) {
+        out_->stats.reductions_to_zero += 1;
+        done_.mark(p.a, p.b);
+        if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(p.trace));
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void finish_augment_under_lock() {
+    if (pending_.empty()) {
+      // Everything we queued for died while we waited; give the lock back.
+      release_and_continue();
+      return;
+    }
+    Pending& p = pending_.front();
+    reduce_by_replica(&p.poly, &p.trace);
+    if (!p.poly.is_zero()) {
+      // The NORMAL re-check must see the body of any head that still
+      // divides; under the hybrid store it may not be resident. Fetch it
+      // and retry from pump_augment when it lands (progress is saved in
+      // p.poly; the lock stays held — the price of bounded replication).
+      if (PolyId blocked = basis_.pending_reducer(p.poly.hmono()); blocked != 0) {
+        basis_.prefetch(blocked);
+        return;
+      }
+    }
+    if (p.poly.is_zero()) {
+      out_->stats.reductions_to_zero += 1;
+      done_.mark(p.a, p.b);
+      if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(p.trace));
+      pending_.pop_front();
+      release_and_continue();
+      return;
+    }
+    adding_id_ = basis_.begin_add(p.poly);
+    aug_state_ = AugState::kAdding;
+  }
+
+  /// All invalidation acks arrived: record the new element, create its pairs
+  /// (replica is complete, so this is {(s, r) : s ∈ G}), release the lock.
+  void complete_add() {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    const Polynomial* body = basis_.find(adding_id_);
+    GBD_CHECK(body != nullptr);
+    Monomial new_head = body->hmono();
+    // The add is globally visible (all acks in): the critical section can
+    // end here; pair creation only reads the (stable) local replica.
+    release_and_continue();
+    // The replica is complete and stable under the lock, so the
+    // Gebauer–Möller update applies exactly as in the sequential engine.
+    std::vector<PolyId> others;
+    std::vector<Monomial> heads;
+    for (const auto& [k, head] : basis_.known_heads()) {
+      if (k == adding_id_) continue;
+      others.push_back(k);
+      heads.push_back(head);
+    }
+    if (cfg_.gb.gm_update) {
+      out_->stats.pairs_created += others.size();
+      GmPruneCounts gm;
+      std::vector<std::size_t> kept = gm_new_pairs(sys_.ctx, heads, new_head, &gm);
+      out_->stats.pairs_pruned_coprime += gm.coprime;
+      out_->stats.pairs_pruned_chain += gm.m_rule + gm.f_rule;
+      std::vector<bool> keep(others.size(), false);
+      for (std::size_t i : kept) keep[i] = true;
+      for (std::size_t i = 0; i < others.size(); ++i) {
+        if (keep[i]) {
+          enqueue_pair(others[i], adding_id_, heads[i], new_head);
+        } else if (Monomial::coprime(heads[i], new_head)) {
+          done_.mark(others[i], adding_id_);  // grounded by criterion 1 only
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < others.size(); ++i) {
+        create_pair(others[i], adding_id_, heads[i], new_head);
+      }
+    }
+    out_->stats.basis_added += 1;
+    out_->added.emplace_back(adding_id_, *body);
+    done_.mark(p.a, p.b);
+    p.trace.added = true;
+    p.trace.result = adding_id_;
+    if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(p.trace));
+  }
+
+  void release_and_continue() {
+    lock_.release();
+    if (!pending_.empty()) {
+      lock_.request();
+      aug_state_ = AugState::kWaitLock;
+    } else {
+      aug_state_ = AugState::kIdle;
+    }
+  }
+
+  bool try_resume_suspended() {
+    for (auto it = suspended_.begin(); it != suspended_.end(); ++it) {
+      bool have_a = basis_.find(it->a) != nullptr;
+      bool have_b = basis_.find(it->b) != nullptr;
+      if (have_a && have_b) {
+        PairTask t = std::move(*it);
+        suspended_.erase(it);
+        process_task(std::move(t));
+        return true;
+      }
+      // Keep the fetches alive: under a bounded cache one body can arrive
+      // and be evicted again before its partner lands.
+      if (!have_a) basis_.prefetch(it->a);
+      if (!have_b) basis_.prefetch(it->b);
+    }
+    for (auto it = stalled_.begin(); it != stalled_.end(); ++it) {
+      // Resume as soon as the head can make progress locally (a resident
+      // reducer arrived) or nothing further is pending. Requires a resident
+      // check too: under the hybrid store a *different*, permanently
+      // non-resident element's head may divide forever.
+      PolyId pending = basis_.pending_reducer(it->partial.hmono());
+      if (pending == 0 ||
+          basis_.reducer_set().find_reducer(it->partial.hmono(), nullptr) != nullptr) {
+        Stalled s = std::move(*it);
+        stalled_.erase(it);
+        continue_reduction(std::move(s.task), std::move(s.partial), std::move(s.trace));
+        return true;
+      }
+      // Still blocked: keep the fetch alive (the body may have been fetched
+      // and evicted again under a bounded cache).
+      basis_.prefetch(pending);
+    }
+    return false;
+  }
+
+  struct Pending {
+    Polynomial poly;
+    TaskTrace trace;
+    PolyId a, b;
+  };
+
+  Proc& self_;
+  const PolySystem& sys_;
+  const ParallelConfig& cfg_;
+  ProcOutput* out_;
+
+  static std::unique_ptr<BasisStore> make_store(Proc& self, const ParallelConfig& cfg) {
+    if (cfg.basis_mode == BasisMode::kHybrid) {
+      HybridConfig hc;
+      hc.homes = cfg.hybrid_homes;
+      hc.cache_capacity = cfg.hybrid_cache_capacity;
+      return std::make_unique<HybridBasis>(self, hc);
+    }
+    return std::make_unique<ReplicatedBasis>(self);
+  }
+
+  std::unique_ptr<BasisStore> basis_owned_;
+  BasisStore& basis_;
+  std::optional<LockManager> lock_mgr_;
+  LockClient lock_;
+  DistTaskQueue queue_;
+
+  struct Stalled {
+    PairTask task;
+    Polynomial partial;
+    TaskTrace trace;
+  };
+
+  DoneIdPairs done_;
+  std::deque<PairTask> suspended_;
+  std::deque<Stalled> stalled_;
+  std::deque<Pending> pending_;
+  AugState aug_state_ = AugState::kIdle;
+  PolyId adding_id_ = 0;
+  std::size_t replica_seen_ = 0;
+  bool executing_ = false;
+  bool in_pump_ = false;
+  bool finishing_ = false;
+};
+
+ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
+                              const ParallelConfig& cfg) {
+  GBD_CHECK_MSG(!cfg.reserve_coordinator || cfg.nprocs >= 2,
+                "reserve_coordinator needs at least two processors");
+
+  // Canonical inputs, preloaded identically everywhere with owner-0 ids.
+  std::vector<std::pair<PolyId, Polynomial>> inputs;
+  std::uint32_t seq = 0;
+  for (const auto& p : sys.polys) {
+    if (p.is_zero()) continue;
+    Polynomial q = p;
+    q.make_primitive();
+    inputs.emplace_back(make_poly_id(0, seq++), std::move(q));
+  }
+
+  std::vector<ProcOutput> outputs(static_cast<std::size_t>(cfg.nprocs));
+  auto worker = [&](Proc& self) {
+    GlpWorker w(self, sys, cfg, inputs, &outputs[static_cast<std::size_t>(self.id())]);
+    w.run();
+  };
+
+  ParallelResult res;
+  if (sim) {
+    res.machine = static_cast<SimMachine&>(machine).run_sim(worker);
+  } else {
+    MachineStats ms = machine.run(worker);
+    res.machine.makespan = ms.makespan;
+    res.machine.per_proc = std::move(ms.per_proc);
+  }
+
+  res.basis_ids = inputs;
+  for (auto& out : outputs) {
+    for (auto& [id, poly] : out.added) res.basis_ids.emplace_back(id, std::move(poly));
+    res.per_proc.push_back(out.stats);
+    res.stats.merge(out.stats);
+    res.compute_units += out.stats.work_units;
+    res.trace.procs.push_back(std::move(out.trace));
+  }
+  std::sort(res.basis_ids.begin(), res.basis_ids.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (const auto& [id, poly] : res.basis_ids) res.basis.push_back(poly);
+
+  for (std::size_t p = 0; p < res.machine.per_proc.size(); ++p) {
+    res.stats.messages_sent += res.machine.per_proc[p].messages_sent;
+    res.stats.bytes_sent += res.machine.per_proc[p].bytes_sent;
+  }
+  res.elapsed_units = res.machine.makespan;
+  return res;
+}
+
+}  // namespace
+
+std::map<PolyId, Polynomial> ParallelResult::bodies() const {
+  std::map<PolyId, Polynomial> m;
+  for (const auto& [id, poly] : basis_ids) m.emplace(id, poly);
+  return m;
+}
+
+ParallelResult groebner_parallel(const PolySystem& sys, const ParallelConfig& cfg) {
+  SimMachine machine(cfg.nprocs, cfg.cost);
+  return run_on_machine(machine, /*sim=*/true, sys, cfg);
+}
+
+ParallelResult groebner_parallel_threads(const PolySystem& sys, const ParallelConfig& cfg) {
+  ThreadMachine machine(cfg.nprocs);
+  return run_on_machine(machine, /*sim=*/false, sys, cfg);
+}
+
+}  // namespace gbd

@@ -1,0 +1,85 @@
+// GL-P — the distributed-memory parallel Buchberger engine (Figures 3/4 of
+// the paper), programmed against the virtual machine exactly as §5-§6
+// describe the CM-5 implementation:
+//
+//  - tasks are pairs of 8-byte polynomial ids in the distributed task queue;
+//    polynomial bodies never travel with tasks;
+//  - each processor reduces against its own, possibly stale, replica of the
+//    basis (axiom REDUCE over ForAll; staleness is safe — no reduction goes
+//    to waste);
+//  - a pair whose polynomials are not locally resident is suspended ("on
+//    hold") while its bodies are fetched up the owner-rooted tree, and other
+//    work proceeds — the paper's application-level threading;
+//  - a nonzero normal form triggers the augment protocol: request the
+//    central invalidation lock (suspending the augment if not granted
+//    immediately), then VALIDATE the replica (split-phase bulk fetch),
+//    re-reduce against the now-complete basis, and either discard (zero) or
+//    AddToSet (split-phase invalidation broadcast with acks), create the new
+//    pairs, and release;
+//  - processor `coordinator` additionally hosts the lock manager and the
+//    termination-detection coordinator (§6); optionally it is reserved and
+//    takes no compute tasks, as on the paper's CM-5.
+//
+// On a SimMachine the run is deterministic for a fixed config; `seed`
+// perturbs the initial pair placement, standing in for the timing races that
+// made CM-5 runs vary ("best of 5 runs").
+#pragma once
+
+#include <map>
+
+#include "gb/engine_common.hpp"
+#include "gb/trace.hpp"
+#include "io/parse.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/sim_machine.hpp"
+#include "taskq/taskq.hpp"
+
+namespace gbd {
+
+/// Basis storage policy (see basis/basis_store.hpp).
+enum class BasisMode : std::uint8_t {
+  kReplicated,  ///< the paper's main design: every processor holds every body
+  kHybrid,      ///< §7's space-time continuum: bounded homes + evicting cache
+};
+
+struct ParallelConfig {
+  GbConfig gb;
+  int nprocs = 4;
+  std::uint64_t seed = 1;
+  CostModel cost;
+  BasisMode basis_mode = BasisMode::kReplicated;
+  /// Hybrid mode: permanent copies per element / non-home cache slots.
+  int hybrid_homes = 2;
+  std::size_t hybrid_cache_capacity = 16;
+  /// Reserve the coordinator processor for lock/termination duty only
+  /// (the paper's CM-5 setup). Requires nprocs >= 2.
+  bool reserve_coordinator = false;
+  /// Task-queue tuning (coordinator field is overridden to 0).
+  TaskQueueConfig taskq;
+  /// Record per-task traces for the Fig. 8(b) replay baseline.
+  bool record_trace = false;
+};
+
+struct ParallelResult : GbResult {
+  /// Final basis with identities (inputs + added), sorted by id.
+  std::vector<std::pair<PolyId, Polynomial>> basis_ids;
+  /// Virtual makespan and per-processor machine counters.
+  SimStats machine;
+  std::vector<GbStats> per_proc;
+  /// Total algebra work (spoly + reduction + criteria) across processors —
+  /// the replay baseline approximates this.
+  std::uint64_t compute_units = 0;
+  RunTrace trace;
+
+  /// id -> body map for replay_trace.
+  std::map<PolyId, Polynomial> bodies() const;
+};
+
+/// Run GL-P on a fresh SimMachine with cfg.nprocs processors.
+ParallelResult groebner_parallel(const PolySystem& sys, const ParallelConfig& cfg);
+
+/// Run the same worker on real threads (functional demonstration; timing
+/// fields of the result are wall-clock and not comparable to virtual units).
+ParallelResult groebner_parallel_threads(const PolySystem& sys, const ParallelConfig& cfg);
+
+}  // namespace gbd

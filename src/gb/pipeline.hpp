@@ -1,0 +1,54 @@
+// Partitioned-basis pipeline Buchberger — the Siegl-style baseline of §4.1.1
+// and §8: "a parallel algorithm employing a ring of reducers with the basis
+// partitioned among them".
+//
+// The basis is partitioned round-robin over P reducer stages arranged in a
+// ring. A master pops pairs, gathers the two bodies from their owner stages
+// (partitioning means bodies must travel!), computes the s-polynomial and
+// injects it into the ring. Each stage head-reduces a visiting polynomial by
+// its own partition as long as it can, then forwards it; a polynomial that
+// survives a full unproductive lap is a candidate normal form and returns to
+// the master, which re-checks it against the full head index (an element
+// added behind the token may reduce it — then it goes around again), and
+// finally assigns it to a stage and creates new pairs.
+//
+// Execution is a deterministic virtual-time simulation: stage busy times
+// serialize through per-stage clocks, tokens pay per-hop communication, and
+// up to `inflight` tokens pipeline concurrently. The quantities the paper's
+// replicate-vs-partition analysis predicts — low achievable parallelism
+// (total reduction time over max stage time) and communication proportional
+// to *all* reduction traffic rather than only to additions — can be read
+// directly off the result.
+#pragma once
+
+#include "gb/engine_common.hpp"
+#include "io/parse.hpp"
+#include "machine/cost_model.hpp"
+
+namespace gbd {
+
+struct PipelineConfig {
+  GbConfig gb;
+  int nstages = 4;
+  /// Maximum s-polynomial tokens circulating at once.
+  int inflight = 4;
+  /// Per-hop communication cost model (same units as everywhere else).
+  CostModel cost;
+};
+
+struct PipelineResult : GbResult {
+  std::uint64_t makespan = 0;
+  /// Ring hops taken by polynomial tokens (each hop moves a whole body).
+  std::uint64_t token_hops = 0;
+  /// Bytes moved around the ring (tokens + body gathers).
+  std::uint64_t ring_bytes = 0;
+  /// Per-stage busy time; max/total bounds the pipeline's parallelism
+  /// exactly as Table 1 measures it.
+  std::vector<std::uint64_t> stage_busy;
+
+  double achieved_parallelism() const;
+};
+
+PipelineResult groebner_pipeline(const PolySystem& sys, const PipelineConfig& cfg = {});
+
+}  // namespace gbd

@@ -1,0 +1,40 @@
+// Algorithm S — Buchberger's sequential algorithm exactly as in Figure 1 of
+// the paper, with the traditional (normal) selection heuristic and
+// Buchberger's pair elimination criteria.
+//
+// This engine is the "best sequential implementation" baseline of Table 3,
+// the source of the added/zeroed counts of Table 2, and (with per-reducer
+// accounting enabled) the source of the pipeline-parallelism bounds of
+// Table 1.
+#pragma once
+
+#include "gb/engine_common.hpp"
+#include "io/parse.hpp"
+
+namespace gbd {
+
+/// Per-reducer work attribution for the replicate-vs-partition analysis of
+/// §4.1.1: stage_work[k] is the total reduction work in which basis element
+/// k was the reducer — i.e. the busy time of pipeline stage k if the basis
+/// were partitioned one reducer per stage (Table 1).
+struct ReducerAccounting {
+  std::vector<std::uint64_t> stage_work;
+  std::uint64_t total_reduction_work = 0;
+  std::uint64_t max_step_cost = 0;
+
+  /// Total work / max stage work: the pipeline-parallelism upper bound of
+  /// Table 1 ("Maximum Parallelism").
+  double pipeline_parallelism() const;
+  std::uint64_t max_stage_work() const;
+};
+
+struct SequentialResult : GbResult {
+  ReducerAccounting reducers;
+};
+
+/// Compute a Gröbner basis of sys.polys. Inputs are canonicalized (primitive,
+/// zero generators dropped); the returned basis contains the surviving inputs
+/// followed by every added normal form, none of them zero.
+SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg = {});
+
+}  // namespace gbd

@@ -1,0 +1,43 @@
+// Shared-memory parallel Buchberger — the Vidal-style baseline the paper
+// compares against in §7/§8: "the basis being still regarded as a
+// reader-writer shared object with the appropriate locks".
+//
+// P workers share one basis and one global pair queue, both lock-protected.
+// Execution is a deterministic single-threaded discrete-event simulation in
+// the same virtual time units as SimMachine: each worker carries a clock
+// advanced by the algebra it performs; lock acquisitions serialize through
+// per-lock release times, so contention on the pair-queue and basis locks
+// emerges naturally and is what limits scalability (the paper's critique of
+// the shared-memory approach).
+//
+// Unlike the distributed engine, reductions always see the *current* basis
+// (shared memory is coherent), so there is no stale-replica speculation; the
+// price is the serialization through the locks.
+#pragma once
+
+#include "gb/engine_common.hpp"
+#include "io/parse.hpp"
+
+namespace gbd {
+
+struct SharedMemoryConfig {
+  GbConfig gb;
+  int nprocs = 4;
+  std::uint64_t seed = 1;
+  /// Cost in work units of one lock acquire+release round (bus traffic).
+  std::uint64_t lock_cost = 50;
+  /// Cost of one shared-memory read of a basis element header during
+  /// reducer search, modeling coherence traffic (0 = reads free).
+  std::uint64_t read_cost = 0;
+};
+
+struct SharedMemoryResult : GbResult {
+  std::uint64_t makespan = 0;
+  /// Total virtual time workers spent blocked on the two locks.
+  std::uint64_t lock_wait = 0;
+  std::vector<std::uint64_t> worker_clocks;
+};
+
+SharedMemoryResult groebner_shared(const PolySystem& sys, const SharedMemoryConfig& cfg = {});
+
+}  // namespace gbd

@@ -1,0 +1,56 @@
+#include "gb/trace.hpp"
+
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+std::size_t RunTrace::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& p : procs) n += p.tasks.size();
+  return n;
+}
+
+ReplayResult replay_trace(const PolyContext& ctx, const RunTrace& trace,
+                          const std::map<PolyId, Polynomial>& bodies) {
+  ReplayResult res;
+  CostScope total;
+
+  auto body = [&](PolyId id) -> const Polynomial& {
+    auto it = bodies.find(id);
+    GBD_CHECK_MSG(it != bodies.end(), "trace references an unknown polynomial id");
+    return it->second;
+  };
+
+  // "Appropriately merged": tasks are replayed processor by processor; any
+  // merge order re-executes the same algebra, since each task's inputs are
+  // final basis elements.
+  for (const auto& proc : trace.procs) {
+    for (const auto& task : proc.tasks) {
+      Polynomial h = spoly(ctx, body(task.a), body(task.b));
+      for (PolyId rid : task.reducers) {
+        const Polynomial& r = body(rid);
+        GBD_CHECK_MSG(!h.is_zero(), "trace applies a reducer to the zero polynomial");
+        GBD_CHECK_MSG(r.hmono().divides(h.hmono()),
+                      "recorded reducer no longer cancels the head — invalid parallel run");
+        h = reduce_step(ctx, h, r);
+        h.make_primitive();
+        res.reduction_steps += 1;
+      }
+      if (task.added) {
+        GBD_CHECK_MSG(!h.is_zero(), "trace says added but replay reached zero");
+        GBD_CHECK_MSG(h.equals(body(task.result)),
+                      "replayed normal form differs from the recorded basis element");
+      } else {
+        GBD_CHECK_MSG(h.is_zero(), "trace says zeroed but replay reached a nonzero form");
+      }
+      res.tasks_replayed += 1;
+    }
+  }
+  res.work_units = total.elapsed();
+  return res;
+}
+
+}  // namespace gbd

@@ -1,0 +1,61 @@
+// Activity traces and the sequential replay baseline of Figure 8(b).
+//
+// The paper: "the parallel version accumulates traces of activity at each
+// processor. A sequential program … reads in the traces and mimics an
+// appropriately merged sequence of execution steps. The execution time of
+// this program is used as the baseline for normalized curves."
+//
+// Our trace records, per processor and per task, the pair worked on, the
+// exact sequence of reducers applied and the outcome. The replay engine
+// re-executes that algebra sequentially — recomputing every s-polynomial and
+// every reduction step from the recorded reducer ids — and its charged work
+// is the normalized baseline. Replay doubles as a structural audit of the
+// parallel run: every recorded reducer must still cancel the head it was
+// recorded against, and every added result must equal the basis body.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "basis/replicated_basis.hpp"
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// One executed pair task: SPOL(a, b) reduced by `reducers` in order,
+/// ending in zero (added == false) or in the basis element `result`.
+struct TaskTrace {
+  PolyId a = 0;
+  PolyId b = 0;
+  std::vector<PolyId> reducers;
+  bool added = false;
+  PolyId result = 0;
+};
+
+struct ProcTrace {
+  std::vector<TaskTrace> tasks;
+};
+
+struct RunTrace {
+  std::vector<ProcTrace> procs;
+
+  std::size_t total_tasks() const;
+};
+
+struct ReplayResult {
+  /// Work units charged by the sequential re-execution — the Fig. 8(b)
+  /// baseline time.
+  std::uint64_t work_units = 0;
+  std::uint64_t tasks_replayed = 0;
+  std::uint64_t reduction_steps = 0;
+};
+
+/// Re-execute a parallel run's trace sequentially. `bodies` must map every
+/// id appearing in the trace (inputs and added elements) to its polynomial.
+/// Aborts if the trace is structurally inconsistent with the bodies — i.e.
+/// if the parallel run it came from performed an invalid reduction.
+ReplayResult replay_trace(const PolyContext& ctx, const RunTrace& trace,
+                          const std::map<PolyId, Polynomial>& bodies);
+
+}  // namespace gbd

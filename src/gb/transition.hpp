@@ -1,0 +1,55 @@
+// G-1 — the transition-axiom formulation of Buchberger's algorithm
+// (Figure 2 of the paper), executed by a nondeterministic scheduler.
+//
+// State: the basis G, the pair queue gpq, and a queue gq of intermediate
+// reducts. Axioms:
+//
+//   S-POLYNOMIAL     ∃(p,q) ∈ gpq  →  gpq -= {(p,q)}; gq += SPOL(p,q)
+//   REDUCE           ∃r ∈ gq, ¬NORMAL(r,G)  →  r := one reduction step
+//   AUGMENT-BASIS    ∃r ∈ gq, r ≠ 0, NORMAL(r,G)  →  gq -= r;
+//                      gpq += {(s,r) : s ∈ G}; G += r
+//   DISCARD          ∃r ∈ gq, r = 0  →  gq -= r
+//
+// Any fair schedule of these axioms terminates with G a Gröbner basis; the
+// scheduler here picks an enabled axiom pseudo-randomly from a seed, so tests
+// can sweep schedules. The fused REDUCE/AUGMENT axiom of Figure 5 (which
+// avoids re-evaluating the expensive NORMAL guard, at the price of being a
+// stuttering axiom the scheduler must throttle) is available as an option.
+//
+// This engine exists to validate the paper's derivation chain — it is the
+// bridge between Algorithm S and the distributed GL-P engine — and to let
+// tests check schedule-independence of the result.
+#pragma once
+
+#include "gb/engine_common.hpp"
+#include "io/parse.hpp"
+
+namespace gbd {
+
+struct TransitionConfig {
+  GbConfig gb;
+  /// Scheduler seed: different seeds explore different interleavings.
+  std::uint64_t seed = 1;
+  /// Use the fused REDUCE/AUGMENT axiom (Figure 5) instead of separate
+  /// REDUCE and AUGMENT-BASIS axioms.
+  bool fused_reduce_augment = false;
+  /// Capacity of gq: how many reducts may be in flight at once. Values > 1
+  /// exercise the interleaving freedom the parallel engine exploits.
+  std::size_t max_inflight = 4;
+};
+
+/// Fired-axiom counts, to assert schedules actually interleave.
+struct TransitionTrace {
+  std::uint64_t fired_spoly = 0;
+  std::uint64_t fired_reduce = 0;
+  std::uint64_t fired_augment = 0;
+  std::uint64_t fired_discard = 0;
+};
+
+struct TransitionResult : GbResult {
+  TransitionTrace trace;
+};
+
+TransitionResult groebner_transition(const PolySystem& sys, const TransitionConfig& cfg = {});
+
+}  // namespace gbd

@@ -1,0 +1,105 @@
+#include "gb/verify.hpp"
+
+#include "gb/sequential.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+
+namespace gbd {
+
+namespace {
+
+/// Re-embed a polynomial into a ring with extra trailing variables.
+Polynomial widen(const PolyContext& wide, const Polynomial& p) {
+  std::vector<Term> terms;
+  terms.reserve(p.nterms());
+  for (const auto& t : p.terms()) {
+    std::vector<std::uint32_t> exps(wide.nvars(), 0);
+    for (std::size_t v = 0; v < t.mono.nvars(); ++v) exps[v] = t.mono.exp(v);
+    terms.push_back(Term{t.coeff, Monomial(std::move(exps))});
+  }
+  return Polynomial::from_terms(wide, std::move(terms));
+}
+
+}  // namespace
+
+bool radical_contains(const PolyContext& ctx, const std::vector<Polynomial>& gens,
+                      const Polynomial& p) {
+  if (p.is_zero()) return true;
+  // Extended ring K[x1..xn, t], t last (lowest precedence in every order).
+  PolySystem ext;
+  ext.ctx.vars = ctx.vars;
+  ext.ctx.vars.push_back("_rab_t");
+  ext.ctx.order = ctx.order;
+  for (const auto& g : gens) {
+    if (!g.is_zero()) ext.polys.push_back(widen(ext.ctx, g));
+  }
+  // 1 - t·p
+  std::vector<std::uint32_t> t_exp(ext.ctx.nvars(), 0);
+  t_exp.back() = 1;
+  Polynomial tp = widen(ext.ctx, p).mul_term(BigInt(1), Monomial(std::move(t_exp)));
+  ext.polys.push_back(Polynomial::constant(ext.ctx, BigInt(1)).sub(ext.ctx, tp));
+
+  SequentialResult res = groebner_sequential(ext);
+  // 1 ∈ ideal iff the (any) Gröbner basis contains a nonzero constant.
+  for (const auto& g : res.basis) {
+    if (!g.is_zero() && g.hmono().is_one()) return true;
+  }
+  return false;
+}
+
+bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& basis,
+                       std::string* why) {
+  // Reject zeros up front: spoly() has a nonzero precondition.
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    if (basis[i].is_zero()) {
+      if (why) *why = "basis contains the zero polynomial";
+      return false;
+    }
+  }
+  VectorReducerSet set(&basis);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = i + 1; j < basis.size(); ++j) {
+      Polynomial s = spoly(ctx, basis[i], basis[j]);
+      ReduceOutcome out = reduce_full(ctx, std::move(s), set);
+      if (!out.poly.is_zero()) {
+        if (why) {
+          *why = "SPOL(basis[" + std::to_string(i) + "], basis[" + std::to_string(j) +
+                 "]) does not reduce to zero; normal form " + out.poly.to_string(ctx);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ideal_contains(const PolyContext& ctx, const std::vector<Polynomial>& gb,
+                    const Polynomial& p) {
+  VectorReducerSet set(&gb);
+  return reduce_full(ctx, p, set).poly.is_zero();
+}
+
+bool same_ideal(const PolyContext& ctx, const std::vector<Polynomial>& gb1,
+                const std::vector<Polynomial>& gb2) {
+  for (const auto& g : gb1) {
+    if (!ideal_contains(ctx, gb2, g)) return false;
+  }
+  for (const auto& g : gb2) {
+    if (!ideal_contains(ctx, gb1, g)) return false;
+  }
+  return true;
+}
+
+bool verify_groebner_result(const PolyContext& ctx, const std::vector<Polynomial>& inputs,
+                            const std::vector<Polynomial>& basis, std::string* why) {
+  if (!is_groebner_basis(ctx, basis, why)) return false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!ideal_contains(ctx, basis, inputs[i])) {
+      if (why) *why = "input generator " + std::to_string(i) + " not in the output ideal";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gbd

@@ -1,0 +1,353 @@
+#include "io/parse.hpp"
+
+#include <cctype>
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+namespace {
+
+// Intermediate parse value: an integer polynomial over a positive common
+// denominator. Keeps all arithmetic exact without a rational coefficient
+// type in Polynomial itself.
+struct RatPoly {
+  Polynomial num;
+  BigInt den{1};
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const PolyContext* ctx) : text_(text), ctx_(ctx) {}
+
+  // --- lexing -------------------------------------------------------------
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool accept(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (!accept(c)) return fail(std::string("expected '") + c + "'");
+    return true;
+  }
+
+  bool ident(std::string* out) {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start || std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      pos_ = start;
+      return false;
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool uint_lit(std::uint32_t* out) {
+    skip_ws();
+    std::size_t start = pos_;
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      if (v > 0xffffffffULL) return fail("exponent too large");
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected integer");
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+  }
+
+  bool int_big(BigInt* out) {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == start) return fail("expected number");
+    return BigInt::parse(text_.substr(start, pos_ - start), out) || fail("bad number");
+  }
+
+  // --- expression grammar ---------------------------------------------------
+  //   expr    := ['-'] term (('+'|'-') term)*
+  //   term    := factor ('*' factor)*
+  //   factor  := primary ('^' uint)?
+  //   primary := number | var | '(' expr ')'
+  //   number  := digits ('/' digits)?
+
+  bool expr(RatPoly* out) {
+    bool neg = accept('-');
+    if (!term(out)) return false;
+    if (neg) out->num = -out->num;
+    for (;;) {
+      char c = peek();
+      if (c != '+' && c != '-') break;
+      ++pos_;
+      RatPoly rhs;
+      if (!term(&rhs)) return false;
+      if (c == '-') rhs.num = -rhs.num;
+      add_into(out, rhs);
+    }
+    return true;
+  }
+
+  bool term(RatPoly* out) {
+    if (!factor(out)) return false;
+    while (accept('*')) {
+      RatPoly rhs;
+      if (!factor(&rhs)) return false;
+      out->num = out->num.mul(*ctx_, rhs.num);
+      out->den *= rhs.den;
+    }
+    return true;
+  }
+
+  bool factor(RatPoly* out) {
+    if (!primary(out)) return false;
+    if (accept('^')) {
+      std::uint32_t e = 0;
+      if (!uint_lit(&e)) return false;
+      RatPoly base = *out;
+      out->num = Polynomial::constant(*ctx_, BigInt(1));
+      out->den = BigInt(1);
+      for (std::uint32_t i = 0; i < e; ++i) {
+        out->num = out->num.mul(*ctx_, base.num);
+        out->den *= base.den;
+      }
+    }
+    return true;
+  }
+
+  bool primary(RatPoly* out) {
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      if (!expr(out)) return false;
+      return expect(')');
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      BigInt num;
+      if (!int_big(&num)) return false;
+      BigInt den(1);
+      // '/' continues the numeric literal only when directly followed by digits.
+      std::size_t save = pos_;
+      if (accept('/')) {
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          if (!int_big(&den)) return false;
+          if (den.is_zero()) return fail("zero denominator");
+        } else {
+          pos_ = save;
+        }
+      }
+      out->num = Polynomial::constant(*ctx_, num);
+      out->den = std::move(den);
+      return true;
+    }
+    std::string name;
+    if (ident(&name)) {
+      int vi = ctx_->var_index(name);
+      if (vi < 0) return fail("unknown variable '" + name + "'");
+      std::vector<std::uint32_t> exps(ctx_->nvars(), 0);
+      exps[static_cast<std::size_t>(vi)] = 1;
+      out->num = Polynomial::monomial(BigInt(1), Monomial(std::move(exps)));
+      out->den = BigInt(1);
+      return true;
+    }
+    return fail("expected number, variable or '('");
+  }
+
+  void add_into(RatPoly* acc, const RatPoly& rhs) {
+    // acc/accden + rhs/rhsden over the common denominator accden·rhsden.
+    Polynomial a = acc->num.mul_term(rhs.den, Monomial(ctx_->nvars()));
+    Polynomial b = rhs.num.mul_term(acc->den, Monomial(ctx_->nvars()));
+    acc->num = a.add(*ctx_, b);
+    acc->den *= rhs.den;
+  }
+
+  bool fail(std::string msg) {
+    if (error_.empty()) {
+      // Report 1-based line/column of the failure point.
+      std::size_t line = 1, col = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      error_ = msg + " at line " + std::to_string(line) + ", col " + std::to_string(col);
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  const PolyContext* ctx_;
+  std::size_t pos_ = 0;
+  std::string error_;
+
+  friend bool gbd::parse_system(std::string_view, PolySystem*, std::string*);
+  friend bool gbd::parse_poly(const PolyContext&, std::string_view, Polynomial*, std::string*);
+};
+
+Polynomial finish(RatPoly rp) {
+  if (rp.num.is_zero()) return std::move(rp.num);
+  // Cancel the common factor between the coefficients and the denominator.
+  BigInt g = BigInt::gcd(rp.num.content(), rp.den);
+  if (!g.is_one()) {
+    rp.num.div_exact_scalar(g);
+    rp.den /= g;
+  }
+  // An integer polynomial is returned exactly as written; a residual
+  // denominator is a unit over Q and forces the primitive associate.
+  if (!rp.den.is_one()) rp.num.make_primitive();
+  return std::move(rp.num);
+}
+
+}  // namespace
+
+bool parse_poly(const PolyContext& ctx, std::string_view text, Polynomial* out,
+                std::string* err) {
+  Parser p(text, &ctx);
+  RatPoly rp;
+  if (!p.expr(&rp) || !p.eof()) {
+    if (err) *err = p.error_.empty() ? "trailing input" : p.error_;
+    return false;
+  }
+  *out = finish(std::move(rp));
+  return true;
+}
+
+bool parse_system(std::string_view text, PolySystem* out, std::string* err) {
+  PolySystem sys;
+  Parser p(text, &sys.ctx);
+
+  // Declarations: vars …; [order …;] [name …;]
+  for (;;) {
+    std::size_t save = p.pos_;
+    std::string kw;
+    if (!p.ident(&kw)) break;
+    if (kw == "vars") {
+      std::string v;
+      while (p.ident(&v)) {
+        if (sys.ctx.var_index(v) >= 0) {
+          if (err) *err = "duplicate variable '" + v + "'";
+          return false;
+        }
+        sys.ctx.vars.push_back(v);
+        p.accept(',');
+      }
+      if (!p.expect(';')) break;
+    } else if (kw == "order") {
+      std::string o;
+      if (!p.ident(&o)) break;
+      if (o == "lex") {
+        sys.ctx.order = OrderKind::kLex;
+      } else if (o == "grlex") {
+        sys.ctx.order = OrderKind::kGrLex;
+      } else if (o == "grevlex") {
+        sys.ctx.order = OrderKind::kGRevLex;
+      } else if (o == "elim") {
+        // "order elim 2;" — first 2 declared variables form the eliminated block.
+        std::uint32_t k = 0;
+        if (!p.uint_lit(&k)) break;
+        sys.ctx.order = OrderKind::kElim;
+        sys.ctx.elim_vars = k;
+      } else {
+        p.fail("unknown order '" + o + "'");
+        break;
+      }
+      if (!p.expect(';')) break;
+    } else if (kw == "name") {
+      std::string n;
+      if (!p.ident(&n)) break;
+      sys.name = n;
+      if (!p.expect(';')) break;
+    } else {
+      p.pos_ = save;  // start of the polynomial list
+      break;
+    }
+  }
+
+  if (!p.error_.empty()) {
+    if (err) *err = p.error_;
+    return false;
+  }
+  if (sys.ctx.vars.empty()) {
+    if (err) *err = "no 'vars' declaration";
+    return false;
+  }
+
+  while (!p.eof()) {
+    RatPoly rp;
+    if (!p.expr(&rp) || !p.expect(';')) {
+      if (err) *err = p.error_.empty() ? "parse error" : p.error_;
+      return false;
+    }
+    sys.polys.push_back(finish(std::move(rp)));
+  }
+
+  *out = std::move(sys);
+  return true;
+}
+
+PolySystem parse_system_or_die(std::string_view text) {
+  PolySystem sys;
+  std::string err;
+  if (!parse_system(text, &sys, &err)) {
+    GBD_CHECK_MSG(false, err.c_str());
+  }
+  return sys;
+}
+
+Polynomial parse_poly_or_die(const PolyContext& ctx, std::string_view text) {
+  Polynomial p;
+  std::string err;
+  if (!parse_poly(ctx, text, &p, &err)) {
+    GBD_CHECK_MSG(false, err.c_str());
+  }
+  return p;
+}
+
+std::string to_text(const PolySystem& sys) {
+  std::string out;
+  if (!sys.name.empty()) out += "name " + sys.name + ";\n";
+  out += "vars ";
+  for (std::size_t i = 0; i < sys.ctx.vars.size(); ++i) {
+    out += (i ? ", " : "") + sys.ctx.vars[i];
+  }
+  out += ";\norder " + std::string(order_name(sys.ctx.order));
+  if (sys.ctx.order == OrderKind::kElim) out += " " + std::to_string(sys.ctx.elim_vars);
+  out += ";\n";
+  for (const auto& p : sys.polys) out += p.to_string(sys.ctx) + ";\n";
+  return out;
+}
+
+}  // namespace gbd

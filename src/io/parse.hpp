@@ -1,0 +1,49 @@
+// Text format for polynomial systems.
+//
+// Example:
+//   vars x, y, z;
+//   order grlex;
+//   x^2*y - 3/4*x + 1;
+//   (x + y)*(x - y) - z^2;
+//
+// Variables are ordered x1 > x2 > … by declaration order. Coefficients are
+// exact rationals ("3", "-7/2"); '/' is only part of a numeric literal, not
+// a polynomial operator. '+', '-', '*', '^' and parentheses are supported;
+// every polynomial is terminated by ';'. '#' starts a line comment.
+//
+// Parsed polynomials are canonicalized to their primitive integer associate
+// (see polynomial.hpp) — the same polynomial up to a nonzero rational unit,
+// which leaves ideals and Gröbner bases unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// A named input problem: context plus generator polynomials.
+struct PolySystem {
+  std::string name;
+  PolyContext ctx;
+  std::vector<Polynomial> polys;
+};
+
+/// Parse a full system (vars/order declarations + polynomials).
+/// On failure returns false and, if err != nullptr, a message with position.
+bool parse_system(std::string_view text, PolySystem* out, std::string* err);
+
+/// Parse one polynomial expression against an existing context.
+bool parse_poly(const PolyContext& ctx, std::string_view text, Polynomial* out, std::string* err);
+
+/// Convenience wrappers that abort on malformed input (used for the built-in
+/// benchmark systems, whose text is a compile-time constant).
+PolySystem parse_system_or_die(std::string_view text);
+Polynomial parse_poly_or_die(const PolyContext& ctx, std::string_view text);
+
+/// Render a system back to parseable text.
+std::string to_text(const PolySystem& sys);
+
+}  // namespace gbd

@@ -1,0 +1,40 @@
+// Communication cost model for the simulated machine.
+//
+// Patterned on the CM-5 of the paper (§7): active messages with a fixed
+// per-message network latency plus a bandwidth term for bulk payloads, and a
+// per-message handler dispatch cost at the receiver. Units are the same
+// abstract term-operation units the compute kernels charge, so the ratio of
+// communication to computation — not absolute time — is what the model pins
+// down. Defaults are calibrated so that one small message costs about as
+// much as a few hundred coefficient operations, matching the paper's
+// observation that polynomial transfers (hundreds to thousands of bytes)
+// are expensive relative to a single reduction step but cheap relative to a
+// full reduction.
+#pragma once
+
+#include <cstdint>
+
+namespace gbd {
+
+struct CostModel {
+  /// Fixed wire latency per message, in work units. Calibration: one work
+  /// unit is roughly one coefficient-word operation (~a cycle on the CM-5's
+  /// 33 MHz Sparc), and CM-5 active-message latency was a few microseconds,
+  /// i.e. on the order of a hundred cycles.
+  std::uint64_t latency = 150;
+  /// Additional units per 16 payload bytes (bandwidth term).
+  std::uint64_t units_per_16_bytes = 4;
+  /// Receiver-side handler dispatch cost per message.
+  std::uint64_t dispatch = 25;
+  /// Sender-side injection cost per message (occupies the sender).
+  std::uint64_t inject = 25;
+
+  std::uint64_t wire_time(std::size_t payload_bytes) const {
+    return latency + units_per_16_bytes * ((payload_bytes + 15) / 16);
+  }
+
+  /// A model with free communication, for ablations.
+  static CostModel free() { return CostModel{0, 0, 0, 0}; }
+};
+
+}  // namespace gbd

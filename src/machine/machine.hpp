@@ -1,0 +1,111 @@
+// The virtual distributed-memory machine.
+//
+// This is our substitute for the CM-5 + active-message layer the paper ran
+// on. A Machine owns P logical processors with *private* address spaces;
+// the only way data crosses processors is an active message: a typed,
+// byte-payload message whose registered handler runs on the destination
+// processor when that processor polls its network. This mirrors CMAM
+// semantics (handlers run at poll time on the compute processor; no DMA,
+// no preemption), which is exactly the model §5 of the paper programs to.
+//
+// Two implementations share this interface:
+//  - ThreadMachine (thread_machine.hpp): one OS thread per logical
+//    processor, real concurrency, wall-clock time. Used to demonstrate the
+//    algorithms under true asynchrony.
+//  - SimMachine (sim_machine.hpp): deterministic discrete-event simulation.
+//    Each processor has a virtual clock advanced by the work it performs
+//    (term-operation units charged by the polynomial kernels) and by a
+//    latency/bandwidth model for every message. All performance experiments
+//    run here; see DESIGN.md for why this substitution preserves the
+//    paper's claims.
+//
+// Worker protocol: Machine::run(worker) invokes worker(Proc&) once per
+// processor. A worker first registers its handlers via Proc::on, then
+// alternates computing with poll()/wait(). Handlers run only inside the
+// destination's poll()/wait() and must not call poll(), wait() or run
+// blocking loops themselves; sending from a handler is allowed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+/// Application-chosen message type tag (dense small integers).
+using HandlerId = std::uint32_t;
+
+class Proc;
+
+/// Handler invoked on the destination processor: (self, source, payload).
+using Handler = std::function<void(Proc&, int, Reader&)>;
+
+/// Per-processor communication statistics.
+struct ProcCommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t idle_units = 0;  ///< virtual time spent blocked in wait()
+};
+
+/// One logical processor's view of the machine. Only ever touched by its own
+/// worker thread (and by handlers running inside its poll/wait).
+class Proc {
+ public:
+  virtual ~Proc() = default;
+
+  virtual int id() const = 0;
+  virtual int nprocs() const = 0;
+
+  /// Register the handler for a message type. Must happen before the first
+  /// poll()/wait(); unknown incoming handler ids abort.
+  virtual void on(HandlerId h, Handler fn) = 0;
+
+  /// Asynchronous send; never blocks. Self-sends are allowed (delivered on a
+  /// later poll). Ordering is FIFO per (src, dst) pair.
+  virtual void send(int dst, HandlerId h, std::vector<std::uint8_t> payload) = 0;
+
+  /// Deliver every message available now; returns how many were delivered.
+  virtual std::size_t poll() = 0;
+
+  /// Block until at least one message has been delivered (true), or the
+  /// whole machine is quiescent — every processor blocked or finished and no
+  /// message in flight — in which case every waiter returns false. Workers
+  /// use `false` as the shutdown signal.
+  virtual bool wait() = 0;
+
+  /// Add explicit work to this processor's clock (most work is charged
+  /// implicitly through CostCounter by the algebra kernels).
+  virtual void charge(std::uint64_t units) = 0;
+
+  /// Current time: virtual units (SimMachine) or wall nanoseconds
+  /// (ThreadMachine).
+  virtual std::uint64_t now() = 0;
+
+  /// Cooperative scheduling point with no message delivery.
+  virtual void yield() = 0;
+
+  const ProcCommStats& comm_stats() const { return comm_; }
+
+ protected:
+  ProcCommStats comm_;
+};
+
+/// Machine-wide run statistics.
+struct MachineStats {
+  std::uint64_t makespan = 0;  ///< max processor finish time (virtual or wall ns)
+  std::vector<ProcCommStats> per_proc;
+};
+
+/// A P-processor machine executing one worker function per processor.
+class Machine {
+ public:
+  virtual ~Machine() = default;
+  virtual int nprocs() const = 0;
+  /// Run worker(proc) on every processor to completion and return stats.
+  virtual MachineStats run(const std::function<void(Proc&)>& worker) = 0;
+};
+
+}  // namespace gbd

@@ -1,0 +1,320 @@
+#include "machine/sim_machine.hpp"
+
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+struct SimEnvelope {
+  std::uint64_t arrival;
+  std::uint64_t seq;  // global send order; breaks arrival ties deterministically
+  int src;
+  HandlerId handler;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ArrivalLater {
+  bool operator()(const SimEnvelope& a, const SimEnvelope& b) const {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.seq > b.seq;
+  }
+};
+
+enum class St { kReady, kRunning, kWaiting, kDone };
+
+}  // namespace
+
+/// Scheduler state shared by all processors; everything here is guarded by
+/// `mu` except where noted.
+struct SimMachine::Core {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SimProc>> procs;
+  std::uint64_t next_seq = 0;
+  bool shutdown = false;
+
+  /// Earliest time proc i could run: its clock if ready, the max of its
+  /// clock and its earliest pending arrival if waiting, never if done or
+  /// waiting on an empty inbox.
+  std::uint64_t resume_key_locked(int i) const;
+
+  /// Min-key processor among those able to run, excluding `except`; -1 none.
+  int pick_next_locked(int except) const;
+
+  /// Hand the token to `next` (or trigger shutdown if next == -1 and nothing
+  /// can ever run again).
+  void grant_locked(int next);
+};
+
+class SimMachine::SimProc final : public Proc {
+ public:
+  SimProc(SimMachine* m, int id) : machine_(m), id_(id) {}
+
+  int id() const override { return id_; }
+  int nprocs() const override { return machine_->nprocs_; }
+
+  void on(HandlerId h, Handler fn) override {
+    if (handlers_.size() <= h) handlers_.resize(h + 1);
+    GBD_CHECK_MSG(!handlers_[h], "handler registered twice");
+    handlers_[h] = std::move(fn);
+  }
+
+  void send(int dst, HandlerId h, std::vector<std::uint8_t> payload) override {
+    GBD_CHECK(dst >= 0 && dst < machine_->nprocs_);
+    drain_cost();
+    clock_ += machine_->cost_.inject;
+    comm_.messages_sent += 1;
+    comm_.bytes_sent += payload.size();
+    std::uint64_t arrival = clock_ + machine_->cost_.wire_time(payload.size());
+    {
+      std::lock_guard<std::mutex> lock(machine_->core_->mu);
+      GBD_CHECK_MSG(!machine_->core_->shutdown, "send after machine quiescence");
+      auto& dst_proc = *machine_->core_->procs[static_cast<std::size_t>(dst)];
+      dst_proc.inbox_.push(
+          SimEnvelope{arrival, machine_->core_->next_seq++, id_, h, std::move(payload)});
+      // If dst is blocked in wait(), its resume key just changed; it will be
+      // considered at the sender's next scheduling point. No wake needed —
+      // the token protocol only moves at scheduling points.
+    }
+    checkpoint();
+  }
+
+  std::size_t poll() override {
+    drain_cost();
+    checkpoint();
+    return deliver_due();
+  }
+
+  bool wait() override {
+    drain_cost();
+    std::size_t n = deliver_due();
+    if (n > 0) return true;
+
+    std::unique_lock<std::mutex> lock(machine_->core_->mu);
+    for (;;) {
+      if (!inbox_.empty()) {
+        // Advance to the earliest arrival; the gap is idle time.
+        std::uint64_t arrival = inbox_.top().arrival;
+        if (arrival > clock_) {
+          comm_.idle_units += arrival - clock_;
+          clock_ = arrival;
+        }
+        // Run only if we are (still) the minimum — otherwise hand off first.
+        int next = machine_->core_->pick_next_locked(id_);
+        if (next >= 0 && earlier_than_me(next)) {
+          state_ = St::kReady;  // we have work (a due message) pending
+          machine_->core_->grant_locked(next);
+          block_until_active(lock);
+          if (machine_->core_->shutdown && inbox_.empty()) return false;
+          continue;  // re-evaluate; more messages may have arrived
+        }
+        state_ = St::kRunning;
+        lock.unlock();
+        return deliver_due() > 0 ? true : wait();  // re-enter if a race drained nothing
+      }
+
+      state_ = St::kWaiting;
+      int next = machine_->core_->pick_next_locked(id_);
+      machine_->core_->grant_locked(next);  // next == -1 triggers shutdown check
+      block_until_active(lock);
+      if (machine_->core_->shutdown && inbox_.empty()) {
+        state_ = St::kDone;  // no further participation in scheduling
+        return false;
+      }
+    }
+  }
+
+  void charge(std::uint64_t units) override {
+    drain_cost();
+    clock_ += units;
+  }
+
+  std::uint64_t now() override {
+    drain_cost();
+    return clock_;
+  }
+
+  void yield() override {
+    drain_cost();
+    checkpoint();
+  }
+
+ private:
+  friend class SimMachine;
+  friend struct SimMachine::Core;
+
+  /// Move accumulated kernel work into the virtual clock.
+  void drain_cost() { clock_ += CostCounter::drain(); }
+
+  /// Scheduling point: hand the token to an earlier processor if one exists.
+  void checkpoint() {
+    std::unique_lock<std::mutex> lock(machine_->core_->mu);
+    if (machine_->core_->shutdown) return;  // post-quiescence cleanup runs freely
+    int next = machine_->core_->pick_next_locked(id_);
+    if (next < 0 || !earlier_than_me(next)) return;
+    state_ = St::kReady;
+    machine_->core_->grant_locked(next);
+    block_until_active(lock);
+  }
+
+  bool earlier_than_me(int other) const {
+    std::uint64_t key = machine_->core_->resume_key_locked(other);
+    if (key != clock_) return key < clock_;
+    return other < id_;
+  }
+
+  void block_until_active(std::unique_lock<std::mutex>& lock) {
+    cv_.wait(lock, [&] { return active_ || machine_->core_->shutdown; });
+    if (active_) {
+      active_ = false;
+      state_ = St::kRunning;
+    }
+  }
+
+  /// Deliver every message whose arrival is <= the current clock, in arrival
+  /// order, advancing the clock by dispatch and handler work as it goes.
+  std::size_t deliver_due() {
+    std::size_t delivered = 0;
+    for (;;) {
+      SimEnvelope env;
+      {
+        std::lock_guard<std::mutex> lock(machine_->core_->mu);
+        if (inbox_.empty() || inbox_.top().arrival > clock_) break;
+        env = inbox_.top();
+        inbox_.pop();
+      }
+      clock_ += machine_->cost_.dispatch;
+      comm_.messages_received += 1;
+      GBD_CHECK_MSG(env.handler < handlers_.size() && handlers_[env.handler],
+                    "message for unregistered handler");
+      Reader r(env.payload.data(), env.payload.size());
+      handlers_[env.handler](*this, env.src, r);
+      drain_cost();  // handler work lands on this processor's clock
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  SimMachine* machine_;
+  int id_;
+  std::vector<Handler> handlers_;
+  std::uint64_t clock_ = 0;
+
+  // Guarded by core->mu:
+  std::priority_queue<SimEnvelope, std::vector<SimEnvelope>, ArrivalLater> inbox_;
+  St state_ = St::kReady;
+  bool active_ = false;
+  std::condition_variable cv_;
+};
+
+std::uint64_t SimMachine::Core::resume_key_locked(int i) const {
+  const SimProc& p = *procs[static_cast<std::size_t>(i)];
+  switch (p.state_) {
+    case St::kReady:
+      return p.clock_;
+    case St::kWaiting:
+      if (p.inbox_.empty()) return kNever;
+      return std::max(p.clock_, p.inbox_.top().arrival);
+    case St::kRunning:
+    case St::kDone:
+      return kNever;
+  }
+  return kNever;
+}
+
+int SimMachine::Core::pick_next_locked(int except) const {
+  int best = -1;
+  std::uint64_t best_key = kNever;
+  for (int i = 0; i < static_cast<int>(procs.size()); ++i) {
+    if (i == except) continue;
+    std::uint64_t key = resume_key_locked(i);
+    if (key == kNever) continue;
+    if (best < 0 || key < best_key) {
+      best = i;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void SimMachine::Core::grant_locked(int next) {
+  if (next >= 0) {
+    SimProc& p = *procs[static_cast<std::size_t>(next)];
+    p.active_ = true;
+    p.cv_.notify_one();
+    return;
+  }
+  // Nothing can run besides the caller (who is releasing): if every other
+  // processor is done or waiting on an empty inbox, the machine is quiescent.
+  if (!shutdown) {
+    shutdown = true;
+    for (auto& p : procs) p->cv_.notify_all();
+  }
+}
+
+SimMachine::SimMachine(int nprocs, CostModel cost)
+    : nprocs_(nprocs), cost_(cost), core_(std::make_unique<Core>()) {
+  GBD_CHECK(nprocs >= 1);
+}
+
+SimMachine::~SimMachine() = default;
+
+MachineStats SimMachine::run(const std::function<void(Proc&)>& worker) {
+  return run_sim(worker);
+}
+
+SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
+  core_ = std::make_unique<Core>();
+  for (int i = 0; i < nprocs_; ++i) {
+    core_->procs.push_back(std::make_unique<SimProc>(this, i));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) {
+    threads.emplace_back([this, i, &worker] {
+      SimProc& self = *core_->procs[static_cast<std::size_t>(i)];
+      {
+        // Wait for the initial token: proc 0 starts (all clocks are 0).
+        std::unique_lock<std::mutex> lock(core_->mu);
+        if (i != 0) {
+          self.state_ = St::kReady;
+          self.block_until_active(lock);
+        } else {
+          self.state_ = St::kRunning;
+        }
+      }
+      CostCounter::drain();  // start from a clean per-thread counter
+      worker(self);
+      self.drain_cost();
+      {
+        std::unique_lock<std::mutex> lock(core_->mu);
+        self.state_ = St::kDone;
+        if (!core_->shutdown) {
+          int next = core_->pick_next_locked(i);
+          core_->grant_locked(next);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  SimStats stats;
+  for (auto& p : core_->procs) {
+    stats.per_proc.push_back(p->comm_stats());
+    stats.proc_clocks.push_back(p->clock_);
+    stats.makespan = std::max(stats.makespan, p->clock_);
+  }
+  return stats;
+}
+
+}  // namespace gbd

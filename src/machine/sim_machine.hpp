@@ -1,0 +1,59 @@
+// SimMachine — deterministic discrete-event simulation of the distributed
+// machine, with virtual time.
+//
+// Each logical processor is hosted on its own OS thread, but a token
+// scheduler runs exactly one of them at a time: always the processor with
+// the smallest virtual clock among those able to run (ties to the smallest
+// id). A processor's clock advances by
+//   - the work its code performs (drained from the thread-local CostCounter
+//     that the algebra kernels charge),
+//   - explicit charge() calls,
+//   - message injection/dispatch costs and idle time spent in wait(),
+// and a message sent at time t becomes deliverable at its destination at
+// t + latency + bandwidth·size (see CostModel). Because execution order is a
+// pure function of virtual clocks, a run is bit-for-bit reproducible on any
+// host — run-to-run variation, which the paper got for free from CM-5 timing
+// races, is reintroduced only via explicit seeds in the applications.
+//
+// Delivery order is by arrival time (not per-link FIFO): two messages on the
+// same link can overtake each other if a later, smaller message has lower
+// wire time, as on a real packet network. Protocols must tolerate this.
+//
+// After global quiescence (every processor waiting or finished, nothing in
+// flight) all waiters return false from wait(); sends after that point are
+// protocol bugs and abort.
+#pragma once
+
+#include <memory>
+
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+
+namespace gbd {
+
+/// MachineStats plus per-processor virtual finish times.
+struct SimStats : MachineStats {
+  std::vector<std::uint64_t> proc_clocks;
+};
+
+class SimMachine final : public Machine {
+ public:
+  explicit SimMachine(int nprocs, CostModel cost = CostModel{});
+  ~SimMachine() override;
+
+  int nprocs() const override { return nprocs_; }
+  MachineStats run(const std::function<void(Proc&)>& worker) override;
+
+  /// run() with the simulation-specific extras.
+  SimStats run_sim(const std::function<void(Proc&)>& worker);
+
+ private:
+  class SimProc;
+  struct Core;
+
+  int nprocs_;
+  CostModel cost_;
+  std::unique_ptr<Core> core_;
+};
+
+}  // namespace gbd

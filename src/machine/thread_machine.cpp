@@ -1,0 +1,145 @@
+#include "machine/thread_machine.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+namespace {
+
+struct Envelope {
+  int src;
+  HandlerId handler;
+  std::vector<std::uint8_t> payload;
+};
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+class ThreadMachine::ThreadProc final : public Proc {
+ public:
+  ThreadProc(ThreadMachine* m, int id) : machine_(m), id_(id) {}
+
+  int id() const override { return id_; }
+  int nprocs() const override { return machine_->nprocs_; }
+
+  void on(HandlerId h, Handler fn) override {
+    if (handlers_.size() <= h) handlers_.resize(h + 1);
+    GBD_CHECK_MSG(!handlers_[h], "handler registered twice");
+    handlers_[h] = std::move(fn);
+  }
+
+  void send(int dst, HandlerId h, std::vector<std::uint8_t> payload) override {
+    GBD_CHECK(dst >= 0 && dst < machine_->nprocs_);
+    comm_.messages_sent += 1;
+    comm_.bytes_sent += payload.size();
+    Envelope env{id_, h, std::move(payload)};
+    {
+      std::lock_guard<std::mutex> lock(machine_->mu_);
+      machine_->procs_[static_cast<std::size_t>(dst)]->inbox_.push_back(std::move(env));
+      machine_->in_flight_ += 1;
+    }
+    machine_->cv_.notify_all();
+  }
+
+  std::size_t poll() override {
+    std::deque<Envelope> batch;
+    {
+      std::lock_guard<std::mutex> lock(machine_->mu_);
+      batch.swap(inbox_);
+      machine_->in_flight_ -= batch.size();
+    }
+    for (auto& env : batch) dispatch(env);
+    return batch.size();
+  }
+
+  bool wait() override {
+    for (;;) {
+      std::size_t n = poll();
+      if (n > 0) return true;
+      std::unique_lock<std::mutex> lock(machine_->mu_);
+      if (!inbox_.empty()) continue;  // raced with a send
+      if (machine_->shutdown_) return false;
+      machine_->blocked_ += 1;
+      machine_->maybe_quiesce_locked();
+      machine_->cv_.wait(lock, [&] { return !inbox_.empty() || machine_->shutdown_; });
+      machine_->blocked_ -= 1;
+      if (inbox_.empty() && machine_->shutdown_) return false;
+    }
+  }
+
+  void charge(std::uint64_t) override {}
+
+  std::uint64_t now() override { return wall_ns() - machine_->epoch_ns_; }
+
+  void yield() override { std::this_thread::yield(); }
+
+ private:
+  void dispatch(Envelope& env) {
+    GBD_CHECK_MSG(env.handler < handlers_.size() && handlers_[env.handler],
+                  "message for unregistered handler");
+    comm_.messages_received += 1;
+    Reader r(env.payload.data(), env.payload.size());
+    handlers_[env.handler](*this, env.src, r);
+  }
+
+  ThreadMachine* machine_;
+  int id_;
+  std::vector<Handler> handlers_;
+  std::deque<Envelope> inbox_;  // guarded by machine_->mu_
+
+  friend class ThreadMachine;
+};
+
+ThreadMachine::ThreadMachine(int nprocs) : nprocs_(nprocs) {
+  GBD_CHECK(nprocs >= 1);
+}
+
+ThreadMachine::~ThreadMachine() = default;
+
+void ThreadMachine::maybe_quiesce_locked() {
+  if (!shutdown_ && blocked_ + finished_ == nprocs_ && in_flight_ == 0) {
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+}
+
+MachineStats ThreadMachine::run(const std::function<void(Proc&)>& worker) {
+  procs_.clear();
+  blocked_ = finished_ = 0;
+  in_flight_ = 0;
+  shutdown_ = false;
+  for (int i = 0; i < nprocs_; ++i) {
+    procs_.push_back(std::make_unique<ThreadProc>(this, i));
+  }
+  epoch_ns_ = wall_ns();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) {
+    threads.emplace_back([this, i, &worker] {
+      worker(*procs_[static_cast<std::size_t>(i)]);
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_ += 1;
+      maybe_quiesce_locked();
+      cv_.notify_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  MachineStats stats;
+  stats.makespan = wall_ns() - epoch_ns_;
+  for (auto& p : procs_) stats.per_proc.push_back(p->comm_stats());
+  return stats;
+}
+
+}  // namespace gbd

@@ -1,0 +1,45 @@
+// ThreadMachine — the Machine interface on real OS threads.
+//
+// One std::thread per logical processor; per-processor mailboxes guarded by
+// one machine-wide mutex; sends are immediate enqueues. wait() blocks on a
+// condition variable with machine-wide quiescence detection: when every
+// processor is blocked or finished and no message is undelivered, all
+// waiters are released with `false` (the shutdown signal). charge() is a
+// no-op (real time just passes); now() is wall nanoseconds since run start.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "machine/machine.hpp"
+
+namespace gbd {
+
+class ThreadMachine final : public Machine {
+ public:
+  explicit ThreadMachine(int nprocs);
+  ~ThreadMachine() override;
+
+  int nprocs() const override { return nprocs_; }
+  MachineStats run(const std::function<void(Proc&)>& worker) override;
+
+ private:
+  class ThreadProc;
+
+  void maybe_quiesce_locked();
+
+  int nprocs_;
+  std::vector<std::unique_ptr<ThreadProc>> procs_;
+  std::uint64_t epoch_ns_ = 0;
+
+  // Quiescence bookkeeping, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int blocked_ = 0;
+  int finished_ = 0;
+  std::uint64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gbd

@@ -1,0 +1,103 @@
+#include "poly/certificate.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+Polynomial Certificate::defect(const PolyContext& ctx, const Polynomial& p,
+                               const std::vector<Polynomial>& gens) const {
+  GBD_CHECK(quotients.size() == gens.size());
+  Polynomial acc = p.is_zero() ? Polynomial() : p.mul_term(scale, Monomial(p.hmono().nvars()));
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    if (quotients[i].is_zero()) continue;
+    acc = acc.sub(ctx, quotients[i].mul(ctx, gens[i]));
+  }
+  return acc.sub(ctx, remainder);
+}
+
+namespace {
+
+/// Divide the whole identity c·p = Σ q_i g_i + r through by the gcd of all
+/// its left-hand coefficients, keeping the integers small.
+void normalize(Certificate* cert) {
+  BigInt g = cert->scale;
+  for (const auto& q : cert->quotients) {
+    if (g.is_one()) return;
+    g = BigInt::gcd(g, q.content());
+  }
+  if (g.is_one()) return;
+  g = BigInt::gcd(g, cert->remainder.content());
+  if (g.is_one() || g.is_zero()) return;
+  cert->scale /= g;
+  for (auto& q : cert->quotients) q.div_exact_scalar(g);
+  cert->remainder.div_exact_scalar(g);
+}
+
+}  // namespace
+
+Certificate reduce_certified(const PolyContext& ctx, const Polynomial& p,
+                             const std::vector<Polynomial>& gens) {
+  Certificate cert;
+  cert.quotients.assign(gens.size(), Polynomial());
+  Polynomial cur = p;
+  std::size_t nvars = ctx.nvars();
+  const Monomial one(nvars);
+
+  std::size_t k = 0;  // first term not yet known irreducible
+  while (!cur.is_zero() && k < cur.nterms()) {
+    // Best applicable reducer under the same policy as VectorReducerSet.
+    const Polynomial* best = nullptr;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < gens.size(); ++i) {
+      const Polynomial& g = gens[i];
+      if (!g.is_zero() && g.hmono().divides(cur.terms()[k].mono) &&
+          (best == nullptr || reducer_preferred(g, *best))) {
+        best = &g;
+        best_i = i;
+      }
+    }
+    if (best == nullptr) {
+      ++k;
+      continue;
+    }
+    const Term& t = cur.terms()[k];
+    BigInt d = BigInt::gcd(t.coeff, best->hcoef());
+    BigInt a = best->hcoef() / d;
+    BigInt b = t.coeff / d;
+    if (a.is_negative()) {
+      a = -a;
+      b = -b;
+    }
+    Monomial m = t.mono / best->hmono();
+    // cur' = a·cur − (b·m)·g;  scale and every quotient pick up the factor a.
+    Polynomial sub = best->mul_term(b, m);
+    cur = a.is_one() ? cur.sub(ctx, sub) : cur.mul_term(a, one).sub(ctx, sub);
+    if (!a.is_one()) {
+      cert.scale *= a;
+      for (auto& q : cert.quotients) {
+        if (!q.is_zero()) q = q.mul_term(a, one);
+      }
+    }
+    cert.quotients[best_i] =
+        cert.quotients[best_i].add(ctx, Polynomial::monomial(std::move(b), std::move(m)));
+    cert.steps += 1;
+    if (cert.steps % 8 == 0) {
+      cert.remainder = cur;  // normalize() needs the current remainder too
+      normalize(&cert);
+      cur = cert.remainder;
+    }
+  }
+  cert.remainder = std::move(cur);
+  normalize(&cert);
+  return cert;
+}
+
+bool ideal_contains_certified(const PolyContext& ctx, const std::vector<Polynomial>& gb,
+                              const Polynomial& p, Certificate* cert) {
+  Certificate c = reduce_certified(ctx, p, gb);
+  bool member = c.remainder.is_zero();
+  if (cert) *cert = std::move(c);
+  return member;
+}
+
+}  // namespace gbd

@@ -1,0 +1,56 @@
+// Reduction certificates: standard representations with explicit quotients.
+//
+// reduce_full (reduce.hpp) tells you the normal form; this variant
+// additionally returns the witnesses — the scalar c and quotients q_i with
+//
+//     c · p  =  Σ_i q_i · g_i  +  r,        c a positive integer,
+//
+// which any third party can check by plain polynomial arithmetic, with no
+// trust in the reduction engine at all. (The scalar c appears because the
+// engines work fraction-free over Z; over Q it is a unit.) Certificates turn
+// ideal-membership answers into proofs: p ∈ ⟨G⟩ is witnessed by r = 0 and
+// the q_i. They cost extra arithmetic to build, so the engines use plain
+// reduction and the oracles/tests use this.
+#pragma once
+
+#include <vector>
+
+#include "poly/reduce.hpp"
+
+namespace gbd {
+
+struct Certificate {
+  /// The positive scalar multiplying the input.
+  BigInt scale{1};
+  /// One quotient per element of the generating set (index-aligned).
+  std::vector<Polynomial> quotients;
+  /// The remainder (normal form).
+  Polynomial remainder;
+  std::uint64_t steps = 0;
+
+  /// Recompute c·p − Σ q_i·g_i − r; the zero polynomial iff the certificate
+  /// is valid for p over gens.
+  Polynomial defect(const PolyContext& ctx, const Polynomial& p,
+                    const std::vector<Polynomial>& gens) const;
+
+  bool valid(const PolyContext& ctx, const Polynomial& p,
+             const std::vector<Polynomial>& gens) const {
+    return defect(ctx, p, gens).is_zero();
+  }
+};
+
+/// Full head-and-tail reduction of p by gens, producing a checkable
+/// certificate. Reducer choice matches VectorReducerSet (reducer_preferred),
+/// so the remainder is the same strong normal form reduce_full computes with
+/// tail_reduce = true (up to the primitive-form unit: the certificate keeps
+/// the exact un-normalized remainder so the identity holds literally).
+Certificate reduce_certified(const PolyContext& ctx, const Polynomial& p,
+                             const std::vector<Polynomial>& gens);
+
+/// Ideal membership with proof: returns true and fills *cert (if non-null)
+/// when p reduces to zero modulo gb. REQUIRES gb to be a Gröbner basis for
+/// completeness (soundness — a returned certificate — needs nothing).
+bool ideal_contains_certified(const PolyContext& ctx, const std::vector<Polynomial>& gb,
+                              const Polynomial& p, Certificate* cert = nullptr);
+
+}  // namespace gbd

@@ -1,0 +1,170 @@
+#include "poly/monomial.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+Monomial::Monomial(std::vector<std::uint32_t> exps) : exps_(std::move(exps)) {
+  degree_ = std::accumulate(exps_.begin(), exps_.end(), 0u);
+}
+
+Monomial Monomial::operator*(const Monomial& rhs) const {
+  GBD_DCHECK(nvars() == rhs.nvars());
+  Monomial out(nvars());
+  for (std::size_t i = 0; i < exps_.size(); ++i) out.exps_[i] = exps_[i] + rhs.exps_[i];
+  out.degree_ = degree_ + rhs.degree_;
+  CostCounter::charge(exps_.size());
+  return out;
+}
+
+bool Monomial::divides(const Monomial& rhs) const {
+  GBD_DCHECK(nvars() == rhs.nvars());
+  if (degree_ > rhs.degree_) return false;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] > rhs.exps_[i]) return false;
+  }
+  CostCounter::charge(exps_.size());
+  return true;
+}
+
+Monomial Monomial::operator/(const Monomial& rhs) const {
+  GBD_DCHECK(nvars() == rhs.nvars());
+  Monomial out(nvars());
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    GBD_CHECK_MSG(exps_[i] >= rhs.exps_[i], "Monomial division by non-divisor");
+    out.exps_[i] = exps_[i] - rhs.exps_[i];
+  }
+  out.degree_ = degree_ - rhs.degree_;
+  CostCounter::charge(exps_.size());
+  return out;
+}
+
+Monomial Monomial::hcf(const Monomial& a, const Monomial& b) {
+  GBD_DCHECK(a.nvars() == b.nvars());
+  Monomial out(a.nvars());
+  std::uint32_t deg = 0;
+  for (std::size_t i = 0; i < a.exps_.size(); ++i) {
+    out.exps_[i] = std::min(a.exps_[i], b.exps_[i]);
+    deg += out.exps_[i];
+  }
+  out.degree_ = deg;
+  CostCounter::charge(a.exps_.size());
+  return out;
+}
+
+Monomial Monomial::lcm(const Monomial& a, const Monomial& b) {
+  GBD_DCHECK(a.nvars() == b.nvars());
+  Monomial out(a.nvars());
+  std::uint32_t deg = 0;
+  for (std::size_t i = 0; i < a.exps_.size(); ++i) {
+    out.exps_[i] = std::max(a.exps_[i], b.exps_[i]);
+    deg += out.exps_[i];
+  }
+  out.degree_ = deg;
+  CostCounter::charge(a.exps_.size());
+  return out;
+}
+
+bool Monomial::coprime(const Monomial& a, const Monomial& b) {
+  GBD_DCHECK(a.nvars() == b.nvars());
+  for (std::size_t i = 0; i < a.exps_.size(); ++i) {
+    if (a.exps_[i] != 0 && b.exps_[i] != 0) return false;
+  }
+  CostCounter::charge(a.exps_.size());
+  return true;
+}
+
+std::string Monomial::to_string(const std::vector<std::string>& names) const {
+  GBD_CHECK(names.size() >= exps_.size());
+  std::string out;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] == 0) continue;
+    if (!out.empty()) out += "*";
+    out += names[i];
+    if (exps_[i] > 1) out += "^" + std::to_string(exps_[i]);
+  }
+  return out.empty() ? "1" : out;
+}
+
+void Monomial::write(Writer& w) const { w.words(exps_); }
+
+Monomial Monomial::read(Reader& r) { return Monomial(r.words()); }
+
+std::size_t Monomial::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  for (std::uint32_t e : exps_) {
+    h ^= e;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const char* order_name(OrderKind k) {
+  switch (k) {
+    case OrderKind::kLex:
+      return "lex";
+    case OrderKind::kGrLex:
+      return "grlex";
+    case OrderKind::kGRevLex:
+      return "grevlex";
+    case OrderKind::kElim:
+      return "elim";
+  }
+  return "?";
+}
+
+namespace {
+
+/// grlex restricted to the variable range [lo, hi).
+int grlex_cmp_range(const Monomial& a, const Monomial& b, std::size_t lo, std::size_t hi) {
+  std::uint32_t da = 0, db = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    da += a.exp(i);
+    db += b.exp(i);
+  }
+  if (da != db) return da < db ? -1 : 1;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (a.exp(i) != b.exp(i)) return a.exp(i) < b.exp(i) ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int mono_cmp(OrderKind kind, const Monomial& a, const Monomial& b, std::size_t elim_vars) {
+  GBD_DCHECK(a.nvars() == b.nvars());
+  CostCounter::charge(a.nvars());
+  switch (kind) {
+    case OrderKind::kLex:
+      break;
+    case OrderKind::kGrLex:
+    case OrderKind::kGRevLex:
+      if (a.degree() != b.degree()) return a.degree() < b.degree() ? -1 : 1;
+      break;
+    case OrderKind::kElim: {
+      std::size_t k = std::min(elim_vars, a.nvars());
+      int c = grlex_cmp_range(a, b, 0, k);
+      if (c != 0) return c;
+      return grlex_cmp_range(a, b, k, a.nvars());
+    }
+  }
+  if (kind == OrderKind::kGRevLex) {
+    // Ties broken by the LAST variable in which they differ; the monomial
+    // with the SMALLER exponent there is the larger monomial.
+    for (std::size_t i = a.nvars(); i-- > 0;) {
+      if (a.exp(i) != b.exp(i)) return a.exp(i) > b.exp(i) ? -1 : 1;
+    }
+    return 0;
+  }
+  for (std::size_t i = 0; i < a.nvars(); ++i) {
+    if (a.exp(i) != b.exp(i)) return a.exp(i) < b.exp(i) ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace gbd

@@ -1,0 +1,237 @@
+#include "poly/polynomial.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+int PolyContext::var_index(std::string_view name) const {
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Polynomial Polynomial::from_terms(const PolyContext& ctx, std::vector<Term> terms) {
+  std::sort(terms.begin(), terms.end(), [&](const Term& a, const Term& b) {
+    return ctx.cmp(a.mono, b.mono) > 0;
+  });
+  Polynomial p;
+  for (auto& t : terms) {
+    if (t.coeff.is_zero()) continue;
+    if (!p.terms_.empty() && p.terms_.back().mono == t.mono) {
+      p.terms_.back().coeff += t.coeff;
+      if (p.terms_.back().coeff.is_zero()) p.terms_.pop_back();
+    } else {
+      p.terms_.push_back(std::move(t));
+    }
+  }
+  return p;
+}
+
+Polynomial Polynomial::monomial(BigInt coeff, Monomial m) {
+  Polynomial p;
+  if (!coeff.is_zero()) p.terms_.push_back(Term{std::move(coeff), std::move(m)});
+  return p;
+}
+
+Polynomial Polynomial::constant(const PolyContext& ctx, BigInt c) {
+  return monomial(std::move(c), Monomial(ctx.nvars()));
+}
+
+const Term& Polynomial::head() const {
+  GBD_CHECK_MSG(!terms_.empty(), "head() of zero polynomial");
+  return terms_.front();
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial p = *this;
+  for (auto& t : p.terms_) t.coeff = -t.coeff;
+  return p;
+}
+
+Polynomial Polynomial::add(const PolyContext& ctx, const Polynomial& rhs) const {
+  Polynomial out;
+  out.terms_.reserve(terms_.size() + rhs.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() && j < rhs.terms_.size()) {
+    int c = ctx.cmp(terms_[i].mono, rhs.terms_[j].mono);
+    if (c > 0) {
+      out.terms_.push_back(terms_[i++]);
+    } else if (c < 0) {
+      out.terms_.push_back(rhs.terms_[j++]);
+    } else {
+      BigInt s = terms_[i].coeff + rhs.terms_[j].coeff;
+      if (!s.is_zero()) out.terms_.push_back(Term{std::move(s), terms_[i].mono});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < terms_.size(); ++i) out.terms_.push_back(terms_[i]);
+  for (; j < rhs.terms_.size(); ++j) out.terms_.push_back(rhs.terms_[j]);
+  CostCounter::charge(terms_.size() + rhs.terms_.size());
+  return out;
+}
+
+Polynomial Polynomial::sub(const PolyContext& ctx, const Polynomial& rhs) const {
+  return add(ctx, -rhs);
+}
+
+Polynomial Polynomial::mul_term(const BigInt& coeff, const Monomial& m) const {
+  GBD_CHECK_MSG(!coeff.is_zero(), "mul_term by zero coefficient");
+  Polynomial out;
+  out.terms_.reserve(terms_.size());
+  for (const auto& t : terms_) {
+    out.terms_.push_back(Term{t.coeff * coeff, t.mono * m});
+  }
+  return out;
+}
+
+Polynomial Polynomial::mul(const PolyContext& ctx, const Polynomial& rhs) const {
+  Polynomial acc;
+  for (const auto& t : rhs.terms_) {
+    acc = acc.add(ctx, mul_term(t.coeff, t.mono));
+  }
+  return acc;
+}
+
+BigInt Polynomial::content() const {
+  BigInt g;
+  for (const auto& t : terms_) {
+    g = BigInt::gcd(g, t.coeff);
+    if (g.is_one()) break;
+  }
+  return g;
+}
+
+BigInt Polynomial::make_primitive() {
+  if (terms_.empty()) return BigInt(0);
+  BigInt c = content();
+  if (terms_.front().coeff.is_negative()) c = -c;
+  if (!c.is_one()) {
+    for (auto& t : terms_) t.coeff /= c;
+  }
+  return c;
+}
+
+void Polynomial::div_exact_scalar(const BigInt& d) {
+  GBD_CHECK_MSG(!d.is_zero(), "div_exact_scalar by zero");
+  if (d.is_one()) return;
+  for (auto& t : terms_) {
+    BigInt q, r;
+    BigInt::divmod(t.coeff, d, &q, &r);
+    GBD_CHECK_MSG(r.is_zero(), "div_exact_scalar: not an exact divisor");
+    t.coeff = std::move(q);
+  }
+}
+
+bool Polynomial::is_primitive() const {
+  if (terms_.empty()) return true;
+  return !terms_.front().coeff.is_negative() && content().is_one();
+}
+
+Rational Polynomial::evaluate(const PolyContext& ctx, const std::vector<Rational>& point) const {
+  GBD_CHECK_MSG(point.size() == ctx.nvars(), "evaluate: wrong point dimension");
+  Rational acc;
+  for (const auto& t : terms_) {
+    Rational term{t.coeff};
+    for (std::size_t v = 0; v < t.mono.nvars(); ++v) {
+      for (std::uint32_t e = 0; e < t.mono.exp(v); ++e) term *= point[v];
+    }
+    acc += term;
+  }
+  return acc;
+}
+
+Polynomial Polynomial::substitute(const PolyContext& ctx, std::size_t var,
+                                  const Polynomial& value) const {
+  GBD_CHECK_MSG(var < ctx.nvars(), "substitute: variable out of range");
+  Polynomial acc;
+  for (const auto& t : terms_) {
+    // Split x_var^e out of the monomial and compose value^e back in.
+    std::vector<std::uint32_t> exps;
+    exps.reserve(t.mono.nvars());
+    for (std::size_t v = 0; v < t.mono.nvars(); ++v) {
+      exps.push_back(v == var ? 0 : t.mono.exp(v));
+    }
+    Polynomial term = Polynomial::monomial(t.coeff, Monomial(std::move(exps)));
+    for (std::uint32_t e = 0; e < t.mono.exp(var); ++e) {
+      term = term.mul(ctx, value);
+    }
+    acc = acc.add(ctx, term);
+  }
+  return acc;
+}
+
+bool Polynomial::equals(const Polynomial& rhs) const {
+  if (terms_.size() != rhs.terms_.size()) return false;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i].mono != rhs.terms_[i].mono || terms_[i].coeff != rhs.terms_[i].coeff)
+      return false;
+  }
+  return true;
+}
+
+std::string Polynomial::to_string(const PolyContext& ctx) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const Term& t = terms_[i];
+    BigInt a = t.coeff.abs();
+    bool neg = t.coeff.is_negative();
+    if (i == 0) {
+      if (neg) out += "-";
+    } else {
+      out += neg ? " - " : " + ";
+    }
+    if (t.mono.is_one()) {
+      out += a.to_string();
+    } else {
+      if (!a.is_one()) out += a.to_string() + "*";
+      out += t.mono.to_string(ctx.vars);
+    }
+  }
+  return out;
+}
+
+void Polynomial::write(Writer& w) const {
+  w.u64(terms_.size());
+  for (const auto& t : terms_) {
+    t.coeff.write(w);
+    t.mono.write(w);
+  }
+}
+
+Polynomial Polynomial::read(Reader& r) {
+  std::size_t n = r.u64();
+  Polynomial p;
+  p.terms_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BigInt c = BigInt::read(r);
+    Monomial m = Monomial::read(r);
+    p.terms_.push_back(Term{std::move(c), std::move(m)});
+  }
+  return p;
+}
+
+std::size_t Polynomial::wire_size() const {
+  std::size_t n = 8;
+  for (const auto& t : terms_) n += t.coeff.wire_size() + t.mono.wire_size();
+  return n;
+}
+
+std::size_t Polynomial::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  for (const auto& t : terms_) {
+    h ^= t.coeff.hash();
+    h *= 1099511628211ULL;
+    h ^= t.mono.hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace gbd

@@ -1,0 +1,129 @@
+// Sparse multivariate polynomials with exact integer coefficients.
+//
+// A computation fixes a PolyContext: the variable names (their declaration
+// order is the variable order x1 > x2 > …) and the monomial ordering. A
+// Polynomial is a vector of terms in strictly decreasing monomial order with
+// no zero coefficients — the canonical form of §2 of the paper.
+//
+// Coefficients are integers, not rationals: a rational polynomial is
+// represented by its primitive integer associate (multiply through by the
+// lcm of denominators, divide by the content, make the head coefficient
+// positive). Over a field this is the same polynomial up to a unit, so
+// Gröbner bases are unchanged; reduction uses the standard fraction-free
+// step (see reduce.hpp). This is how exact-arithmetic Buchberger
+// implementations of the paper's era actually ran.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "bigint/rational.hpp"
+#include "poly/monomial.hpp"
+
+namespace gbd {
+
+/// Variable names + monomial order shared by all polynomials of a computation.
+struct PolyContext {
+  std::vector<std::string> vars;
+  OrderKind order = OrderKind::kGrLex;
+  /// For OrderKind::kElim: the size of the dominating first variable block.
+  std::size_t elim_vars = 0;
+
+  std::size_t nvars() const { return vars.size(); }
+
+  /// Index of a variable name, or -1.
+  int var_index(std::string_view name) const;
+
+  /// Three-way comparison of monomials under this context's order.
+  int cmp(const Monomial& a, const Monomial& b) const {
+    return mono_cmp(order, a, b, elim_vars);
+  }
+};
+
+/// One coefficient–monomial pair.
+struct Term {
+  BigInt coeff;
+  Monomial mono;
+};
+
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// Build from arbitrary terms: sorts, merges equal monomials, drops zeros.
+  static Polynomial from_terms(const PolyContext& ctx, std::vector<Term> terms);
+
+  /// A single term (coefficient must be nonzero unless building zero).
+  static Polynomial monomial(BigInt coeff, Monomial m);
+
+  /// The constant polynomial c over ctx.nvars() variables.
+  static Polynomial constant(const PolyContext& ctx, BigInt c);
+
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t nterms() const { return terms_.size(); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Head (leading) term / monomial / coefficient. Polynomial must be nonzero.
+  const Term& head() const;
+  const Monomial& hmono() const { return head().mono; }
+  const BigInt& hcoef() const { return head().coeff; }
+
+  /// Total degree of the head monomial (== polynomial degree for graded
+  /// orders). Zero polynomial has degree 0 by convention here.
+  std::uint32_t degree() const { return terms_.empty() ? 0 : terms_.front().mono.degree(); }
+
+  Polynomial operator-() const;
+  Polynomial add(const PolyContext& ctx, const Polynomial& rhs) const;
+  Polynomial sub(const PolyContext& ctx, const Polynomial& rhs) const;
+
+  /// Multiply by a single term. Order is preserved under any admissible
+  /// ordering, so no re-sort happens; coeff must be nonzero.
+  Polynomial mul_term(const BigInt& coeff, const Monomial& m) const;
+
+  /// Full product (used by the input parser and in tests).
+  Polynomial mul(const PolyContext& ctx, const Polynomial& rhs) const;
+
+  /// gcd of all coefficients (positive); zero polynomial has content 0.
+  BigInt content() const;
+
+  /// Divide by the content and make the head coefficient positive.
+  /// Returns the (signed) unit·content that was removed, i.e. the value c
+  /// such that old == new.mul_term(c, 1).
+  BigInt make_primitive();
+
+  /// Divide every coefficient by d, which must divide the content exactly.
+  void div_exact_scalar(const BigInt& d);
+
+  /// True iff already primitive with positive head coefficient.
+  bool is_primitive() const;
+
+  /// Exact value at a rational point (one value per context variable).
+  Rational evaluate(const PolyContext& ctx, const std::vector<Rational>& point) const;
+
+  /// Substitute a polynomial for variable `var` (exact composition). The
+  /// result lives in the same context; the substituted variable simply no
+  /// longer occurs unless `value` mentions it.
+  Polynomial substitute(const PolyContext& ctx, std::size_t var, const Polynomial& value) const;
+
+  /// Exact equality of canonical forms.
+  bool equals(const Polynomial& rhs) const;
+
+  /// Render, e.g. "2*x^2*y - 7*x + 1".
+  std::string to_string(const PolyContext& ctx) const;
+
+  void write(Writer& w) const;
+  static Polynomial read(Reader& r);
+  /// Bytes on the wire — the paper's polynomials are "several hundreds to
+  /// thousands of bytes"; this drives the communication-volume statistics.
+  std::size_t wire_size() const;
+
+  std::size_t hash() const;
+
+ private:
+  // Invariant: strictly decreasing monomials, no zero coefficients.
+  std::vector<Term> terms_;
+};
+
+}  // namespace gbd

@@ -1,0 +1,186 @@
+#include "poly/reduce.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+bool reducer_preferred(const Polynomial& a, const Polynomial& b) {
+  std::size_t abits = a.hcoef().bit_length();
+  std::size_t bbits = b.hcoef().bit_length();
+  if (abits != bbits) return abits < bbits;
+  return a.nterms() < b.nterms();
+}
+
+const Polynomial* VectorReducerSet::find_reducer(const Monomial& m, std::uint64_t* out_id) const {
+  if (polys_ == nullptr) return nullptr;
+  // Among all applicable reducers prefer the one whose head coefficient is
+  // smallest (the fraction-free step scales the reduct by hc(r)/g, so a big
+  // head coefficient inflates every later coefficient), then the one with
+  // the fewest terms; ties go to the oldest. This keeps reduction cost
+  // stable across the different basis orders the parallel engines produce.
+  const Polynomial* best = nullptr;
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < polys_->size(); ++i) {
+    const Polynomial& r = (*polys_)[i];
+    if (!r.is_zero() && r.hmono().divides(m)) {
+      if (best == nullptr || reducer_preferred(r, *best)) {
+        best = &r;
+        best_i = i;
+      }
+    }
+  }
+  if (best && out_id) *out_id = best_i;
+  return best;
+}
+
+namespace {
+
+/// Cancel the term of p at index k against reducer r (fraction-free).
+/// Requires r.hmono() | p.terms()[k].mono. Monomials of terms 0..k-1 are
+/// unchanged by construction (their coefficients get scaled).
+Polynomial cancel_at(const PolyContext& ctx, const Polynomial& p, std::size_t k,
+                     const Polynomial& r) {
+  const Term& t = p.terms()[k];
+  BigInt g = BigInt::gcd(t.coeff, r.hcoef());
+  BigInt a = r.hcoef() / g;
+  BigInt b = t.coeff / g;
+  if (a.is_negative()) {
+    a = -a;
+    b = -b;
+  }
+  Monomial m = t.mono / r.hmono();
+  Polynomial sub = r.mul_term(b, m);
+  if (a.is_one()) return p.sub(ctx, sub);
+  return p.mul_term(a, Monomial(t.mono.nvars())).sub(ctx, sub);
+}
+
+}  // namespace
+
+Polynomial reduce_step(const PolyContext& ctx, const Polynomial& p, const Polynomial& r) {
+  GBD_CHECK_MSG(!p.is_zero() && !r.is_zero(), "reduce_step with zero operand");
+  GBD_CHECK_MSG(r.hmono().divides(p.hmono()), "reduce_step: reducer head does not divide");
+  return cancel_at(ctx, p, 0, r);
+}
+
+ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
+                          const ReduceOptions& opts, ReduceObserver* obs) {
+  ReduceOutcome out;
+  Polynomial cur = std::move(p);
+  cur.make_primitive();
+  std::size_t k = 0;  // index of the first term not yet known irreducible
+  while (!cur.is_zero() && k < cur.nterms()) {
+    std::uint64_t id = 0;
+    const Polynomial* r = set.find_reducer(cur.terms()[k].mono, &id);
+    if (r == nullptr) {
+      if (!opts.tail_reduce) break;
+      ++k;
+      continue;
+    }
+    CostScope cost;
+    cur = cancel_at(ctx, cur, k, *r);
+    cur.make_primitive();
+    ++out.steps;
+    GBD_CHECK_MSG(out.steps <= opts.max_steps, "reduce_full exceeded max_steps");
+    if (obs) obs->on_step(id, cost.elapsed());
+  }
+  out.poly = std::move(cur);
+  return out;
+}
+
+bool is_normal(const Polynomial& p, const ReducerSet& set) {
+  if (p.is_zero()) return true;
+  return set.find_reducer(p.hmono(), nullptr) == nullptr;
+}
+
+std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens) {
+  std::vector<Polynomial> work;
+  for (auto& g : gens) {
+    if (g.is_zero()) continue;
+    g.make_primitive();
+    work.push_back(std::move(g));
+  }
+  ReduceOptions opts;
+  opts.tail_reduce = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < work.size();) {
+      std::vector<Polynomial> others;
+      others.reserve(work.size() - 1);
+      for (std::size_t j = 0; j < work.size(); ++j) {
+        if (j != i) others.push_back(work[j]);
+      }
+      VectorReducerSet set(&others);
+      Polynomial nf = reduce_full(ctx, work[i], set, opts).poly;
+      if (nf.is_zero()) {
+        work.erase(work.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        continue;
+      }
+      if (!nf.equals(work[i])) {
+        work[i] = std::move(nf);
+        changed = true;
+      }
+      ++i;
+    }
+  }
+  return work;
+}
+
+std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis) {
+  // Normalize and drop zeros.
+  std::vector<Polynomial> in;
+  in.reserve(basis.size());
+  for (auto& g : basis) {
+    if (g.is_zero()) continue;
+    g.make_primitive();
+    in.push_back(std::move(g));
+  }
+
+  // Minimize: visit in ascending head order and keep an element only if no
+  // already-kept head divides its head. (If hm(a) | hm(b) with a != b then
+  // hm(a) <= hm(b) in every admissible order, so one ascending pass is
+  // complete; equal heads keep the first occurrence.)
+  std::vector<std::size_t> idx(in.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return ctx.cmp(in[a].hmono(), in[b].hmono()) < 0;
+  });
+  std::vector<Polynomial> minimal;
+  for (std::size_t i : idx) {
+    bool covered = false;
+    for (const auto& kept : minimal) {
+      if (kept.hmono().divides(in[i].hmono())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) minimal.push_back(in[i]);
+  }
+
+  // Tail-reduce each element against all the others.
+  std::vector<Polynomial> out(minimal.size());
+  for (std::size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<Polynomial> others;
+    others.reserve(minimal.size() - 1);
+    for (std::size_t j = 0; j < minimal.size(); ++j) {
+      if (j != i) others.push_back(minimal[j]);
+    }
+    VectorReducerSet set(&others);
+    ReduceOptions opts;
+    opts.tail_reduce = true;
+    out[i] = reduce_full(ctx, minimal[i], set, opts).poly;
+    GBD_CHECK_MSG(!out[i].is_zero(), "reduce_basis: minimal element reduced to zero");
+  }
+
+  std::sort(out.begin(), out.end(), [&](const Polynomial& a, const Polynomial& b) {
+    return ctx.cmp(a.hmono(), b.hmono()) < 0;
+  });
+  return out;
+}
+
+}  // namespace gbd

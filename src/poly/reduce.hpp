@@ -1,0 +1,110 @@
+// Polynomial reduction (normal forms) — the computational core of
+// Buchberger's algorithm and the place the paper reports nearly all time
+// being spent.
+//
+// A single step cancels one term of p against a basis polynomial r whose head
+// monomial divides it, using the fraction-free formulation
+//     p' = a·p − b·(m·r),  a = hc(r)/g, b = c/g, g = gcd(c, hc(r)),
+// where c is the cancelled coefficient and m the monomial quotient. Over the
+// rationals this is REDUCE of §2 up to a nonzero scalar, which is irrelevant
+// to Gröbner structure and avoids rational arithmetic in the inner loop.
+//
+// Reducers are supplied through the ReducerSet interface: the sequential
+// engine backs it with a plain vector, the distributed engine with the local
+// replica of the replicated basis (the paper's ForAll iterator — the replica
+// "might be incomplete", and that is safe; see DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// Source of candidate reducers for a monomial.
+class ReducerSet {
+ public:
+  virtual ~ReducerSet() = default;
+
+  /// Some basis element whose head monomial divides m, or nullptr if m is
+  /// irreducible against this set. *out_id (if non-null) receives a stable
+  /// identifier of the reducer for per-reducer accounting.
+  virtual const Polynomial* find_reducer(const Monomial& m, std::uint64_t* out_id) const = 0;
+};
+
+/// Strict preference between two applicable reducers: smaller head
+/// coefficient first (the fraction-free step multiplies the reduct through
+/// by hc(r)/g, so large head coefficients compound), then fewer terms.
+/// Deterministic ties are broken by the caller (oldest wins).
+bool reducer_preferred(const Polynomial& a, const Polynomial& b);
+
+/// ReducerSet over a vector of polynomials; reducer id is the vector index.
+/// Among applicable reducers the reducer_preferred one wins (deterministic).
+class VectorReducerSet final : public ReducerSet {
+ public:
+  VectorReducerSet() = default;
+  explicit VectorReducerSet(const std::vector<Polynomial>* polys) : polys_(polys) {}
+
+  const Polynomial* find_reducer(const Monomial& m, std::uint64_t* out_id) const override;
+
+ private:
+  const std::vector<Polynomial>* polys_ = nullptr;
+};
+
+/// Per-step notification, used by Table 1's per-reducer time accounting and
+/// by the trace recorder of Fig. 8(b).
+class ReduceObserver {
+ public:
+  virtual ~ReduceObserver() = default;
+  virtual void on_step(std::uint64_t reducer_id, std::uint64_t cost_units) = 0;
+};
+
+struct ReduceOptions {
+  /// Also reduce non-head terms (strong normal form). Head-only reduction is
+  /// what NORMAL/REDUCE of the paper require; tail reduction is used when
+  /// producing the canonical reduced basis and as an ablation.
+  bool tail_reduce = false;
+  /// Safety valve for property tests; reduction of a polynomial by a finite
+  /// set always terminates, so hitting this aborts.
+  std::uint64_t max_steps = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct ReduceOutcome {
+  Polynomial poly;          ///< primitive normal form (head-normal if !tail_reduce)
+  std::uint64_t steps = 0;  ///< number of single reduction steps performed
+};
+
+/// One head-cancelling step of p by r. Requires r.hmono() | p.hmono().
+Polynomial reduce_step(const PolyContext& ctx, const Polynomial& p, const Polynomial& r);
+
+/// Full reduction of p by `set` (the paper's REDUCE(h, G)). Returns a
+/// primitive normal form; zero iff p reduces to zero.
+ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
+                          const ReduceOptions& opts = {}, ReduceObserver* obs = nullptr);
+
+/// True iff no element of `set` can reduce p's head (the paper's NORMAL(p,S)).
+/// The zero polynomial is normal with respect to any set.
+bool is_normal(const Polynomial& p, const ReducerSet& set);
+
+/// Canonical *reduced* Gröbner basis: minimize (drop elements whose head is
+/// divisible by another's), tail-reduce every element against the rest, make
+/// primitive, and sort by ascending head monomial. Two engines computing a
+/// Gröbner basis of the same ideal agree exactly on this form — the
+/// cross-engine oracle used throughout the tests.
+///
+/// REQUIRES the input to be a Gröbner basis: the minimization step drops any
+/// element whose head another element's head divides, which only preserves
+/// the ideal when reduction is confluent. For arbitrary generating sets use
+/// interreduce().
+std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis);
+
+/// Ideal-preserving interreduction of an arbitrary generating set: each
+/// element is fully (head+tail) reduced against the others until nothing
+/// changes; elements reducing to zero are dropped. Safe on any input — every
+/// step subtracts multiples of other generators — and terminates because
+/// each replacement strictly shrinks its element in the monomial order.
+std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens);
+
+}  // namespace gbd

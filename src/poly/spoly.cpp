@@ -1,0 +1,24 @@
+#include "poly/spoly.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial& p2) {
+  GBD_CHECK_MSG(!p1.is_zero() && !p2.is_zero(), "spoly of zero polynomial");
+  const Monomial& m1 = p1.hmono();
+  const Monomial& m2 = p2.hmono();
+  Monomial h = Monomial::hcf(m1, m2);
+  BigInt kg = BigInt::gcd(p1.hcoef(), p2.hcoef());
+  BigInt k1 = p1.hcoef() / kg;
+  BigInt k2 = p2.hcoef() / kg;
+  Polynomial s = p1.mul_term(k2, m2 / h).sub(ctx, p2.mul_term(k1, m1 / h));
+  s.make_primitive();
+  return s;
+}
+
+Monomial pair_lcm(const Polynomial& p1, const Polynomial& p2) {
+  return Monomial::lcm(p1.hmono(), p2.hmono());
+}
+
+}  // namespace gbd

@@ -1,0 +1,21 @@
+// S-polynomials — the pair-combination step of Buchberger's algorithm (§2).
+#pragma once
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// SPOL(p1, p2) of the paper:
+///   (k2·m2/HCF)·p1 − (k1·m1/HCF)·p2,
+/// where ki = HCOEF(pi), mi = HMONO(pi) and HCF is the monomial gcd; the
+/// head terms cancel by construction. Coefficients are first divided by
+/// gcd(k1, k2) and the result is returned in primitive form — the same
+/// polynomial up to a unit, with the smallest possible integers.
+/// Both inputs must be nonzero.
+Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial& p2);
+
+/// The lcm of the two head monomials, HMONO(p1)·HMONO(p2)/HCF — the quantity
+/// the paper's selection heuristic minimizes (footnote 2).
+Monomial pair_lcm(const Polynomial& p1, const Polynomial& p2);
+
+}  // namespace gbd

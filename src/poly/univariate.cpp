@@ -1,0 +1,342 @@
+#include "poly/univariate.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+UniPoly::UniPoly(std::vector<BigInt> coeffs) : coeffs_(std::move(coeffs)) { trim(); }
+
+void UniPoly::trim() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+std::optional<UniPoly> UniPoly::from_polynomial(const PolyContext& ctx, const Polynomial& p,
+                                                std::size_t var) {
+  GBD_CHECK(var < ctx.nvars());
+  std::vector<BigInt> coeffs;
+  for (const auto& t : p.terms()) {
+    for (std::size_t v = 0; v < t.mono.nvars(); ++v) {
+      if (v != var && t.mono.exp(v) != 0) return std::nullopt;
+    }
+    std::size_t e = t.mono.exp(var);
+    if (coeffs.size() <= e) coeffs.resize(e + 1, BigInt(0));
+    coeffs[e] += t.coeff;
+  }
+  return UniPoly(std::move(coeffs));
+}
+
+const BigInt& UniPoly::leading() const {
+  GBD_CHECK_MSG(!coeffs_.empty(), "leading() of the zero polynomial");
+  return coeffs_.back();
+}
+
+UniPoly UniPoly::operator-() const {
+  UniPoly r = *this;
+  for (auto& c : r.coeffs_) c = -c;
+  return r;
+}
+
+UniPoly UniPoly::add(const UniPoly& rhs) const {
+  std::vector<BigInt> out(std::max(coeffs_.size(), rhs.coeffs_.size()), BigInt(0));
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < rhs.coeffs_.size(); ++i) out[i] += rhs.coeffs_[i];
+  return UniPoly(std::move(out));
+}
+
+UniPoly UniPoly::sub(const UniPoly& rhs) const { return add(-rhs); }
+
+UniPoly UniPoly::mul(const UniPoly& rhs) const {
+  if (is_zero() || rhs.is_zero()) return UniPoly();
+  std::vector<BigInt> out(coeffs_.size() + rhs.coeffs_.size() - 1, BigInt(0));
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+    }
+  }
+  CostCounter::charge(coeffs_.size() * rhs.coeffs_.size());
+  return UniPoly(std::move(out));
+}
+
+BigInt UniPoly::content() const {
+  BigInt g;
+  for (const auto& c : coeffs_) {
+    g = BigInt::gcd(g, c);
+    if (g.is_one()) break;
+  }
+  return g;
+}
+
+void UniPoly::make_primitive() {
+  if (coeffs_.empty()) return;
+  BigInt g = content();
+  if (coeffs_.back().is_negative()) g = -g;
+  if (g.is_one()) return;
+  for (auto& c : coeffs_) c /= g;
+}
+
+UniPoly UniPoly::derivative() const {
+  if (coeffs_.size() <= 1) return UniPoly();
+  std::vector<BigInt> out(coeffs_.size() - 1, BigInt(0));
+  for (std::size_t k = 1; k < coeffs_.size(); ++k) {
+    out[k - 1] = coeffs_[k] * BigInt(static_cast<std::int64_t>(k));
+  }
+  return UniPoly(std::move(out));
+}
+
+UniPoly UniPoly::prem(const UniPoly& n, const UniPoly& d) {
+  GBD_CHECK_MSG(!d.is_zero(), "pseudo-division by zero");
+  if (n.degree() < d.degree()) return n;
+  UniPoly r = n;
+  const BigInt& lc = d.leading();
+  int steps = n.degree() - d.degree() + 1;
+  for (int s = 0; s < steps && !r.is_zero() && r.degree() >= d.degree(); ++s) {
+    // r = lc·r − lead(r)·x^(deg r − deg d)·d
+    std::size_t shift = static_cast<std::size_t>(r.degree() - d.degree());
+    BigInt top = r.leading();
+    std::vector<BigInt> next(r.coeffs_.size(), BigInt(0));
+    for (std::size_t i = 0; i < r.coeffs_.size(); ++i) next[i] = r.coeffs_[i] * lc;
+    for (std::size_t i = 0; i < d.coeffs_.size(); ++i) {
+      next[i + shift] -= top * d.coeffs_[i];
+    }
+    r = UniPoly(std::move(next));
+  }
+  return r;
+}
+
+UniPoly UniPoly::gcd(const UniPoly& a, const UniPoly& b) {
+  UniPoly f = a, g = b;
+  f.make_primitive();
+  g.make_primitive();
+  if (f.is_zero()) return g;
+  if (g.is_zero()) return f;
+  if (f.degree() < g.degree()) std::swap(f, g);
+  while (!g.is_zero()) {
+    UniPoly r = prem(f, g);
+    r.make_primitive();
+    f = std::move(g);
+    g = std::move(r);
+  }
+  f.make_primitive();
+  return f;
+}
+
+UniPoly UniPoly::squarefree_part() const {
+  if (degree() <= 1) {
+    UniPoly r = *this;
+    r.make_primitive();
+    return r;
+  }
+  UniPoly g = gcd(*this, derivative());
+  if (g.degree() == 0) {
+    UniPoly r = *this;
+    r.make_primitive();
+    return r;
+  }
+  // Exact division this / g via pseudo-division bookkeeping: since g | this
+  // (up to content), divide with rational-free long division over Q cleared.
+  // Simpler: repeated synthetic division using prem invariants is fussy;
+  // divide over rationals then clear denominators.
+  int dq = degree() - g.degree();
+  std::vector<Rational> rem;
+  rem.reserve(coeffs_.size());
+  for (const auto& c : coeffs_) rem.emplace_back(c);
+  std::vector<Rational> quot(static_cast<std::size_t>(dq) + 1);
+  Rational glead{g.leading()};
+  for (int k = dq; k >= 0; --k) {
+    Rational q = rem[static_cast<std::size_t>(k + g.degree())] / glead;
+    quot[static_cast<std::size_t>(k)] = q;
+    if (q.is_zero()) continue;
+    for (int i = 0; i <= g.degree(); ++i) {
+      rem[static_cast<std::size_t>(k + i)] -=
+          q * Rational(g.coeff(static_cast<std::size_t>(i)));
+    }
+  }
+  // Clear denominators.
+  BigInt den(1);
+  for (const auto& q : quot) den = BigInt::lcm(den, q.den());
+  if (den.is_zero()) den = BigInt(1);
+  std::vector<BigInt> out;
+  out.reserve(quot.size());
+  for (const auto& q : quot) out.push_back(q.num() * (den / q.den()));
+  UniPoly result{std::move(out)};
+  result.make_primitive();
+  return result;
+}
+
+Rational UniPoly::evaluate(const Rational& x) const {
+  // Horner over exact rationals.
+  Rational acc;
+  for (std::size_t k = coeffs_.size(); k-- > 0;) {
+    acc = acc * x + Rational(coeffs_[k]);
+  }
+  return acc;
+}
+
+int UniPoly::sign_at(const Rational& x) const { return evaluate(x).signum(); }
+
+std::vector<UniPoly> UniPoly::sturm_sequence() const {
+  // Standard Sturm chain on the squarefree part:
+  //   p0 = squarefree(p), p1 = p0', p_{k+1} = −(p_{k−1} mod p_k),
+  // where each element may be scaled by any POSITIVE constant. We compute
+  // remainders fraction-free: prem(f, g) = s·(f mod g) with
+  // s = lc(g)^(deg f − deg g + 1), so the next element is
+  //   −prem/s = (s < 0 ? +prem : −prem) up to positive scale,
+  // and the positive scale is removed by dividing out the (positive) content.
+  std::vector<UniPoly> seq;
+  UniPoly p0 = squarefree_part();
+  if (p0.is_zero()) return seq;
+  seq.push_back(p0);
+  UniPoly p1 = p0.derivative();
+  while (!p1.is_zero()) {
+    seq.push_back(p1);
+    const UniPoly& f = seq[seq.size() - 2];
+    UniPoly raw = prem(f, p1);
+    if (raw.is_zero()) break;
+    int steps = f.degree() - p1.degree() + 1;
+    bool scale_negative = p1.leading().is_negative() && (steps % 2 == 1);
+    UniPoly next = scale_negative ? raw : -raw;
+    BigInt c = next.content();
+    if (!c.is_one()) {
+      for (auto& co : next.coeffs_) co /= c;
+    }
+    p1 = std::move(next);
+  }
+  return seq;
+}
+
+int UniPoly::variations(const std::vector<UniPoly>& seq, const Rational& x) {
+  int var = 0;
+  int prev = 0;
+  for (const auto& p : seq) {
+    int s = p.sign_at(x);
+    if (s == 0) continue;
+    if (prev != 0 && s != prev) ++var;
+    prev = s;
+  }
+  return var;
+}
+
+Rational UniPoly::root_bound() const {
+  if (degree() <= 0) return Rational(1);
+  // Cauchy: 1 + max |a_i| / |a_n|.
+  BigInt mx(0);
+  for (std::size_t i = 0; i + 1 < coeffs_.size(); ++i) {
+    BigInt a = coeffs_[i].abs();
+    if (a > mx) mx = a;
+  }
+  Rational bound = Rational(mx, leading().abs()) + Rational(1);
+  return bound;
+}
+
+int UniPoly::count_real_roots(const Rational& lo, const Rational& hi) const {
+  GBD_CHECK_MSG(lo < hi, "count_real_roots: empty interval");
+  std::vector<UniPoly> seq = sturm_sequence();
+  if (seq.empty()) return 0;
+  return variations(seq, lo) - variations(seq, hi);
+}
+
+int UniPoly::count_real_roots() const {
+  if (degree() <= 0) return 0;
+  Rational b = root_bound();
+  return count_real_roots(-b, b);
+}
+
+std::vector<UniPoly::Interval> UniPoly::isolate_real_roots(const Rational& width) const {
+  std::vector<Interval> out;
+  if (degree() <= 0) return out;
+  std::vector<UniPoly> seq = sturm_sequence();
+  if (seq.empty()) return out;
+  Rational b = root_bound();
+
+  struct Job {
+    Rational lo, hi;
+    int count;
+  };
+  int total = variations(seq, -b) - variations(seq, b);
+  if (total == 0) return out;
+  std::vector<Job> stack = {{-b, b, total}};
+  Rational two(2);
+  while (!stack.empty()) {
+    Job job = stack.back();
+    stack.pop_back();
+    if (job.count == 0) continue;
+    Rational span = job.hi - job.lo;
+    if (job.count == 1 && span <= width) {
+      out.push_back(Interval{job.lo, job.hi});
+      continue;
+    }
+    Rational mid = (job.lo + job.hi) / two;
+    int left = variations(seq, job.lo) - variations(seq, mid);
+    int right = job.count - left;
+    // Push right first so output comes out in increasing order.
+    if (right > 0) stack.push_back(Job{mid, job.hi, right});
+    if (left > 0) stack.push_back(Job{job.lo, mid, left});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interval& a, const Interval& b2) { return a.lo < b2.lo; });
+  return out;
+}
+
+std::vector<Rational> UniPoly::rational_roots() const {
+  std::vector<Rational> roots;
+  if (is_zero()) return roots;
+  // Strip x^k.
+  std::size_t low = 0;
+  while (low < coeffs_.size() && coeffs_[low].is_zero()) ++low;
+  if (low > 0) roots.push_back(Rational(BigInt(0)));
+  if (low + 1 >= coeffs_.size()) return roots;
+
+  const BigInt constant = coeffs_[low];
+  const BigInt lead = coeffs_.back();
+  auto divisors = [](const BigInt& n) {
+    std::vector<BigInt> out;
+    BigInt a = n.abs();
+    for (BigInt d(1); d * d <= a; d += BigInt(1)) {
+      if ((a % d).is_zero()) {
+        out.push_back(d);
+        out.push_back(a / d);
+      }
+    }
+    return out;
+  };
+  for (const BigInt& p : divisors(constant)) {
+    for (const BigInt& q : divisors(lead)) {
+      for (int sign : {1, -1}) {
+        Rational cand(sign > 0 ? p : -p, q);
+        bool seen = false;
+        for (const auto& r : roots) seen = seen || r == cand;
+        if (!seen && sign_at(cand) == 0) roots.push_back(cand);
+      }
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+std::string UniPoly::to_string(const std::string& var) const {
+  if (is_zero()) return "0";
+  std::string out;
+  for (std::size_t k = coeffs_.size(); k-- > 0;) {
+    if (coeffs_[k].is_zero()) continue;
+    BigInt a = coeffs_[k].abs();
+    bool neg = coeffs_[k].is_negative();
+    if (out.empty()) {
+      if (neg) out += "-";
+    } else {
+      out += neg ? " - " : " + ";
+    }
+    if (k == 0) {
+      out += a.to_string();
+    } else {
+      if (!a.is_one()) out += a.to_string() + "*";
+      out += var;
+      if (k > 1) out += "^" + std::to_string(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace gbd

@@ -1,0 +1,98 @@
+// Exact univariate polynomial layer — the back end of "solving systems of
+// non-linear equations" (the first application named in the paper's
+// introduction). A lex Gröbner basis of a zero-dimensional ideal triangulates
+// the system; its eliminant is univariate, and everything downstream —
+// root counting, isolation, rational roots — happens here, exactly, over Z.
+//
+// Provided: dense univariate polynomials with exact integer coefficients,
+// pseudo-division, primitive-PRS gcd, squarefree part, derivative, Sturm
+// sequences, exact sign evaluation at rationals, real-root counting on
+// intervals, root isolation by bisection, and rational-root extraction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bigint/rational.hpp"
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// Dense univariate polynomial over Z: coeffs_[k] multiplies x^k; the
+/// leading coefficient is nonzero (zero polynomial = empty vector).
+class UniPoly {
+ public:
+  UniPoly() = default;
+  /// From low-to-high coefficients (trailing zeros trimmed).
+  explicit UniPoly(std::vector<BigInt> coeffs);
+
+  /// Extract a univariate polynomial from a multivariate one that uses only
+  /// variable `var`; returns nullopt if any other variable occurs.
+  static std::optional<UniPoly> from_polynomial(const PolyContext& ctx, const Polynomial& p,
+                                                std::size_t var);
+
+  bool is_zero() const { return coeffs_.empty(); }
+  /// Degree; zero polynomial reports -1.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const BigInt& coeff(std::size_t k) const { return coeffs_[k]; }
+  const BigInt& leading() const;
+  const std::vector<BigInt>& coeffs() const { return coeffs_; }
+
+  UniPoly operator-() const;
+  UniPoly add(const UniPoly& rhs) const;
+  UniPoly sub(const UniPoly& rhs) const;
+  UniPoly mul(const UniPoly& rhs) const;
+
+  /// Divide by content, make leading coefficient positive.
+  void make_primitive();
+  BigInt content() const;
+
+  /// Formal derivative.
+  UniPoly derivative() const;
+
+  /// Pseudo-remainder: lc(d)^(deg n - deg d + 1) · n  mod  d (fraction-free).
+  static UniPoly prem(const UniPoly& n, const UniPoly& d);
+
+  /// Primitive gcd (subresultant-free primitive PRS — fine at these sizes).
+  static UniPoly gcd(const UniPoly& a, const UniPoly& b);
+
+  /// p / gcd(p, p'): same roots, all simple.
+  UniPoly squarefree_part() const;
+
+  /// Exact sign of p(x) at a rational point: -1, 0, +1.
+  int sign_at(const Rational& x) const;
+  Rational evaluate(const Rational& x) const;
+
+  /// Number of *distinct* real roots in the half-open interval (lo, hi],
+  /// by Sturm's theorem. Requires lo < hi.
+  int count_real_roots(const Rational& lo, const Rational& hi) const;
+  /// Number of distinct real roots on the whole line.
+  int count_real_roots() const;
+
+  /// A bound B with every real root in [-B, B] (Cauchy bound).
+  Rational root_bound() const;
+
+  /// Disjoint isolating intervals (lo, hi], one per distinct real root,
+  /// each of width <= `width`, in increasing order.
+  struct Interval {
+    Rational lo, hi;
+  };
+  std::vector<Interval> isolate_real_roots(const Rational& width) const;
+
+  /// All rational roots (exact; rational-root theorem + verification).
+  std::vector<Rational> rational_roots() const;
+
+  std::string to_string(const std::string& var = "x") const;
+
+ private:
+  std::vector<UniPoly> sturm_sequence() const;
+  /// Sign variations of the Sturm sequence at x.
+  static int variations(const std::vector<UniPoly>& seq, const Rational& x);
+
+  void trim();
+
+  std::vector<BigInt> coeffs_;
+};
+
+}  // namespace gbd

@@ -1,0 +1,36 @@
+// Lightweight runtime assertion macros.
+//
+// GBD_CHECK is always on (used for invariants whose violation would corrupt
+// results, e.g. dividing a monomial by a non-divisor). GBD_DCHECK compiles
+// away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gbd {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "GBD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace gbd
+
+#define GBD_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) ::gbd::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GBD_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::gbd::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define GBD_DCHECK(cond) ((void)0)
+#else
+#define GBD_DCHECK(cond) GBD_CHECK(cond)
+#endif

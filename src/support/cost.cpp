@@ -1,0 +1,10 @@
+#include "support/cost.hpp"
+
+namespace gbd {
+
+std::uint64_t& CostCounter::local() {
+  thread_local std::uint64_t counter = 0;
+  return counter;
+}
+
+}  // namespace gbd

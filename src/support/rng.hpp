@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments in the paper report "best of 5 runs": on the CM-5 the variation
+// came from timing races. Our simulator is deterministic, so run-to-run
+// variation is reintroduced explicitly through a seed that perturbs
+// tie-breaking and scheduling decisions. SplitMix64 is small, fast and has
+// well-understood statistical quality; we do not need cryptographic strength.
+#pragma once
+
+#include <cstdint>
+
+namespace gbd {
+
+/// SplitMix64 generator. Copyable; a copy replays the same stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Derive an independent child stream (for per-processor RNGs).
+  Rng split(std::uint64_t salt) {
+    Rng child(state_ ^ (salt * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+    child.next();
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gbd

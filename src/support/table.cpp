@@ -1,0 +1,40 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gbd {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out << cell << std::string(width[i] - cell.size(), ' ');
+      out << (i + 1 < width.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace gbd

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows of the paper exhibit it regenerates;
+// this keeps the output format consistent across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gbd {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Render with a rule under the header, columns padded to widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant decimal places.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace gbd

@@ -1,0 +1,190 @@
+// Distributed task queue (after Wen et al., §4.2 of the paper).
+//
+// The queue is partitioned: each processor owns a local priority queue and
+// there is exactly one copy of each task. Enqueue is local (with optional
+// push-based rebalancing to the ring neighbor when the local queue grows
+// long); dequeue serves the best local task and, when the local queue is
+// empty, steals from ring neighbors round-robin. Priority is only enforced
+// within each local queue, not globally — exactly the weakened heuristic
+// order §4.2.1 describes.
+//
+// Termination is detected by a coordinator running a double-wave counting
+// protocol: a wave probes every processor for (enqueued, dequeued, activity,
+// Idle?); two consecutive waves that are all-idle, activity-stable and have
+// total enqueued == total dequeued prove global completion ("Terminated is a
+// stable property, true only if the total number of enqueued tasks equals
+// the total number of dequeued tasks, and all processors are idle"). The
+// caller supplies Idle? — needed because tasks may be buffered in local
+// variables of busy processors.
+//
+// Tasks are opaque payload bytes with a Monomial priority (smaller under the
+// ambient monomial order = served first), matching the engine's use where
+// priority is the pair's head-lcm (footnote 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "gb/engine_common.hpp"
+#include "machine/machine.hpp"
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+/// Handler-id block reserved for the task queue (see HandlerId ranges in
+/// each module; the application must not reuse 100..109).
+enum TaskQueueHandlers : HandlerId {
+  kTqSteal = 100,    ///< steal request
+  kTqGrant = 101,    ///< stolen tasks (possibly empty = NACK)
+  kTqPush = 102,     ///< push-balanced tasks
+  kTqProbe = 103,    ///< termination wave probe
+  kTqReport = 104,   ///< probe reply
+  kTqAnnounce = 105, ///< termination announcement
+  kTqToken = 106,    ///< Dijkstra–Feijen–van Gasteren ring token
+};
+
+/// Termination-detection protocol. The paper uses a centralized coordinator
+/// and notes it "will not scale to thousands of processors. However, a large
+/// variety of relatively decentralized protocols are available" (§6) — the
+/// token ring is the classic one: a colored token circulates; a processor
+/// that ships tasks turns black, blackening the token as it passes; a token
+/// that completes a fully white, fully idle circuit proves termination with
+/// O(P) messages per round and no central bottleneck.
+enum class Termination : std::uint8_t {
+  kCoordinatorWave,  ///< the paper's centralized double-count wave (default)
+  kTokenRing,        ///< Dijkstra–Feijen–van Gasteren colored token
+};
+
+struct TaskQueueConfig {
+  int coordinator = 0;
+  /// Push-balance: when a local enqueue leaves more than this many tasks,
+  /// offload the worst ones to the ring neighbor. 0 disables pushing.
+  std::size_t push_threshold = 0;
+  /// How many tasks a victim surrenders per steal (at most half its queue).
+  std::size_t steal_batch = 4;
+  /// Work units an idle processor waits after a full circuit of empty
+  /// grants before polling the ring again.
+  std::uint64_t steal_backoff = 2000;
+  /// Which end of the victim's queue migrates. false (default): the worst-
+  /// priority end — thieves work far from the victim's current focus, which
+  /// spreads processors across independent regions of the pair space and
+  /// keeps speculative overlap shallow. true: the best end — thieves take
+  /// over the globally most promising work (closer to sequential order, but
+  /// all processors crowd the same region).
+  bool steal_from_best = false;
+  /// How the priority monomial orders the local queue (kNormal: full
+  /// monomial order; kDegree: total degree, ties FIFO; kFifo: creation
+  /// order).
+  Selection selection = Selection::kNormal;
+  Termination termination = Termination::kCoordinatorWave;
+};
+
+struct TaskQueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t steals_sent = 0;
+  std::uint64_t steals_won = 0;   ///< grants that carried at least one task
+  std::uint64_t tasks_migrated = 0;
+  std::uint64_t waves_started = 0;   ///< coordinator only
+  std::uint64_t token_rounds = 0;    ///< ring-token circuits initiated (proc 0 only)
+  bool terminated_by_wave = false;   ///< either protocol's announcement fired
+};
+
+/// One processor's endpoint of the distributed queue. Construct inside the
+/// worker after Proc is available; all processors must construct it (the
+/// protocol handlers are registered in the constructor).
+class DistTaskQueue {
+ public:
+  enum class Dequeue { kGot, kEmpty, kTerminated };
+
+  /// `idle` must return true iff the calling processor currently holds no
+  /// work outside the queue (no task being executed, nothing suspended).
+  DistTaskQueue(Proc& self, const PolyContext* ctx, std::function<bool()> idle,
+                TaskQueueConfig cfg = {});
+
+  /// Add a task. Never blocks; may push-balance to the ring neighbor.
+  void enqueue(std::vector<std::uint8_t> payload, Monomial priority);
+
+  /// Serve the best local task, or report kEmpty (a hint — the caller should
+  /// poll/wait and retry; a steal or termination wave may be in flight), or
+  /// kTerminated (stable).
+  Dequeue try_dequeue(std::vector<std::uint8_t>* payload);
+
+  /// Give the termination coordinator a chance to start a probe wave. Called
+  /// implicitly by try_dequeue; a reserved coordinator that never dequeues
+  /// must call it from its serve loop.
+  void pump_termination() {
+    if (self_.id() == cfg_.coordinator) maybe_start_wave();
+  }
+
+  bool terminated() const { return terminated_; }
+  std::size_t local_size() const { return local_.size(); }
+  const TaskQueueStats& stats() const { return stats_; }
+
+ private:
+  struct Item {
+    Monomial priority;
+    std::uint64_t seq;
+    std::vector<std::uint8_t> payload;
+  };
+  struct ItemBefore {
+    const DistTaskQueue* q;
+    bool operator()(const Item& a, const Item& b) const;
+  };
+
+  void insert_local(Item item);
+  Item pop_best();
+  void send_tasks(int dst, HandlerId handler, std::size_t count);
+  void maybe_start_wave();
+  void finish_wave();
+  void note_activity() { activity_ += 1; }
+
+  // Handlers.
+  void on_steal(int src);
+  void on_grant(int src, Reader& r);
+  void on_push(int src, Reader& r);
+  void on_probe(int src);
+  void on_report(int src, Reader& r);
+  void on_announce();
+  void on_token(Reader& r);
+  void maybe_forward_token();
+
+  Proc& self_;
+  const PolyContext* ctx_;
+  std::function<bool()> idle_;
+  TaskQueueConfig cfg_;
+  TaskQueueStats stats_;
+
+  std::set<Item, ItemBefore> local_;
+  std::uint64_t next_seq_;
+
+  // Stealing state.
+  bool steal_outstanding_ = false;
+  int next_victim_;
+  int consecutive_empty_grants_ = 0;
+
+  // Activity counter: bumps on every enqueue/dequeue/migration in or out.
+  std::uint64_t activity_ = 0;
+  bool terminated_ = false;
+
+  // Coordinator-side wave state.
+  struct WaveReply {
+    std::uint64_t enq = 0, deq = 0, activity = 0;
+    bool idle = false;
+  };
+  bool wave_in_progress_ = false;
+  int wave_replies_ = 0;
+  std::vector<WaveReply> wave_data_;
+  bool have_prev_wave_ = false;
+  std::vector<WaveReply> prev_wave_;
+
+  // Token-ring state (Dijkstra–Feijen–van Gasteren).
+  bool proc_black_ = false;    ///< shipped tasks since the token last passed
+  bool holding_token_ = false;
+  bool token_black_ = false;   ///< color of the held token
+  bool token_started_ = false; ///< proc 0: first token launched
+};
+
+}  // namespace gbd

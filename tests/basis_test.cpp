@@ -1,0 +1,266 @@
+// Tests for the replicated basis: invalidation/ack, shadow sets, validation
+// via tree-routed fetches, and the coordinator lock.
+#include "basis/replicated_basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "io/parse.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/thread_machine.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx3() { return PolyContext{{"x", "y", "z"}, OrderKind::kGrLex}; }
+
+std::unique_ptr<Machine> make_machine(bool sim, int p) {
+  if (sim) return std::make_unique<SimMachine>(p);
+  return std::make_unique<ThreadMachine>(p);
+}
+
+TEST(PolyIdTest, PackUnpack) {
+  PolyId id = make_poly_id(7, 12345);
+  EXPECT_EQ(poly_id_owner(id), 7);
+  EXPECT_EQ(poly_id_seq(id), 12345u);
+  EXPECT_EQ(make_poly_id(0, 0), 0u);
+}
+
+class BasisTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool sim() const { return GetParam(); }
+};
+
+TEST_P(BasisTest, PreloadVisibleEverywhere) {
+  auto m = make_machine(sim(), 3);
+  PolyContext c = ctx3();
+  Polynomial f = parse_poly_or_die(c, "x^2 - y");
+  std::atomic<int> ok{0};
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    basis.preload(make_poly_id(0, 0), f);
+    EXPECT_TRUE(basis.valid());
+    EXPECT_EQ(basis.replica_size(), 1u);
+    const Polynomial* p = basis.find(make_poly_id(0, 0));
+    ASSERT_NE(p, nullptr);
+    if (p->equals(f)) ++ok;
+  });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST_P(BasisTest, AddInvalidatesOthersAndAcks) {
+  auto m = make_machine(sim(), 4);
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "x*y - z");
+  std::atomic<int> shadowed{0};
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    if (self.id() == 2) {
+      PolyId id = basis.begin_add(g);
+      EXPECT_EQ(poly_id_owner(id), 2);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      EXPECT_TRUE(basis.valid());  // the adder's own replica is never stale
+    } else {
+      // Serve protocol until the machine quiesces.
+      while (self.wait()) {
+      }
+      EXPECT_EQ(basis.shadow_size(), 1u);
+      EXPECT_FALSE(basis.valid());
+      if (basis.find(make_poly_id(2, 0)) == nullptr) ++shadowed;
+    }
+  });
+  EXPECT_EQ(shadowed.load(), 3);
+}
+
+TEST_P(BasisTest, ValidateFetchesBodies) {
+  const int kP = 5;
+  auto m = make_machine(sim(), kP);
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "x^3 + 2*y*z - 1");
+  std::atomic<int> validated{0};
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    if (self.id() == 0) {
+      basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      while (self.wait()) {
+      }
+    } else {
+      // Wait for the invalidation to arrive.
+      while (basis.shadow_size() == 0) {
+        ASSERT_TRUE(self.wait());
+      }
+      basis.begin_validate();
+      while (!basis.valid()) {
+        ASSERT_TRUE(self.wait());
+      }
+      const Polynomial* p = basis.find(make_poly_id(0, 0));
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(p->equals(g));
+      ++validated;
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(validated.load(), kP - 1);
+}
+
+TEST_P(BasisTest, ReducerSetSeesLocalReplicaOnly) {
+  auto m = make_machine(sim(), 2);
+  PolyContext c = ctx3();
+  Polynomial f = parse_poly_or_die(c, "x^2 - y");
+  Polynomial g = parse_poly_or_die(c, "y^2 - z");
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    basis.preload(make_poly_id(0, 100), f);
+    if (self.id() == 1) {
+      basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      // Local replica has both: y^2 reducible.
+      std::uint64_t id = 0;
+      const Polynomial* r = basis.reducer_set().find_reducer(Monomial({0, 2, 0}), &id);
+      ASSERT_NE(r, nullptr);
+      EXPECT_EQ(id, make_poly_id(1, 0));
+      while (self.wait()) {
+      }
+    } else {
+      while (self.wait()) {
+      }
+      // Proc 0 never validated: y^2 must be irreducible against its replica,
+      // x^2*z reducible via the preloaded f.
+      EXPECT_EQ(basis.reducer_set().find_reducer(Monomial({0, 2, 0}), nullptr), nullptr);
+      EXPECT_NE(basis.reducer_set().find_reducer(Monomial({2, 0, 1}), nullptr), nullptr);
+    }
+  });
+}
+
+TEST_P(BasisTest, InvalidateHookFires) {
+  auto m = make_machine(sim(), 2);
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "z^4 - 1");
+  std::atomic<int> hook_calls{0};
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    basis.set_invalidate_hook([&](PolyId id) {
+      EXPECT_EQ(poly_id_owner(id), 0);
+      ++hook_calls;
+    });
+    if (self.id() == 0) {
+      basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(hook_calls.load(), 1);
+}
+
+TEST_P(BasisTest, ManyAddsFromManyOwners) {
+  const int kP = 4;
+  auto m = make_machine(sim(), kP);
+  PolyContext c = ctx3();
+  std::atomic<int> complete{0};
+  m->run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    // Each processor adds one distinct polynomial, serialized by id order to
+    // keep the test simple (the engine uses the lock for this).
+    Polynomial mine = parse_poly_or_die(
+        c, "x^" + std::to_string(self.id() + 1) + " - " + std::to_string(self.id() + 2));
+    for (int turn = 0; turn < kP; ++turn) {
+      if (turn == self.id()) {
+        basis.begin_add(mine);
+        while (!basis.add_done()) {
+          ASSERT_TRUE(self.wait());
+        }
+      } else {
+        // Validate until this turn's body is resident. begin_validate is
+        // re-issued after every wake because a later turn's invalidation can
+        // land mid-validation (it dedups in-flight fetches).
+        while (basis.replica_size() < static_cast<std::size_t>(turn) + 1) {
+          if (!basis.valid()) basis.begin_validate();
+          ASSERT_TRUE(self.wait());
+        }
+      }
+    }
+    EXPECT_EQ(basis.replica_size(), static_cast<std::size_t>(kP));
+    ++complete;
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(complete.load(), kP);
+}
+
+class LockTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool sim() const { return GetParam(); }
+};
+
+TEST_P(LockTest, MutualExclusionAndFairness) {
+  const int kP = 4;
+  auto m = make_machine(sim(), kP);
+  std::atomic<int> in_critical{0};
+  std::atomic<int> max_seen{0};
+  std::atomic<int> entries{0};
+  m->run([&](Proc& self) {
+    if (self.id() == 0) {
+      LockManager manager(self);
+      LockClient lock(self, 0);
+      // The coordinator also competes for the lock.
+      lock.request();
+      while (!lock.granted()) {
+        ASSERT_TRUE(self.wait());
+      }
+      int now = ++in_critical;
+      int prev = max_seen.load();
+      while (prev < now && !max_seen.compare_exchange_weak(prev, now)) {
+      }
+      ++entries;
+      --in_critical;
+      lock.release();
+      while (self.wait()) {
+      }
+    } else {
+      LockClient lock(self, 0);
+      for (int round = 0; round < 3; ++round) {
+        lock.request();
+        while (!lock.granted()) {
+          ASSERT_TRUE(self.wait());
+        }
+        int now = ++in_critical;
+        int prev = max_seen.load();
+        while (prev < now && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        ++entries;
+        --in_critical;
+        lock.release();
+      }
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(max_seen.load(), 1) << "two processors were in the critical section at once";
+  EXPECT_EQ(entries.load(), 1 + 3 * (kP - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, BasisTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Sim" : "Threads";
+                         });
+INSTANTIATE_TEST_SUITE_P(Impls, LockTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Sim" : "Threads";
+                         });
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,321 @@
+// Unit and property tests for the arbitrary-precision integer substrate.
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+namespace {
+
+BigInt random_bigint(Rng& rng, std::size_t max_limbs) {
+  std::size_t limbs = rng.below(max_limbs + 1);
+  std::string digits;
+  if (limbs == 0) return BigInt(0);
+  // Build from random decimal digits to also exercise parsing.
+  std::size_t ndigits = 1 + limbs * 9;
+  for (std::size_t i = 0; i < ndigits; ++i) {
+    digits.push_back(static_cast<char>('0' + rng.below(10)));
+  }
+  BigInt v = BigInt::from_string(digits);
+  return rng.below(2) ? -v : v;
+}
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.limbs(), 0u);
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).to_string(), "42");
+  EXPECT_EQ(BigInt(-42).to_string(), "-42");
+  EXPECT_EQ(BigInt(1).signum(), 1);
+  EXPECT_EQ(BigInt(-1).signum(), -1);
+  EXPECT_TRUE(BigInt(1).is_one());
+  EXPECT_FALSE(BigInt(-1).is_one());
+  EXPECT_FALSE(BigInt(2).is_one());
+}
+
+TEST(BigIntTest, Int64Extremes) {
+  std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(BigInt(min).to_string(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(max).to_string(), "9223372036854775807");
+  EXPECT_TRUE(BigInt(min).fits_int64());
+  EXPECT_TRUE(BigInt(max).fits_int64());
+  EXPECT_EQ(BigInt(min).to_int64(), min);
+  EXPECT_EQ(BigInt(max).to_int64(), max);
+  // One beyond either extreme no longer fits.
+  EXPECT_FALSE((BigInt(max) + BigInt(1)).fits_int64());
+  EXPECT_FALSE((BigInt(min) - BigInt(1)).fits_int64());
+}
+
+TEST(BigIntTest, ParseRejectsGarbage) {
+  BigInt v;
+  EXPECT_FALSE(BigInt::parse("", &v));
+  EXPECT_FALSE(BigInt::parse("-", &v));
+  EXPECT_FALSE(BigInt::parse("+", &v));
+  EXPECT_FALSE(BigInt::parse("12a", &v));
+  EXPECT_FALSE(BigInt::parse("1.5", &v));
+  EXPECT_FALSE(BigInt::parse(" 1", &v));
+  EXPECT_TRUE(BigInt::parse("+7", &v));
+  EXPECT_EQ(v.to_string(), "7");
+}
+
+TEST(BigIntTest, ParseNegativeZeroNormalizes) {
+  BigInt v = BigInt::from_string("-0");
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.signum(), 0);
+  EXPECT_EQ(v.to_string(), "0");
+}
+
+TEST(BigIntTest, ParseLeadingZeros) {
+  EXPECT_EQ(BigInt::from_string("000123").to_string(), "123");
+  EXPECT_EQ(BigInt::from_string("-000123").to_string(), "-123");
+}
+
+TEST(BigIntTest, StringRoundTripLarge) {
+  std::string big = "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_string(big).to_string(), big);
+  EXPECT_EQ(BigInt::from_string("-" + big).to_string(), "-" + big);
+}
+
+TEST(BigIntTest, AdditionSigns) {
+  EXPECT_EQ((BigInt(7) + BigInt(5)).to_int64(), 12);
+  EXPECT_EQ((BigInt(-7) + BigInt(5)).to_int64(), -2);
+  EXPECT_EQ((BigInt(7) + BigInt(-5)).to_int64(), 2);
+  EXPECT_EQ((BigInt(-7) + BigInt(-5)).to_int64(), -12);
+  EXPECT_TRUE((BigInt(7) + BigInt(-7)).is_zero());
+}
+
+TEST(BigIntTest, SubtractionSigns) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).to_int64(), -2);
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).to_int64(), 2);
+  EXPECT_TRUE((BigInt(5) - BigInt(5)).is_zero());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+  EXPECT_EQ((b + BigInt(1) - BigInt(1)).to_string(), b.to_string());
+}
+
+TEST(BigIntTest, MultiplicationSmall) {
+  EXPECT_EQ((BigInt(6) * BigInt(7)).to_int64(), 42);
+  EXPECT_EQ((BigInt(-6) * BigInt(7)).to_int64(), -42);
+  EXPECT_EQ((BigInt(-6) * BigInt(-7)).to_int64(), 42);
+  EXPECT_TRUE((BigInt(6) * BigInt(0)).is_zero());
+}
+
+TEST(BigIntTest, MultiplicationKnownLarge) {
+  // 2^128 = (2^64)^2
+  BigInt p64 = BigInt::from_string("18446744073709551616");
+  EXPECT_EQ((p64 * p64).to_string(), "340282366920938463463374607431768211456");
+  // Factorial of 30, a classic cross-check value.
+  BigInt f(1);
+  for (int i = 2; i <= 30; ++i) f *= BigInt(i);
+  EXPECT_EQ(f.to_string(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntTest, KaratsubaMatchesSchoolbook) {
+  // Operands big enough (> 32 limbs) to take the Karatsuba path; verify the
+  // product via the division inverse and a modular spot-check.
+  Rng rng(12345);
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = random_bigint(rng, 80).abs() + BigInt(1);
+    BigInt b = random_bigint(rng, 80).abs() + BigInt(1);
+    BigInt p = a * b;
+    EXPECT_EQ((p / a).to_string(), b.to_string());
+    EXPECT_EQ((p / b).to_string(), a.to_string());
+    EXPECT_TRUE((p % a).is_zero());
+    // Modular check: p mod m == (a mod m)(b mod m) mod m.
+    BigInt m = BigInt::from_string("1000000007");
+    BigInt lhs = p % m;
+    BigInt rhs = ((a % m) * (b % m)) % m;
+    EXPECT_EQ(lhs.to_string(), rhs.to_string());
+  }
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).to_int64(), -1);
+}
+
+TEST(BigIntTest, DivisionSmallerBylarger) {
+  EXPECT_TRUE((BigInt(3) / BigInt(10)).is_zero());
+  EXPECT_EQ((BigInt(3) % BigInt(10)).to_int64(), 3);
+}
+
+TEST(BigIntTest, DivisionAlgorithmDCornerCase) {
+  // Divisor with high bit set and a quotient-estimate correction path.
+  BigInt num = BigInt::from_string("340282366920938463463374607431768211455");  // 2^128-1
+  BigInt den = BigInt::from_string("18446744073709551615");                    // 2^64-1
+  BigInt q, r;
+  BigInt::divmod(num, den, &q, &r);
+  EXPECT_EQ(q.to_string(), "18446744073709551617");  // 2^64+1
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(BigIntTest, ShiftsRoundTrip) {
+  BigInt v = BigInt::from_string("123456789123456789123456789");
+  for (std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(((v << s) >> s).to_string(), v.to_string()) << "shift " << s;
+  }
+  EXPECT_EQ((BigInt(1) << 32).to_string(), "4294967296");
+  EXPECT_TRUE((BigInt(1) >> 1).is_zero());
+  EXPECT_EQ((BigInt(-4) >> 1).to_int64(), -2);  // magnitude shift, sign kept
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(-18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(5), BigInt(0)).to_int64(), 5);
+  EXPECT_TRUE(BigInt::gcd(BigInt(0), BigInt(0)).is_zero());
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_int64(), 1);
+}
+
+TEST(BigIntTest, LcmBasics) {
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)).to_int64(), 12);
+  EXPECT_EQ(BigInt::lcm(BigInt(-4), BigInt(6)).to_int64(), 12);
+  EXPECT_TRUE(BigInt::lcm(BigInt(0), BigInt(6)).is_zero());
+}
+
+TEST(BigIntTest, PowBasics) {
+  EXPECT_EQ(BigInt::pow(BigInt(2), 10).to_int64(), 1024);
+  EXPECT_EQ(BigInt::pow(BigInt(-3), 3).to_int64(), -27);
+  EXPECT_EQ(BigInt::pow(BigInt(7), 0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow(BigInt(0), 5).to_int64(), 0);
+  EXPECT_EQ(BigInt::pow(BigInt(2), 100).to_string(), "1267650600228229401496703205376");
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> sorted = {BigInt::from_string("-100000000000000000000"), BigInt(-3),
+                                BigInt(0), BigInt(2), BigInt::from_string("99999999999999999999")};
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    for (std::size_t j = 0; j < sorted.size(); ++j) {
+      EXPECT_EQ(sorted[i] < sorted[j], i < j);
+      EXPECT_EQ(sorted[i] == sorted[j], i == j);
+      EXPECT_EQ(sorted[i] <= sorted[j], i <= j);
+    }
+  }
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 100).bit_length(), 101u);
+}
+
+TEST(BigIntTest, SerializationRoundTrip) {
+  Rng rng(999);
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt v = random_bigint(rng, 20);
+    Writer w;
+    v.write(w);
+    Reader r(w.data());
+    BigInt back = BigInt::read(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back.to_string(), v.to_string());
+    EXPECT_EQ(v.wire_size(), w.size());
+  }
+}
+
+TEST(BigIntTest, HashEqualValuesAgree) {
+  BigInt a = BigInt::from_string("123456789012345678901234567890");
+  BigInt b = BigInt::from_string("123456789012345678901234567890");
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), (-a).hash());
+  EXPECT_NE(a.hash(), (a + BigInt(1)).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over random operand sizes/seeds.
+
+class BigIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntPropertyTest, RingAxioms) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = random_bigint(rng, 12);
+    BigInt b = random_bigint(rng, 12);
+    BigInt c = random_bigint(rng, 12);
+    EXPECT_EQ((a + b).to_string(), (b + a).to_string());
+    EXPECT_EQ(((a + b) + c).to_string(), (a + (b + c)).to_string());
+    EXPECT_EQ((a * b).to_string(), (b * a).to_string());
+    EXPECT_EQ(((a * b) * c).to_string(), (a * (b * c)).to_string());
+    EXPECT_EQ((a * (b + c)).to_string(), (a * b + a * c).to_string());
+    EXPECT_EQ((a + BigInt(0)).to_string(), a.to_string());
+    EXPECT_EQ((a * BigInt(1)).to_string(), a.to_string());
+    EXPECT_TRUE((a - a).is_zero());
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModInvariant) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt num = random_bigint(rng, 16);
+    BigInt den = random_bigint(rng, 8);
+    if (den.is_zero()) den = BigInt(3);
+    BigInt q, r;
+    BigInt::divmod(num, den, &q, &r);
+    EXPECT_EQ((q * den + r).to_string(), num.to_string());
+    EXPECT_TRUE(r.abs() < den.abs());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.signum(), num.signum());
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, GcdProperties) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int iter = 0; iter < 15; ++iter) {
+    BigInt a = random_bigint(rng, 8);
+    BigInt b = random_bigint(rng, 8);
+    BigInt g = BigInt::gcd(a, b);
+    EXPECT_EQ(g.to_string(), BigInt::gcd(b, a).to_string());
+    if (!g.is_zero()) {
+      EXPECT_TRUE((a % g).is_zero());
+      EXPECT_TRUE((b % g).is_zero());
+      // gcd(a/g, b/g) == 1
+      EXPECT_TRUE(BigInt::gcd(a / g, b / g).is_one());
+    }
+    // gcd(ka, kb) == |k| gcd(a, b)
+    BigInt k = random_bigint(rng, 2);
+    EXPECT_EQ(BigInt::gcd(a * k, b * k).to_string(), (g * k.abs()).to_string());
+  }
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTrip) {
+  Rng rng(GetParam() ^ 0x777);
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt v = random_bigint(rng, 10);
+    EXPECT_EQ(BigInt::from_string(v.to_string()).to_string(), v.to_string());
+    EXPECT_EQ(BigInt::from_string(v.to_string()), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gbd

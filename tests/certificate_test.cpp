@@ -1,0 +1,192 @@
+// Tests for reduction certificates (standard representations with explicit
+// quotients), radical membership, and polynomial evaluation/substitution.
+#include "poly/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gb/sequential.hpp"
+#include "gb/verify.hpp"
+#include "io/parse.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx3() { return PolyContext{{"x", "y", "z"}, OrderKind::kGrLex}; }
+
+Polynomial P(const PolyContext& c, std::string_view s) { return parse_poly_or_die(c, s); }
+
+TEST(CertificateTest, SimpleDivisionIdentity) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gens = {P(c, "x - y")};
+  Polynomial p = P(c, "x^2 - y^2");
+  Certificate cert = reduce_certified(c, p, gens);
+  EXPECT_TRUE(cert.remainder.is_zero());
+  EXPECT_TRUE(cert.valid(c, p, gens));
+  // x^2 - y^2 = (x + y)(x - y), scale 1.
+  EXPECT_TRUE(cert.scale.is_one());
+  EXPECT_EQ(cert.quotients[0].to_string(c), "x + y");
+}
+
+TEST(CertificateTest, RemainderMatchesStrongNormalForm) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gens = {P(c, "x^2 - y"), P(c, "y^2 - z")};
+  Polynomial p = P(c, "x^5 + y^3 + x + 1");
+  Certificate cert = reduce_certified(c, p, gens);
+  EXPECT_TRUE(cert.valid(c, p, gens));
+  // Certificate remainder equals reduce_full's strong normal form up to the
+  // positive scale (compare primitive associates).
+  VectorReducerSet set(&gens);
+  ReduceOptions opts;
+  opts.tail_reduce = true;
+  Polynomial nf = reduce_full(c, p, set, opts).poly;
+  Polynomial r = cert.remainder;
+  r.make_primitive();
+  nf.make_primitive();
+  EXPECT_TRUE(r.equals(nf));
+  // Every remainder term is irreducible.
+  for (const auto& t : cert.remainder.terms()) {
+    EXPECT_EQ(set.find_reducer(t.mono, nullptr), nullptr);
+  }
+}
+
+TEST(CertificateTest, ZeroInputAndEmptyGens) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> none;
+  Certificate z = reduce_certified(c, Polynomial(), none);
+  EXPECT_TRUE(z.remainder.is_zero());
+  EXPECT_TRUE(z.valid(c, Polynomial(), none));
+
+  Polynomial p = P(c, "x + 1");
+  Certificate id = reduce_certified(c, p, none);
+  EXPECT_TRUE(id.remainder.equals(p));
+  EXPECT_TRUE(id.valid(c, p, none));
+}
+
+TEST(CertificateTest, MembershipWithProofOnBenchmark) {
+  PolySystem sys = load_problem("trinks2");
+  std::vector<Polynomial> gb = groebner_sequential(sys).basis;
+  // Every input generator is a member, with a checkable witness.
+  for (const auto& f : sys.polys) {
+    Certificate cert;
+    ASSERT_TRUE(ideal_contains_certified(sys.ctx, gb, f, &cert));
+    EXPECT_TRUE(cert.valid(sys.ctx, f, gb));
+  }
+  // And a non-member gets a nonzero remainder (still a valid identity).
+  Polynomial probe = parse_poly_or_die(sys.ctx, "w + 1");
+  Certificate cert;
+  EXPECT_FALSE(ideal_contains_certified(sys.ctx, gb, probe, &cert));
+  EXPECT_TRUE(cert.valid(sys.ctx, probe, gb));
+}
+
+class CertificatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertificatePropertyTest, IdentityHoldsOnRandomInputs) {
+  Rng rng(GetParam());
+  PolySystem sys = random_system(rng, 3, 4, 3, 4, 9);
+  std::vector<Polynomial> gens(sys.polys.begin(), sys.polys.begin() + 3);
+  Certificate cert = reduce_certified(sys.ctx, sys.polys[3], gens);
+  EXPECT_TRUE(cert.valid(sys.ctx, sys.polys[3], gens)) << "seed " << GetParam();
+  EXPECT_GT(cert.scale.signum(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificatePropertyTest,
+                         ::testing::Values(5, 10, 15, 20, 25, 30));
+
+TEST(RadicalTest, SquareMembersDetected) {
+  // x ∉ ⟨x^2⟩ but x ∈ √⟨x^2⟩.
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gens = {P(c, "x^2")};
+  EXPECT_FALSE(ideal_contains(c, gens, P(c, "x")));  // gens is a GB of itself
+  EXPECT_TRUE(radical_contains(c, gens, P(c, "x")));
+  EXPECT_FALSE(radical_contains(c, gens, P(c, "y")));
+  EXPECT_FALSE(radical_contains(c, gens, P(c, "x + y")));
+}
+
+TEST(RadicalTest, RadicalOfIntersection) {
+  // ⟨x·y⟩: neither x nor y is in the radical, but x·y is.
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gens = {P(c, "x*y")};
+  EXPECT_FALSE(radical_contains(c, gens, P(c, "x")));
+  EXPECT_FALSE(radical_contains(c, gens, P(c, "y")));
+  EXPECT_TRUE(radical_contains(c, gens, P(c, "x*y")));
+  EXPECT_TRUE(radical_contains(c, gens, P(c, "x^3*y^2")));
+}
+
+TEST(RadicalTest, ZeroAndUnit) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gens = {P(c, "x")};
+  EXPECT_TRUE(radical_contains(c, gens, Polynomial()));
+  EXPECT_FALSE(radical_contains(c, gens, P(c, "1")));
+  std::vector<Polynomial> unit = {P(c, "2")};
+  EXPECT_TRUE(radical_contains(c, unit, P(c, "1")));  // whole ring
+}
+
+TEST(RadicalTest, GeometryConclusionWithoutGuard) {
+  // The parallelogram theorem (examples/geometry_proof.cpp): the guarded
+  // conclusion u1·(2y−u3) is an ideal member; the unguarded 2y−u3 is not
+  // even in the radical (degenerate configurations really violate it).
+  PolySystem hyp = parse_system_or_die(R"(
+    vars x, y, u1, u2, u3;
+    order grlex;
+    x*u3 - y*(u1 + u2);
+    (x - u1)*u3 - y*(u2 - u1);
+  )");
+  Polynomial bad = parse_poly_or_die(hyp.ctx, "2*y - u3");
+  Polynomial good = parse_poly_or_die(hyp.ctx, "u1*(2*y - u3)");
+  EXPECT_FALSE(radical_contains(hyp.ctx, hyp.polys, bad));
+  EXPECT_TRUE(radical_contains(hyp.ctx, hyp.polys, good));
+}
+
+TEST(EvaluateTest, ExactPoints) {
+  PolyContext c = ctx3();
+  Polynomial p = P(c, "x^2*y - 3*z + 1");
+  std::vector<Rational> pt = {Rational(2), Rational(BigInt(1), BigInt(2)), Rational(-1)};
+  // 4·(1/2) − 3·(−1) + 1 = 2 + 3 + 1 = 6.
+  EXPECT_EQ(p.evaluate(c, pt).to_string(), "6");
+  EXPECT_TRUE(Polynomial().evaluate(c, pt).is_zero());
+}
+
+TEST(EvaluateTest, RootsOfGbVanishOnWholeIdeal) {
+  // (1,1,1) is a common zero of {x-y, y-z}; every basis element and every
+  // ideal member must vanish there.
+  PolyContext c = ctx3();
+  PolySystem sys;
+  sys.ctx = c;
+  sys.polys = {P(c, "x - y"), P(c, "y - z")};
+  std::vector<Polynomial> gb = groebner_sequential(sys).basis;
+  std::vector<Rational> pt = {Rational(1), Rational(1), Rational(1)};
+  for (const auto& g : gb) EXPECT_TRUE(g.evaluate(c, pt).is_zero());
+  EXPECT_TRUE(P(c, "(x - y)*(x + 17*z) + (y - z)*z^5").evaluate(c, pt).is_zero());
+}
+
+TEST(SubstituteTest, Composition) {
+  PolyContext c = ctx3();
+  Polynomial p = P(c, "x^2 + y");
+  // x := y + z  =>  y^2 + 2yz + z^2 + y.
+  Polynomial sub = p.substitute(c, 0, P(c, "y + z"));
+  EXPECT_TRUE(sub.equals(P(c, "y^2 + 2*y*z + z^2 + y")));
+  // Substituting a constant equals evaluation in that variable.
+  Polynomial at2 = p.substitute(c, 0, P(c, "2"));
+  EXPECT_TRUE(at2.equals(P(c, "y + 4")));
+  // Variables not mentioned are untouched.
+  Polynomial same = p.substitute(c, 2, P(c, "x*y"));
+  EXPECT_TRUE(same.equals(p));
+}
+
+TEST(SubstituteTest, SubstitutionRespectsEvaluation) {
+  Rng rng(77);
+  PolySystem sys = random_system(rng, 3, 2, 3, 4, 5);
+  const PolyContext& c = sys.ctx;
+  Polynomial p = sys.polys[0];
+  Polynomial q = sys.polys[1];
+  Polynomial composed = p.substitute(c, 1, q);
+  std::vector<Rational> pt = {Rational(2), Rational(-1), Rational(BigInt(1), BigInt(3))};
+  std::vector<Rational> pt2 = pt;
+  pt2[1] = q.evaluate(c, pt);
+  EXPECT_EQ(composed.evaluate(c, pt), p.evaluate(c, pt2));
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,148 @@
+// Tests for the block elimination order and its use for elimination ideals
+// (the graded alternative to full lex for implicitization).
+#include <gtest/gtest.h>
+
+#include "gb/parallel.hpp"
+#include "gb/sequential.hpp"
+#include "gb/transition.hpp"
+#include "io/parse.hpp"
+#include "poly/reduce.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+Monomial mono(std::vector<std::uint32_t> e) { return Monomial(std::move(e)); }
+
+TEST(ElimOrderTest, FirstBlockDominates) {
+  // Block {x0, x1} | {x2, x3}: any positive power in the first block beats
+  // any monomial confined to the second.
+  Monomial x0 = mono({1, 0, 0, 0});
+  Monomial big_tail = mono({0, 0, 9, 9});
+  EXPECT_GT(mono_cmp(OrderKind::kElim, x0, big_tail, 2), 0);
+  EXPECT_LT(mono_cmp(OrderKind::kElim, big_tail, x0, 2), 0);
+  // Within the first block, grlex.
+  EXPECT_GT(mono_cmp(OrderKind::kElim, mono({1, 1, 0, 0}), mono({1, 0, 0, 5}), 2), 0);
+  // Equal first block: second block grlex decides.
+  EXPECT_GT(mono_cmp(OrderKind::kElim, mono({1, 0, 2, 0}), mono({1, 0, 1, 0}), 2), 0);
+  EXPECT_EQ(mono_cmp(OrderKind::kElim, mono({1, 0, 2, 0}), mono({1, 0, 2, 0}), 2), 0);
+}
+
+TEST(ElimOrderTest, DegenerateBlocksReduceToGrlex) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint32_t> ea(4), eb(4);
+    for (auto& e : ea) e = static_cast<std::uint32_t>(rng.below(5));
+    for (auto& e : eb) e = static_cast<std::uint32_t>(rng.below(5));
+    Monomial a(std::move(ea)), b(std::move(eb));
+    // elim_vars = 0 and elim_vars = nvars both degenerate to plain grlex.
+    EXPECT_EQ(mono_cmp(OrderKind::kElim, a, b, 0), mono_cmp(OrderKind::kGrLex, a, b));
+    EXPECT_EQ(mono_cmp(OrderKind::kElim, a, b, 4), mono_cmp(OrderKind::kGrLex, a, b));
+  }
+}
+
+TEST(ElimOrderTest, AdmissibilityAxioms) {
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::uint32_t> ea(4), eb(4), ec(4);
+    for (auto& e : ea) e = static_cast<std::uint32_t>(rng.below(4));
+    for (auto& e : eb) e = static_cast<std::uint32_t>(rng.below(4));
+    for (auto& e : ec) e = static_cast<std::uint32_t>(rng.below(4));
+    Monomial a(std::move(ea)), b(std::move(eb)), c(std::move(ec));
+    EXPECT_LE(mono_cmp(OrderKind::kElim, Monomial(4), a, 2), 0);  // 1 <= a
+    int ab = mono_cmp(OrderKind::kElim, a, b, 2);
+    int acbc = mono_cmp(OrderKind::kElim, a * c, b * c, 2);
+    EXPECT_EQ(ab < 0, acbc < 0);
+    EXPECT_EQ(ab == 0, acbc == 0);
+    EXPECT_EQ(ab, -mono_cmp(OrderKind::kElim, b, a, 2));
+  }
+}
+
+TEST(ElimOrderTest, ParserAcceptsElimDeclaration) {
+  PolySystem sys;
+  std::string err;
+  ASSERT_TRUE(parse_system("vars t, u, x, y; order elim 2; x - t*u; y - t^2;", &sys, &err))
+      << err;
+  EXPECT_EQ(sys.ctx.order, OrderKind::kElim);
+  EXPECT_EQ(sys.ctx.elim_vars, 2u);
+  PolySystem back;
+  ASSERT_TRUE(parse_system(to_text(sys), &back, &err)) << err;
+  EXPECT_EQ(back.ctx.order, OrderKind::kElim);
+  EXPECT_EQ(back.ctx.elim_vars, 2u);
+}
+
+TEST(ElimOrderTest, ImplicitizationViaBlockOrder) {
+  // The cuspidal cubic again, but with the graded elimination order instead
+  // of full lex: the implicit equation y^2 - x^3 must still drop out as the
+  // basis element free of t.
+  PolySystem sys = parse_system_or_die(R"(
+    vars t, x, y;
+    order elim 1;
+    x - t^2;
+    y - t^3;
+  )");
+  SequentialResult res = groebner_sequential(sys);
+  std::vector<Polynomial> gb = reduce_basis(sys.ctx, res.basis);
+  bool found = false;
+  for (const auto& g : gb) {
+    bool t_free = true;
+    for (const auto& term : g.terms()) t_free = t_free && term.mono.exp(0) == 0;
+    if (t_free) {
+      // x^3 - y^2 up to sign under this order (head is x^3: degree 3 beats
+      // y^2's degree 2 in the second block).
+      EXPECT_EQ(g.to_string(sys.ctx), "x^3 - y^2");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ElimOrderTest, WhitneyUmbrellaViaBlockOrder) {
+  PolySystem sys = parse_system_or_die(R"(
+    vars u, v, x, y, z;
+    order elim 2;
+    x - u*v;
+    y - u;
+    z - v^2;
+  )");
+  SequentialResult res = groebner_sequential(sys);
+  std::vector<Polynomial> gb = reduce_basis(sys.ctx, res.basis);
+  bool found = false;
+  for (const auto& g : gb) {
+    bool param_free = true;
+    for (const auto& term : g.terms()) {
+      param_free = param_free && term.mono.exp(0) == 0 && term.mono.exp(1) == 0;
+    }
+    if (param_free) {
+      // Same implicit equation as lex gives; under this order the head is
+      // y^2*z (degree 3 beats x^2's degree 2 within the second block).
+      EXPECT_EQ(g.to_string(sys.ctx), "y^2*z - x^2");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ElimOrderTest, EnginesAgreeUnderElimOrder) {
+  PolySystem sys = parse_system_or_die(R"(
+    vars t, x, y;
+    order elim 1;
+    x - t^2 - 1;
+    y - t^3 + t;
+  )");
+  SequentialResult seq = groebner_sequential(sys);
+  std::vector<Polynomial> ref = reduce_basis(sys.ctx, seq.basis);
+  TransitionConfig unused;  // (compile-time check that headers coexist)
+  (void)unused;
+  ParallelConfig pcfg;
+  pcfg.nprocs = 3;
+  std::vector<Polynomial> par =
+      reduce_basis(sys.ctx, groebner_parallel(sys, pcfg).basis);
+  ASSERT_EQ(par.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(par[i].equals(ref[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,172 @@
+// Stress and property tests for the virtual machine: message storms, big
+// payloads, determinism under load, and cost-model arithmetic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "machine/cost_model.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/thread_machine.hpp"
+#include "support/cost.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+enum Handlers : HandlerId { kWork = 0, kStop = 1 };
+
+TEST(CostModelTest, WireTimeArithmetic) {
+  CostModel cm;
+  cm.latency = 100;
+  cm.units_per_16_bytes = 8;
+  EXPECT_EQ(cm.wire_time(0), 100u);
+  EXPECT_EQ(cm.wire_time(1), 108u);
+  EXPECT_EQ(cm.wire_time(16), 108u);
+  EXPECT_EQ(cm.wire_time(17), 116u);
+  EXPECT_EQ(cm.wire_time(160), 180u);
+  CostModel free = CostModel::free();
+  EXPECT_EQ(free.wire_time(100000), 0u);
+  EXPECT_EQ(free.dispatch, 0u);
+}
+
+// Random storm: every processor fires pseudo-random messages at random
+// destinations for a fixed number of rounds; the run must terminate and be
+// bit-identical across repetitions (SimMachine).
+std::vector<std::uint64_t> storm_run(int procs, std::uint64_t seed, int rounds) {
+  SimMachine m(procs);
+  std::vector<std::uint64_t> digest(static_cast<std::size_t>(procs), 0);
+  auto stats = m.run_sim([&](Proc& self) {
+    Rng rng(seed + static_cast<std::uint64_t>(self.id()) * 1000003);
+    int remaining = rounds;
+    std::uint64_t& mine = digest[static_cast<std::size_t>(self.id())];
+    self.on(kWork, [&](Proc& p, int src, Reader& r) {
+      std::uint64_t v = r.u64();
+      mine = mine * 31 + v + static_cast<std::uint64_t>(src);
+      CostCounter::charge(v % 257);
+      if (remaining > 0) {
+        --remaining;
+        Writer w;
+        w.u64(rng.next() % 1000);
+        p.send(static_cast<int>(rng.below(static_cast<std::uint64_t>(p.nprocs()))), kWork,
+               w.take());
+      }
+    });
+    // Kick off a few messages.
+    for (int k = 0; k < 3; ++k) {
+      Writer w;
+      w.u64(rng.next() % 1000);
+      self.send(static_cast<int>(rng.below(static_cast<std::uint64_t>(self.nprocs()))), kWork,
+                w.take());
+    }
+    while (self.wait()) {
+    }
+  });
+  digest.push_back(stats.makespan);
+  return digest;
+}
+
+TEST(SimStressTest, MessageStormDeterministic) {
+  auto a = storm_run(6, 99, 50);
+  auto b = storm_run(6, 99, 50);
+  EXPECT_EQ(a, b);
+  auto c = storm_run(6, 100, 50);
+  EXPECT_NE(a, c);  // different seed, different run
+}
+
+TEST(SimStressTest, LargePayloadsSurvive) {
+  SimMachine m(2);
+  std::size_t got = 0;
+  m.run([&](Proc& self) {
+    self.on(kWork, [&](Proc&, int, Reader& r) { got = r.str().size(); });
+    if (self.id() == 0) {
+      Writer w;
+      w.str(std::string(1 << 20, 'x'));
+      self.send(1, kWork, w.take());
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(got, static_cast<std::size_t>(1 << 20));
+}
+
+TEST(SimStressTest, BandwidthChargesForBigMessages) {
+  CostModel cm;
+  cm.latency = 10;
+  cm.units_per_16_bytes = 4;
+  cm.dispatch = 0;
+  cm.inject = 0;
+  SimMachine m(2, cm);
+  std::uint64_t recv_at = 0;
+  m.run_sim([&](Proc& self) {
+    self.on(kWork, [&](Proc& p, int, Reader&) { recv_at = p.now(); });
+    if (self.id() == 0) {
+      self.send(1, kWork, std::vector<std::uint8_t>(1600));
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(recv_at, 10u + 4u * 100u);
+}
+
+TEST(ThreadStressTest, ManyMessagesAllDelivered) {
+  const int kP = 4;
+  const int kEach = 500;
+  ThreadMachine m(kP);
+  std::atomic<int> received{0};
+  m.run([&](Proc& self) {
+    self.on(kWork, [&](Proc&, int, Reader&) { received.fetch_add(1); });
+    for (int k = 0; k < kEach; ++k) {
+      self.send((self.id() + 1 + k) % kP, kWork, {});
+    }
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(received.load(), kP * kEach);
+}
+
+TEST(ThreadStressTest, PingPongChainsUnderRealConcurrency) {
+  const int kP = 3;
+  ThreadMachine m(kP);
+  std::atomic<int> hops{0};
+  m.run([&](Proc& self) {
+    self.on(kWork, [&](Proc& p, int, Reader& r) {
+      std::uint64_t left = r.u64();
+      hops.fetch_add(1);
+      if (left > 0) {
+        Writer w;
+        w.u64(left - 1);
+        p.send((p.id() + 1) % kP, kWork, w.take());
+      }
+    });
+    if (self.id() == 0) {
+      Writer w;
+      w.u64(300);
+      self.send(1, kWork, w.take());
+    }
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(hops.load(), 301);
+}
+
+TEST(SimStressTest, ManyProcessorsQuiesce) {
+  // 64 simulated processors — well past the CM-5 partition sizes the paper
+  // used — start, exchange one round, and shut down cleanly.
+  const int kP = 64;
+  SimMachine m(kP);
+  std::atomic<int> done{0};
+  m.run([&](Proc& self) {
+    self.on(kWork, [](Proc&, int, Reader&) {});
+    self.send((self.id() + 1) % kP, kWork, {});
+    while (self.wait()) {
+    }
+    ++done;
+  });
+  EXPECT_EQ(done.load(), kP);
+}
+
+}  // namespace
+}  // namespace gbd

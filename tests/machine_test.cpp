@@ -1,0 +1,316 @@
+// Tests for the virtual distributed-memory machine: both the real-thread
+// implementation and the deterministic discrete-event simulator.
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "machine/sim_machine.hpp"
+#include "machine/thread_machine.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+namespace {
+
+enum Handlers : HandlerId { kPing = 0, kPong = 1, kData = 2 };
+
+std::unique_ptr<Machine> make_machine(bool sim, int p, CostModel cm = CostModel{}) {
+  if (sim) return std::make_unique<SimMachine>(p, cm);
+  return std::make_unique<ThreadMachine>(p);
+}
+
+// Parameterized over implementation so every behavior test runs on both.
+class MachineTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool sim() const { return GetParam(); }
+};
+
+TEST_P(MachineTest, SingleProcRunsToCompletion) {
+  auto m = make_machine(sim(), 1);
+  int visits = 0;
+  auto stats = m->run([&](Proc& self) {
+    EXPECT_EQ(self.id(), 0);
+    EXPECT_EQ(self.nprocs(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+  EXPECT_EQ(stats.per_proc.size(), 1u);
+}
+
+TEST_P(MachineTest, PingPongRoundTrip) {
+  auto m = make_machine(sim(), 2);
+  std::atomic<int> pongs{0};
+  m->run([&](Proc& self) {
+    bool got_reply = false;
+    self.on(kPing, [](Proc& p, int src, Reader& r) {
+      std::uint64_t v = r.u64();
+      Writer w;
+      w.u64(v + 1);
+      p.send(src, kPong, w.take());
+    });
+    self.on(kPong, [&](Proc&, int, Reader& r) {
+      EXPECT_EQ(r.u64(), 43u);
+      got_reply = true;
+      ++pongs;
+    });
+    if (self.id() == 0) {
+      Writer w;
+      w.u64(42);
+      self.send(1, kPing, w.take());
+      while (!got_reply) {
+        if (!self.wait()) break;
+      }
+      EXPECT_TRUE(got_reply);
+    } else {
+      // Serve until quiescence.
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(pongs.load(), 1);
+}
+
+TEST_P(MachineTest, QuiescenceReleasesAllWaiters) {
+  auto m = make_machine(sim(), 4);
+  std::atomic<int> released{0};
+  m->run([&](Proc& self) {
+    self.on(kData, [](Proc&, int, Reader&) {});
+    // Nobody ever sends: wait() must return false everywhere, not hang.
+    EXPECT_FALSE(self.wait());
+    ++released;
+  });
+  EXPECT_EQ(released.load(), 4);
+}
+
+TEST_P(MachineTest, BroadcastGather) {
+  const int kP = 5;
+  auto m = make_machine(sim(), kP);
+  std::vector<std::uint64_t> received(kP, 0);
+  m->run([&](Proc& self) {
+    int acks = 0;
+    std::uint64_t sum = 0;
+    self.on(kData, [&](Proc& p, int src, Reader& r) {
+      sum += r.u64();
+      if (p.id() != 0) {
+        // Echo to the root.
+        Writer w;
+        w.u64(static_cast<std::uint64_t>(p.id()) * 100);
+        p.send(0, kPong, w.take());
+      }
+      (void)src;
+    });
+    self.on(kPong, [&](Proc&, int, Reader& r) {
+      sum += r.u64();
+      ++acks;
+    });
+    if (self.id() == 0) {
+      for (int d = 1; d < kP; ++d) {
+        Writer w;
+        w.u64(7);
+        self.send(d, kData, w.take());
+      }
+      while (acks < kP - 1) {
+        ASSERT_TRUE(self.wait());
+      }
+      received[0] = sum;  // 100+200+300+400 = 1000
+    } else {
+      while (self.wait()) {
+      }
+      received[static_cast<std::size_t>(self.id())] = sum;
+    }
+  });
+  EXPECT_EQ(received[0], 1000u);
+  for (int i = 1; i < kP; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], 7u);
+}
+
+TEST_P(MachineTest, SelfSendDelivered) {
+  auto m = make_machine(sim(), 1);
+  int got = 0;
+  m->run([&](Proc& self) {
+    self.on(kData, [&](Proc&, int src, Reader&) {
+      EXPECT_EQ(src, 0);
+      ++got;
+    });
+    self.send(0, kData, {});
+    ASSERT_TRUE(self.wait());
+  });
+  EXPECT_EQ(got, 1);
+}
+
+TEST_P(MachineTest, CommStatsCounted) {
+  auto m = make_machine(sim(), 2);
+  auto stats = m->run([&](Proc& self) {
+    self.on(kData, [](Proc&, int, Reader&) {});
+    if (self.id() == 0) {
+      self.send(1, kData, std::vector<std::uint8_t>(100));
+      self.send(1, kData, std::vector<std::uint8_t>(50));
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(stats.per_proc[0].messages_sent, 2u);
+  EXPECT_EQ(stats.per_proc[0].bytes_sent, 150u);
+  EXPECT_EQ(stats.per_proc[1].messages_received, 2u);
+}
+
+TEST_P(MachineTest, HandlersMaySendChains) {
+  // 0 -> 1 -> 2 -> 3 relay, each hop forwarding from inside the handler.
+  const int kP = 4;
+  auto m = make_machine(sim(), kP);
+  std::atomic<int> final_dst{-1};
+  m->run([&](Proc& self) {
+    bool done = false;
+    self.on(kData, [&](Proc& p, int, Reader& r) {
+      std::uint64_t hops = r.u64();
+      if (p.id() + 1 < p.nprocs()) {
+        Writer w;
+        w.u64(hops + 1);
+        p.send(p.id() + 1, kData, w.take());
+      } else {
+        EXPECT_EQ(hops, 3u);
+        final_dst = p.id();
+      }
+      done = true;
+    });
+    if (self.id() == 0) {
+      Writer w;
+      w.u64(1);
+      self.send(1, kData, w.take());
+    }
+    while (!done && self.wait()) {
+    }
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(final_dst.load(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, MachineTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Sim" : "Threads";
+                         });
+
+// ---------------------------------------------------------------------------
+// Simulator-specific: virtual time, determinism, idle accounting.
+
+TEST(SimMachineTest, VirtualTimeAdvancesByCharge) {
+  SimMachine m(1, CostModel::free());
+  std::uint64_t end = 0;
+  m.run_sim([&](Proc& self) {
+    EXPECT_EQ(self.now(), 0u);
+    self.charge(100);
+    EXPECT_EQ(self.now(), 100u);
+    CostCounter::charge(50);  // kernel-style implicit work
+    EXPECT_EQ(self.now(), 150u);
+    end = self.now();
+  });
+  EXPECT_EQ(end, 150u);
+}
+
+TEST(SimMachineTest, MessageTimingFollowsCostModel) {
+  CostModel cm;
+  cm.latency = 1000;
+  cm.units_per_16_bytes = 16;  // 1 unit per byte
+  cm.dispatch = 10;
+  cm.inject = 5;
+  SimMachine m(2, cm);
+  std::uint64_t recv_time = 0;
+  auto stats = m.run_sim([&](Proc& self) {
+    self.on(kData, [&](Proc& p, int, Reader&) { recv_time = p.now(); });
+    if (self.id() == 0) {
+      self.send(1, kData, std::vector<std::uint8_t>(32));
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  // Sender: inject ends at 5; arrival = 5 + 1000 + 32 = 1037. Receiver idles
+  // to 1037, pays dispatch 10, reads now() inside the handler = 1047.
+  EXPECT_EQ(recv_time, 1047u);
+  EXPECT_EQ(stats.per_proc[1].idle_units, 1037u);
+}
+
+TEST(SimMachineTest, LowestClockRunsFirst) {
+  // Proc 1 charges less, so its sends should land before proc 2's at proc 0,
+  // regardless of host thread scheduling.
+  CostModel cm = CostModel::free();
+  SimMachine m(3, cm);
+  std::vector<int> arrival_order;
+  m.run_sim([&](Proc& self) {
+    self.on(kData, [&](Proc&, int src, Reader&) { arrival_order.push_back(src); });
+    if (self.id() == 0) {
+      while (self.wait()) {
+      }
+    } else {
+      self.charge(self.id() == 1 ? 10 : 1000);
+      self.send(0, kData, {});
+    }
+  });
+  ASSERT_EQ(arrival_order.size(), 2u);
+  EXPECT_EQ(arrival_order[0], 1);
+  EXPECT_EQ(arrival_order[1], 2);
+}
+
+TEST(SimMachineTest, DeterministicAcrossRuns) {
+  auto one_run = [] {
+    SimMachine m(4);
+    std::vector<std::uint64_t> trace;
+    auto stats = m.run_sim([&](Proc& self) {
+      self.on(kData, [&](Proc& p, int src, Reader& r) {
+        std::uint64_t v = r.u64();
+        trace.push_back(v * 1000 + static_cast<std::uint64_t>(src));
+        if (v < 8) {
+          CostCounter::charge((v * 37 + static_cast<std::uint64_t>(p.id())) % 97);
+          Writer w;
+          w.u64(v + 1);
+          p.send(static_cast<int>((v + static_cast<std::uint64_t>(p.id())) % 4), kData,
+                 w.take());
+        }
+      });
+      if (self.id() == 0) {
+        Writer w;
+        w.u64(0);
+        self.send(1, kData, w.take());
+        w.u64(0);
+        self.send(2, kData, w.take());
+      }
+      while (self.wait()) {
+      }
+    });
+    trace.push_back(stats.makespan);
+    return trace;
+  };
+  auto t1 = one_run();
+  auto t2 = one_run();
+  auto t3 = one_run();
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t3);
+}
+
+TEST(SimMachineTest, MakespanIsMaxClock) {
+  SimMachine m(3, CostModel::free());
+  auto stats = m.run_sim([&](Proc& self) {
+    self.charge(static_cast<std::uint64_t>(self.id()) * 500 + 100);
+  });
+  EXPECT_EQ(stats.makespan, 1100u);
+  ASSERT_EQ(stats.proc_clocks.size(), 3u);
+  EXPECT_EQ(stats.proc_clocks[0], 100u);
+  EXPECT_EQ(stats.proc_clocks[2], 1100u);
+}
+
+TEST(SimMachineTest, ParallelWorkOverlapsInVirtualTime) {
+  // P independent workers each charging W: makespan must be W, not P·W —
+  // the whole point of virtual time.
+  SimMachine m(8, CostModel::free());
+  auto stats = m.run_sim([&](Proc& self) {
+    (void)self;
+    CostCounter::charge(10000);
+  });
+  EXPECT_EQ(stats.makespan, 10000u);
+}
+
+}  // namespace
+}  // namespace gbd

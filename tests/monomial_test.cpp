@@ -1,0 +1,185 @@
+// Unit and property tests for monomials and monomial orderings.
+#include "poly/monomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+namespace {
+
+Monomial mono(std::vector<std::uint32_t> e) { return Monomial(std::move(e)); }
+
+Monomial random_mono(Rng& rng, std::size_t nvars, std::uint32_t maxexp) {
+  std::vector<std::uint32_t> e(nvars);
+  for (auto& x : e) x = static_cast<std::uint32_t>(rng.below(maxexp + 1));
+  return Monomial(std::move(e));
+}
+
+TEST(MonomialTest, UnitMonomial) {
+  Monomial one(3);
+  EXPECT_TRUE(one.is_one());
+  EXPECT_EQ(one.degree(), 0u);
+  EXPECT_EQ(one.to_string({"x", "y", "z"}), "1");
+}
+
+TEST(MonomialTest, DegreeCaching) {
+  EXPECT_EQ(mono({2, 3, 0}).degree(), 5u);
+  EXPECT_EQ((mono({2, 3, 0}) * mono({1, 0, 4})).degree(), 10u);
+}
+
+TEST(MonomialTest, MultiplicationAddsExponents) {
+  Monomial p = mono({2, 1, 0}) * mono({0, 3, 5});
+  EXPECT_EQ(p.exp(0), 2u);
+  EXPECT_EQ(p.exp(1), 4u);
+  EXPECT_EQ(p.exp(2), 5u);
+}
+
+TEST(MonomialTest, Divisibility) {
+  EXPECT_TRUE(mono({1, 0, 2}).divides(mono({2, 0, 2})));
+  EXPECT_FALSE(mono({1, 0, 3}).divides(mono({2, 0, 2})));
+  EXPECT_TRUE(Monomial(3).divides(mono({5, 5, 5})));  // 1 divides everything
+  EXPECT_FALSE(mono({0, 0, 1}).divides(Monomial(3)));
+}
+
+TEST(MonomialTest, QuotientSubtractsExponents) {
+  Monomial q = mono({3, 2, 2}) / mono({1, 0, 2});
+  EXPECT_EQ(q.exp(0), 2u);
+  EXPECT_EQ(q.exp(1), 2u);
+  EXPECT_EQ(q.exp(2), 0u);
+  EXPECT_EQ(q.degree(), 4u);
+}
+
+TEST(MonomialTest, HcfLcm) {
+  Monomial a = mono({3, 0, 2});
+  Monomial b = mono({1, 4, 2});
+  Monomial h = Monomial::hcf(a, b);
+  Monomial l = Monomial::lcm(a, b);
+  EXPECT_EQ(h.exp(0), 1u);
+  EXPECT_EQ(h.exp(1), 0u);
+  EXPECT_EQ(h.exp(2), 2u);
+  EXPECT_EQ(l.exp(0), 3u);
+  EXPECT_EQ(l.exp(1), 4u);
+  EXPECT_EQ(l.exp(2), 2u);
+}
+
+TEST(MonomialTest, Coprime) {
+  EXPECT_TRUE(Monomial::coprime(mono({2, 0, 0}), mono({0, 3, 1})));
+  EXPECT_FALSE(Monomial::coprime(mono({2, 1, 0}), mono({0, 3, 1})));
+  EXPECT_TRUE(Monomial::coprime(Monomial(3), mono({1, 1, 1})));
+}
+
+TEST(MonomialTest, ToStringFormats) {
+  EXPECT_EQ(mono({2, 1, 0}).to_string({"x", "y", "z"}), "x^2*y");
+  EXPECT_EQ(mono({0, 0, 1}).to_string({"x", "y", "z"}), "z");
+  EXPECT_EQ(mono({1, 1, 1}).to_string({"x", "y", "z"}), "x*y*z");
+}
+
+TEST(MonomialTest, LexOrder) {
+  // x > y^5 under lex with x > y.
+  EXPECT_GT(mono_cmp(OrderKind::kLex, mono({1, 0}), mono({0, 5})), 0);
+  EXPECT_GT(mono_cmp(OrderKind::kLex, mono({2, 0}), mono({1, 9})), 0);
+  EXPECT_LT(mono_cmp(OrderKind::kLex, mono({1, 1}), mono({1, 2})), 0);
+  EXPECT_EQ(mono_cmp(OrderKind::kLex, mono({1, 2}), mono({1, 2})), 0);
+}
+
+TEST(MonomialTest, GrLexOrder) {
+  // degree dominates; lex breaks ties.
+  EXPECT_LT(mono_cmp(OrderKind::kGrLex, mono({1, 0}), mono({0, 5})), 0);
+  EXPECT_GT(mono_cmp(OrderKind::kGrLex, mono({2, 1}), mono({1, 2})), 0);
+}
+
+TEST(MonomialTest, GRevLexOrder) {
+  // Classic discriminating example: x*z vs y^2 (degree 2 each, vars x,y,z):
+  // grlex has x*z > y^2, grevlex has y^2 > x*z.
+  Monomial xz = mono({1, 0, 1});
+  Monomial y2 = mono({0, 2, 0});
+  EXPECT_GT(mono_cmp(OrderKind::kGrLex, xz, y2), 0);
+  EXPECT_LT(mono_cmp(OrderKind::kGRevLex, xz, y2), 0);
+  // Degree still dominates.
+  EXPECT_GT(mono_cmp(OrderKind::kGRevLex, mono({0, 3, 0}), xz), 0);
+}
+
+TEST(MonomialTest, SerializationRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    Monomial m = random_mono(rng, 5, 9);
+    Writer w;
+    m.write(w);
+    Reader r(w.data());
+    Monomial back = Monomial::read(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back, m);
+    EXPECT_EQ(back.degree(), m.degree());
+    EXPECT_EQ(m.wire_size(), w.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Order-axiom properties for every ordering.
+
+class OrderPropertyTest : public ::testing::TestWithParam<OrderKind> {};
+
+TEST_P(OrderPropertyTest, TotalOrderAxioms) {
+  OrderKind kind = GetParam();
+  Rng rng(42 + static_cast<int>(kind));
+  for (int iter = 0; iter < 50; ++iter) {
+    Monomial a = random_mono(rng, 4, 6);
+    Monomial b = random_mono(rng, 4, 6);
+    Monomial c = random_mono(rng, 4, 6);
+    // Antisymmetry.
+    EXPECT_EQ(mono_cmp(kind, a, b), -mono_cmp(kind, b, a));
+    // Reflexivity via equality.
+    EXPECT_EQ(mono_cmp(kind, a, a), 0);
+    EXPECT_EQ(mono_cmp(kind, a, b) == 0, a == b);
+    // Transitivity (checked in one direction).
+    if (mono_cmp(kind, a, b) <= 0 && mono_cmp(kind, b, c) <= 0) {
+      EXPECT_LE(mono_cmp(kind, a, c), 0);
+    }
+  }
+}
+
+TEST_P(OrderPropertyTest, AdmissibilityAxioms) {
+  // An admissible order has 1 <= m for all m and is multiplicative:
+  // a < b implies a*c < b*c. Both are what Buchberger termination needs.
+  OrderKind kind = GetParam();
+  Rng rng(99 + static_cast<int>(kind));
+  for (int iter = 0; iter < 50; ++iter) {
+    Monomial a = random_mono(rng, 4, 5);
+    Monomial b = random_mono(rng, 4, 5);
+    Monomial c = random_mono(rng, 4, 5);
+    EXPECT_LE(mono_cmp(kind, Monomial(4), a), 0);  // 1 <= a
+    int ab = mono_cmp(kind, a, b);
+    int acbc = mono_cmp(kind, a * c, b * c);
+    EXPECT_EQ(ab < 0, acbc < 0);
+    EXPECT_EQ(ab == 0, acbc == 0);
+  }
+}
+
+TEST_P(OrderPropertyTest, DivisorNotLarger) {
+  // If a | b then a <= b in any admissible order.
+  OrderKind kind = GetParam();
+  Rng rng(123 + static_cast<int>(kind));
+  for (int iter = 0; iter < 50; ++iter) {
+    Monomial b = random_mono(rng, 4, 6);
+    std::vector<std::uint32_t> e(4);
+    for (std::size_t i = 0; i < 4; ++i)
+      e[i] = static_cast<std::uint32_t>(rng.below(b.exp(i) + 1));
+    Monomial a(std::move(e));
+    ASSERT_TRUE(a.divides(b));
+    EXPECT_LE(mono_cmp(kind, a, b), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, OrderPropertyTest,
+                         ::testing::Values(OrderKind::kLex, OrderKind::kGrLex,
+                                           OrderKind::kGRevLex),
+                         [](const ::testing::TestParamInfo<OrderKind>& info) {
+                           return order_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,161 @@
+// Tests for the polynomial-system text parser.
+#include "io/parse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbd {
+namespace {
+
+PolyContext ctx2() { return PolyContext{{"x", "y"}, OrderKind::kGrLex}; }
+
+TEST(ParsePolyTest, SimpleTerms) {
+  PolyContext c = ctx2();
+  EXPECT_EQ(parse_poly_or_die(c, "x").to_string(c), "x");
+  EXPECT_EQ(parse_poly_or_die(c, "3*x").to_string(c), "3*x");
+  EXPECT_EQ(parse_poly_or_die(c, "x^3").to_string(c), "x^3");
+  EXPECT_EQ(parse_poly_or_die(c, "7").to_string(c), "7");
+  EXPECT_EQ(parse_poly_or_die(c, "0").to_string(c), "0");
+}
+
+TEST(ParsePolyTest, SumsAndSigns) {
+  PolyContext c = ctx2();
+  EXPECT_EQ(parse_poly_or_die(c, "x + y").to_string(c), "x + y");
+  // Integer polynomials are preserved exactly as written (no sign or
+  // content normalization happens at parse time).
+  EXPECT_EQ(parse_poly_or_die(c, "-x + y").to_string(c), "-x + y");
+  EXPECT_EQ(parse_poly_or_die(c, "x - x").to_string(c), "0");
+  EXPECT_EQ(parse_poly_or_die(c, "- x - 1").to_string(c), "-x - 1");
+  EXPECT_EQ(parse_poly_or_die(c, "6*x + 4*y").to_string(c), "6*x + 4*y");
+}
+
+TEST(ParsePolyTest, RationalCoefficientsClearToPrimitive) {
+  PolyContext c = ctx2();
+  // 1/2 x + 1/3 y -> 3x + 2y (primitive integer associate).
+  EXPECT_EQ(parse_poly_or_die(c, "1/2*x + 1/3*y").to_string(c), "3*x + 2*y");
+  EXPECT_EQ(parse_poly_or_die(c, "2/4*x").to_string(c), "x");
+}
+
+TEST(ParsePolyTest, ParenthesesAndProducts) {
+  PolyContext c = ctx2();
+  EXPECT_EQ(parse_poly_or_die(c, "(x + y)*(x - y)").to_string(c), "x^2 - y^2");
+  EXPECT_EQ(parse_poly_or_die(c, "(x + y)^2").to_string(c), "x^2 + 2*x*y + y^2");
+  EXPECT_EQ(parse_poly_or_die(c, "(x + 1)^0").to_string(c), "1");
+  EXPECT_EQ(parse_poly_or_die(c, "2*(x + y) - (x - y)").to_string(c), "x + 3*y");
+}
+
+TEST(ParsePolyTest, SlashOnlyInNumericLiteral) {
+  PolyContext c = ctx2();
+  Polynomial p;
+  std::string err;
+  EXPECT_FALSE(parse_poly(c, "x/2", &p, &err));  // '/' is not a polynomial operator
+}
+
+TEST(ParsePolyTest, Errors) {
+  PolyContext c = ctx2();
+  Polynomial p;
+  std::string err;
+  EXPECT_FALSE(parse_poly(c, "", &p, &err));
+  EXPECT_FALSE(parse_poly(c, "w + 1", &p, &err));
+  EXPECT_NE(err.find("unknown variable"), std::string::npos);
+  EXPECT_FALSE(parse_poly(c, "x +", &p, &err));
+  EXPECT_FALSE(parse_poly(c, "(x", &p, &err));
+  EXPECT_FALSE(parse_poly(c, "x ^ y", &p, &err));
+  EXPECT_FALSE(parse_poly(c, "1/0", &p, &err));
+  EXPECT_FALSE(parse_poly(c, "x y", &p, &err));  // implicit product not allowed
+}
+
+TEST(ParseSystemTest, FullSystem) {
+  PolySystem sys;
+  std::string err;
+  const char* text = R"(
+    name demo;
+    vars x, y, z;
+    order grevlex;
+    # a comment
+    x^2 + y^2 + z^2 - 1;
+    x - y;
+  )";
+  ASSERT_TRUE(parse_system(text, &sys, &err)) << err;
+  EXPECT_EQ(sys.name, "demo");
+  EXPECT_EQ(sys.ctx.vars, (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(sys.ctx.order, OrderKind::kGRevLex);
+  ASSERT_EQ(sys.polys.size(), 2u);
+}
+
+TEST(ParseSystemTest, DefaultsToGrlex) {
+  PolySystem sys;
+  std::string err;
+  ASSERT_TRUE(parse_system("vars x; x^2 - 1;", &sys, &err)) << err;
+  EXPECT_EQ(sys.ctx.order, OrderKind::kGrLex);
+  EXPECT_TRUE(sys.name.empty());
+}
+
+TEST(ParseSystemTest, Errors) {
+  PolySystem sys;
+  std::string err;
+  EXPECT_FALSE(parse_system("x + 1;", &sys, &err));  // no vars decl
+  EXPECT_FALSE(parse_system("vars x, x; x;", &sys, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(parse_system("vars x; order nope; x;", &sys, &err));
+  EXPECT_FALSE(parse_system("vars x; x + 1", &sys, &err));  // missing ';'
+}
+
+TEST(ParseSystemTest, RoundTripThroughText) {
+  PolySystem sys;
+  std::string err;
+  ASSERT_TRUE(parse_system("name t; vars x, y; order lex; x^2 - y; 3*x*y + 1;", &sys, &err))
+      << err;
+  std::string text = to_text(sys);
+  PolySystem back;
+  ASSERT_TRUE(parse_system(text, &back, &err)) << err << "\n" << text;
+  EXPECT_EQ(back.name, sys.name);
+  EXPECT_EQ(back.ctx.vars, sys.ctx.vars);
+  EXPECT_EQ(back.ctx.order, sys.ctx.order);
+  ASSERT_EQ(back.polys.size(), sys.polys.size());
+  for (std::size_t i = 0; i < sys.polys.size(); ++i) {
+    EXPECT_TRUE(back.polys[i].equals(sys.polys[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gbd
+
+namespace gbd {
+namespace {
+
+TEST(ParseErrorPositionTest, ReportsLineAndColumn) {
+  PolySystem sys;
+  std::string err;
+  ASSERT_FALSE(parse_system("vars x, y;\nx + w;\n", &sys, &err));
+  EXPECT_NE(err.find("unknown variable 'w'"), std::string::npos);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+TEST(ParseErrorPositionTest, FirstErrorWins) {
+  PolyContext c{{"x"}, OrderKind::kGrLex};
+  Polynomial p;
+  std::string err;
+  ASSERT_FALSE(parse_poly(c, "x + q + r", &p, &err));
+  EXPECT_NE(err.find("'q'"), std::string::npos);
+  EXPECT_EQ(err.find("'r'"), std::string::npos);
+}
+
+TEST(ParsePolyTest, LargeExponentAndCoefficients) {
+  PolyContext c{{"x"}, OrderKind::kGrLex};
+  Polynomial p = parse_poly_or_die(c, "123456789012345678901234567890*x^200 - 1");
+  EXPECT_EQ(p.degree(), 200u);
+  EXPECT_EQ(p.hcoef().to_string(), "123456789012345678901234567890");
+  // Exponent overflow is rejected, not wrapped.
+  Polynomial q;
+  std::string err;
+  EXPECT_FALSE(parse_poly(c, "x^99999999999", &q, &err));
+}
+
+TEST(ParsePolyTest, DeepNesting) {
+  PolyContext c{{"x"}, OrderKind::kGrLex};
+  Polynomial p = parse_poly_or_die(c, "((((x + 1))))^2 - (x^2 + 2*x + 1)");
+  EXPECT_TRUE(p.is_zero());
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,204 @@
+// Unit and property tests for sparse polynomial arithmetic.
+#include "poly/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/parse.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx3(OrderKind order = OrderKind::kGrLex) {
+  return PolyContext{{"x", "y", "z"}, order};
+}
+
+Polynomial P(const PolyContext& c, std::string_view s) { return parse_poly_or_die(c, s); }
+
+TEST(PolynomialTest, ZeroBasics) {
+  Polynomial z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.nterms(), 0u);
+  EXPECT_EQ(z.degree(), 0u);
+  PolyContext c = ctx3();
+  EXPECT_EQ(z.to_string(c), "0");
+  EXPECT_TRUE(z.is_primitive());
+}
+
+TEST(PolynomialTest, FromTermsSortsAndMerges) {
+  PolyContext c = ctx3();
+  std::vector<Term> terms;
+  terms.push_back(Term{BigInt(1), Monomial({1, 0, 0})});
+  terms.push_back(Term{BigInt(2), Monomial({0, 2, 0})});
+  terms.push_back(Term{BigInt(3), Monomial({1, 0, 0})});
+  Polynomial p = Polynomial::from_terms(c, std::move(terms));
+  // grlex: y^2 (deg 2) > x (deg 1); 1x+3x merge to 4x.
+  EXPECT_EQ(p.to_string(c), "2*y^2 + 4*x");
+}
+
+TEST(PolynomialTest, FromTermsCancelsToZero) {
+  PolyContext c = ctx3();
+  std::vector<Term> terms;
+  terms.push_back(Term{BigInt(5), Monomial({1, 1, 0})});
+  terms.push_back(Term{BigInt(-5), Monomial({1, 1, 0})});
+  EXPECT_TRUE(Polynomial::from_terms(c, std::move(terms)).is_zero());
+}
+
+TEST(PolynomialTest, HeadDependsOnOrder) {
+  // p = x*z + y^2: grlex head is x*z, grevlex head is y^2.
+  PolyContext cg = ctx3(OrderKind::kGrLex);
+  PolyContext cr = ctx3(OrderKind::kGRevLex);
+  Polynomial pg = P(cg, "x*z + y^2");
+  Polynomial pr = P(cr, "x*z + y^2");
+  EXPECT_EQ(pg.hmono().to_string(cg.vars), "x*z");
+  EXPECT_EQ(pr.hmono().to_string(cr.vars), "y^2");
+}
+
+TEST(PolynomialTest, PaperCanonicalFormExample) {
+  // §2 example: p = 2x^2y^3 - 7xy^10 + z under lex with x > y > z.
+  PolyContext c = ctx3(OrderKind::kLex);
+  Polynomial p = P(c, "2*x^2*y^3 - 7*x*y^10 + z");
+  EXPECT_EQ(p.nterms(), 3u);
+  EXPECT_EQ(p.hmono().to_string(c.vars), "x^2*y^3");
+  EXPECT_EQ(p.hcoef().to_int64(), 2);
+  EXPECT_EQ(p.to_string(c), "2*x^2*y^3 - 7*x*y^10 + z");
+}
+
+TEST(PolynomialTest, AddMergesAndCancels) {
+  PolyContext c = ctx3();
+  Polynomial a = P(c, "x^2 + 3*x*y - z");
+  Polynomial b = P(c, "-x^2 + 2*z + 1");
+  EXPECT_EQ(a.add(c, b).to_string(c), "3*x*y + z + 1");
+  EXPECT_TRUE(a.add(c, -a).is_zero());
+  EXPECT_EQ(a.add(c, Polynomial()).to_string(c), a.to_string(c));
+}
+
+TEST(PolynomialTest, SubIsAddNeg) {
+  PolyContext c = ctx3();
+  Polynomial a = P(c, "x + y");
+  Polynomial b = P(c, "x - y");
+  EXPECT_EQ(a.sub(c, b).to_string(c), "2*y");
+}
+
+TEST(PolynomialTest, MulTermPreservesOrderAllOrders) {
+  for (OrderKind k : {OrderKind::kLex, OrderKind::kGrLex, OrderKind::kGRevLex}) {
+    PolyContext c = ctx3(k);
+    Polynomial p = P(c, "x^2*y + x*z^3 + y^2 + 7");
+    Polynomial q = p.mul_term(BigInt(3), Monomial({1, 2, 0}));
+    // Re-canonicalizing must be a no-op: order was preserved.
+    std::vector<Term> ts(q.terms().begin(), q.terms().end());
+    Polynomial canon = Polynomial::from_terms(c, std::move(ts));
+    EXPECT_TRUE(q.equals(canon)) << order_name(k);
+    EXPECT_EQ(q.nterms(), p.nterms());
+  }
+}
+
+TEST(PolynomialTest, MulKnownProduct) {
+  PolyContext c = ctx3();
+  Polynomial a = P(c, "x + y");
+  Polynomial b = P(c, "x - y");
+  EXPECT_EQ(a.mul(c, b).to_string(c), "x^2 - y^2");
+  Polynomial sq = a.mul(c, a);
+  EXPECT_EQ(sq.to_string(c), "x^2 + 2*x*y + y^2");
+}
+
+TEST(PolynomialTest, ContentAndPrimitive) {
+  PolyContext c = ctx3();
+  Polynomial p = P(c, "6*x^2 - 9*y");  // content 3, head positive
+  EXPECT_EQ(p.content().to_int64(), 3);
+  EXPECT_FALSE(p.is_primitive());
+  BigInt unit = p.make_primitive();
+  EXPECT_EQ(unit.to_int64(), 3);
+  EXPECT_EQ(p.to_string(c), "2*x^2 - 3*y");
+  EXPECT_TRUE(p.is_primitive());
+
+  // Negative head: the unit carries the sign.
+  Polynomial q = p.mul_term(BigInt(-6), Monomial(3));
+  EXPECT_FALSE(q.is_primitive());
+  EXPECT_EQ(q.content().to_int64(), 6);
+  BigInt unit2 = q.make_primitive();
+  EXPECT_EQ(unit2.to_int64(), -6);
+  EXPECT_TRUE(q.equals(p));
+
+  // div_exact_scalar divides through and aborts on non-divisors (not tested);
+  // exact division by the content yields the primitive magnitude.
+  Polynomial r6 = p.mul_term(BigInt(6), Monomial(3));
+  r6.div_exact_scalar(BigInt(6));
+  EXPECT_TRUE(r6.equals(p));
+}
+
+TEST(PolynomialTest, MakePrimitiveOfZero) {
+  Polynomial z;
+  EXPECT_TRUE(z.make_primitive().is_zero());
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(PolynomialTest, SerializationRoundTrip) {
+  PolyContext c = ctx3();
+  for (const char* s : {"x", "0", "x^2*y - 12345678901234567890*z + 1", "3*x*y*z"}) {
+    Polynomial p = P(c, s);
+    Writer w;
+    p.write(w);
+    Reader r(w.data());
+    Polynomial back = Polynomial::read(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(back.equals(p)) << s;
+    EXPECT_EQ(p.wire_size(), w.size()) << s;
+  }
+}
+
+TEST(PolynomialTest, HashAgreesWithEquality) {
+  PolyContext c = ctx3();
+  EXPECT_EQ(P(c, "x + y").hash(), P(c, "y + x").hash());
+  EXPECT_NE(P(c, "x + y").hash(), P(c, "x - y").hash());
+  EXPECT_NE(P(c, "x").hash(), P(c, "2*x").hash());
+}
+
+class PolyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolyPropertyTest, RingAxioms) {
+  Rng rng(GetParam());
+  PolySystem sys = random_system(rng, 3, 3, 4, 5, 9);
+  const PolyContext& c = sys.ctx;
+  const Polynomial& a = sys.polys[0];
+  const Polynomial& b = sys.polys[1];
+  const Polynomial& d = sys.polys[2];
+  EXPECT_TRUE(a.add(c, b).equals(b.add(c, a)));
+  EXPECT_TRUE(a.add(c, b).add(c, d).equals(a.add(c, b.add(c, d))));
+  EXPECT_TRUE(a.mul(c, b).equals(b.mul(c, a)));
+  EXPECT_TRUE(a.mul(c, b.add(c, d)).equals(a.mul(c, b).add(c, a.mul(c, d))));
+  EXPECT_TRUE(a.sub(c, a).is_zero());
+}
+
+TEST_P(PolyPropertyTest, CanonicalInvariantMaintained) {
+  Rng rng(GetParam() ^ 0xc0ffee);
+  PolySystem sys = random_system(rng, 3, 2, 5, 6, 99);
+  const PolyContext& c = sys.ctx;
+  Polynomial p = sys.polys[0].mul(c, sys.polys[1]).add(c, sys.polys[0]);
+  // Strictly decreasing monomials, no zero coefficients.
+  for (std::size_t i = 0; i < p.nterms(); ++i) {
+    EXPECT_FALSE(p.terms()[i].coeff.is_zero());
+    if (i + 1 < p.nterms()) {
+      EXPECT_GT(c.cmp(p.terms()[i].mono, p.terms()[i + 1].mono), 0);
+    }
+  }
+}
+
+TEST_P(PolyPropertyTest, DegreeOfProductAdds) {
+  // For graded orders deg(a*b) == deg a + deg b (no characteristic issues
+  // over Z, so heads cannot cancel).
+  Rng rng(GetParam() ^ 0xdead);
+  PolySystem sys = random_system(rng, 3, 2, 4, 5, 9);
+  const Polynomial& a = sys.polys[0];
+  const Polynomial& b = sys.polys[1];
+  Polynomial ab = a.mul(sys.ctx, b);
+  ASSERT_FALSE(ab.is_zero());
+  EXPECT_EQ(ab.degree(), a.degree() + b.degree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyPropertyTest, ::testing::Values(7, 14, 21, 28, 35, 42));
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,134 @@
+// Tests for the built-in benchmark problem library.
+#include "problems/problems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gbd {
+namespace {
+
+TEST(ProblemsTest, ListMatchesPaperBenchmarks) {
+  std::set<std::string> names;
+  for (const auto& info : problem_list()) names.insert(info.name);
+  for (const char* expected : {"arnborg4", "arnborg5", "katsura4", "lazard", "morgenstern",
+                               "pavelle4", "rose", "trinks1", "trinks2"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+    EXPECT_TRUE(has_problem(expected));
+  }
+  EXPECT_FALSE(has_problem("nonexistent"));
+}
+
+TEST(ProblemsTest, AllProblemsLoadAndAreCanonical) {
+  for (const auto& info : problem_list()) {
+    PolySystem sys = load_problem(info.name);
+    EXPECT_EQ(sys.name, info.name);
+    EXPECT_FALSE(sys.ctx.vars.empty());
+    EXPECT_FALSE(sys.polys.empty());
+    for (const auto& p : sys.polys) {
+      EXPECT_FALSE(p.is_zero()) << info.name;
+      EXPECT_TRUE(p.is_primitive()) << info.name;
+      EXPECT_EQ(p.hmono().nvars(), sys.ctx.nvars()) << info.name;
+    }
+  }
+}
+
+TEST(ProblemsTest, Arnborg4IsCyclic4) {
+  PolySystem sys = load_problem("arnborg4");
+  EXPECT_EQ(sys.ctx.nvars(), 4u);
+  ASSERT_EQ(sys.polys.size(), 4u);
+  // Generator k has total degree k (k = 1..3) plus the degree-4 product-1.
+  EXPECT_EQ(sys.polys[0].degree(), 1u);
+  EXPECT_EQ(sys.polys[1].degree(), 2u);
+  EXPECT_EQ(sys.polys[2].degree(), 3u);
+  EXPECT_EQ(sys.polys[3].degree(), 4u);
+  EXPECT_EQ(sys.polys[3].nterms(), 2u);  // xyzw - 1
+}
+
+TEST(ProblemsTest, Katsura4Shape) {
+  PolySystem sys = load_problem("katsura4");
+  EXPECT_EQ(sys.ctx.nvars(), 5u);
+  ASSERT_EQ(sys.polys.size(), 5u);
+  EXPECT_EQ(sys.polys[0].degree(), 1u);  // the normalization equation
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(sys.polys[i].degree(), 2u);
+}
+
+TEST(ProblemsTest, TrinksVariants) {
+  PolySystem big = load_problem("trinks1");
+  PolySystem little = load_problem("trinks2");
+  EXPECT_EQ(big.polys.size(), 6u);
+  EXPECT_EQ(little.polys.size(), 7u);
+  EXPECT_EQ(big.ctx.vars, little.ctx.vars);
+}
+
+TEST(ProblemsTest, StandinsAreFlagged) {
+  std::set<std::string> standins;
+  for (const auto& info : problem_list()) {
+    if (info.standin) standins.insert(info.name);
+  }
+  EXPECT_EQ(standins, (std::set<std::string>{"lazard", "morgenstern", "pavelle4", "rose"}));
+}
+
+TEST(ReplicateRenamedTest, DisjointVariableBlocks) {
+  PolySystem base = load_problem("arnborg4");
+  PolySystem x3 = replicate_renamed(base, 3);
+  EXPECT_EQ(x3.name, "arnborg4x3");
+  EXPECT_EQ(x3.ctx.nvars(), 12u);
+  EXPECT_EQ(x3.polys.size(), 12u);
+  // Every polynomial only touches one block of 4 variables.
+  for (std::size_t pi = 0; pi < x3.polys.size(); ++pi) {
+    std::size_t block = pi / 4;
+    for (const auto& t : x3.polys[pi].terms()) {
+      for (std::size_t v = 0; v < 12; ++v) {
+        if (v / 4 != block) {
+          EXPECT_EQ(t.mono.exp(v), 0u);
+        }
+      }
+    }
+  }
+  // Variable names are distinct.
+  std::set<std::string> names(x3.ctx.vars.begin(), x3.ctx.vars.end());
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(ReplicateRenamedTest, SingleCopyKeepsNames) {
+  PolySystem base = load_problem("trinks2");
+  PolySystem x1 = replicate_renamed(base, 1);
+  EXPECT_EQ(x1.ctx.vars, base.ctx.vars);
+  ASSERT_EQ(x1.polys.size(), base.polys.size());
+  for (std::size_t i = 0; i < base.polys.size(); ++i) {
+    EXPECT_TRUE(x1.polys[i].equals(base.polys[i]));
+  }
+}
+
+TEST(RandomSystemTest, RespectsBounds) {
+  Rng rng(2024);
+  PolySystem sys = random_system(rng, 4, 6, 5, 7, 10);
+  EXPECT_EQ(sys.ctx.nvars(), 4u);
+  EXPECT_EQ(sys.polys.size(), 6u);
+  for (const auto& p : sys.polys) {
+    EXPECT_FALSE(p.is_zero());
+    EXPECT_LE(p.nterms(), 7u);
+    for (const auto& t : p.terms()) {
+      EXPECT_LE(t.mono.degree(), 5u);
+    }
+  }
+}
+
+TEST(RandomSystemTest, DeterministicPerSeed) {
+  Rng a(77), b(77), c(78);
+  PolySystem s1 = random_system(a, 3, 3, 3, 4, 5);
+  PolySystem s2 = random_system(b, 3, 3, 3, 4, 5);
+  PolySystem s3 = random_system(c, 3, 3, 3, 4, 5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(s1.polys[i].equals(s2.polys[i]));
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!s1.polys[i].equals(s3.polys[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,106 @@
+// Unit and property tests for exact rational arithmetic.
+#include "bigint/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+Rational random_rational(Rng& rng) {
+  std::int64_t num = static_cast<std::int64_t>(rng.below(20001)) - 10000;
+  std::int64_t den = static_cast<std::int64_t>(rng.below(9999)) + 1;
+  return Rational(BigInt(num), BigInt(den));
+}
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.to_string(), "0");
+  EXPECT_TRUE(r.den().is_one());
+}
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational r(BigInt(4), BigInt(-6));
+  EXPECT_EQ(r.to_string(), "-2/3");
+  EXPECT_EQ(r.num().to_int64(), -2);
+  EXPECT_EQ(r.den().to_int64(), 3);
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)).to_string(), "0");
+  EXPECT_EQ(Rational(BigInt(10), BigInt(5)).to_string(), "2");
+}
+
+TEST(RationalTest, ParseForms) {
+  EXPECT_EQ(Rational::from_string("7").to_string(), "7");
+  EXPECT_EQ(Rational::from_string("-7").to_string(), "-7");
+  EXPECT_EQ(Rational::from_string("3/4").to_string(), "3/4");
+  EXPECT_EQ(Rational::from_string("-6/8").to_string(), "-3/4");
+  Rational out;
+  EXPECT_FALSE(Rational::parse("3/0", &out));
+  EXPECT_FALSE(Rational::parse("a/b", &out));
+  EXPECT_FALSE(Rational::parse("", &out));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+  EXPECT_EQ((-half).to_string(), "-1/2");
+  EXPECT_EQ(half.inverse().to_string(), "2");
+}
+
+TEST(RationalTest, ComparisonCrossDenominator) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_GT(Rational(BigInt(-1), BigInt(3)), Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(BigInt(1), BigInt(2)).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(BigInt(-7), BigInt(4)).to_double(), -1.75);
+  EXPECT_DOUBLE_EQ(Rational().to_double(), 0.0);
+  // Values beyond int64 still approximate sensibly (truncating conversion,
+  // so allow ~1e-9 relative error).
+  BigInt big = BigInt::pow(BigInt(10), 30);
+  EXPECT_NEAR(Rational(big, BigInt(1)).to_double() / 1e30, 1.0, 1e-9);
+  EXPECT_NEAR(Rational(BigInt(1), big).to_double() / 1e-30, 1.0, 1e-9);
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    Rational a = random_rational(rng);
+    Rational b = random_rational(rng);
+    Rational c = random_rational(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_TRUE((a - a).is_zero());
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+      EXPECT_TRUE((b * b.inverse()).is_one());
+    }
+  }
+}
+
+TEST_P(RationalPropertyTest, InvariantAlwaysNormalized) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int iter = 0; iter < 25; ++iter) {
+    Rational a = random_rational(rng) * random_rational(rng) + random_rational(rng);
+    EXPECT_GT(a.den().signum(), 0);
+    EXPECT_TRUE(BigInt::gcd(a.num(), a.den()).is_one() || a.is_zero());
+    if (a.is_zero()) {
+      EXPECT_TRUE(a.den().is_one());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,286 @@
+// Tests for reduction (normal forms), S-polynomials and basis reduction —
+// the algebra §2 of the paper builds on.
+#include "poly/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/parse.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx3(OrderKind order = OrderKind::kGrLex) {
+  return PolyContext{{"x", "y", "z"}, order};
+}
+
+Polynomial P(const PolyContext& c, std::string_view s) { return parse_poly_or_die(c, s); }
+
+TEST(ReduceStepTest, PaperExample) {
+  // §2: p = 2x^2yz^3 - 7xy^10 + z, r = 5xyz - 3 reduces p to
+  // p' = -7xy^10 + (2/5)xz^2·3/... — in primitive integer form the result is
+  // the same polynomial scaled: 5p - 2xz^2·r = -35xy^10 + 6xz^2 + 5z.
+  PolyContext c = ctx3(OrderKind::kLex);
+  Polynomial p = P(c, "2*x^2*y*z^3 - 7*x*y^10 + z");
+  Polynomial r = P(c, "5*x*y*z - 3");
+  ASSERT_TRUE(r.hmono().divides(p.hmono()));
+  Polynomial step = reduce_step(c, p, r);
+  EXPECT_EQ(step.to_string(c), "-35*x*y^10 + 6*x*z^2 + 5*z");
+  // Primitive normalization keeps the content-1 coefficients but flips the
+  // sign so the head coefficient is positive.
+  step.make_primitive();
+  EXPECT_EQ(step.to_string(c), "35*x*y^10 - 6*x*z^2 - 5*z");
+}
+
+TEST(ReduceStepTest, CancelsHeadExactly) {
+  PolyContext c = ctx3();
+  Polynomial p = P(c, "6*x^2*y + x");
+  Polynomial r = P(c, "4*x*y + z");
+  Polynomial step = reduce_step(c, p, r);
+  ASSERT_FALSE(step.is_zero());
+  // Head x^2*y must be gone; the new head is strictly smaller.
+  EXPECT_LT(c.cmp(step.hmono(), p.hmono()), 0);
+  // 2·p − 3x·r = -3xz + 2x.
+  EXPECT_EQ(step.to_string(c), "-3*x*z + 2*x");
+}
+
+TEST(ReduceStepTest, ExactMultipleGoesToZero) {
+  PolyContext c = ctx3();
+  Polynomial r = P(c, "x*y - z");
+  Polynomial p = r.mul_term(BigInt(7), Monomial({2, 0, 0}));
+  Polynomial step1 = reduce_step(c, p, r);
+  // One step cancels the head; the remainder -7x^2 z + ... wait: p = 7x^3y - 7x^2 z.
+  // step: p - 7x^2·r = 0 directly, since p is a term-multiple of r.
+  EXPECT_TRUE(step1.is_zero());
+}
+
+TEST(ReduceFullTest, NormalFormIrreducible) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "x^2 - y"), P(c, "x*y - z")};
+  VectorReducerSet set(&basis);
+  ReduceOutcome out = reduce_full(c, P(c, "x^3"), set);
+  // x^3 -> x·(x^2) -> x·y -> z. Head-reduction: x^3 - x(x^2-y) = xy; xy - (xy-z) = z.
+  EXPECT_EQ(out.poly.to_string(c), "z");
+  EXPECT_EQ(out.steps, 2u);
+  EXPECT_TRUE(is_normal(out.poly, set));
+}
+
+TEST(ReduceFullTest, ReducesToZero) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "x - y")};
+  VectorReducerSet set(&basis);
+  // (x - y)·(x + 17y) is in the ideal; head reduction alone reaches 0.
+  Polynomial p = basis[0].mul(c, P(c, "x + 17*y"));
+  ReduceOutcome out = reduce_full(c, p, set);
+  EXPECT_TRUE(out.poly.is_zero());
+}
+
+TEST(ReduceFullTest, HeadOnlyLeavesReducibleTail) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "y - 1")};
+  VectorReducerSet set(&basis);
+  // Head x^2 is irreducible by y; tail y is reducible but head-reduction stops.
+  Polynomial p = P(c, "x^2 + y");
+  ReduceOutcome head_only = reduce_full(c, p, set);
+  EXPECT_EQ(head_only.poly.to_string(c), "x^2 + y");
+  EXPECT_EQ(head_only.steps, 0u);
+
+  ReduceOptions opts;
+  opts.tail_reduce = true;
+  ReduceOutcome full = reduce_full(c, p, set, opts);
+  EXPECT_EQ(full.poly.to_string(c), "x^2 + 1");
+  EXPECT_EQ(full.steps, 1u);
+}
+
+TEST(ReduceFullTest, ZeroInputIsNormal) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "x")};
+  VectorReducerSet set(&basis);
+  ReduceOutcome out = reduce_full(c, Polynomial(), set);
+  EXPECT_TRUE(out.poly.is_zero());
+  EXPECT_EQ(out.steps, 0u);
+  EXPECT_TRUE(is_normal(Polynomial(), set));
+}
+
+TEST(ReduceFullTest, ObserverSeesEachStep) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "x^2 - y"), P(c, "x*y - z")};
+  VectorReducerSet set(&basis);
+  struct Recorder : ReduceObserver {
+    std::vector<std::uint64_t> reducers;
+    std::uint64_t total_cost = 0;
+    void on_step(std::uint64_t id, std::uint64_t cost) override {
+      reducers.push_back(id);
+      total_cost += cost;
+    }
+  } rec;
+  ReduceOutcome out = reduce_full(c, P(c, "x^3"), set, {}, &rec);
+  EXPECT_EQ(out.steps, rec.reducers.size());
+  EXPECT_EQ(rec.reducers, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_GT(rec.total_cost, 0u);
+}
+
+TEST(ReduceFullTest, EmptySetIsIdentity) {
+  PolyContext c = ctx3();
+  VectorReducerSet set;
+  Polynomial p = P(c, "3*x + 1");
+  ReduceOutcome out = reduce_full(c, p, set);
+  EXPECT_TRUE(out.poly.equals(p));
+  EXPECT_TRUE(is_normal(p, set));
+}
+
+TEST(SpolyTest, PaperDefinition) {
+  // SPOL cancels both heads: for f = x^2 - y, g = x*y - z (grlex),
+  // lcm = x^2 y; spol = y·f - x·g = xz - y^2 (primitive, head positive).
+  PolyContext c = ctx3();
+  Polynomial f = P(c, "x^2 - y");
+  Polynomial g = P(c, "x*y - z");
+  Polynomial s = spoly(c, f, g);
+  EXPECT_EQ(s.to_string(c), "x*z - y^2");
+  EXPECT_EQ(pair_lcm(f, g).to_string(c.vars), "x^2*y");
+}
+
+TEST(SpolyTest, AntisymmetricUpToSign) {
+  PolyContext c = ctx3();
+  Polynomial f = P(c, "x^2 + 3*y*z");
+  Polynomial g = P(c, "2*x*y^2 - z");
+  Polynomial s1 = spoly(c, f, g);
+  Polynomial s2 = spoly(c, g, f);
+  // Both are primitive with positive heads, so they must be exactly equal or
+  // exact negatives pre-normalization; after make_primitive they're equal.
+  EXPECT_TRUE(s1.equals(s2));
+}
+
+TEST(SpolyTest, HeadsCancelForEqualHeads) {
+  PolyContext c = ctx3();
+  Polynomial f = P(c, "x^2 - y");
+  Polynomial g = P(c, "x^2 - z");
+  Polynomial s = spoly(c, f, g);
+  EXPECT_EQ(s.to_string(c), "y - z");
+}
+
+TEST(SpolyTest, CoefficientsStayReduced) {
+  PolyContext c = ctx3();
+  Polynomial f = P(c, "6*x^2 - y");
+  Polynomial g = P(c, "4*x*y - z");
+  // k1=6, k2=4, gcd 2 -> multipliers 2·y·f and 3·x·g; primitive result.
+  Polynomial s = spoly(c, f, g);
+  EXPECT_TRUE(s.is_primitive());
+  EXPECT_EQ(s.to_string(c), "3*x*z - 2*y^2");
+}
+
+TEST(ReduceBasisTest, MinimizesDivisibleHeads) {
+  PolyContext c = ctx3();
+  // x^2 - y's head is divisible by x's head, so it must be dropped.
+  std::vector<Polynomial> basis = {P(c, "x"), P(c, "x^2 - y"), P(c, "y - z")};
+  std::vector<Polynomial> red = reduce_basis(c, basis);
+  ASSERT_EQ(red.size(), 2u);
+  EXPECT_EQ(red[0].to_string(c), "y - z");  // ascending head order
+  EXPECT_EQ(red[1].to_string(c), "x");
+}
+
+TEST(ReduceBasisTest, TailReducesAgainstOthers) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {P(c, "x^2 + y"), P(c, "y - z")};
+  std::vector<Polynomial> red = reduce_basis(c, basis);
+  ASSERT_EQ(red.size(), 2u);
+  EXPECT_EQ(red[0].to_string(c), "y - z");
+  EXPECT_EQ(red[1].to_string(c), "x^2 + z");
+}
+
+TEST(ReduceBasisTest, DropsZerosAndDuplicates) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> basis = {Polynomial(), P(c, "x - y"), P(c, "2*x - 2*y")};
+  std::vector<Polynomial> red = reduce_basis(c, basis);
+  ASSERT_EQ(red.size(), 1u);
+  EXPECT_EQ(red[0].to_string(c), "x - y");
+}
+
+class ReducePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReducePropertyTest, NormalFormIsIrreducibleAndSmaller) {
+  Rng rng(GetParam());
+  PolySystem sys = random_system(rng, 3, 4, 3, 4, 7);
+  const PolyContext& c = sys.ctx;
+  std::vector<Polynomial> basis(sys.polys.begin(), sys.polys.begin() + 3);
+  VectorReducerSet set(&basis);
+  Polynomial p = sys.polys[3];
+  ReduceOutcome out = reduce_full(c, p, set, ReduceOptions{.tail_reduce = true, .max_steps = 100000});
+  // Strong normal form: every term irreducible.
+  for (const auto& t : out.poly.terms()) {
+    EXPECT_EQ(set.find_reducer(t.mono, nullptr), nullptr);
+  }
+  if (!out.poly.is_zero() && !p.is_zero()) {
+    EXPECT_LE(c.cmp(out.poly.hmono(), p.hmono()), 0);
+  }
+}
+
+TEST_P(ReducePropertyTest, MembersOfPrincipalIdealVanish) {
+  // q·g head-reduces to zero against {g} for any q (single-generator
+  // reduction is division, which always succeeds).
+  Rng rng(GetParam() ^ 0xbeef);
+  PolySystem sys = random_system(rng, 3, 2, 3, 4, 9);
+  const PolyContext& c = sys.ctx;
+  std::vector<Polynomial> basis = {sys.polys[0]};
+  VectorReducerSet set(&basis);
+  Polynomial member = sys.polys[0].mul(c, sys.polys[1]);
+  ReduceOutcome out = reduce_full(c, member, set, ReduceOptions{.tail_reduce = true});
+  EXPECT_TRUE(out.poly.is_zero());
+}
+
+TEST_P(ReducePropertyTest, SpolyHeadStrictlyBelowLcm) {
+  Rng rng(GetParam() ^ 0x1234);
+  PolySystem sys = random_system(rng, 3, 2, 4, 4, 9);
+  const PolyContext& c = sys.ctx;
+  Polynomial s = spoly(c, sys.polys[0], sys.polys[1]);
+  if (!s.is_zero()) {
+    Monomial l = pair_lcm(sys.polys[0], sys.polys[1]);
+    EXPECT_LT(c.cmp(s.hmono(), l), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReducePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace gbd
+
+namespace gbd {
+namespace {
+
+TEST(InterreduceTest, PreservesIdealOnNonBases) {
+  // {x, x*y + z}: reduce_basis's minimization would drop x*y+z (losing z);
+  // interreduce must keep z in the ideal.
+  PolyContext c{{"x", "y", "z"}, OrderKind::kGrLex};
+  std::vector<Polynomial> gens = {parse_poly_or_die(c, "x"),
+                                  parse_poly_or_die(c, "x*y + z")};
+  std::vector<Polynomial> out = interreduce(c, gens);
+  ASSERT_EQ(out.size(), 2u);
+  // x*y reduces away, leaving z.
+  bool has_z = false;
+  for (const auto& g : out) has_z = has_z || g.to_string(c) == "z";
+  EXPECT_TRUE(has_z);
+}
+
+TEST(InterreduceTest, DropsRedundancyAndZeros) {
+  PolyContext c{{"x", "y", "z"}, OrderKind::kGrLex};
+  std::vector<Polynomial> gens = {parse_poly_or_die(c, "x - y"),
+                                  parse_poly_or_die(c, "2*x - 2*y"), Polynomial(),
+                                  parse_poly_or_die(c, "(x - y)*(y + 3)")};
+  std::vector<Polynomial> out = interreduce(c, gens);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to_string(c), "x - y");
+}
+
+TEST(InterreduceTest, FixedPointOnReducedBasis) {
+  PolyContext c{{"x", "y", "z"}, OrderKind::kGrLex};
+  std::vector<Polynomial> gb = {parse_poly_or_die(c, "x^2 - y"),
+                                parse_poly_or_die(c, "x*y - z")};
+  std::vector<Polynomial> out = interreduce(c, gb);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gbd

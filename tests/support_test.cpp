@@ -1,0 +1,159 @@
+// Tests for the support substrate: serialization buffers, deterministic RNG,
+// cost accounting, and the bench table renderer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/cost.hpp"
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+#include "support/table.hpp"
+
+namespace gbd {
+namespace {
+
+TEST(SerializeTest, AllPrimitiveRoundTrips) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.str("hello");
+  w.str("");
+  w.bytes("xyz", 3);
+  w.words({1, 2, 3});
+  w.words({});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "xyz");  // bytes and str share the wire format
+  EXPECT_EQ(r.words(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.words().empty());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, EmptyBufferIsDone) {
+  std::vector<std::uint8_t> empty;
+  Reader r(empty);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs = differs || (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  // All residues get hit eventually.
+  std::set<std::uint64_t> seen;
+  Rng rng2(8);
+  for (int i = 0; i < 500; ++i) seen.insert(rng2.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(RngTest, SplitGivesIndependentStreams) {
+  Rng parent(42);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) differs = differs || (c1.next() != c2.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(CostTest, ChargeAndDrain) {
+  CostCounter::drain();  // reset this thread
+  CostCounter::charge(10);
+  CostCounter::charge(5);
+  EXPECT_EQ(CostCounter::peek(), 15u);
+  EXPECT_EQ(CostCounter::drain(), 15u);
+  EXPECT_EQ(CostCounter::peek(), 0u);
+}
+
+TEST(CostTest, ScopeMeasuresDelta) {
+  CostCounter::drain();
+  CostCounter::charge(100);
+  CostScope scope;
+  CostCounter::charge(40);
+  EXPECT_EQ(scope.elapsed(), 40u);
+  CostCounter::charge(2);
+  EXPECT_EQ(scope.elapsed(), 42u);
+  CostCounter::drain();
+}
+
+TEST(CostTest, CountersAreThreadLocal) {
+  CostCounter::drain();
+  CostCounter::charge(7);
+  std::uint64_t other = 999;
+  std::thread t([&] {
+    CostCounter::charge(3);
+    other = CostCounter::peek();
+  });
+  t.join();
+  EXPECT_EQ(other, 3u);
+  EXPECT_EQ(CostCounter::drain(), 7u);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header and both rows plus the rule line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Columns align: every line has the same width (cells are padded).
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t nl = out.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(nl - pos, first_len) << "line starting at " << pos;
+    pos = nl + 1;
+  }
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,151 @@
+// Tests for the decentralized (token-ring) termination detection, the §6
+// extension: both protocols must detect completion of the same workloads,
+// never early and never hang.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "gb/parallel.hpp"
+#include "gb/sequential.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/thread_machine.hpp"
+#include "poly/reduce.hpp"
+#include "problems/problems.hpp"
+#include "taskq/taskq.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx2() { return PolyContext{{"x", "y"}, OrderKind::kGrLex}; }
+
+std::vector<std::uint8_t> payload_of(std::uint64_t v) {
+  Writer w;
+  w.u64(v);
+  return w.take();
+}
+
+struct Outcome {
+  std::uint64_t executed = 0;
+  int exits = 0;
+  bool announced = false;
+};
+
+Outcome run_workload(Machine& m, Termination term, int producers, std::uint64_t tasks_each,
+                     std::uint64_t spawn_depth) {
+  PolyContext ctx = ctx2();
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<int> exits{0};
+  std::atomic<bool> announced{false};
+  m.run([&](Proc& self) {
+    TaskQueueConfig cfg;
+    cfg.termination = term;
+    DistTaskQueue q(self, &ctx, [] { return true; }, cfg);
+    if (self.id() < producers) {
+      for (std::uint64_t v = 0; v < tasks_each; ++v) {
+        q.enqueue(payload_of(spawn_depth), Monomial({1, 0}));
+      }
+    }
+    std::vector<std::uint8_t> p;
+    for (;;) {
+      self.poll();
+      auto r = q.try_dequeue(&p);
+      if (r == DistTaskQueue::Dequeue::kGot) {
+        Reader rd(p);
+        std::uint64_t depth = rd.u64();
+        executed += 1;
+        self.charge(200);
+        if (depth > 0) q.enqueue(payload_of(depth - 1), Monomial({1, 0}));
+      } else if (r == DistTaskQueue::Dequeue::kTerminated) {
+        if (q.stats().terminated_by_wave) announced = true;
+        break;
+      } else if (!self.wait()) {
+        break;
+      }
+    }
+    exits += 1;
+  });
+  return Outcome{executed.load(), exits.load(), announced.load()};
+}
+
+class TerminationTest
+    : public ::testing::TestWithParam<std::tuple<bool, Termination>> {
+ protected:
+  std::unique_ptr<Machine> make(int p) {
+    if (std::get<0>(GetParam())) return std::make_unique<SimMachine>(p);
+    return std::make_unique<ThreadMachine>(p);
+  }
+  Termination term() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TerminationTest, AllTasksExecutedAllProcsExit) {
+  auto m = make(5);
+  Outcome out = run_workload(*m, term(), /*producers=*/2, /*tasks_each=*/6, /*spawn_depth=*/2);
+  EXPECT_EQ(out.executed, 2u * 6u * 3u);  // each task spawns a chain of depth 2
+  EXPECT_EQ(out.exits, 5);
+}
+
+TEST_P(TerminationTest, EmptyWorkloadTerminatesImmediately) {
+  auto m = make(4);
+  Outcome out = run_workload(*m, term(), 0, 0, 0);
+  EXPECT_EQ(out.executed, 0u);
+  EXPECT_EQ(out.exits, 4);
+}
+
+TEST_P(TerminationTest, SingleProcessor) {
+  auto m = make(1);
+  Outcome out = run_workload(*m, term(), 1, 10, 1);
+  EXPECT_EQ(out.executed, 20u);
+  EXPECT_EQ(out.exits, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TerminationTest,
+    ::testing::Combine(::testing::Values(false, true),
+                       ::testing::Values(Termination::kCoordinatorWave,
+                                         Termination::kTokenRing)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) ? "Sim" : "Threads";
+      name += std::get<1>(info.param) == Termination::kTokenRing ? "Token" : "Wave";
+      return name;
+    });
+
+TEST(TokenRingTest, DetectsOnSimulatorDeterministically) {
+  SimMachine m(6);
+  Outcome a = run_workload(m, Termination::kTokenRing, 3, 5, 1);
+  EXPECT_EQ(a.executed, 30u);
+  // The token announcement should normally beat machine quiescence.
+  EXPECT_TRUE(a.announced);
+}
+
+TEST(TokenRingTest, FullEngineRunsWithTokenTermination) {
+  PolySystem sys = load_problem("trinks2");
+  std::vector<Polynomial> ref = reduce_basis(sys.ctx, groebner_sequential(sys).basis);
+  ParallelConfig cfg;
+  cfg.nprocs = 6;
+  cfg.taskq.termination = Termination::kTokenRing;
+  ParallelResult res = groebner_parallel(sys, cfg);
+  std::vector<Polynomial> red = reduce_basis(sys.ctx, res.basis);
+  ASSERT_EQ(red.size(), ref.size());
+  for (std::size_t i = 0; i < red.size(); ++i) {
+    EXPECT_TRUE(red[i].equals(ref[i])) << i;
+  }
+}
+
+TEST(TokenRingTest, ProtocolsAgreeOnEngineResults) {
+  PolySystem sys = load_problem("arnborg4");
+  ParallelConfig wave, token;
+  wave.nprocs = token.nprocs = 4;
+  token.taskq.termination = Termination::kTokenRing;
+  ParallelResult a = groebner_parallel(sys, wave);
+  ParallelResult b = groebner_parallel(sys, token);
+  std::vector<Polynomial> ra = reduce_basis(sys.ctx, a.basis);
+  std::vector<Polynomial> rb = reduce_basis(sys.ctx, b.basis);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_TRUE(ra[i].equals(rb[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gbd

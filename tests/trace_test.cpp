@@ -1,0 +1,128 @@
+// Tests for trace recording and the auditing replayer — including the
+// negative cases where the replay must refuse a forged or corrupted trace.
+#include "gb/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gb/parallel.hpp"
+#include "gb/sequential.hpp"
+#include "io/parse.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+
+namespace gbd {
+namespace {
+
+ParallelResult traced_run(const char* problem, int procs) {
+  PolySystem sys = load_problem(problem);
+  ParallelConfig cfg;
+  cfg.nprocs = procs;
+  cfg.record_trace = true;
+  return groebner_parallel(sys, cfg);
+}
+
+TEST(TraceTest, EveryExecutedTaskRecorded) {
+  ParallelResult res = traced_run("trinks2", 3);
+  // Executed tasks = zero reductions + additions (criteria-pruned pairs do
+  // no algebra and are not traced).
+  EXPECT_EQ(res.trace.total_tasks(),
+            res.stats.reductions_to_zero + res.stats.basis_added);
+  EXPECT_EQ(res.trace.procs.size(), 3u);
+}
+
+TEST(TraceTest, ReplayCountsMatchStats) {
+  ParallelResult res = traced_run("arnborg4", 4);
+  PolySystem sys = load_problem("arnborg4");
+  ReplayResult rep = replay_trace(sys.ctx, res.trace, res.bodies());
+  EXPECT_EQ(rep.tasks_replayed, res.trace.total_tasks());
+  EXPECT_EQ(rep.reduction_steps, res.stats.reduction_steps);
+  EXPECT_GT(rep.work_units, 0u);
+}
+
+TEST(TraceTest, EmptyTraceReplaysToNothing) {
+  PolyContext ctx{{"x"}, OrderKind::kLex};
+  RunTrace trace;
+  trace.procs.resize(2);
+  std::map<PolyId, Polynomial> bodies;
+  ReplayResult rep = replay_trace(ctx, trace, bodies);
+  EXPECT_EQ(rep.tasks_replayed, 0u);
+  EXPECT_EQ(rep.work_units, 0u);
+}
+
+TEST(TraceDeathTest, RejectsUnknownId) {
+  PolyContext ctx{{"x", "y"}, OrderKind::kGrLex};
+  std::map<PolyId, Polynomial> bodies;
+  bodies.emplace(make_poly_id(0, 0), parse_poly_or_die(ctx, "x^2 - y"));
+  RunTrace trace;
+  trace.procs.resize(1);
+  TaskTrace t;
+  t.a = make_poly_id(0, 0);
+  t.b = make_poly_id(0, 77);  // no such body
+  trace.procs[0].tasks.push_back(t);
+  EXPECT_DEATH(
+      { auto r = replay_trace(ctx, trace, bodies); (void)r; }, "unknown polynomial id");
+}
+
+TEST(TraceDeathTest, RejectsForgedReducer) {
+  PolyContext ctx{{"x", "y"}, OrderKind::kGrLex};
+  std::map<PolyId, Polynomial> bodies;
+  bodies.emplace(make_poly_id(0, 0), parse_poly_or_die(ctx, "x^2 - y"));
+  bodies.emplace(make_poly_id(0, 1), parse_poly_or_die(ctx, "x*y - 1"));
+  bodies.emplace(make_poly_id(0, 2), parse_poly_or_die(ctx, "y^5 - 2"));  // cannot cancel
+  RunTrace trace;
+  trace.procs.resize(1);
+  TaskTrace t;
+  t.a = make_poly_id(0, 0);
+  t.b = make_poly_id(0, 1);
+  t.reducers = {make_poly_id(0, 2)};  // spol head is not divisible by y^5
+  trace.procs[0].tasks.push_back(t);
+  EXPECT_DEATH({ auto r = replay_trace(ctx, trace, bodies); (void)r; },
+               "no longer cancels the head");
+}
+
+TEST(TraceDeathTest, RejectsWrongOutcome) {
+  PolyContext ctx{{"x", "y"}, OrderKind::kGrLex};
+  std::map<PolyId, Polynomial> bodies;
+  bodies.emplace(make_poly_id(0, 0), parse_poly_or_die(ctx, "x^2 - y"));
+  bodies.emplace(make_poly_id(0, 1), parse_poly_or_die(ctx, "x*y - 1"));
+  RunTrace trace;
+  trace.procs.resize(1);
+  TaskTrace t;
+  t.a = make_poly_id(0, 0);
+  t.b = make_poly_id(0, 1);
+  t.added = false;  // claims the (nonzero) s-polynomial vanished with no steps
+  trace.procs[0].tasks.push_back(t);
+  EXPECT_DEATH({ auto r = replay_trace(ctx, trace, bodies); (void)r; },
+               "replay reached a nonzero form");
+}
+
+TEST(TraceDeathTest, RejectsWrongResultBody) {
+  PolyContext ctx{{"x", "y"}, OrderKind::kGrLex};
+  std::map<PolyId, Polynomial> bodies;
+  bodies.emplace(make_poly_id(0, 0), parse_poly_or_die(ctx, "x^2 - y"));
+  bodies.emplace(make_poly_id(0, 1), parse_poly_or_die(ctx, "x*y - 1"));
+  bodies.emplace(make_poly_id(1, 0), parse_poly_or_die(ctx, "y^3 + 5"));  // not the real NF
+  RunTrace trace;
+  trace.procs.resize(1);
+  TaskTrace t;
+  t.a = make_poly_id(0, 0);
+  t.b = make_poly_id(0, 1);
+  t.added = true;
+  t.result = make_poly_id(1, 0);
+  trace.procs[0].tasks.push_back(t);
+  EXPECT_DEATH({ auto r = replay_trace(ctx, trace, bodies); (void)r; },
+               "differs from the recorded basis element");
+}
+
+TEST(TraceTest, SequentialLikeReplayOfOneProcRun) {
+  // A P=1 traced run replays to exactly the engine's own algebra.
+  ParallelResult res = traced_run("morgenstern", 1);
+  PolySystem sys = load_problem("morgenstern");
+  ReplayResult rep = replay_trace(sys.ctx, res.trace, res.bodies());
+  EXPECT_EQ(rep.reduction_steps, res.stats.reduction_steps);
+  // All tasks were on processor 0.
+  EXPECT_EQ(res.trace.procs[0].tasks.size(), res.trace.total_tasks());
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,199 @@
+// Tests for the exact univariate layer: arithmetic, gcd/squarefree, Sturm
+// real-root counting, isolation, and rational roots.
+#include "poly/univariate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "io/parse.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+UniPoly U(std::vector<std::int64_t> coeffs) {
+  std::vector<BigInt> c;
+  c.reserve(coeffs.size());
+  for (auto v : coeffs) c.emplace_back(v);
+  return UniPoly(std::move(c));
+}
+
+TEST(UniPolyTest, ConstructionTrimsAndDegrees) {
+  EXPECT_TRUE(UniPoly().is_zero());
+  EXPECT_EQ(UniPoly().degree(), -1);
+  EXPECT_TRUE(U({0, 0, 0}).is_zero());
+  UniPoly p = U({1, 0, 3});  // 3x^2 + 1
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_EQ(p.leading().to_int64(), 3);
+  EXPECT_EQ(p.to_string(), "3*x^2 + 1");
+  EXPECT_EQ(U({-1, 1}).to_string(), "x - 1");
+}
+
+TEST(UniPolyTest, FromPolynomialExtracts) {
+  PolyContext ctx{{"x", "y"}, OrderKind::kGrLex};
+  Polynomial p = parse_poly_or_die(ctx, "y^3 - 2*y + 5");
+  auto u = UniPoly::from_polynomial(ctx, p, 1);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->to_string("y"), "y^3 - 2*y + 5");
+  // Mixed polynomial is rejected.
+  EXPECT_FALSE(UniPoly::from_polynomial(ctx, parse_poly_or_die(ctx, "x*y + 1"), 1).has_value());
+  // Zero works.
+  EXPECT_TRUE(UniPoly::from_polynomial(ctx, Polynomial(), 0)->is_zero());
+}
+
+TEST(UniPolyTest, ArithmeticIdentities) {
+  UniPoly a = U({1, 2, 3});
+  UniPoly b = U({-1, 1});
+  EXPECT_TRUE(a.sub(a).is_zero());
+  EXPECT_EQ(a.add(b).to_string(), "3*x^2 + 3*x");
+  // (x − 1)(x + 1) = x² − 1
+  EXPECT_EQ(U({-1, 1}).mul(U({1, 1})).to_string(), "x^2 - 1");
+  // Distributivity on a random-ish case.
+  UniPoly c = U({4, 0, -2, 1});
+  EXPECT_EQ(a.mul(b.add(c)).sub(a.mul(b)).sub(a.mul(c)).degree(), -1);
+}
+
+TEST(UniPolyTest, DerivativePowerRule) {
+  EXPECT_EQ(U({7, 3, 0, 5}).derivative().to_string(), "15*x^2 + 3");
+  EXPECT_TRUE(U({42}).derivative().is_zero());
+  EXPECT_TRUE(UniPoly().derivative().is_zero());
+}
+
+TEST(UniPolyTest, GcdOfProducts) {
+  UniPoly f = U({-1, 1}).mul(U({1, 1}));          // (x−1)(x+1)
+  UniPoly g = U({-1, 1}).mul(U({2, 1}));          // (x−1)(x+2)
+  EXPECT_EQ(UniPoly::gcd(f, g).to_string(), "x - 1");
+  EXPECT_EQ(UniPoly::gcd(f, U({3})).degree(), 0);  // coprime => constant
+  EXPECT_EQ(UniPoly::gcd(UniPoly(), f).to_string(), f.to_string());
+}
+
+TEST(UniPolyTest, SquarefreePart) {
+  // (x−1)²(x+2) -> (x−1)(x+2) = x² + x − 2.
+  UniPoly p = U({-1, 1}).mul(U({-1, 1})).mul(U({2, 1}));
+  EXPECT_EQ(p.squarefree_part().to_string(), "x^2 + x - 2");
+  // Already squarefree: unchanged (primitive form).
+  EXPECT_EQ(U({-2, 0, 2}).squarefree_part().to_string(), "x^2 - 1");
+}
+
+TEST(UniPolyTest, EvaluateAndSign) {
+  UniPoly p = U({-2, 0, 1});  // x² − 2
+  EXPECT_EQ(p.sign_at(Rational(0)), -1);
+  EXPECT_EQ(p.sign_at(Rational(2)), 1);
+  EXPECT_EQ(p.sign_at(Rational(BigInt(3), BigInt(2))), 1);   // 9/4 − 2 > 0
+  EXPECT_EQ(p.sign_at(Rational(BigInt(7), BigInt(5))), -1);  // 49/25 − 2 < 0
+  EXPECT_EQ(U({-4, 0, 1}).sign_at(Rational(2)), 0);
+  EXPECT_EQ(p.evaluate(Rational(3)).to_string(), "7");
+}
+
+TEST(SturmTest, CountsDistinctRealRoots) {
+  // x² − 2: two real roots.
+  EXPECT_EQ(U({-2, 0, 1}).count_real_roots(), 2);
+  // x² + 1: none.
+  EXPECT_EQ(U({1, 0, 1}).count_real_roots(), 0);
+  // (x−1)²(x+2): two DISTINCT roots.
+  EXPECT_EQ(U({-1, 1}).mul(U({-1, 1})).mul(U({2, 1})).count_real_roots(), 2);
+  // x³ − x = x(x−1)(x+1): three.
+  EXPECT_EQ(U({0, -1, 0, 1}).count_real_roots(), 3);
+  // Wilkinson-ish: (x−1)(x−2)…(x−6): six.
+  UniPoly w = U({1});
+  for (std::int64_t r = 1; r <= 6; ++r) w = w.mul(U({-r, 1}));
+  EXPECT_EQ(w.count_real_roots(), 6);
+}
+
+TEST(SturmTest, CountsOnSubintervals) {
+  UniPoly p = U({0, -1, 0, 1});  // roots −1, 0, 1
+  EXPECT_EQ(p.count_real_roots(Rational(BigInt(-1), BigInt(2)), Rational(2)), 2);  // 0, 1
+  EXPECT_EQ(p.count_real_roots(Rational(-2), Rational(BigInt(-1), BigInt(2))), 1); // −1
+  EXPECT_EQ(p.count_real_roots(Rational(2), Rational(3)), 0);
+  // Half-open (lo, hi]: a root exactly at hi counts, at lo does not.
+  EXPECT_EQ(p.count_real_roots(Rational(0), Rational(1)), 1);
+  EXPECT_EQ(p.count_real_roots(Rational(-1), Rational(0)), 1);
+}
+
+TEST(SturmTest, RootBoundContainsRoots) {
+  UniPoly p = U({-100, 0, 1});  // roots ±10
+  Rational b = p.root_bound();
+  EXPECT_GE(b, Rational(10));
+  EXPECT_EQ(p.count_real_roots(-b, b), 2);
+}
+
+TEST(IsolationTest, IntervalsAreDisjointAndCorrect) {
+  UniPoly p = U({0, -1, 0, 1});  // roots −1, 0, 1
+  Rational w(BigInt(1), BigInt(4));
+  auto ivs = p.isolate_real_roots(w);
+  ASSERT_EQ(ivs.size(), 3u);
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_LT(ivs[i].lo, ivs[i].hi);
+    EXPECT_LE(ivs[i].hi - ivs[i].lo, w);
+    EXPECT_EQ(p.count_real_roots(ivs[i].lo, ivs[i].hi), 1);
+    if (i > 0) {
+      EXPECT_LE(ivs[i - 1].hi, ivs[i].lo);
+    }
+  }
+  // The known roots are covered in order.
+  EXPECT_LE(ivs[0].lo, Rational(-1));
+  EXPECT_LE(Rational(-1), ivs[0].hi);
+  EXPECT_LE(Rational(1), ivs[2].hi);
+}
+
+TEST(IsolationTest, NoRealRootsMeansNoIntervals) {
+  EXPECT_TRUE(U({1, 0, 1}).isolate_real_roots(Rational(BigInt(1), BigInt(8))).empty());
+}
+
+TEST(IsolationTest, SqrtTwoToTenBits) {
+  UniPoly p = U({-2, 0, 1});
+  Rational w(BigInt(1), BigInt(1024));
+  auto ivs = p.isolate_real_roots(w);
+  ASSERT_EQ(ivs.size(), 2u);
+  // The positive root interval brackets sqrt(2) ≈ 1.41421356…
+  double lo = ivs[1].lo.to_double();
+  double hi = ivs[1].hi.to_double();
+  EXPECT_LT(lo, 1.4142135624);
+  EXPECT_GT(hi, 1.4142135623);
+  EXPECT_LE(hi - lo, 1.0 / 1024 + 1e-12);
+}
+
+TEST(RationalRootsTest, FindsAllAndOnlyRationalRoots) {
+  // 6x³ + 5x² − 2x − 1 = (3x+1)(2x−... let's use (2x−1)(3x+1)(x+1)
+  UniPoly p = U({-1, 2}).mul(U({1, 3})).mul(U({1, 1}));
+  auto roots = p.rational_roots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_EQ(roots[0].to_string(), "-1");
+  EXPECT_EQ(roots[1].to_string(), "-1/3");
+  EXPECT_EQ(roots[2].to_string(), "1/2");
+  // x² − 2 has none; x³ has only 0.
+  EXPECT_TRUE(U({-2, 0, 1}).rational_roots().empty());
+  auto just_zero = U({0, 0, 0, 1}).rational_roots();
+  ASSERT_EQ(just_zero.size(), 1u);
+  EXPECT_TRUE(just_zero[0].is_zero());
+}
+
+class SturmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SturmPropertyTest, CountMatchesConstructedRoots) {
+  // Build products of random distinct linear factors (+ one irreducible
+  // quadratic sometimes) and check the count.
+  Rng rng(GetParam());
+  int nroots = 1 + static_cast<int>(rng.below(5));
+  std::set<std::int64_t> roots;
+  while (static_cast<int>(roots.size()) < nroots) {
+    roots.insert(static_cast<std::int64_t>(rng.below(21)) - 10);
+  }
+  UniPoly p = U({1});
+  for (std::int64_t r : roots) p = p.mul(U({-r, 1}));
+  bool add_complex = rng.below(2) == 1;
+  if (add_complex) p = p.mul(U({1, 0, 1}));  // x² + 1, no real roots
+  // Square one factor to test distinctness.
+  p = p.mul(U({-*roots.begin(), 1}));
+  EXPECT_EQ(p.count_real_roots(), nroots) << "seed " << GetParam();
+  auto ivs = p.isolate_real_roots(Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(static_cast<int>(ivs.size()), nroots);
+  auto rational = p.rational_roots();
+  EXPECT_EQ(static_cast<int>(rational.size()), nroots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SturmPropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gbd

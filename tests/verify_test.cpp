@@ -1,0 +1,102 @@
+// Tests for the verification oracles themselves — in particular the negative
+// cases (a broken oracle that always says yes would silently vouch for every
+// engine in the rest of the suite).
+#include "gb/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gb/sequential.hpp"
+#include "io/parse.hpp"
+#include "poly/reduce.hpp"
+#include "problems/problems.hpp"
+
+namespace gbd {
+namespace {
+
+PolyContext ctx3() { return PolyContext{{"x", "y", "z"}, OrderKind::kGrLex}; }
+
+Polynomial P(const PolyContext& c, std::string_view s) { return parse_poly_or_die(c, s); }
+
+TEST(VerifyTest, DetectsNonBasis) {
+  // {x^2 - y, x^3 - z} is not a Gröbner basis (its s-polynomial has normal
+  // form x*z - y^2 != 0... actually xy - z; either way nonzero).
+  PolyContext c = ctx3();
+  std::vector<Polynomial> not_gb = {P(c, "x^2 - y"), P(c, "x^3 - z")};
+  std::string why;
+  EXPECT_FALSE(is_groebner_basis(c, not_gb, &why));
+  EXPECT_NE(why.find("does not reduce to zero"), std::string::npos);
+}
+
+TEST(VerifyTest, AcceptsKnownBasis) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> gb = {P(c, "x^2 - y"), P(c, "x*y - z"), P(c, "x*z - y^2"),
+                                P(c, "y^3 - z^2")};
+  EXPECT_TRUE(is_groebner_basis(c, gb));
+}
+
+TEST(VerifyTest, RejectsZeroElement) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> with_zero = {P(c, "x"), Polynomial()};
+  std::string why;
+  EXPECT_FALSE(is_groebner_basis(c, with_zero, &why));
+  EXPECT_NE(why.find("zero polynomial"), std::string::npos);
+}
+
+TEST(VerifyTest, SingletonAndEmptyAreBases) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> empty;
+  EXPECT_TRUE(is_groebner_basis(c, empty));
+  std::vector<Polynomial> one = {P(c, "x^2 + y*z - 1")};
+  EXPECT_TRUE(is_groebner_basis(c, one));
+}
+
+TEST(VerifyTest, IdealMembership) {
+  PolyContext c = ctx3();
+  PolySystem sys;
+  sys.ctx = c;
+  sys.polys = {P(c, "x^2 - y"), P(c, "x*y - z")};
+  std::vector<Polynomial> gb = groebner_sequential(sys).basis;
+
+  // Members: combinations of generators.
+  EXPECT_TRUE(ideal_contains(c, gb, P(c, "(x^2 - y)*(z + 3)")));
+  EXPECT_TRUE(ideal_contains(c, gb, P(c, "x*(x^2 - y) - (x*y - z) + 0")));
+  EXPECT_TRUE(ideal_contains(c, gb, Polynomial()));
+  // Non-members.
+  EXPECT_FALSE(ideal_contains(c, gb, P(c, "x")));
+  EXPECT_FALSE(ideal_contains(c, gb, P(c, "1")));
+  EXPECT_FALSE(ideal_contains(c, gb, P(c, "x^2 - y + 1")));
+}
+
+TEST(VerifyTest, SameIdealDistinguishes) {
+  PolyContext c = ctx3();
+  PolySystem a, b, d;
+  a.ctx = b.ctx = d.ctx = c;
+  a.polys = {P(c, "x - y")};
+  b.polys = {P(c, "2*x - 2*y")};       // same ideal, different generator
+  d.polys = {P(c, "x - y"), P(c, "z")};  // strictly bigger ideal
+  auto ga = groebner_sequential(a).basis;
+  auto gb = groebner_sequential(b).basis;
+  auto gd = groebner_sequential(d).basis;
+  EXPECT_TRUE(same_ideal(c, ga, gb));
+  EXPECT_FALSE(same_ideal(c, ga, gd));
+  EXPECT_FALSE(same_ideal(c, gd, ga));
+}
+
+TEST(VerifyTest, FullCertificateCatchesMissingInput) {
+  PolyContext c = ctx3();
+  std::vector<Polynomial> inputs = {P(c, "x"), P(c, "y")};
+  std::vector<Polynomial> basis = {P(c, "x")};  // a GB, but not of the inputs' ideal
+  std::string why;
+  EXPECT_FALSE(verify_groebner_result(c, inputs, basis, &why));
+  EXPECT_NE(why.find("not in the output ideal"), std::string::npos);
+}
+
+TEST(VerifyTest, FullCertificatePassesOnRealRun) {
+  PolySystem sys = load_problem("pavelle4");
+  SequentialResult res = groebner_sequential(sys);
+  std::string why;
+  EXPECT_TRUE(verify_groebner_result(sys.ctx, sys.polys, res.basis, &why)) << why;
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_speedup_small.dir/fig7a_speedup_small.cpp.o"
+  "CMakeFiles/fig7a_speedup_small.dir/fig7a_speedup_small.cpp.o.d"
+  "fig7a_speedup_small"
+  "fig7a_speedup_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_speedup_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_speedup_synthetic.dir/fig7b_speedup_synthetic.cpp.o"
+  "CMakeFiles/fig7b_speedup_synthetic.dir/fig7b_speedup_synthetic.cpp.o.d"
+  "fig7b_speedup_synthetic"
+  "fig7b_speedup_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_speedup_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

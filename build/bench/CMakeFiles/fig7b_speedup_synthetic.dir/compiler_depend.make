@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7b_speedup_synthetic.
+# This may be replaced when dependencies are built.

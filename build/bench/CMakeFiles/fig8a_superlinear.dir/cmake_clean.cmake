@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_superlinear.dir/fig8a_superlinear.cpp.o"
+  "CMakeFiles/fig8a_superlinear.dir/fig8a_superlinear.cpp.o.d"
+  "fig8a_superlinear"
+  "fig8a_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

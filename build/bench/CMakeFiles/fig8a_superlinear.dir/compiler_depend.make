@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8a_superlinear.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_normalized_speedup.dir/fig8b_normalized_speedup.cpp.o"
+  "CMakeFiles/fig8b_normalized_speedup.dir/fig8b_normalized_speedup.cpp.o.d"
+  "fig8b_normalized_speedup"
+  "fig8b_normalized_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_normalized_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_overheads.dir/misc_overheads.cpp.o"
+  "CMakeFiles/misc_overheads.dir/misc_overheads.cpp.o.d"
+  "misc_overheads"
+  "misc_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for misc_overheads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pipeline_limits.dir/table1_pipeline_limits.cpp.o"
+  "CMakeFiles/table1_pipeline_limits.dir/table1_pipeline_limits.cpp.o.d"
+  "table1_pipeline_limits"
+  "table1_pipeline_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pipeline_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_pipeline_limits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_added_zeroed.dir/table2_added_zeroed.cpp.o"
+  "CMakeFiles/table2_added_zeroed.dir/table2_added_zeroed.cpp.o.d"
+  "table2_added_zeroed"
+  "table2_added_zeroed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_added_zeroed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

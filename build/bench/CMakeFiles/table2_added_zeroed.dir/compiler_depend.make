@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_added_zeroed.
+# This may be replaced when dependencies are built.

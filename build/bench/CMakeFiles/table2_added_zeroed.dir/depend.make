@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_added_zeroed.
+# This may be replaced when dependencies are built.

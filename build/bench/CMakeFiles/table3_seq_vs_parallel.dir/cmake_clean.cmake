@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_seq_vs_parallel.dir/table3_seq_vs_parallel.cpp.o"
+  "CMakeFiles/table3_seq_vs_parallel.dir/table3_seq_vs_parallel.cpp.o.d"
+  "table3_seq_vs_parallel"
+  "table3_seq_vs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_seq_vs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

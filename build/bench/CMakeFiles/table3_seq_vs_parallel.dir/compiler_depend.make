@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_seq_vs_parallel.
+# This may be replaced when dependencies are built.

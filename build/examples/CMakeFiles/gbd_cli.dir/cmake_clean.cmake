@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_cli.dir/gbd_cli.cpp.o"
+  "CMakeFiles/gbd_cli.dir/gbd_cli.cpp.o.d"
+  "gbd"
+  "gbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_proof.dir/geometry_proof.cpp.o"
+  "CMakeFiles/geometry_proof.dir/geometry_proof.cpp.o.d"
+  "geometry_proof"
+  "geometry_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

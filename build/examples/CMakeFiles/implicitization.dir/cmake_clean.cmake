@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicitization.dir/implicitization.cpp.o"
+  "CMakeFiles/implicitization.dir/implicitization.cpp.o.d"
+  "implicitization"
+  "implicitization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_system.dir/solve_system.cpp.o"
+  "CMakeFiles/solve_system.dir/solve_system.cpp.o.d"
+  "solve_system"
+  "solve_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_basis.dir/hybrid_basis.cpp.o"
+  "CMakeFiles/gbd_basis.dir/hybrid_basis.cpp.o.d"
+  "CMakeFiles/gbd_basis.dir/replicated_basis.cpp.o"
+  "CMakeFiles/gbd_basis.dir/replicated_basis.cpp.o.d"
+  "libgbd_basis.a"
+  "libgbd_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/gbd_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/gbd_bigint.dir/rational.cpp.o"
+  "CMakeFiles/gbd_bigint.dir/rational.cpp.o.d"
+  "libgbd_bigint.a"
+  "libgbd_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gb/engine_common.cpp" "src/gb/CMakeFiles/gbd_gb.dir/engine_common.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/engine_common.cpp.o.d"
+  "/root/repo/src/gb/pairs.cpp" "src/gb/CMakeFiles/gbd_gb.dir/pairs.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/pairs.cpp.o.d"
+  "/root/repo/src/gb/parallel.cpp" "src/gb/CMakeFiles/gbd_gb.dir/parallel.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/parallel.cpp.o.d"
+  "/root/repo/src/gb/pipeline.cpp" "src/gb/CMakeFiles/gbd_gb.dir/pipeline.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/pipeline.cpp.o.d"
+  "/root/repo/src/gb/sequential.cpp" "src/gb/CMakeFiles/gbd_gb.dir/sequential.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/sequential.cpp.o.d"
+  "/root/repo/src/gb/shared_memory.cpp" "src/gb/CMakeFiles/gbd_gb.dir/shared_memory.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/shared_memory.cpp.o.d"
+  "/root/repo/src/gb/trace.cpp" "src/gb/CMakeFiles/gbd_gb.dir/trace.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/trace.cpp.o.d"
+  "/root/repo/src/gb/transition.cpp" "src/gb/CMakeFiles/gbd_gb.dir/transition.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/transition.cpp.o.d"
+  "/root/repo/src/gb/verify.cpp" "src/gb/CMakeFiles/gbd_gb.dir/verify.cpp.o" "gcc" "src/gb/CMakeFiles/gbd_gb.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/gbd_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gbd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/gbd_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gbd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gbd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskq/CMakeFiles/gbd_taskq.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/gbd_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/gbd_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_gb.dir/engine_common.cpp.o"
+  "CMakeFiles/gbd_gb.dir/engine_common.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/pairs.cpp.o"
+  "CMakeFiles/gbd_gb.dir/pairs.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/parallel.cpp.o"
+  "CMakeFiles/gbd_gb.dir/parallel.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/pipeline.cpp.o"
+  "CMakeFiles/gbd_gb.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/sequential.cpp.o"
+  "CMakeFiles/gbd_gb.dir/sequential.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/shared_memory.cpp.o"
+  "CMakeFiles/gbd_gb.dir/shared_memory.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/trace.cpp.o"
+  "CMakeFiles/gbd_gb.dir/trace.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/transition.cpp.o"
+  "CMakeFiles/gbd_gb.dir/transition.cpp.o.d"
+  "CMakeFiles/gbd_gb.dir/verify.cpp.o"
+  "CMakeFiles/gbd_gb.dir/verify.cpp.o.d"
+  "libgbd_gb.a"
+  "libgbd_gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_io.dir/parse.cpp.o"
+  "CMakeFiles/gbd_io.dir/parse.cpp.o.d"
+  "libgbd_io.a"
+  "libgbd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

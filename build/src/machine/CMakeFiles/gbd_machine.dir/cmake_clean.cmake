@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_machine.dir/sim_machine.cpp.o"
+  "CMakeFiles/gbd_machine.dir/sim_machine.cpp.o.d"
+  "CMakeFiles/gbd_machine.dir/thread_machine.cpp.o"
+  "CMakeFiles/gbd_machine.dir/thread_machine.cpp.o.d"
+  "libgbd_machine.a"
+  "libgbd_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/certificate.cpp" "src/poly/CMakeFiles/gbd_poly.dir/certificate.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/certificate.cpp.o.d"
+  "/root/repo/src/poly/monomial.cpp" "src/poly/CMakeFiles/gbd_poly.dir/monomial.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/monomial.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/poly/CMakeFiles/gbd_poly.dir/polynomial.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/polynomial.cpp.o.d"
+  "/root/repo/src/poly/reduce.cpp" "src/poly/CMakeFiles/gbd_poly.dir/reduce.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/reduce.cpp.o.d"
+  "/root/repo/src/poly/spoly.cpp" "src/poly/CMakeFiles/gbd_poly.dir/spoly.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/spoly.cpp.o.d"
+  "/root/repo/src/poly/univariate.cpp" "src/poly/CMakeFiles/gbd_poly.dir/univariate.cpp.o" "gcc" "src/poly/CMakeFiles/gbd_poly.dir/univariate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/gbd_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_poly.dir/certificate.cpp.o"
+  "CMakeFiles/gbd_poly.dir/certificate.cpp.o.d"
+  "CMakeFiles/gbd_poly.dir/monomial.cpp.o"
+  "CMakeFiles/gbd_poly.dir/monomial.cpp.o.d"
+  "CMakeFiles/gbd_poly.dir/polynomial.cpp.o"
+  "CMakeFiles/gbd_poly.dir/polynomial.cpp.o.d"
+  "CMakeFiles/gbd_poly.dir/reduce.cpp.o"
+  "CMakeFiles/gbd_poly.dir/reduce.cpp.o.d"
+  "CMakeFiles/gbd_poly.dir/spoly.cpp.o"
+  "CMakeFiles/gbd_poly.dir/spoly.cpp.o.d"
+  "CMakeFiles/gbd_poly.dir/univariate.cpp.o"
+  "CMakeFiles/gbd_poly.dir/univariate.cpp.o.d"
+  "libgbd_poly.a"
+  "libgbd_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/problems.cpp" "src/problems/CMakeFiles/gbd_problems.dir/problems.cpp.o" "gcc" "src/problems/CMakeFiles/gbd_problems.dir/problems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/gbd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/gbd_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/gbd_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_problems.dir/problems.cpp.o"
+  "CMakeFiles/gbd_problems.dir/problems.cpp.o.d"
+  "libgbd_problems.a"
+  "libgbd_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

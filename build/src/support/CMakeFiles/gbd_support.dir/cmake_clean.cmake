@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_support.dir/cost.cpp.o"
+  "CMakeFiles/gbd_support.dir/cost.cpp.o.d"
+  "CMakeFiles/gbd_support.dir/table.cpp.o"
+  "CMakeFiles/gbd_support.dir/table.cpp.o.d"
+  "libgbd_support.a"
+  "libgbd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbd_taskq.dir/taskq.cpp.o"
+  "CMakeFiles/gbd_taskq.dir/taskq.cpp.o.d"
+  "libgbd_taskq.a"
+  "libgbd_taskq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbd_taskq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gbd_taskq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_topology_test.dir/deep_topology_test.cpp.o"
+  "CMakeFiles/deep_topology_test.dir/deep_topology_test.cpp.o.d"
+  "deep_topology_test"
+  "deep_topology_test.pdb"
+  "deep_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elim_order_test.dir/elim_order_test.cpp.o"
+  "CMakeFiles/elim_order_test.dir/elim_order_test.cpp.o.d"
+  "elim_order_test"
+  "elim_order_test.pdb"
+  "elim_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elim_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

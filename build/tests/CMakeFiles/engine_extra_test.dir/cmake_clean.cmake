@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extra_test.dir/engine_extra_test.cpp.o"
+  "CMakeFiles/engine_extra_test.dir/engine_extra_test.cpp.o.d"
+  "engine_extra_test"
+  "engine_extra_test.pdb"
+  "engine_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

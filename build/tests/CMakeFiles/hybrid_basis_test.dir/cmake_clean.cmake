@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_basis_test.dir/hybrid_basis_test.cpp.o"
+  "CMakeFiles/hybrid_basis_test.dir/hybrid_basis_test.cpp.o.d"
+  "hybrid_basis_test"
+  "hybrid_basis_test.pdb"
+  "hybrid_basis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_basis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

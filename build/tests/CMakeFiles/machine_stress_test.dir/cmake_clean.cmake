@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_stress_test.dir/machine_stress_test.cpp.o"
+  "CMakeFiles/machine_stress_test.dir/machine_stress_test.cpp.o.d"
+  "machine_stress_test"
+  "machine_stress_test.pdb"
+  "machine_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_test.dir/machine_test.cpp.o"
+  "CMakeFiles/machine_test.dir/machine_test.cpp.o.d"
+  "machine_test"
+  "machine_test.pdb"
+  "machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monomial_test.cpp" "tests/CMakeFiles/monomial_test.dir/monomial_test.cpp.o" "gcc" "tests/CMakeFiles/monomial_test.dir/monomial_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gb/CMakeFiles/gbd_gb.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/gbd_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskq/CMakeFiles/gbd_taskq.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gbd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/gbd_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gbd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/gbd_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/gbd_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

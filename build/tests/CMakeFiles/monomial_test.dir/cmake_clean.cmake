@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monomial_test.dir/monomial_test.cpp.o"
+  "CMakeFiles/monomial_test.dir/monomial_test.cpp.o.d"
+  "monomial_test"
+  "monomial_test.pdb"
+  "monomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

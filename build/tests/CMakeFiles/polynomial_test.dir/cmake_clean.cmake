@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_test.dir/polynomial_test.cpp.o"
+  "CMakeFiles/polynomial_test.dir/polynomial_test.cpp.o.d"
+  "polynomial_test"
+  "polynomial_test.pdb"
+  "polynomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problems_test.dir/problems_test.cpp.o"
+  "CMakeFiles/problems_test.dir/problems_test.cpp.o.d"
+  "problems_test"
+  "problems_test.pdb"
+  "problems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskq_test.dir/taskq_test.cpp.o"
+  "CMakeFiles/taskq_test.dir/taskq_test.cpp.o.d"
+  "taskq_test"
+  "taskq_test.pdb"
+  "taskq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

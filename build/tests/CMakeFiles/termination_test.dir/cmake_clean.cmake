@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_test.dir/termination_test.cpp.o"
+  "CMakeFiles/termination_test.dir/termination_test.cpp.o.d"
+  "termination_test"
+  "termination_test.pdb"
+  "termination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_test.dir/transition_test.cpp.o"
+  "CMakeFiles/transition_test.dir/transition_test.cpp.o.d"
+  "transition_test"
+  "transition_test.pdb"
+  "transition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

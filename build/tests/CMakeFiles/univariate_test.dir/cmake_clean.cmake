@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/univariate_test.dir/univariate_test.cpp.o"
+  "CMakeFiles/univariate_test.dir/univariate_test.cpp.o.d"
+  "univariate_test"
+  "univariate_test.pdb"
+  "univariate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/univariate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/monomial_test[1]_include.cmake")
+include("/root/repo/build/tests/polynomial_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/parse_test[1]_include.cmake")
+include("/root/repo/build/tests/problems_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/taskq_test[1]_include.cmake")
+include("/root/repo/build/tests/basis_test[1]_include.cmake")
+include("/root/repo/build/tests/sequential_test[1]_include.cmake")
+include("/root/repo/build/tests/transition_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_basis_test[1]_include.cmake")
+include("/root/repo/build/tests/termination_test[1]_include.cmake")
+include("/root/repo/build/tests/contracts_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/certificate_test[1]_include.cmake")
+include("/root/repo/build/tests/univariate_test[1]_include.cmake")
+include("/root/repo/build/tests/elim_order_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/deep_topology_test[1]_include.cmake")

@@ -1,17 +1,16 @@
 #include "basis/replicated_basis.hpp"
 
+#include "machine/chaos.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
 
 ReplicatedBasis::ReplicatedBasis(Proc& self) : self_(self), reducer_view_(this) {
   self_.on(kBaInvalidate, [this](Proc&, int src, Reader& r) { on_invalidate(src, r); });
-  self_.on(kBaInvAck, [this](Proc&, int, Reader&) {
-    GBD_CHECK_MSG(acks_missing_ > 0, "unexpected invalidation ack");
-    acks_missing_ -= 1;
-  });
+  self_.on(kBaInvAck, [this](Proc&, int src, Reader& r) { on_inv_ack(src, r); });
   self_.on(kBaFetch, [this](Proc&, int src, Reader& r) { on_fetch(src, r); });
   self_.on(kBaBody, [this](Proc&, int, Reader& r) { on_body(r); });
+  ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
 }
 
 void ReplicatedBasis::preload(PolyId id, Polynomial poly) {
@@ -60,6 +59,9 @@ PolyId ReplicatedBasis::begin_add(Polynomial poly) {
   Monomial head = poly.hmono();
   store(id, std::move(poly));
   acks_missing_ = self_.nprocs() - 1;
+  add_in_flight_ = id;
+  ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
+  if (acks_missing_ == 0) completed_adds_.push_back(id);  // 1-proc degenerate add
   for (int p = 0; p < self_.nprocs(); ++p) {
     if (p == self_.id()) continue;
     Writer w;
@@ -74,14 +76,41 @@ PolyId ReplicatedBasis::begin_add(Polynomial poly) {
 void ReplicatedBasis::on_invalidate(int src, Reader& r) {
   PolyId id = r.u64();
   Monomial head = Monomial::read(r);
+  Writer ack;
+  ack.u64(id);
+  // Injected fault (chaos harness only): acknowledge the invalidation but
+  // "lose" it before applying — the classic ack-before-apply lost update. The
+  // coherence checker must catch this; see ChaosConfig::fault_drop_invalidate.
+  const ChaosConfig* chaos = self_.chaos();
+  if (chaos != nullptr && chaos->fault_drop_invalidate_permille > 0) {
+    std::uint64_t draw = chaos_mix2(chaos->seed ^ 0x464449ULL,
+                                    (static_cast<std::uint64_t>(self_.id()) << 40) ^ fault_draws_++);
+    if (draw % 1000 < chaos->fault_drop_invalidate_permille) {
+      self_.send(src, kBaInvAck, ack.take());
+      return;
+    }
+  }
   announce(id, head);
   // The body may already be resident if a fetched copy overtook the
   // invalidation (delivery is by arrival time, not FIFO).
   if (replica_.find(id) == replica_.end()) {
     shadow_.emplace(id, std::move(head));
   }
-  self_.send(src, kBaInvAck, {});
+  self_.send(src, kBaInvAck, ack.take());
   if (on_invalidate_) on_invalidate_(id);
+}
+
+void ReplicatedBasis::on_inv_ack(int src, Reader& r) {
+  PolyId id = r.u64();
+  // Acks are counted once per (id, processor): a duplicated delivery (chaos
+  // mode) or an ack for a previous, already-completed add is ignored rather
+  // than corrupting the in-flight count.
+  if (id != add_in_flight_ || acks_missing_ == 0) return;
+  auto s = static_cast<std::size_t>(src);
+  if (s >= ack_seen_.size() || ack_seen_[s]) return;
+  ack_seen_[s] = true;
+  acks_missing_ -= 1;
+  if (acks_missing_ == 0) completed_adds_.push_back(id);
 }
 
 void ReplicatedBasis::begin_validate() {
@@ -121,22 +150,31 @@ void ReplicatedBasis::on_body(Reader& r) {
   PolyId id = r.u64();
   Polynomial poly = Polynomial::read(r);
   stats_.bodies_received += 1;
-  shadow_.erase(id);
   fetch_in_flight_.erase(id);
-  // Serve children waiting on this id before storing-copy semantics matter.
+  std::vector<int> children;
   auto pend = pending_requesters_.find(id);
   if (pend != pending_requesters_.end()) {
+    children = std::move(pend->second);
+    pending_requesters_.erase(pend);
+  }
+  std::vector<std::uint8_t> payload;
+  if (!children.empty()) {
     Writer w;
     w.u64(id);
     poly.write(w);
-    const std::vector<std::uint8_t> payload = w.take();
-    for (int child : pend->second) {
-      self_.send(child, kBaBody, payload);
-      stats_.bodies_forwarded += 1;
-    }
-    pending_requesters_.erase(pend);
+    payload = w.take();
   }
+  // Store before erasing the shadow entry, and only then forward to waiting
+  // children. send() is a scheduling point, and the original erase-forward-
+  // store order left a window where the id was in neither the shadow set nor
+  // the replica — a transiently "unknown" element that the chaos harness's
+  // coherence sweep caught (a completed AddToSet demands known-everywhere).
   store(id, std::move(poly));
+  shadow_.erase(id);
+  for (int child : children) {
+    self_.send(child, kBaBody, payload);
+    stats_.bodies_forwarded += 1;
+  }
 }
 
 const Polynomial* ReplicatedBasis::ReducerView::find_reducer(const Monomial& m,

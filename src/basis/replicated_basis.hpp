@@ -41,9 +41,13 @@
 namespace gbd {
 
 /// Handler-id block 120..123 (reserved; see taskq.hpp for the convention).
+/// All four message types are idempotent: the ack carries the invalidated id
+/// and the adder counts at most one ack per (id, processor), so duplicated
+/// or reordered deliveries (chaos mode, or a retrying transport) never
+/// corrupt the add protocol.
 enum BasisHandlers : HandlerId {
   kBaInvalidate = 120,  ///< new basis element announcement (id + head monomial)
-  kBaInvAck = 121,      ///< invalidation acknowledgement
+  kBaInvAck = 121,      ///< invalidation acknowledgement (carries the id)
   kBaFetch = 122,       ///< body request, routed up the owner-rooted tree
   kBaBody = 123,        ///< body reply, unwinds the pending-requester chain
 };
@@ -101,6 +105,12 @@ class ReplicatedBasis final : public BasisStore {
   /// the engine can notice that its replica went stale mid-task.
   void set_invalidate_hook(std::function<void(PolyId)> hook) { on_invalidate_ = std::move(hook); }
 
+  /// Ids whose AddToSet completed *here* (all acks in). By the protocol,
+  /// completion proves every processor has processed the INVALIDATE, so a
+  /// coherence checker may assert each of these ids is known machine-wide —
+  /// the invariant the §4.1.2 acks exist to establish.
+  const std::vector<PolyId>& completed_adds() const { return completed_adds_; }
+
  private:
   class ReducerView final : public ReducerSet {
    public:
@@ -119,6 +129,7 @@ class ReplicatedBasis final : public BasisStore {
   void request_body(PolyId id);
 
   void on_invalidate(int src, Reader& r);
+  void on_inv_ack(int src, Reader& r);
   void on_fetch(int src, Reader& r);
   void on_body(Reader& r);
 
@@ -134,6 +145,10 @@ class ReplicatedBasis final : public BasisStore {
 
   std::uint32_t next_local_seq_ = 0;
   int acks_missing_ = 0;
+  PolyId add_in_flight_ = 0;        ///< id of the add currently collecting acks
+  std::vector<bool> ack_seen_;      ///< per-proc, for the in-flight add only
+  std::vector<PolyId> completed_adds_;
+  std::uint64_t fault_draws_ = 0;   ///< chaos fault-injection draw counter
 
   std::function<void(PolyId)> on_invalidate_;
   ReducerView reducer_view_;

@@ -8,6 +8,7 @@
 #include "basis/hybrid_basis.hpp"
 #include "basis/replicated_basis.hpp"
 #include "gb/pairs.hpp"
+#include "machine/invariants.hpp"
 #include "machine/thread_machine.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
@@ -18,6 +19,19 @@
 namespace gbd {
 
 namespace {
+
+/// Machine-wide record of executed task uids, for the no-double-execution
+/// invariant. Mutex-guarded so ThreadMachine workers may share it too.
+struct TaskLedger {
+  std::mutex mu;
+  std::set<std::uint64_t> executed;
+
+  /// Returns true iff uid was already recorded (i.e. this is a double run).
+  bool record(std::uint64_t uid) {
+    std::lock_guard<std::mutex> g(mu);
+    return !executed.insert(uid).second;
+  }
+};
 
 /// A pair task: the two polynomial ids plus their head monomials, carried so
 /// the receiving processor can evaluate the elimination criteria and the
@@ -77,11 +91,14 @@ enum class AugState { kIdle, kWaitLock, kValidating, kAdding };
 class GlpWorker {
  public:
   GlpWorker(Proc& self, const PolySystem& sys, const ParallelConfig& cfg,
-            const std::vector<std::pair<PolyId, Polynomial>>& inputs, ProcOutput* out)
+            const std::vector<std::pair<PolyId, Polynomial>>& inputs, ProcOutput* out,
+            InvariantMonitor* monitor = nullptr, TaskLedger* ledger = nullptr)
       : self_(self),
         sys_(sys),
         cfg_(cfg),
         out_(out),
+        monitor_(monitor),
+        ledger_(ledger),
         basis_owned_(make_store(self, cfg)),
         basis_(*basis_owned_),
         lock_mgr_(self.id() == 0 ? std::make_optional<LockManager>(self) : std::nullopt),
@@ -89,6 +106,15 @@ class GlpWorker {
         queue_(self, &sys.ctx, [this] { return app_idle(); }, taskq_config(cfg)) {
     for (const auto& [id, poly] : inputs) basis_.preload(id, poly);
   }
+
+  // --- invariant-checker views (read-only; see run_on_machine) ---------------
+
+  /// The basis as a ReplicatedBasis, or null under the hybrid store.
+  const ReplicatedBasis* replicated_basis() const {
+    return dynamic_cast<const ReplicatedBasis*>(basis_owned_.get());
+  }
+  const DistTaskQueue& taskq() const { return queue_; }
+  bool app_idle_now() const { return app_idle(); }
 
   void run() {
     seed_initial_pairs();
@@ -132,8 +158,20 @@ class GlpWorker {
           break;
       }
       if (finishing_) {
-        GBD_CHECK_MSG(pending_.empty() && suspended_.empty() && stalled_.empty(),
-                      "terminated with unfinished local work — protocol bug");
+        if (!(pending_.empty() && suspended_.empty() && stalled_.empty())) {
+          // Under a monitor this is recorded as a violation (the fuzz driver
+          // wants the replay string, not an abort); otherwise it is fatal.
+          if (monitor_ != nullptr) {
+            monitor_->note("termination-unfinished-work",
+                           "proc " + std::to_string(self_.id()) +
+                               " terminated with unfinished local work (suspended=" +
+                               std::to_string(suspended_.size()) + " stalled=" +
+                               std::to_string(stalled_.size()) + " pending=" +
+                               std::to_string(pending_.size()) + ")");
+            break;
+          }
+          GBD_CHECK_MSG(false, "terminated with unfinished local work — protocol bug");
+        }
         break;
       }
     }
@@ -145,10 +183,34 @@ class GlpWorker {
   }
 
  private:
-  static TaskQueueConfig taskq_config(const ParallelConfig& cfg) {
+  TaskQueueConfig taskq_config(const ParallelConfig& cfg) {
     TaskQueueConfig tq = cfg.taskq;
     tq.coordinator = 0;
     tq.selection = cfg.gb.selection;
+    if (monitor_ != nullptr) {
+      // Conservation hook: every task uid must be executed exactly once,
+      // machine-wide, across any pattern of steals and pushes.
+      tq.on_dequeue = [this](std::uint64_t uid) {
+        if (ledger_ != nullptr && ledger_->record(uid)) {
+          monitor_->note("task-double-execution",
+                         "task uid " + std::to_string(uid) + " dequeued twice (second time on proc " +
+                             std::to_string(self_.id()) + ")");
+        }
+      };
+      // Termination-safety hook: when the announcement reaches this
+      // processor, the double-wave (or white token circuit) has already
+      // proved global idleness and enq == deq, both stable — so finding any
+      // local task, or any suspended/stalled/pending work, here means the
+      // coordinator announced while work was still in flight.
+      tq.on_announce = [this] {
+        if (queue_.local_size() != 0 || !app_idle()) {
+          monitor_->note("premature-announce",
+                         "proc " + std::to_string(self_.id()) +
+                             " learned of termination while still holding work (local=" +
+                             std::to_string(queue_.local_size()) + ")");
+        }
+      };
+    }
     return tq;
   }
 
@@ -498,6 +560,8 @@ class GlpWorker {
   const PolySystem& sys_;
   const ParallelConfig& cfg_;
   ProcOutput* out_;
+  InvariantMonitor* monitor_ = nullptr;
+  TaskLedger* ledger_ = nullptr;
 
   static std::unique_ptr<BasisStore> make_store(Proc& self, const ParallelConfig& cfg) {
     if (cfg.basis_mode == BasisMode::kHybrid) {
@@ -533,6 +597,83 @@ class GlpWorker {
   bool finishing_ = false;
 };
 
+/// Register the three protocol invariants over the (lazily filled) worker
+/// vector. Every check skips cleanly while any processor has not constructed
+/// its worker yet; the quiescence sweep always sees all of them.
+void register_invariants(InvariantMonitor& monitor,
+                         const std::vector<std::unique_ptr<GlpWorker>>& workers) {
+  // Replicated-basis coherence: an AddToSet that completed (all acks in)
+  // proves every processor processed the INVALIDATE — so the id must be
+  // known machine-wide, and wherever the body is resident it must be
+  // byte-identical to every other resident copy.
+  monitor.add_check("basis-coherence", [&workers]() -> std::string {
+    for (const auto& wp : workers) {
+      if (wp == nullptr) return "";
+    }
+    for (std::size_t p = 0; p < workers.size(); ++p) {
+      const ReplicatedBasis* rb = workers[p]->replicated_basis();
+      if (rb == nullptr) continue;  // hybrid store: no replication invariant
+      for (PolyId id : rb->completed_adds()) {
+        const Polynomial* ref = rb->find(id);
+        for (std::size_t q = 0; q < workers.size(); ++q) {
+          const ReplicatedBasis* ob = workers[q]->replicated_basis();
+          if (ob == nullptr) continue;
+          if (!ob->known(id)) {
+            return "add of id " + std::to_string(id) + " completed on proc " + std::to_string(p) +
+                   " but proc " + std::to_string(q) + " never saw the invalidation";
+          }
+          const Polynomial* body = ob->find(id);
+          if (ref != nullptr && body != nullptr && !ref->equals(*body)) {
+            return "replicas of id " + std::to_string(id) + " diverge between proc " +
+                   std::to_string(p) + " and proc " + std::to_string(q);
+          }
+        }
+      }
+    }
+    return "";
+  });
+  // Task-queue conservation: no task lost or double-counted. At any
+  // consistent snapshot every enqueued task is either dequeued, resting in
+  // some local queue, or serialized inside an in-flight grant/push message
+  // (counted by migrated-out minus migrated-in). Written add-only to dodge
+  // unsigned underflow.
+  monitor.add_check("task-conservation", [&workers]() -> std::string {
+    std::uint64_t enq = 0, deq = 0, local = 0, mig_out = 0, mig_in = 0;
+    for (const auto& wp : workers) {
+      if (wp == nullptr) return "";
+      const TaskQueueStats& st = wp->taskq().stats();
+      enq += st.enqueued;
+      deq += st.dequeued;
+      local += wp->taskq().local_size();
+      mig_out += st.tasks_migrated;
+      mig_in += st.tasks_migrated_in;
+    }
+    if (enq + mig_in != deq + local + mig_out) {
+      return "task conservation broken: enqueued=" + std::to_string(enq) + " dequeued=" +
+             std::to_string(deq) + " resting=" + std::to_string(local) + " migrated_out=" +
+             std::to_string(mig_out) + " migrated_in=" + std::to_string(mig_in);
+    }
+    return "";
+  });
+  // Termination safety: announcement is stable and final — once any endpoint
+  // has heard it, no processor may hold a task (queued, suspended, stalled,
+  // pending or executing) ever again.
+  monitor.add_check("termination-safety", [&workers]() -> std::string {
+    bool announced = false;
+    for (const auto& wp : workers) {
+      if (wp == nullptr) return "";
+      announced = announced || wp->taskq().terminated();
+    }
+    if (!announced) return "";
+    for (std::size_t p = 0; p < workers.size(); ++p) {
+      if (workers[p]->taskq().local_size() != 0 || !workers[p]->app_idle_now()) {
+        return "termination announced but proc " + std::to_string(p) + " still holds work";
+      }
+    }
+    return "";
+  });
+}
+
 ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
                               const ParallelConfig& cfg) {
   GBD_CHECK_MSG(!cfg.reserve_coordinator || cfg.nprocs >= 2,
@@ -549,9 +690,22 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
   }
 
   std::vector<ProcOutput> outputs(static_cast<std::size_t>(cfg.nprocs));
+  // Workers are heap-allocated and owned here (not on the proc threads'
+  // stacks) so invariant sweeps — including the final one after quiescence —
+  // can safely read every processor's application state.
+  std::vector<std::unique_ptr<GlpWorker>> workers(static_cast<std::size_t>(cfg.nprocs));
+  InvariantMonitor monitor(cfg.invariant_period);
+  TaskLedger ledger;
+  InvariantMonitor* mon = cfg.check_invariants ? &monitor : nullptr;
+  if (mon != nullptr) {
+    machine.set_monitor(mon);
+    register_invariants(monitor, workers);
+  }
   auto worker = [&](Proc& self) {
-    GlpWorker w(self, sys, cfg, inputs, &outputs[static_cast<std::size_t>(self.id())]);
-    w.run();
+    auto& slot = workers[static_cast<std::size_t>(self.id())];
+    slot = std::make_unique<GlpWorker>(self, sys, cfg, inputs,
+                                       &outputs[static_cast<std::size_t>(self.id())], mon, &ledger);
+    slot->run();
   };
 
   ParallelResult res;
@@ -561,6 +715,10 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     MachineStats ms = machine.run(worker);
     res.machine.makespan = ms.makespan;
     res.machine.per_proc = std::move(ms.per_proc);
+  }
+  if (mon != nullptr) {
+    res.violations = monitor.violations();
+    res.invariant_sweeps = monitor.sweeps_run();
   }
 
   res.basis_ids = inputs;
@@ -592,7 +750,18 @@ std::map<PolyId, Polynomial> ParallelResult::bodies() const {
 }
 
 ParallelResult groebner_parallel(const PolySystem& sys, const ParallelConfig& cfg) {
-  SimMachine machine(cfg.nprocs, cfg.cost);
+  ChaosConfig chaos = cfg.chaos;
+  if (chaos.dup_permille > 0 && chaos.dup_safe.empty()) {
+    // The engine's idempotent handlers (the only ones chaos may duplicate):
+    // the basis protocol is dup-safe end to end (acks carry ids and are
+    // deduplicated per processor), steal requests just provoke another
+    // possibly-empty grant, and the termination announcement is sticky.
+    // Grants/pushes (task payloads!), wave probes/reports (reply counting),
+    // the ring token and the lock protocol are NOT idempotent by design —
+    // exactly-once is part of their contract.
+    chaos.dup_safe = {kBaInvalidate, kBaInvAck, kBaFetch, kBaBody, kTqSteal, kTqAnnounce};
+  }
+  SimMachine machine(cfg.nprocs, cfg.cost, chaos);
   return run_on_machine(machine, /*sim=*/true, sys, cfg);
 }
 

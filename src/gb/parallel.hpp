@@ -30,6 +30,7 @@
 #include "gb/engine_common.hpp"
 #include "gb/trace.hpp"
 #include "io/parse.hpp"
+#include "machine/chaos.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/sim_machine.hpp"
 #include "taskq/taskq.hpp"
@@ -58,6 +59,16 @@ struct ParallelConfig {
   TaskQueueConfig taskq;
   /// Record per-task traces for the Fig. 8(b) replay baseline.
   bool record_trace = false;
+  /// Adversarial schedule perturbation (SimMachine only; see machine/chaos.hpp).
+  /// If chaos duplication is on and dup_safe is empty, groebner_parallel
+  /// fills in the engine's idempotent handler set.
+  ChaosConfig chaos;
+  /// Register the protocol invariant checkers (replicated-basis coherence,
+  /// task conservation, termination safety) on the machine. Violations are
+  /// recorded in ParallelResult::violations, not aborted on.
+  bool check_invariants = false;
+  /// Deliveries between periodic invariant sweeps (see InvariantMonitor).
+  std::uint64_t invariant_period = 128;
 };
 
 struct ParallelResult : GbResult {
@@ -70,6 +81,11 @@ struct ParallelResult : GbResult {
   /// the replay baseline approximates this.
   std::uint64_t compute_units = 0;
   RunTrace trace;
+  /// Invariant violations observed by the monitor (empty when
+  /// check_invariants was off or every check held on every sweep).
+  std::vector<std::string> violations;
+  /// Number of full invariant sweeps that ran (for asserting coverage).
+  std::uint64_t invariant_sweeps = 0;
 
   /// id -> body map for replay_trace.
   std::map<PolyId, Polynomial> bodies() const;

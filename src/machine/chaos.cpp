@@ -1,0 +1,132 @@
+#include "machine/chaos.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+namespace {
+
+void append_kv(std::string* out, const char* key, std::uint64_t v) {
+  *out += ';';
+  *out += key;
+  *out += '=';
+  *out += std::to_string(v);
+}
+
+/// Parse "key=value" starting at *pos in s (fields separated by ';').
+/// Returns false when s is exhausted.
+bool next_field(const std::string& s, std::size_t* pos, std::string* key, std::string* val) {
+  while (*pos < s.size() && s[*pos] == ';') ++*pos;
+  if (*pos >= s.size()) return false;
+  std::size_t end = s.find(';', *pos);
+  if (end == std::string::npos) end = s.size();
+  std::size_t eq = s.find('=', *pos);
+  GBD_CHECK_MSG(eq != std::string::npos && eq < end, "malformed chaos replay field");
+  *key = s.substr(*pos, eq - *pos);
+  *val = s.substr(eq + 1, end - eq - 1);
+  *pos = end;
+  return true;
+}
+
+std::uint64_t parse_u64(const std::string& v) {
+  GBD_CHECK_MSG(!v.empty(), "empty chaos replay value");
+  char* end = nullptr;
+  std::uint64_t r = std::strtoull(v.c_str(), &end, 10);
+  GBD_CHECK_MSG(end != nullptr && *end == '\0', "non-numeric chaos replay value");
+  return r;
+}
+
+}  // namespace
+
+std::string ChaosConfig::encode() const {
+  std::string s = "chaos:v1";
+  append_kv(&s, "seed", seed);
+  if (jitter) append_kv(&s, "jit", jitter);
+  if (reorder_permille) append_kv(&s, "rp", reorder_permille);
+  if (reorder_window) append_kv(&s, "rw", reorder_window);
+  if (dup_permille) append_kv(&s, "dp", dup_permille);
+  if (!dup_safe.empty()) {
+    s += ";ds=";
+    for (std::size_t i = 0; i < dup_safe.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(dup_safe[i]);
+    }
+  }
+  if (starve_permille) append_kv(&s, "sp", starve_permille);
+  if (starve_factor != 1) append_kv(&s, "sf", starve_factor);
+  if (fault_drop_invalidate_permille) append_kv(&s, "fdi", fault_drop_invalidate_permille);
+  return s;
+}
+
+ChaosConfig ChaosConfig::decode(const std::string& s) {
+  GBD_CHECK_MSG(s.rfind("chaos:v1", 0) == 0, "chaos replay string missing chaos:v1 prefix");
+  ChaosConfig c;
+  std::size_t pos = 8;  // past "chaos:v1"
+  std::string key, val;
+  while (next_field(s, &pos, &key, &val)) {
+    if (key == "seed") {
+      c.seed = parse_u64(val);
+    } else if (key == "jit") {
+      c.jitter = parse_u64(val);
+    } else if (key == "rp") {
+      c.reorder_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "rw") {
+      c.reorder_window = parse_u64(val);
+    } else if (key == "dp") {
+      c.dup_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "ds") {
+      std::size_t p = 0;
+      while (p < val.size()) {
+        std::size_t comma = val.find(',', p);
+        if (comma == std::string::npos) comma = val.size();
+        c.dup_safe.push_back(static_cast<HandlerId>(parse_u64(val.substr(p, comma - p))));
+        p = comma + 1;
+      }
+    } else if (key == "sp") {
+      c.starve_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "sf") {
+      c.starve_factor = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "fdi") {
+      c.fault_drop_invalidate_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else {
+      GBD_CHECK_MSG(false, "unknown chaos replay key");
+    }
+  }
+  return c;
+}
+
+ChaosConfig ChaosConfig::intensity(int level, std::uint64_t seed) {
+  ChaosConfig c;
+  c.seed = seed;
+  switch (level) {
+    case 0:
+      break;
+    case 1:
+      c.jitter = 400;
+      c.reorder_permille = 100;
+      c.reorder_window = 2000;
+      break;
+    case 2:
+      c.jitter = 800;
+      c.reorder_permille = 200;
+      c.reorder_window = 4000;
+      c.dup_permille = 100;
+      c.starve_permille = 250;
+      c.starve_factor = 3;
+      break;
+    default:
+      GBD_CHECK_MSG(level == 3, "chaos intensity must be 0..3");
+      c.jitter = 2000;
+      c.reorder_permille = 333;
+      c.reorder_window = 10000;
+      c.dup_permille = 250;
+      c.starve_permille = 333;
+      c.starve_factor = 8;
+      break;
+  }
+  return c;
+}
+
+}  // namespace gbd

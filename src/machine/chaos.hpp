@@ -1,0 +1,114 @@
+// Chaos mode for the simulated machine: seeded adversarial schedules.
+//
+// The simulator's determinism is a strength (bit-for-bit replay) and a
+// weakness: every protocol is only ever exercised by the one benign schedule
+// the cost model induces. Distributed Buchberger breaks exactly where
+// message reordering and uneven progress live (see PAPERS.md on Kredel's
+// distributed JAS and the reduction-machine formulations), so ChaosConfig
+// reintroduces those adversities *deterministically*: every perturbation is
+// a pure function of (seed, global message sequence number), which keeps a
+// chaotic run exactly as replayable as a benign one. The knobs:
+//
+//   jitter    — every message's arrival is delayed by U[0, jitter] extra
+//               units (models contention / variable routes);
+//   reorder   — a permille-chance that a message additionally sleeps up to
+//               reorder_window units, letting later traffic on the same link
+//               overtake it wholesale (models adversarial reordering within
+//               a destination mailbox);
+//   dup       — a permille-chance that a message is delivered twice, with
+//               independent delays, but only for handler ids the application
+//               declared idempotent via dup_safe (duplicating a task-carrying
+//               grant would *create* work; duplicating an invalidation must
+//               not — that is precisely the idempotence contract under test);
+//   starve    — a permille-chance per processor that all its compute is
+//               scaled by starve_factor in virtual time, so the scheduler
+//               systematically favors everyone else (models uneven progress
+//               and biased scheduling);
+//   fault_drop_invalidate — an *intentional protocol bug* for checker
+//               validation: a victim acknowledges an INVALIDATE but "loses"
+//               the processing, the classic ack-before-apply lost update.
+//               A healthy harness must catch this via the replica-coherence
+//               invariant; it is never enabled outside such tests.
+//
+// A config round-trips through a compact replay string (encode/decode) so a
+// failing fuzz case can be reported as one line and re-run exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace gbd {
+
+/// Stateless SplitMix64 finalizer: the chaos layer derives every random
+/// decision from hashes of (seed, event id) rather than a stateful stream,
+/// so draw order cannot perturb replay.
+inline std::uint64_t chaos_mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t chaos_mix2(std::uint64_t a, std::uint64_t b) {
+  return chaos_mix(a ^ chaos_mix(b));
+}
+
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  /// Uniform extra delivery delay in [0, jitter] work units per message.
+  std::uint64_t jitter = 0;
+  /// Permille chance a message gets an extra delay in [0, reorder_window].
+  std::uint32_t reorder_permille = 0;
+  std::uint64_t reorder_window = 0;
+  /// Permille chance a dup_safe message is delivered twice.
+  std::uint32_t dup_permille = 0;
+  /// Handler ids the application declares safe to duplicate. Left empty,
+  /// duplication never fires; engines fill in their idempotent set.
+  std::vector<HandlerId> dup_safe;
+  /// Permille chance a processor is starved; its compute is scaled by
+  /// starve_factor (>= 1) in virtual time.
+  std::uint32_t starve_permille = 0;
+  std::uint32_t starve_factor = 1;
+  /// Injected bug (checker validation only): permille chance a processor
+  /// acknowledges an INVALIDATE without applying it.
+  std::uint32_t fault_drop_invalidate_permille = 0;
+
+  bool schedule_chaos() const {
+    return jitter != 0 || reorder_permille != 0 || dup_permille != 0 ||
+           (starve_permille != 0 && starve_factor > 1);
+  }
+  bool enabled() const { return schedule_chaos() || fault_drop_invalidate_permille != 0; }
+
+  bool dup_allowed(HandlerId h) const {
+    for (HandlerId s : dup_safe) {
+      if (s == h) return true;
+    }
+    return false;
+  }
+
+  /// Virtual-time multiplier for proc's compute: starve_factor if the seeded
+  /// coin says this processor is starved, 1 otherwise.
+  std::uint64_t starve_scale(int proc) const {
+    if (starve_permille == 0 || starve_factor <= 1) return 1;
+    return chaos_mix2(seed ^ 0x5741525645ULL, static_cast<std::uint64_t>(proc)) % 1000 <
+                   starve_permille
+               ? starve_factor
+               : 1;
+  }
+
+  /// One-line replay string; decode() aborts on malformed input.
+  std::string encode() const;
+  static ChaosConfig decode(const std::string& s);
+
+  /// Canonical presets: 0 = off, 1 = mild (jitter + reorder), 2 = + dup +
+  /// starvation, 3 = heavy everything. dup_safe stays empty — the engine
+  /// fills in its idempotent handler set.
+  static ChaosConfig intensity(int level, std::uint64_t seed);
+
+  bool operator==(const ChaosConfig&) const = default;
+};
+
+}  // namespace gbd

@@ -35,6 +35,16 @@ struct CostModel {
 
   /// A model with free communication, for ablations.
   static CostModel free() { return CostModel{0, 0, 0, 0}; }
+
+  /// The default model with every communication cost multiplied by `factor`.
+  /// Chaos sweeps use stretched models to widen the in-flight window: the
+  /// longer messages live on the wire, the more room seeded jitter and
+  /// reordering have to permute them.
+  static CostModel stretched(std::uint64_t factor) {
+    CostModel base;
+    return CostModel{base.latency * factor, base.units_per_16_bytes * factor,
+                     base.dispatch * factor, base.inject * factor};
+  }
 };
 
 }  // namespace gbd

@@ -1,0 +1,86 @@
+#include "machine/invariants.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+InvariantMonitor::InvariantMonitor(std::uint64_t period) : period_(period) {
+  GBD_CHECK(period >= 1);
+}
+
+void InvariantMonitor::add_check(std::string name, Check fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  checks_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+void InvariantMonitor::maybe_check() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++calls_ % period_ != 0) return;
+  }
+  run_all("periodic");
+}
+
+void InvariantMonitor::run_all(const char* when) {
+  // Checks run outside the lock: they call back into application state and
+  // may themselves note() (which takes the lock). The registry is append-
+  // only, so indexing by position is stable.
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sweeps_ += 1;
+    n = checks_.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Check* fn;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn = &checks_[i].fn;
+      name = checks_[i].name;
+    }
+    std::string detail = (*fn)();
+    if (!detail.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      record_locked(name, detail + " [at " + when + "]");
+    }
+  }
+}
+
+void InvariantMonitor::note(const std::string& name, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_locked(name, detail);
+}
+
+void InvariantMonitor::record_locked(const std::string& name, const std::string& detail) {
+  for (auto& v : violations_) {
+    if (v.name == name) {
+      v.count += 1;
+      return;
+    }
+  }
+  violations_.push_back(Violation{name, detail, 1});
+}
+
+bool InvariantMonitor::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+std::vector<std::string> InvariantMonitor::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& v : violations_) {
+    std::string line = v.name + ": " + v.first_detail;
+    if (v.count > 1) line += " (x" + std::to_string(v.count) + ")";
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::uint64_t InvariantMonitor::sweeps_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+}  // namespace gbd

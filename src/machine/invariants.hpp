@@ -1,0 +1,80 @@
+// Protocol invariant checkers, registered on the machine.
+//
+// An InvariantMonitor holds named global checks — functions that inspect the
+// application state of *every* logical processor and return an empty string
+// when the invariant holds, or a description of the violation. The machine
+// runs the registry at points where a global read is safe:
+//
+//   SimMachine    — after message deliveries (the token scheduler runs one
+//                   processor at a time, so all other processors are parked
+//                   at scheduling points with their state quiescent) and
+//                   once more after global quiescence;
+//   ThreadMachine — only after all worker threads have joined (mid-run
+//                   global reads would race under real concurrency).
+//
+// Violations are *recorded*, not aborted on: a fuzz driver wants to finish
+// the run, report the replay string, and shrink the failing configuration.
+// Repeated failures of the same check are collapsed into a count so a
+// violated invariant in a hot loop cannot flood memory. Application hooks
+// (e.g. a task-queue dequeue observer) may also report violations directly
+// via note(); all entry points are mutex-guarded so the monitor is safe to
+// share with ThreadMachine handlers too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gbd {
+
+class InvariantMonitor {
+ public:
+  /// A global check: returns "" when the invariant holds, else a violation
+  /// description. Must only read state — never send, poll or block.
+  using Check = std::function<std::string()>;
+
+  /// `period`: run the full registry every period-th maybe_check() call.
+  explicit InvariantMonitor(std::uint64_t period = 64);
+
+  void add_check(std::string name, Check fn);
+
+  /// Called by the machine at every delivery; runs the registry every
+  /// period-th call. Cheap when not due.
+  void maybe_check();
+
+  /// Run every registered check now (quiescence, announce hooks, tests).
+  void run_all(const char* when);
+
+  /// Report a violation observed directly by an application hook.
+  void note(const std::string& name, const std::string& detail);
+
+  bool ok() const;
+  /// One formatted line per distinct violated invariant (first detail plus a
+  /// repeat count).
+  std::vector<std::string> violations() const;
+  std::uint64_t sweeps_run() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Check fn;
+  };
+  struct Violation {
+    std::string name;
+    std::string first_detail;
+    std::uint64_t count = 0;
+  };
+
+  void record_locked(const std::string& name, const std::string& detail);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> checks_;
+  std::vector<Violation> violations_;
+  std::uint64_t period_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace gbd

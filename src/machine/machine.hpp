@@ -37,6 +37,9 @@ namespace gbd {
 /// Application-chosen message type tag (dense small integers).
 using HandlerId = std::uint32_t;
 
+struct ChaosConfig;      // machine/chaos.hpp
+class InvariantMonitor;  // machine/invariants.hpp
+
 class Proc;
 
 /// Handler invoked on the destination processor: (self, source, payload).
@@ -87,6 +90,11 @@ class Proc {
   /// Cooperative scheduling point with no message delivery.
   virtual void yield() = 0;
 
+  /// Chaos / fault-injection knobs active on this machine, or nullptr when
+  /// none. Protocol layers consult this for seeded application-level fault
+  /// injection (the machine itself applies the schedule-level knobs).
+  virtual const ChaosConfig* chaos() const { return nullptr; }
+
   const ProcCommStats& comm_stats() const { return comm_; }
 
  protected:
@@ -106,6 +114,15 @@ class Machine {
   virtual int nprocs() const = 0;
   /// Run worker(proc) on every processor to completion and return stats.
   virtual MachineStats run(const std::function<void(Proc&)>& worker) = 0;
+
+  /// Attach a registry of global invariant checks. The machine runs them at
+  /// implementation-defined safe points (see invariants.hpp); the monitor
+  /// must outlive run(). Pass nullptr to detach.
+  void set_monitor(InvariantMonitor* m) { monitor_ = m; }
+  InvariantMonitor* monitor() const { return monitor_; }
+
+ protected:
+  InvariantMonitor* monitor_ = nullptr;
 };
 
 }  // namespace gbd

@@ -6,6 +6,7 @@
 #include <queue>
 #include <thread>
 
+#include "machine/invariants.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 
@@ -17,7 +18,8 @@ constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
 struct SimEnvelope {
   std::uint64_t arrival;
-  std::uint64_t seq;  // global send order; breaks arrival ties deterministically
+  std::uint64_t rank;  // tie-break; == seq normally, chaos-shuffled under reorder
+  std::uint64_t seq;   // global send order; the final deterministic tie-break
   int src;
   HandlerId handler;
   std::vector<std::uint8_t> payload;
@@ -26,6 +28,7 @@ struct SimEnvelope {
 struct ArrivalLater {
   bool operator()(const SimEnvelope& a, const SimEnvelope& b) const {
     if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    if (a.rank != b.rank) return a.rank > b.rank;
     return a.seq > b.seq;
   }
 };
@@ -40,6 +43,7 @@ struct SimMachine::Core {
   std::mutex mu;
   std::vector<std::unique_ptr<SimProc>> procs;
   std::uint64_t next_seq = 0;
+  std::uint64_t duplicated = 0;  ///< chaos-injected duplicate deliveries
   bool shutdown = false;
 
   /// Earliest time proc i could run: its clock if ready, the max of its
@@ -74,13 +78,24 @@ class SimMachine::SimProc final : public Proc {
     clock_ += machine_->cost_.inject;
     comm_.messages_sent += 1;
     comm_.bytes_sent += payload.size();
-    std::uint64_t arrival = clock_ + machine_->cost_.wire_time(payload.size());
+    std::uint64_t wire = clock_ + machine_->cost_.wire_time(payload.size());
     {
       std::lock_guard<std::mutex> lock(machine_->core_->mu);
       GBD_CHECK_MSG(!machine_->core_->shutdown, "send after machine quiescence");
       auto& dst_proc = *machine_->core_->procs[static_cast<std::size_t>(dst)];
-      dst_proc.inbox_.push(
-          SimEnvelope{arrival, machine_->core_->next_seq++, id_, h, std::move(payload)});
+      std::uint64_t seq = machine_->core_->next_seq++;
+      // Chaos: a dup-safe message may be delivered twice, each copy with its
+      // own seeded delay — the duplicate takes its own sequence number so its
+      // perturbation is independent of the original's.
+      if (machine_->chaos_duplicates(h, seq)) {
+        std::uint64_t dseq = machine_->core_->next_seq++;
+        machine_->core_->duplicated += 1;
+        dst_proc.inbox_.push(SimEnvelope{wire + machine_->chaos_delay(dseq),
+                                         machine_->chaos_rank(dseq), dseq, id_, h, payload});
+      }
+      dst_proc.inbox_.push(SimEnvelope{wire + machine_->chaos_delay(seq),
+                                       machine_->chaos_rank(seq), seq, id_, h,
+                                       std::move(payload)});
       // If dst is blocked in wait(), its resume key just changed; it will be
       // considered at the sender's next scheduling point. No wake needed —
       // the token protocol only moves at scheduling points.
@@ -135,7 +150,7 @@ class SimMachine::SimProc final : public Proc {
 
   void charge(std::uint64_t units) override {
     drain_cost();
-    clock_ += units;
+    clock_ += units * scale_;
   }
 
   std::uint64_t now() override {
@@ -148,12 +163,18 @@ class SimMachine::SimProc final : public Proc {
     checkpoint();
   }
 
+  const ChaosConfig* chaos() const override {
+    return machine_->chaos_.enabled() ? &machine_->chaos_ : nullptr;
+  }
+
  private:
   friend class SimMachine;
   friend struct SimMachine::Core;
 
-  /// Move accumulated kernel work into the virtual clock.
-  void drain_cost() { clock_ += CostCounter::drain(); }
+  /// Move accumulated kernel work into the virtual clock. A chaos-starved
+  /// processor pays scale_ virtual units per unit of work, so the min-clock
+  /// scheduler systematically favors everyone else.
+  void drain_cost() { clock_ += CostCounter::drain() * scale_; }
 
   /// Scheduling point: hand the token to an earlier processor if one exists.
   void checkpoint() {
@@ -200,6 +221,9 @@ class SimMachine::SimProc final : public Proc {
       handlers_[env.handler](*this, env.src, r);
       drain_cost();  // handler work lands on this processor's clock
       ++delivered;
+      // Safe point for global invariant checks: this processor is between
+      // handlers, every other processor is parked at a scheduling point.
+      if (machine_->monitor_ != nullptr) machine_->monitor_->maybe_check();
     }
     return delivered;
   }
@@ -208,6 +232,7 @@ class SimMachine::SimProc final : public Proc {
   int id_;
   std::vector<Handler> handlers_;
   std::uint64_t clock_ = 0;
+  std::uint64_t scale_ = 1;  ///< chaos starvation multiplier (set at run start)
 
   // Guarded by core->mu:
   std::priority_queue<SimEnvelope, std::vector<SimEnvelope>, ArrivalLater> inbox_;
@@ -261,12 +286,34 @@ void SimMachine::Core::grant_locked(int next) {
   }
 }
 
-SimMachine::SimMachine(int nprocs, CostModel cost)
-    : nprocs_(nprocs), cost_(cost), core_(std::make_unique<Core>()) {
+SimMachine::SimMachine(int nprocs, CostModel cost, ChaosConfig chaos)
+    : nprocs_(nprocs), cost_(cost), chaos_(std::move(chaos)), core_(std::make_unique<Core>()) {
   GBD_CHECK(nprocs >= 1);
 }
 
 SimMachine::~SimMachine() = default;
+
+std::uint64_t SimMachine::chaos_delay(std::uint64_t seq) const {
+  std::uint64_t d = 0;
+  if (chaos_.jitter != 0) {
+    d += chaos_mix2(chaos_.seed, seq * 4 + 1) % (chaos_.jitter + 1);
+  }
+  if (chaos_.reorder_permille != 0 && chaos_.reorder_window != 0 &&
+      chaos_mix2(chaos_.seed, seq * 4 + 2) % 1000 < chaos_.reorder_permille) {
+    d += chaos_mix2(chaos_.seed, seq * 4 + 3) % (chaos_.reorder_window + 1);
+  }
+  return d;
+}
+
+std::uint64_t SimMachine::chaos_rank(std::uint64_t seq) const {
+  if (chaos_.reorder_permille == 0) return seq;
+  return chaos_mix2(chaos_.seed ^ 0x52414e4bULL, seq);
+}
+
+bool SimMachine::chaos_duplicates(HandlerId h, std::uint64_t seq) const {
+  if (chaos_.dup_permille == 0 || !chaos_.dup_allowed(h)) return false;
+  return chaos_mix2(chaos_.seed ^ 0x445550ULL, seq) % 1000 < chaos_.dup_permille;
+}
 
 MachineStats SimMachine::run(const std::function<void(Proc&)>& worker) {
   return run_sim(worker);
@@ -276,6 +323,7 @@ SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
   core_ = std::make_unique<Core>();
   for (int i = 0; i < nprocs_; ++i) {
     core_->procs.push_back(std::make_unique<SimProc>(this, i));
+    core_->procs.back()->scale_ = chaos_.starve_scale(i);
   }
 
   std::vector<std::thread> threads;
@@ -308,7 +356,11 @@ SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
   }
   for (auto& t : threads) t.join();
 
+  // Global quiescence: one last full invariant sweep over the final state.
+  if (monitor_ != nullptr) monitor_->run_all("quiescence");
+
   SimStats stats;
+  stats.duplicated_messages = core_->duplicated;
   for (auto& p : core_->procs) {
     stats.per_proc.push_back(p->comm_stats());
     stats.proc_clocks.push_back(p->clock_);

@@ -26,6 +26,7 @@
 
 #include <memory>
 
+#include "machine/chaos.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/machine.hpp"
 
@@ -34,11 +35,12 @@ namespace gbd {
 /// MachineStats plus per-processor virtual finish times.
 struct SimStats : MachineStats {
   std::vector<std::uint64_t> proc_clocks;
+  std::uint64_t duplicated_messages = 0;  ///< chaos-injected duplicate deliveries
 };
 
 class SimMachine final : public Machine {
  public:
-  explicit SimMachine(int nprocs, CostModel cost = CostModel{});
+  explicit SimMachine(int nprocs, CostModel cost = CostModel{}, ChaosConfig chaos = ChaosConfig{});
   ~SimMachine() override;
 
   int nprocs() const override { return nprocs_; }
@@ -47,12 +49,22 @@ class SimMachine final : public Machine {
   /// run() with the simulation-specific extras.
   SimStats run_sim(const std::function<void(Proc&)>& worker);
 
+  const ChaosConfig& chaos_config() const { return chaos_; }
+
  private:
   class SimProc;
   struct Core;
 
+  /// Seeded extra delivery delay for the message with global sequence `seq`.
+  std::uint64_t chaos_delay(std::uint64_t seq) const;
+  /// Tie-break rank: the raw sequence normally; a seeded shuffle when the
+  /// reorder knob is on, so equal-arrival messages deliver in random order.
+  std::uint64_t chaos_rank(std::uint64_t seq) const;
+  bool chaos_duplicates(HandlerId h, std::uint64_t seq) const;
+
   int nprocs_;
   CostModel cost_;
+  ChaosConfig chaos_;
   std::unique_ptr<Core> core_;
 };
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <thread>
 
+#include "machine/invariants.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
@@ -135,6 +136,11 @@ MachineStats ThreadMachine::run(const std::function<void(Proc&)>& worker) {
     });
   }
   for (auto& t : threads) t.join();
+
+  // Under real concurrency a mid-run global read would race, so invariants
+  // run only once all workers have joined (the final state is still the
+  // one the protocols must leave coherent).
+  if (monitor_ != nullptr) monitor_->run_all("quiescence");
 
   MachineStats stats;
   stats.makespan = wall_ns() - epoch_ns_;

@@ -61,7 +61,10 @@ void DistTaskQueue::enqueue(std::vector<std::uint8_t> payload, Monomial priority
   GBD_CHECK_MSG(!terminated_, "enqueue after termination");
   stats_.enqueued += 1;
   note_activity();
-  insert_local(Item{std::move(priority), next_seq_++, std::move(payload)});
+  // A task's uid is its seq at the *origin* (unique machine-wide thanks to
+  // the id<<40 disambiguation) and never changes, however often it migrates.
+  std::uint64_t seq = next_seq_++;
+  insert_local(Item{std::move(priority), seq, seq, std::move(payload)});
   consecutive_empty_grants_ = 0;  // fresh work: stealing may pay again
   if (cfg_.push_threshold > 0 && local_.size() > cfg_.push_threshold && self_.nprocs() > 1) {
     send_tasks((self_.id() + 1) % self_.nprocs(), kTqPush, cfg_.steal_batch);
@@ -81,6 +84,7 @@ void DistTaskQueue::send_tasks(int dst, HandlerId handler, std::size_t count) {
     auto it = cfg_.steal_from_best ? local_.begin() : std::prev(local_.end());
     w.str(std::string(it->payload.begin(), it->payload.end()));
     it->priority.write(w);
+    w.u64(it->uid);
     local_.erase(it);
     stats_.tasks_migrated += 1;
     note_activity();
@@ -97,6 +101,7 @@ DistTaskQueue::Dequeue DistTaskQueue::try_dequeue(std::vector<std::uint8_t>* pay
     Item item = pop_best();
     stats_.dequeued += 1;
     note_activity();
+    if (cfg_.on_dequeue) cfg_.on_dequeue(item.uid);
     *payload = std::move(item.payload);
     return Dequeue::kGot;
   }
@@ -140,8 +145,10 @@ void DistTaskQueue::on_grant(int, Reader& r) {
   for (std::uint64_t k = 0; k < n; ++k) {
     std::string payload = r.str();
     Monomial prio = Monomial::read(r);
+    std::uint64_t uid = r.u64();
     note_activity();
-    insert_local(Item{std::move(prio), next_seq_++,
+    stats_.tasks_migrated_in += 1;
+    insert_local(Item{std::move(prio), next_seq_++, uid,
                       std::vector<std::uint8_t>(payload.begin(), payload.end())});
   }
 }
@@ -151,8 +158,10 @@ void DistTaskQueue::on_push(int, Reader& r) {
   for (std::uint64_t k = 0; k < n; ++k) {
     std::string payload = r.str();
     Monomial prio = Monomial::read(r);
+    std::uint64_t uid = r.u64();
     note_activity();
-    insert_local(Item{std::move(prio), next_seq_++,
+    stats_.tasks_migrated_in += 1;
+    insert_local(Item{std::move(prio), next_seq_++, uid,
                       std::vector<std::uint8_t>(payload.begin(), payload.end())});
   }
 }
@@ -228,7 +237,12 @@ void DistTaskQueue::finish_wave() {
   }
 }
 
-void DistTaskQueue::on_announce() { terminated_ = true; }
+void DistTaskQueue::on_announce() {
+  // Idempotent: chaos may duplicate the announcement.
+  bool first = !terminated_;
+  terminated_ = true;
+  if (first && cfg_.on_announce) cfg_.on_announce();
+}
 
 // --- Dijkstra–Feijen–van Gasteren ring token ---------------------------------
 
@@ -245,7 +259,7 @@ void DistTaskQueue::maybe_forward_token() {
     // Degenerate ring: local idleness is global termination.
     if (local_.empty() && idle_() && stats_.enqueued == stats_.dequeued) {
       stats_.terminated_by_wave = true;
-      terminated_ = true;
+      on_announce();
     }
     return;
   }

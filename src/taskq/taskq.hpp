@@ -79,6 +79,14 @@ struct TaskQueueConfig {
   /// order).
   Selection selection = Selection::kNormal;
   Termination termination = Termination::kCoordinatorWave;
+  /// Observability hooks for the chaos/invariant harness (see
+  /// machine/invariants.hpp); both may be null. on_dequeue receives the
+  /// task's machine-wide unique id — stable across steals and pushes — so a
+  /// checker can prove no task is ever executed twice. on_announce fires
+  /// when this endpoint learns of global termination (either protocol),
+  /// letting a checker assert nothing was in flight or on hold.
+  std::function<void(std::uint64_t uid)> on_dequeue;
+  std::function<void()> on_announce;
 };
 
 struct TaskQueueStats {
@@ -86,7 +94,8 @@ struct TaskQueueStats {
   std::uint64_t dequeued = 0;
   std::uint64_t steals_sent = 0;
   std::uint64_t steals_won = 0;   ///< grants that carried at least one task
-  std::uint64_t tasks_migrated = 0;
+  std::uint64_t tasks_migrated = 0;     ///< tasks shipped out (steal grants + pushes)
+  std::uint64_t tasks_migrated_in = 0;  ///< tasks landed here from grants + pushes
   std::uint64_t waves_started = 0;   ///< coordinator only
   std::uint64_t token_rounds = 0;    ///< ring-token circuits initiated (proc 0 only)
   bool terminated_by_wave = false;   ///< either protocol's announcement fired
@@ -123,10 +132,15 @@ class DistTaskQueue {
   std::size_t local_size() const { return local_.size(); }
   const TaskQueueStats& stats() const { return stats_; }
 
+  /// The caller-supplied Idle? predicate (invariant checkers read the whole
+  /// machine's idleness through the queue endpoints).
+  bool app_idle() const { return idle_(); }
+
  private:
   struct Item {
     Monomial priority;
-    std::uint64_t seq;
+    std::uint64_t seq;  ///< local insertion order (tie-break); reassigned on migration
+    std::uint64_t uid;  ///< machine-wide identity, preserved across migration
     std::vector<std::uint8_t> payload;
   };
   struct ItemBefore {

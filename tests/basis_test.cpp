@@ -201,6 +201,158 @@ TEST_P(BasisTest, ManyAddsFromManyOwners) {
   EXPECT_EQ(complete.load(), kP);
 }
 
+// ---------------------------------------------------------------------------
+// Idempotence of the basis protocol under chaos-mode message duplication and
+// reordering (the §4.1.2 operations must tolerate an at-least-once network).
+
+ChaosConfig dup_all_basis(std::uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.dup_permille = 1000;  // duplicate every basis message
+  chaos.dup_safe = {kBaInvalidate, kBaInvAck, kBaFetch, kBaBody};
+  return chaos;
+}
+
+TEST(ChaosBasisTest, DuplicatedInvalidationBroadcastIsIdempotent) {
+  SimMachine m(4, CostModel{}, dup_all_basis(21));
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "x*y^2 - z");
+  std::atomic<int> shadow_once{0};
+  std::atomic<int> completed{0};
+  SimStats stats = m.run_sim([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    if (self.id() == 0) {
+      PolyId id = basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      ASSERT_EQ(basis.completed_adds().size(), 1u);
+      EXPECT_EQ(basis.completed_adds()[0], id);
+      ++completed;
+      while (self.wait()) {
+      }
+    } else {
+      while (self.wait()) {
+      }
+      // Each victim saw the INVALIDATE twice; Valid? must still report
+      // exactly one pending shadow entry, not two.
+      if (basis.shadow_size() == 1) ++shadow_once;
+    }
+  });
+  EXPECT_EQ(completed.load(), 1);
+  EXPECT_EQ(shadow_once.load(), 3);
+  EXPECT_GT(stats.duplicated_messages, 0u);
+}
+
+TEST(ChaosBasisTest, DuplicateAcksCountedOncePerProcessor) {
+  // Only acks are duplicated: with 3 victims the adder receives 6 acks. The
+  // pre-hardening counter would hit zero after the first 3 arrivals even if
+  // two came from the same processor; the per-(id, proc) dedup must wait for
+  // all three distinct victims and complete the add exactly once.
+  ChaosConfig chaos;
+  chaos.seed = 9;
+  chaos.dup_permille = 1000;
+  chaos.dup_safe = {kBaInvAck};
+  SimMachine m(4, CostModel{}, chaos);
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "y^3 - x");
+  std::atomic<int> completed{0};
+  m.run_sim([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    if (self.id() == 0) {
+      basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      while (self.wait()) {
+      }
+      completed = static_cast<int>(basis.completed_adds().size());
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(completed.load(), 1);
+}
+
+TEST(ChaosBasisTest, StaleOrForgedAckIsIgnored) {
+  // An ack for an id that is not the in-flight add must be dropped, and a
+  // later legitimate add must still complete normally.
+  SimMachine m(2);
+  PolyContext c = ctx3();
+  Polynomial g = parse_poly_or_die(c, "z^2 - x*y");
+  bool added = false;
+  m.run_sim([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    if (self.id() == 1) {
+      Writer w;
+      w.u64(make_poly_id(0, 777));  // ack for an add that never happened
+      self.send(0, kBaInvAck, w.take());
+      while (self.wait()) {
+      }
+    } else {
+      self.poll();
+      EXPECT_TRUE(basis.add_done());  // forged ack must not corrupt the idle state
+      basis.begin_add(g);
+      while (!basis.add_done()) {
+        ASSERT_TRUE(self.wait());
+      }
+      added = true;
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_TRUE(added);
+}
+
+TEST(ChaosBasisTest, ReorderedBroadcastsConvergeToIdenticalReplicas) {
+  // Several adds under full reordering plus duplication: whatever order the
+  // invalidations, fetches and bodies land in, Validate must converge every
+  // replica to the same three bodies.
+  ChaosConfig chaos = dup_all_basis(33);
+  chaos.reorder_permille = 1000;
+  chaos.reorder_window = 5000;
+  chaos.jitter = 500;
+  SimMachine m(3, CostModel{}, chaos);
+  PolyContext c = ctx3();
+  std::atomic<int> converged{0};
+  m.run_sim([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    std::vector<Polynomial> gs = {parse_poly_or_die(c, "x^2 - y"),
+                                  parse_poly_or_die(c, "x*y - z"),
+                                  parse_poly_or_die(c, "y^2 - x*z")};
+    if (self.id() == 0) {
+      for (const Polynomial& g : gs) {
+        basis.begin_add(g);
+        while (!basis.add_done()) {
+          ASSERT_TRUE(self.wait());
+        }
+      }
+      while (self.wait()) {
+      }
+    } else {
+      // Keep validating until all three bodies are resident; begin_validate
+      // is re-issued on every wake and must be idempotent (in-flight fetches
+      // dedup, duplicated bodies overwrite with identical content).
+      while (basis.replica_size() < 3) {
+        if (!basis.valid()) basis.begin_validate();
+        if (!self.wait()) break;
+      }
+      ASSERT_EQ(basis.replica_size(), 3u);
+      EXPECT_TRUE(basis.valid());
+      bool all_equal = true;
+      for (std::uint32_t s = 0; s < 3; ++s) {
+        const Polynomial* p = basis.find(make_poly_id(0, s));
+        all_equal = all_equal && p != nullptr && p->equals(gs[s]);
+      }
+      if (all_equal) ++converged;
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(converged.load(), 2);
+}
+
 class LockTest : public ::testing::TestWithParam<bool> {
  protected:
   bool sim() const { return GetParam(); }

@@ -1,0 +1,254 @@
+// Tests for chaos mode on the simulated machine: the ChaosConfig replay
+// string, deterministic seeded jitter/reordering/duplication/starvation at
+// the SimMachine level, and the InvariantMonitor bookkeeping.
+#include "machine/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "machine/invariants.hpp"
+#include "machine/sim_machine.hpp"
+
+namespace gbd {
+namespace {
+
+enum Handlers : HandlerId { kData = 0, kOther = 1 };
+
+TEST(ChaosConfigTest, DefaultIsDisabled) {
+  ChaosConfig c;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(c.schedule_chaos());
+  EXPECT_EQ(c.starve_scale(0), 1u);
+}
+
+TEST(ChaosConfigTest, EncodeDecodeRoundTrip) {
+  for (int level = 0; level <= 3; ++level) {
+    ChaosConfig c = ChaosConfig::intensity(level, 0xDEADBEEFu + static_cast<std::uint64_t>(level));
+    c.dup_safe = {kData, kOther};
+    ChaosConfig back = ChaosConfig::decode(c.encode());
+    EXPECT_EQ(c, back) << "level " << level << " string " << c.encode();
+  }
+}
+
+TEST(ChaosConfigTest, EncodeOmitsDefaults) {
+  ChaosConfig c;
+  c.seed = 7;
+  std::string s = c.encode();
+  EXPECT_EQ(s, "chaos:v1;seed=7");
+  EXPECT_EQ(ChaosConfig::decode(s), c);
+}
+
+TEST(ChaosConfigTest, IntensityZeroIsOff) {
+  ChaosConfig c = ChaosConfig::intensity(0, 99);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_EQ(c.seed, 99u);
+}
+
+TEST(ChaosConfigTest, StarveScaleIsSeedDeterministic) {
+  ChaosConfig c = ChaosConfig::intensity(3, 42);
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_EQ(c.starve_scale(p), ChaosConfig::intensity(3, 42).starve_scale(p));
+  }
+  // Intensity 3 starves a third of processors: over many ids both outcomes
+  // must occur.
+  bool starved = false, spared = false;
+  for (int p = 0; p < 64; ++p) {
+    (c.starve_scale(p) > 1 ? starved : spared) = true;
+  }
+  EXPECT_TRUE(starved);
+  EXPECT_TRUE(spared);
+}
+
+// ---------------------------------------------------------------------------
+// SimMachine under chaos.
+
+/// Proc 0 sends `n` numbered messages to proc 1; returns the values in the
+/// order proc 1 observed them.
+std::vector<std::uint64_t> run_stream(const ChaosConfig& chaos, int n,
+                                      SimStats* stats_out = nullptr) {
+  SimMachine m(2, CostModel{}, chaos);
+  std::vector<std::uint64_t> seen;
+  SimStats stats = m.run_sim([&](Proc& self) {
+    self.on(kData, [&](Proc&, int, Reader& r) { seen.push_back(r.u64()); });
+    self.on(kOther, [&](Proc&, int, Reader& r) { seen.push_back(1000 + r.u64()); });
+    if (self.id() == 0) {
+      for (int i = 0; i < n; ++i) {
+        Writer w;
+        w.u64(static_cast<std::uint64_t>(i));
+        self.send(1, kData, w.take());
+      }
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  if (stats_out != nullptr) *stats_out = stats;
+  return seen;
+}
+
+TEST(SimChaosTest, NoChaosDeliversInOrder) {
+  std::vector<std::uint64_t> seen = run_stream(ChaosConfig{}, 16);
+  ASSERT_EQ(seen.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(SimChaosTest, ReorderingPermutesButPreservesDelivery) {
+  ChaosConfig chaos;
+  chaos.seed = 3;
+  chaos.reorder_permille = 1000;
+  chaos.reorder_window = 5000;
+  std::vector<std::uint64_t> seen = run_stream(chaos, 32);
+  ASSERT_EQ(seen.size(), 32u);
+  // Exactly-once delivery: the stream is a permutation of 0..31 ...
+  std::vector<std::uint64_t> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> expect(32);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(sorted, expect);
+  // ... and at full reorder probability it is actually permuted.
+  EXPECT_FALSE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(SimChaosTest, JitterDelaysButNeverDrops) {
+  ChaosConfig chaos;
+  chaos.seed = 11;
+  chaos.jitter = 5000;
+  SimStats plain_stats, chaos_stats;
+  std::vector<std::uint64_t> plain = run_stream(ChaosConfig{}, 8, &plain_stats);
+  std::vector<std::uint64_t> jittered = run_stream(chaos, 8, &chaos_stats);
+  EXPECT_EQ(plain.size(), jittered.size());
+  // Jitter only ever adds wire time, so the receiver finishes no earlier.
+  EXPECT_GE(chaos_stats.makespan, plain_stats.makespan);
+  EXPECT_GT(chaos_stats.makespan, plain_stats.makespan);  // 8 draws, jitter 5000: some hit
+}
+
+TEST(SimChaosTest, DeterministicUnderChaos) {
+  ChaosConfig chaos = ChaosConfig::intensity(3, 1234);
+  chaos.dup_safe = {kData};
+  SimStats s1, s2;
+  std::vector<std::uint64_t> a = run_stream(chaos, 24, &s1);
+  std::vector<std::uint64_t> b = run_stream(chaos, 24, &s2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s1.makespan, s2.makespan);
+  EXPECT_EQ(s1.duplicated_messages, s2.duplicated_messages);
+}
+
+TEST(SimChaosTest, DuplicationRespectsSafeList) {
+  ChaosConfig chaos;
+  chaos.seed = 5;
+  chaos.dup_permille = 1000;  // duplicate everything eligible
+  chaos.dup_safe = {kData};
+  SimMachine m(2, CostModel{}, chaos);
+  int data = 0, other = 0;
+  SimStats stats = m.run_sim([&](Proc& self) {
+    self.on(kData, [&](Proc&, int, Reader&) { ++data; });
+    self.on(kOther, [&](Proc&, int, Reader&) { ++other; });
+    if (self.id() == 0) {
+      for (int i = 0; i < 6; ++i) self.send(1, kData, {});
+      for (int i = 0; i < 6; ++i) self.send(1, kOther, {});
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  EXPECT_EQ(data, 12);   // every safe message delivered twice
+  EXPECT_EQ(other, 6);   // unsafe handler never duplicated
+  EXPECT_EQ(stats.duplicated_messages, 6u);
+}
+
+TEST(SimChaosTest, EmptySafeListMeansNoDuplication) {
+  ChaosConfig chaos;
+  chaos.seed = 5;
+  chaos.dup_permille = 1000;
+  SimStats stats;
+  std::vector<std::uint64_t> seen = run_stream(chaos, 10, &stats);
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(stats.duplicated_messages, 0u);
+}
+
+TEST(SimChaosTest, StarvationStretchesVirtualClock) {
+  ChaosConfig chaos;
+  chaos.seed = 17;
+  chaos.starve_permille = 1000;  // starve everyone
+  chaos.starve_factor = 4;
+  SimMachine m(2, CostModel::free(), chaos);
+  SimStats stats = m.run_sim([&](Proc& self) { self.charge(100); });
+  // Every work unit on a starved processor costs starve_factor virtual units.
+  EXPECT_EQ(stats.makespan, 400u);
+  EXPECT_EQ(stats.proc_clocks[0], 400u);
+  EXPECT_EQ(stats.proc_clocks[1], 400u);
+}
+
+// ---------------------------------------------------------------------------
+// InvariantMonitor.
+
+TEST(InvariantMonitorTest, CleanChecksStayOk) {
+  InvariantMonitor mon(1);
+  mon.add_check("always-ok", [] { return std::string(); });
+  for (int i = 0; i < 5; ++i) mon.maybe_check();
+  mon.run_all("quiescence");
+  EXPECT_TRUE(mon.ok());
+  EXPECT_TRUE(mon.violations().empty());
+  EXPECT_EQ(mon.sweeps_run(), 6u);
+}
+
+TEST(InvariantMonitorTest, PeriodGatesSweeps) {
+  InvariantMonitor mon(4);
+  int runs = 0;
+  mon.add_check("count", [&] {
+    ++runs;
+    return std::string();
+  });
+  for (int i = 0; i < 8; ++i) mon.maybe_check();
+  EXPECT_EQ(runs, 2);  // calls 4 and 8
+  EXPECT_EQ(mon.sweeps_run(), 2u);
+}
+
+TEST(InvariantMonitorTest, ViolationsCollapseByName) {
+  InvariantMonitor mon(1);
+  mon.add_check("broken", [] { return std::string("first failure detail"); });
+  for (int i = 0; i < 3; ++i) mon.maybe_check();
+  EXPECT_FALSE(mon.ok());
+  std::vector<std::string> v = mon.violations();
+  ASSERT_EQ(v.size(), 1u);  // three failures, one line
+  EXPECT_NE(v[0].find("broken"), std::string::npos);
+  EXPECT_NE(v[0].find("first failure detail"), std::string::npos);
+  EXPECT_NE(v[0].find("3"), std::string::npos) << v[0];
+}
+
+TEST(InvariantMonitorTest, NoteRecordsHookViolations) {
+  InvariantMonitor mon;
+  mon.note("hook-invariant", "task 7 executed twice");
+  EXPECT_FALSE(mon.ok());
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_NE(mon.violations()[0].find("task 7"), std::string::npos);
+}
+
+TEST(InvariantMonitorTest, SimMachineRunsRegisteredChecks) {
+  ChaosConfig chaos;  // chaos not required for monitoring
+  SimMachine m(2, CostModel{}, chaos);
+  InvariantMonitor mon(1);
+  int observed = 0;
+  mon.add_check("observer", [&] {
+    ++observed;
+    return std::string();
+  });
+  m.set_monitor(&mon);
+  m.run_sim([&](Proc& self) {
+    self.on(kData, [](Proc&, int, Reader&) {});
+    if (self.id() == 0) {
+      for (int i = 0; i < 4; ++i) self.send(1, kData, {});
+    } else {
+      while (self.wait()) {
+      }
+    }
+  });
+  // Four deliveries plus the final quiescence sweep.
+  EXPECT_GE(observed, 5);
+  EXPECT_TRUE(mon.ok());
+}
+
+}  // namespace
+}  // namespace gbd

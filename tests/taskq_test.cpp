@@ -156,8 +156,11 @@ TEST_P(TaskQueueTest, TerminationCountsTasksInFlight) {
   PolyContext ctx = ctx2();
   std::atomic<std::uint64_t> executed{0};
   m->run([&](Proc& self) {
-    DistTaskQueue q(self, &ctx, [] { return true; },
-                    TaskQueueConfig{.coordinator = 0, .push_threshold = 2, .steal_batch = 2});
+    TaskQueueConfig tcfg;
+    tcfg.coordinator = 0;
+    tcfg.push_threshold = 2;
+    tcfg.steal_batch = 2;
+    DistTaskQueue q(self, &ctx, [] { return true; }, tcfg);
     if (self.id() == 2) {
       for (std::uint64_t v = 0; v < 12; ++v) q.enqueue(payload_of(v), mono(1, 0));
     }

@@ -110,6 +110,84 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---------------------------------------------------------------------------
+// Termination detection under adversarial steal patterns: tiny steal batches,
+// zero backoff and eager pushes keep tasks migrating across the ring the
+// whole time the coordinator is probing (or the token circulating), and
+// chaos-mode jitter/reordering/starvation shuffles the protocol traffic.
+// The announcement must never arrive while any task is unexecuted.
+
+class AdversarialStealTest
+    : public ::testing::TestWithParam<std::tuple<Termination, std::uint64_t>> {};
+
+TEST_P(AdversarialStealTest, NoPrematureAnnounceWhileStealsCrossTheWave) {
+  const Termination term = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  PolyContext ctx = ctx2();
+  ChaosConfig chaos = ChaosConfig::intensity(3, seed);
+  chaos.dup_safe = {kTqSteal, kTqAnnounce};  // the queue's idempotent handlers
+  const int kP = 6;
+  // Stretched costs widen the window in which grants, probes and the token
+  // are simultaneously in flight.
+  SimMachine m(kP, CostModel::stretched(3), chaos);
+  const std::uint64_t kProducers = 3, kEach = 4, kDepth = 2;
+  const std::uint64_t kExpected = kProducers * kEach * (kDepth + 1);
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<int> premature{0};
+  std::atomic<std::uint64_t> total_migrated{0};
+  m.run([&](Proc& self) {
+    TaskQueueConfig cfg;
+    cfg.termination = term;
+    cfg.steal_batch = 1;      // every steal migrates (at most) one task...
+    cfg.steal_backoff = 0;    // ...and idle processors re-steal immediately
+    cfg.push_threshold = 2;   // long queues also push unprompted
+    cfg.on_announce = [&] {
+      // When any endpoint hears the announcement, every task must already
+      // have been executed — an earlier arrival is a premature detection.
+      if (executed.load() != kExpected) premature += 1;
+    };
+    DistTaskQueue q(self, &ctx, [] { return true; }, cfg);
+    if (self.id() < static_cast<int>(kProducers)) {
+      for (std::uint64_t v = 0; v < kEach; ++v) {
+        q.enqueue(payload_of(kDepth), Monomial({1, 0}));
+      }
+    }
+    std::vector<std::uint8_t> p;
+    for (;;) {
+      self.poll();
+      auto r = q.try_dequeue(&p);
+      if (r == DistTaskQueue::Dequeue::kGot) {
+        Reader rd(p);
+        std::uint64_t depth = rd.u64();
+        executed += 1;
+        // Uneven task grains keep some processors busy across several probe
+        // waves / token circuits.
+        self.charge(150 + 400 * static_cast<std::uint64_t>(self.id()));
+        if (depth > 0) q.enqueue(payload_of(depth - 1), Monomial({1, 0}));
+      } else if (r == DistTaskQueue::Dequeue::kTerminated) {
+        break;
+      } else if (!self.wait()) {
+        break;
+      }
+    }
+    total_migrated += q.stats().tasks_migrated;
+  });
+  EXPECT_EQ(executed.load(), kExpected);
+  EXPECT_EQ(premature.load(), 0) << "kTqAnnounce arrived before all tasks were executed";
+  // The configuration is only adversarial if tasks actually kept migrating.
+  EXPECT_GT(total_migrated.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdversarialStealTest,
+    ::testing::Combine(::testing::Values(Termination::kCoordinatorWave, Termination::kTokenRing),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) == Termination::kTokenRing ? "Token" : "Wave";
+      return name + "Seed" + std::to_string(std::get<1>(info.param));
+    });
+
 TEST(TokenRingTest, DetectsOnSimulatorDeterministically) {
   SimMachine m(6);
   Outcome a = run_workload(m, Termination::kTokenRing, 3, 5, 1);

@@ -1,0 +1,80 @@
+// Google-benchmark comparison of the two reduce_full paths (naive flat-vector
+// rebuild vs geobucket accumulator) on inputs from the benchmark problems,
+// in real nanoseconds. The two paths produce bit-identical normal forms and
+// step counts (tests/reduce_diff_test.cpp), so any wall-clock delta is pure
+// kernel efficiency: term movement, BigInt allocation and find_reducer
+// filtering.
+//
+// Counters reported per benchmark: steps, find_reducer probes, divmask
+// rejects and BigInt heap spills for one reduction at that configuration.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "gb/sequential.hpp"
+#include "poly/divmask.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+#include "support/check.hpp"
+
+namespace gbd {
+namespace {
+
+const std::vector<std::string>& problem_names() {
+  static const std::vector<std::string> names = {"arnborg4", "katsura4", "trinks2", "trinks1"};
+  return names;
+}
+
+/// The heaviest s-polynomial over the elements of `basis`: s-polynomials of
+/// a Gröbner basis reduce all the way to zero, so this drives the longest
+/// reduction chains REDUCE(h, G) sees on this problem.
+Polynomial heavy_spoly(const PolyContext& ctx, const std::vector<Polynomial>& basis) {
+  Polynomial heaviest;
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = i + 1; j < basis.size(); ++j) {
+      Polynomial s = spoly(ctx, basis[i], basis[j]);
+      if (s.is_zero()) continue;
+      if (heaviest.is_zero() || s.nterms() > heaviest.nterms()) heaviest = std::move(s);
+    }
+  }
+  GBD_CHECK(!heaviest.is_zero());
+  return heaviest;
+}
+
+void reduce_bench(benchmark::State& state, bool geobuckets) {
+  const std::string& name = problem_names()[static_cast<std::size_t>(state.range(0))];
+  PolySystem sys = load_problem(name);
+  std::vector<Polynomial> basis = groebner_sequential(sys).basis;
+  Polynomial h = heavy_spoly(sys.ctx, basis);
+  VectorReducerSet set(&basis);
+  ReduceOptions opts;
+  opts.tail_reduce = true;  // full normal form: the long-tail case
+  opts.use_geobuckets = geobuckets;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_full(sys.ctx, h, set, opts));
+  }
+
+  reset_find_reducer_stats();
+  LimbVec::reset_heap_allocs();
+  ReduceOutcome out = reduce_full(sys.ctx, h, set, opts);
+  const FindReducerStats& st = find_reducer_stats();
+  state.SetLabel(name);
+  state.counters["steps"] = static_cast<double>(out.steps);
+  state.counters["probes"] = static_cast<double>(st.probes);
+  state.counters["mask_rejects"] = static_cast<double>(st.mask_rejects);
+  state.counters["heap_allocs"] = static_cast<double>(LimbVec::heap_allocs());
+}
+
+void BM_ReduceFullNaive(benchmark::State& state) { reduce_bench(state, false); }
+void BM_ReduceFullGeobucket(benchmark::State& state) { reduce_bench(state, true); }
+BENCHMARK(BM_ReduceFullNaive)->DenseRange(0, 3);
+BENCHMARK(BM_ReduceFullGeobucket)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace gbd
+
+BENCHMARK_MAIN();

@@ -39,7 +39,11 @@ int HybridBasis::tree_parent(int owner) const {
 
 void HybridBasis::announce(PolyId id, Monomial head) {
   auto [it, inserted] = head_index_.emplace(id, head);
-  if (inserted) known_heads_.emplace_back(id, std::move(head));
+  if (inserted) {
+    if (ruler_.nvars() != head.nvars()) ruler_ = DivMaskRuler(head.nvars());
+    head_masks_.push_back(ruler_.mask(head));
+    known_heads_.emplace_back(id, std::move(head));
+  }
 }
 
 void HybridBasis::touch(PolyId id) {
@@ -187,15 +191,33 @@ PolyId HybridBasis::pending_reducer(const Monomial& m) const {
 
 const Polynomial* HybridBasis::ReducerView::find_reducer(const Monomial& m,
                                                          std::uint64_t* out_id) const {
+  if (b_->known_heads_.empty()) return nullptr;
+  FindReducerStats& st = find_reducer_stats();
+  st.calls += 1;
+  const std::uint64_t tmask = b_->ruler_.mask(m);
   const Polynomial* best = nullptr;
   PolyId best_id = 0;
-  for (const auto& [id, head] : b_->known_heads_) {
+  std::size_t best_bits = 0, best_terms = 0;
+  for (std::size_t i = 0; i < b_->known_heads_.size(); ++i) {
+    st.probes += 1;
+    // Mask test first: it is cheaper than both the exponent walk and the
+    // residency map lookup it gates.
+    if (!DivMaskRuler::may_divide(b_->head_masks_[i], tmask)) {
+      st.mask_rejects += 1;
+      continue;
+    }
+    const auto& [id, head] = b_->known_heads_[i];
+    st.divides_calls += 1;
     if (!head.divides(m)) continue;
     auto it = b_->resident_.find(id);
     if (it == b_->resident_.end()) continue;
-    if (best == nullptr || reducer_preferred(it->second, *best)) {
+    std::size_t gbits = it->second.hcoef().bit_length();
+    std::size_t gterms = it->second.nterms();
+    if (best == nullptr || gbits < best_bits || (gbits == best_bits && gterms < best_terms)) {
       best = &it->second;
       best_id = id;
+      best_bits = gbits;
+      best_terms = gterms;
     }
   }
   if (best != nullptr) {

@@ -24,6 +24,7 @@
 
 #include "basis/basis_store.hpp"
 #include "machine/machine.hpp"
+#include "poly/divmask.hpp"
 
 namespace gbd {
 
@@ -89,6 +90,10 @@ class HybridBasis final : public BasisStore {
   BasisStats stats_;
 
   std::vector<std::pair<PolyId, Monomial>> known_heads_;
+  // Parallel to known_heads_: divmask of each head, so the reducer scan
+  // rejects non-divisors before even looking up residency.
+  DivMaskRuler ruler_;
+  std::vector<std::uint64_t> head_masks_;
   std::map<PolyId, Monomial> head_index_;
   std::map<PolyId, Polynomial> resident_;
   // LRU order of cached (non-home) resident ids; front = oldest.

@@ -32,7 +32,13 @@ void ReplicatedBasis::announce(PolyId id, const Monomial& head) {
 void ReplicatedBasis::store(PolyId id, Polynomial poly) {
   announce(id, poly.hmono());
   auto [it, inserted] = replica_.emplace(id, std::move(poly));
-  if (inserted) order_.push_back(id);
+  if (inserted) {
+    order_.push_back(id);
+    const Polynomial& body = it->second;
+    if (ruler_.nvars() != body.hmono().nvars()) ruler_ = DivMaskRuler(body.hmono().nvars());
+    order_masks_.push_back(ruler_.mask(body.hmono()));
+    order_body_.push_back(&body);
+  }
   stats_.max_resident = std::max(stats_.max_resident, replica_.size());
 }
 
@@ -180,18 +186,32 @@ void ReplicatedBasis::on_body(Reader& r) {
 const Polynomial* ReplicatedBasis::ReducerView::find_reducer(const Monomial& m,
                                                              std::uint64_t* out_id) const {
   // Same preference policy as VectorReducerSet (see reducer_preferred) so
-  // sequential and parallel reductions cost alike.
+  // sequential and parallel reductions cost alike; same divmask prefilter
+  // and carried best-key so they probe alike too.
+  if (b_->order_.empty()) return nullptr;
+  FindReducerStats& st = find_reducer_stats();
+  st.calls += 1;
+  const std::uint64_t tmask = b_->ruler_.mask(m);
   const Polynomial* best = nullptr;
   PolyId best_id = 0;
-  for (PolyId id : b_->order_) {
-    auto it = b_->replica_.find(id);
-    GBD_DCHECK(it != b_->replica_.end());
-    const Polynomial& g = it->second;
-    if (!g.is_zero() && g.hmono().divides(m)) {
-      if (best == nullptr || reducer_preferred(g, *best)) {
-        best = &g;
-        best_id = id;
-      }
+  std::size_t best_bits = 0, best_terms = 0;
+  for (std::size_t i = 0; i < b_->order_.size(); ++i) {
+    st.probes += 1;
+    if (!DivMaskRuler::may_divide(b_->order_masks_[i], tmask)) {
+      st.mask_rejects += 1;
+      continue;
+    }
+    const Polynomial& g = *b_->order_body_[i];
+    if (g.is_zero()) continue;
+    st.divides_calls += 1;
+    if (!g.hmono().divides(m)) continue;
+    std::size_t gbits = g.hcoef().bit_length();
+    std::size_t gterms = g.nterms();
+    if (best == nullptr || gbits < best_bits || (gbits == best_bits && gterms < best_terms)) {
+      best = &g;
+      best_id = b_->order_[i];
+      best_bits = gbits;
+      best_terms = gterms;
     }
   }
   if (best && out_id) *out_id = best_id;

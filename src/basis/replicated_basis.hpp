@@ -37,6 +37,7 @@
 
 #include "basis/basis_store.hpp"
 #include "machine/machine.hpp"
+#include "poly/divmask.hpp"
 
 namespace gbd {
 
@@ -138,6 +139,12 @@ class ReplicatedBasis final : public BasisStore {
 
   std::map<PolyId, Polynomial> replica_;
   std::vector<PolyId> order_;  ///< replica keys in arrival order (ForAll order)
+  // Parallel to order_: divmask of each element's head and a pointer to its
+  // body (std::map nodes are stable and the replica never erases), so the
+  // reducer scan avoids both the map lookup and most exponent comparisons.
+  DivMaskRuler ruler_;
+  std::vector<std::uint64_t> order_masks_;
+  std::vector<const Polynomial*> order_body_;
   std::map<PolyId, Monomial> shadow_;  ///< invalidated ids + their head monomials
   std::vector<std::pair<PolyId, Monomial>> known_heads_;  ///< every announced element
   std::map<PolyId, std::vector<int>> pending_requesters_;  ///< fetches to answer later

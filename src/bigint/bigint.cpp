@@ -13,9 +13,25 @@ namespace {
 
 constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
 
-using Mag = std::vector<std::uint32_t>;
+thread_local std::uint64_t g_limb_heap_allocs = 0;
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// LimbVec spill path
+
+void LimbVec::grow(std::size_t newcap) {
+  if (newcap < 2 * kInlineLimbs) newcap = 2 * kInlineLimbs;
+  auto* fresh = new std::uint32_t[newcap];
+  g_limb_heap_allocs += 1;
+  if (size_ > 0) std::memcpy(fresh, data(), size_ * sizeof(std::uint32_t));
+  if (cap_ > kInlineLimbs) delete[] heap_;
+  heap_ = fresh;
+  cap_ = static_cast<std::uint32_t>(newcap);
+}
+
+std::uint64_t LimbVec::heap_allocs() { return g_limb_heap_allocs; }
+void LimbVec::reset_heap_allocs() { g_limb_heap_allocs = 0; }
 
 // ---------------------------------------------------------------------------
 // Construction / conversion
@@ -27,6 +43,15 @@ BigInt::BigInt(std::int64_t v) {
   std::uint64_t u = v > 0 ? static_cast<std::uint64_t>(v) : 0 - static_cast<std::uint64_t>(v);
   mag_.push_back(static_cast<std::uint32_t>(u));
   if (u >> 32) mag_.push_back(static_cast<std::uint32_t>(u >> 32));
+}
+
+BigInt BigInt::from_parts(int sign, std::uint64_t mag) {
+  BigInt r;
+  if (mag == 0 || sign == 0) return r;
+  r.sign_ = sign > 0 ? 1 : -1;
+  r.mag_.push_back(static_cast<std::uint32_t>(mag));
+  if (mag >> 32) r.mag_.push_back(static_cast<std::uint32_t>(mag >> 32));
+  return r;
 }
 
 bool BigInt::parse(std::string_view s, BigInt* out) {
@@ -67,7 +92,9 @@ std::int64_t BigInt::to_int64() const {
   std::uint64_t u = 0;
   if (!mag_.empty()) u = mag_[0];
   if (mag_.size() > 1) u |= static_cast<std::uint64_t>(mag_[1]) << 32;
-  return sign_ < 0 ? -static_cast<std::int64_t>(u) : static_cast<std::int64_t>(u);
+  // Negate in unsigned arithmetic: INT64_MIN's magnitude does not fit a
+  // positive int64_t, so -static_cast<int64_t>(u) would overflow.
+  return static_cast<std::int64_t>(sign_ < 0 ? 0u - u : u);
 }
 
 std::string BigInt::to_string() const {
@@ -119,7 +146,7 @@ int BigInt::cmp_mag(const Mag& a, const Mag& b) {
   return 0;
 }
 
-Mag BigInt::add_mag(const Mag& a, const Mag& b) {
+LimbVec BigInt::add_mag(const Mag& a, const Mag& b) {
   const Mag& big = a.size() >= b.size() ? a : b;
   const Mag& small = a.size() >= b.size() ? b : a;
   Mag out(big.size() + 1, 0);
@@ -141,7 +168,7 @@ Mag BigInt::add_mag(const Mag& a, const Mag& b) {
   return out;
 }
 
-Mag BigInt::sub_mag(const Mag& a, const Mag& b) {
+LimbVec BigInt::sub_mag(const Mag& a, const Mag& b) {
   GBD_DCHECK(cmp_mag(a, b) >= 0);
   Mag out(a.size(), 0);
   std::int64_t borrow = 0;
@@ -156,7 +183,46 @@ Mag BigInt::sub_mag(const Mag& a, const Mag& b) {
   return out;
 }
 
-Mag BigInt::mul_school(const Mag& a, const Mag& b) {
+namespace {
+
+/// a += b without allocating unless the result outgrows a's buffer. Charges
+/// exactly what add_mag charges for the same sizes: max(|a|,|b|) + 1.
+void add_mag_in_place(LimbVec& a, const LimbVec& b) {
+  std::size_t n = std::max(a.size(), b.size());
+  a.resize(n, 0);
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    std::uint64_t s = static_cast<std::uint64_t>(a[i]) + b[i] + carry;
+    a[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  for (; i < n && carry; ++i) {
+    std::uint64_t s = static_cast<std::uint64_t>(a[i]) + carry;
+    a[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  if (carry) a.push_back(static_cast<std::uint32_t>(carry));
+  CostCounter::charge(n + 1);
+}
+
+/// a -= b in place; requires |a| >= |b|. Charges like sub_mag: |a|.
+void sub_mag_in_place(LimbVec& a, const LimbVec& b) {
+  std::size_t n = a.size();
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - (i < b.size() ? b[i] : 0) - borrow;
+    borrow = d < 0;
+    if (d < 0) d += (1LL << 32);
+    a[i] = static_cast<std::uint32_t>(d);
+  }
+  while (!a.empty() && a.back() == 0) a.pop_back();
+  CostCounter::charge(n);
+}
+
+}  // namespace
+
+LimbVec BigInt::mul_school(const Mag& a, const Mag& b) {
   if (a.empty() || b.empty()) return {};
   Mag out(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -174,12 +240,14 @@ Mag BigInt::mul_school(const Mag& a, const Mag& b) {
   return out;
 }
 
-Mag BigInt::mul_karatsuba(const Mag& a, const Mag& b) {
+LimbVec BigInt::mul_karatsuba(const Mag& a, const Mag& b) {
   // Split at half the larger operand: a = a1·B^k + a0, b = b1·B^k + b0.
   std::size_t k = std::max(a.size(), b.size()) / 2;
-  auto lo = [&](const Mag& v) { return Mag(v.begin(), v.begin() + std::min(k, v.size())); };
+  auto lo = [&](const Mag& v) {
+    return Mag(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(std::min(k, v.size())));
+  };
   auto hi = [&](const Mag& v) {
-    return v.size() > k ? Mag(v.begin() + k, v.end()) : Mag{};
+    return v.size() > k ? Mag(v.begin() + static_cast<std::ptrdiff_t>(k), v.end()) : Mag{};
   };
   Mag a0 = lo(a), a1 = hi(a), b0 = lo(b), b1 = hi(b);
   trim(a0);
@@ -215,7 +283,7 @@ Mag BigInt::mul_karatsuba(const Mag& a, const Mag& b) {
   return out;
 }
 
-Mag BigInt::mul_mag(const Mag& a, const Mag& b) {
+LimbVec BigInt::mul_mag(const Mag& a, const Mag& b) {
   if (a.empty() || b.empty()) return {};
   if (std::min(a.size(), b.size()) < kKaratsubaThreshold) return mul_school(a, b);
   return mul_karatsuba(a, b);
@@ -231,7 +299,7 @@ void BigInt::divmod_mag(const Mag& num, const Mag& den, Mag* quot, Mag* rem) {
   }
   if (den.size() == 1) {
     std::uint64_t d = den[0];
-    Mag q(num.size());
+    Mag q(num.size(), 0);
     std::uint64_t r = 0;
     for (std::size_t i = num.size(); i-- > 0;) {
       std::uint64_t cur = (r << 32) | num[i];
@@ -350,6 +418,18 @@ BigInt BigInt::abs() const {
 BigInt BigInt::operator+(const BigInt& rhs) const {
   if (is_zero()) return rhs;
   if (rhs.is_zero()) return *this;
+  if (mag_.size() == 1 && rhs.mag_.size() == 1) {
+    // Single-limb fast path: plain int64 arithmetic, no limb loops. Charges
+    // exactly what add_mag (2) / sub_mag (1) / the zero-result early return
+    // (0) would for one-limb operands.
+    std::int64_t a = sign_ < 0 ? -static_cast<std::int64_t>(mag_[0])
+                               : static_cast<std::int64_t>(mag_[0]);
+    std::int64_t b = rhs.sign_ < 0 ? -static_cast<std::int64_t>(rhs.mag_[0])
+                                   : static_cast<std::int64_t>(rhs.mag_[0]);
+    std::int64_t s = a + b;
+    CostCounter::charge(sign_ == rhs.sign_ ? 2 : (s == 0 ? 0 : 1));
+    return BigInt(s);
+  }
   if (sign_ == rhs.sign_) return BigInt(sign_, add_mag(mag_, rhs.mag_));
   int c = cmp_mag(mag_, rhs.mag_);
   if (c == 0) return BigInt();
@@ -357,11 +437,92 @@ BigInt BigInt::operator+(const BigInt& rhs) const {
   return BigInt(rhs.sign_, sub_mag(rhs.mag_, mag_));
 }
 
-BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  // Like `*this + (-rhs)` but without materializing the negation.
+  BigInt out = *this;
+  out.add_in_place(rhs, -rhs.sign_);
+  return out;
+}
+
+void BigInt::add_in_place(const BigInt& rhs, int rsign) {
+  if (rsign == 0) return;
+  if (this == &rhs) {
+    // Aliasing (x += x): fall back through a copy; rare and still cheap for
+    // inline-small values.
+    BigInt tmp = rhs;
+    add_in_place(tmp, rsign);
+    return;
+  }
+  if (sign_ == 0) {
+    mag_ = rhs.mag_;
+    sign_ = rsign;
+    return;
+  }
+  if (mag_.size() == 1 && rhs.mag_.size() == 1) {
+    std::int64_t a = sign_ < 0 ? -static_cast<std::int64_t>(mag_[0])
+                               : static_cast<std::int64_t>(mag_[0]);
+    std::int64_t b = rsign < 0 ? -static_cast<std::int64_t>(rhs.mag_[0])
+                               : static_cast<std::int64_t>(rhs.mag_[0]);
+    std::int64_t s = a + b;
+    CostCounter::charge(sign_ == rsign ? 2 : (s == 0 ? 0 : 1));
+    if (s == 0) {
+      sign_ = 0;
+      mag_.clear();
+      return;
+    }
+    sign_ = s > 0 ? 1 : -1;
+    std::uint64_t u = s > 0 ? static_cast<std::uint64_t>(s) : 0 - static_cast<std::uint64_t>(s);
+    mag_.resize(u >> 32 ? 2 : 1);
+    mag_[0] = static_cast<std::uint32_t>(u);
+    if (u >> 32) mag_[1] = static_cast<std::uint32_t>(u >> 32);
+    return;
+  }
+  if (sign_ == rsign) {
+    add_mag_in_place(mag_, rhs.mag_);
+    return;
+  }
+  int c = cmp_mag(mag_, rhs.mag_);
+  if (c == 0) {
+    sign_ = 0;
+    mag_.clear();
+    return;
+  }
+  if (c > 0) {
+    sub_mag_in_place(mag_, rhs.mag_);
+  } else {
+    mag_ = sub_mag(rhs.mag_, mag_);
+    sign_ = rsign;
+  }
+}
 
 BigInt BigInt::operator*(const BigInt& rhs) const {
   if (is_zero() || rhs.is_zero()) return BigInt();
+  if (mag_.size() == 1 && rhs.mag_.size() == 1) {
+    // 32×32→64 fast path; mul_school would charge 1·1 = 1.
+    std::uint64_t p = static_cast<std::uint64_t>(mag_[0]) * rhs.mag_[0];
+    CostCounter::charge(1);
+    return from_parts(sign_ * rhs.sign_, p);
+  }
   return BigInt(sign_ * rhs.sign_, mul_mag(mag_, rhs.mag_));
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero()) return *this;
+  if (rhs.is_zero()) {
+    sign_ = 0;
+    mag_.clear();
+    return *this;
+  }
+  if (mag_.size() == 1 && rhs.mag_.size() == 1) {
+    std::uint64_t p = static_cast<std::uint64_t>(mag_[0]) * rhs.mag_[0];
+    CostCounter::charge(1);
+    sign_ *= rhs.sign_;
+    mag_.resize(p >> 32 ? 2 : 1);
+    mag_[0] = static_cast<std::uint32_t>(p);
+    if (p >> 32) mag_[1] = static_cast<std::uint32_t>(p >> 32);
+    return *this;
+  }
+  return *this = *this * rhs;
 }
 
 void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt* quot, BigInt* rem) {
@@ -402,7 +563,7 @@ BigInt BigInt::operator>>(std::size_t bits) const {
   if (is_zero()) return *this;
   std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
   if (limb_shift >= mag_.size()) return BigInt();
-  Mag out(mag_.begin() + limb_shift, mag_.end());
+  Mag out(mag_.begin() + static_cast<std::ptrdiff_t>(limb_shift), mag_.end());
   if (bit_shift) {
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] >>= bit_shift;
@@ -464,14 +625,14 @@ BigInt BigInt::pow(const BigInt& base, std::uint32_t exp) {
 
 void BigInt::write(Writer& w) const {
   w.u8(static_cast<std::uint8_t>(sign_ + 1));
-  w.words(mag_);
+  w.words(mag_.data(), mag_.size());
 }
 
 BigInt BigInt::read(Reader& r) {
   int sign = static_cast<int>(r.u8()) - 1;
-  Mag mag = r.words();
+  std::vector<std::uint32_t> limbs = r.words();
   GBD_CHECK_MSG(sign >= -1 && sign <= 1, "BigInt::read: bad sign byte");
-  return BigInt(sign, std::move(mag));
+  return BigInt(sign, Mag(limbs.data(), limbs.data() + limbs.size()));
 }
 
 std::size_t BigInt::hash() const {

@@ -7,11 +7,24 @@
 // schoolbook to Karatsuba above a limb threshold; division is Knuth's
 // algorithm D; gcd is the binary algorithm.
 //
+// The limb storage is a small-vector (LimbVec): magnitudes of up to
+// kInlineLimbs limbs (64 bits) live inline in the BigInt object and never
+// touch the heap. Gröbner coefficient distributions are dominated by one-
+// and two-limb values, so the common case allocates nothing; LimbVec counts
+// the heap allocations it does make (see heap_allocs) so benchmarks can
+// report allocation pressure. Single-limb operands additionally take direct
+// machine-arithmetic fast paths in +, -, *, / and the in-place compound
+// operators.
+//
 // All operations charge CostCounter in proportion to the limb work they do,
 // so coefficient growth is visible to the simulated machine's virtual clock.
+// The fast paths charge exactly what the generic limb loops would charge for
+// the same operand sizes — the cost model is a property of the arithmetic,
+// not of the representation.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +33,106 @@ namespace gbd {
 
 class Writer;
 class Reader;
+
+/// Growable little-endian limb buffer with inline storage for small values.
+/// Deliberately minimal: just the vector operations the BigInt kernels use.
+class LimbVec {
+ public:
+  static constexpr std::size_t kInlineLimbs = 2;
+
+  LimbVec() = default;
+  LimbVec(std::size_t n, std::uint32_t fill) { resize(n, fill); }
+  LimbVec(const std::uint32_t* first, const std::uint32_t* last) {
+    resize(static_cast<std::size_t>(last - first), 0);
+    if (size_ > 0) std::memcpy(data(), first, size_ * sizeof(std::uint32_t));
+  }
+
+  LimbVec(const LimbVec& o) : LimbVec(o.data(), o.data() + o.size()) {}
+  LimbVec(LimbVec&& o) noexcept { steal(o); }
+  LimbVec& operator=(const LimbVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      resize(o.size_, 0);
+      if (size_ > 0) std::memcpy(data(), o.data(), size_ * sizeof(std::uint32_t));
+    }
+    return *this;
+  }
+  LimbVec& operator=(LimbVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~LimbVec() { release(); }
+
+  std::uint32_t* data() { return cap_ <= kInlineLimbs ? inline_ : heap_; }
+  const std::uint32_t* data() const { return cap_ <= kInlineLimbs ? inline_ : heap_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  std::uint32_t operator[](std::size_t i) const { return data()[i]; }
+  std::uint32_t& operator[](std::size_t i) { return data()[i]; }
+  std::uint32_t back() const { return data()[size_ - 1]; }
+
+  std::uint32_t* begin() { return data(); }
+  std::uint32_t* end() { return data() + size_; }
+  const std::uint32_t* begin() const { return data(); }
+  const std::uint32_t* end() const { return data() + size_; }
+
+  void push_back(std::uint32_t v) {
+    if (size_ == cap_) grow(2 * cap_ + 2);
+    data()[size_++] = v;
+  }
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n, std::uint32_t fill = 0) {
+    if (n > cap_) grow(n);
+    std::uint32_t* d = data();
+    for (std::size_t i = size_; i < n; ++i) d[i] = fill;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  bool operator==(const LimbVec& o) const {
+    return size_ == o.size_ &&
+           (size_ == 0 || std::memcmp(data(), o.data(), size_ * sizeof(std::uint32_t)) == 0);
+  }
+  bool operator!=(const LimbVec& o) const { return !(*this == o); }
+
+  /// Thread-local count of heap (spill) allocations since the last reset —
+  /// the benchmark-visible "BigInt allocations" metric.
+  static std::uint64_t heap_allocs();
+  static void reset_heap_allocs();
+
+ private:
+  void grow(std::size_t newcap);  // out-of-line: counts the allocation
+  void release() {
+    if (cap_ > kInlineLimbs) delete[] heap_;
+    cap_ = kInlineLimbs;
+    size_ = 0;
+  }
+  void steal(LimbVec& o) {
+    size_ = o.size_;
+    cap_ = o.cap_;
+    if (o.cap_ > kInlineLimbs) {
+      heap_ = o.heap_;
+      o.cap_ = kInlineLimbs;
+      o.size_ = 0;
+    } else if (size_ > 0) {
+      std::memcpy(inline_, o.inline_, size_ * sizeof(std::uint32_t));
+    }
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInlineLimbs;
+  union {
+    std::uint32_t inline_[kInlineLimbs];
+    std::uint32_t* heap_;
+  };
+};
 
 class BigInt {
  public:
@@ -64,9 +177,18 @@ class BigInt {
   /// Remainder with the sign of the dividend (C semantics). rhs must be nonzero.
   BigInt operator%(const BigInt& rhs) const;
 
-  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
-  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
-  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+  /// In-place add/subtract: reuses this value's limb buffer whenever it has
+  /// the capacity (always for inline-small values), so `x += y` in a hot
+  /// loop performs no allocation instead of building `x + y` and assigning.
+  BigInt& operator+=(const BigInt& rhs) {
+    add_in_place(rhs, rhs.sign_);
+    return *this;
+  }
+  BigInt& operator-=(const BigInt& rhs) {
+    add_in_place(rhs, -rhs.sign_);
+    return *this;
+  }
+  BigInt& operator*=(const BigInt& rhs);
   BigInt& operator/=(const BigInt& rhs) { return *this = *this / rhs; }
   BigInt& operator%=(const BigInt& rhs) { return *this = *this % rhs; }
 
@@ -103,30 +225,30 @@ class BigInt {
   std::size_t hash() const;
 
  private:
-  static int cmp_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
+  using Mag = LimbVec;
+
+  static int cmp_mag(const Mag& a, const Mag& b);
+  static Mag add_mag(const Mag& a, const Mag& b);
   /// Requires |a| >= |b|.
-  static std::vector<std::uint32_t> sub_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_school(const std::vector<std::uint32_t>& a,
-                                               const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_karatsuba(const std::vector<std::uint32_t>& a,
-                                                  const std::vector<std::uint32_t>& b);
-  static void divmod_mag(const std::vector<std::uint32_t>& num,
-                         const std::vector<std::uint32_t>& den,
-                         std::vector<std::uint32_t>* quot, std::vector<std::uint32_t>* rem);
-  static void trim(std::vector<std::uint32_t>& v);
+  static Mag sub_mag(const Mag& a, const Mag& b);
+  static Mag mul_mag(const Mag& a, const Mag& b);
+  static Mag mul_school(const Mag& a, const Mag& b);
+  static Mag mul_karatsuba(const Mag& a, const Mag& b);
+  static void divmod_mag(const Mag& num, const Mag& den, Mag* quot, Mag* rem);
+  static void trim(Mag& v);
   void normalize();
 
-  BigInt(int sign, std::vector<std::uint32_t> mag) : sign_(sign), mag_(std::move(mag)) {
-    normalize();
-  }
+  /// *this = *this + rsign·|rhs| without allocating when the result fits the
+  /// existing buffer. Backbone of += and -=.
+  void add_in_place(const BigInt& rhs, int rsign);
+
+  BigInt(int sign, Mag mag) : sign_(sign), mag_(std::move(mag)) { normalize(); }
+
+  /// Build from a sign and a raw 64-bit magnitude (inline, no allocation).
+  static BigInt from_parts(int sign, std::uint64_t mag);
 
   int sign_ = 0;
-  std::vector<std::uint32_t> mag_;
+  Mag mag_;
 };
 
 }  // namespace gbd

@@ -47,6 +47,10 @@ struct GbConfig {
   /// interreduction helps or not" is §7's open question; honored by the
   /// sequential engine).
   bool interreduce_input = false;
+  /// Use the geobucket accumulator inside reduce_full (see reduce.hpp).
+  /// Normal forms and step counts are identical either way; the switch
+  /// exists for the baseline benchmark and as an escape hatch.
+  bool use_geobuckets = true;
   Selection selection = Selection::kNormal;
   /// Abort knob for tests; a correct run never hits it.
   std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();

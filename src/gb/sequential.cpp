@@ -88,6 +88,7 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
   VectorReducerSet reducer_set(&basis);
   ReduceOptions ropts;
   ropts.tail_reduce = cfg.tail_reduce;
+  ropts.use_geobuckets = cfg.use_geobuckets;
 
   // gpq = all unordered pairs over the input.
   for (std::uint32_t i = 0; i < basis.size(); ++i) {

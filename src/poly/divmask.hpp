@@ -1,0 +1,67 @@
+// Divisibility bitmasks ("divmasks") for fast reducer lookup.
+//
+// find_reducer is the innermost loop of reduction: every cancellation step
+// scans candidate basis heads asking "does this head divide that monomial?".
+// The full test walks both exponent vectors; a divmask compresses each
+// monomial's exponent vector into a 64-bit signature so that almost all
+// non-divisors are dismissed by one AND and one compare — the classic filter
+// of the Singular / Macaulay2 lineage.
+//
+// Layout: a DivMaskRuler splits the 64 mask bits into contiguous per-variable
+// fields of `bits(v)` bits each (evenly, first variables get the spare bits;
+// variables beyond the 64th get zero bits and simply don't participate). Bit
+// j of variable v's field is set iff exp(v) >= j+1, i.e. the field holds
+// min(exp(v), bits(v)) low ones. Then for any monomials a, b
+//
+//     a | b   implies   mask(a) & ~mask(b) == 0,
+//
+// because exp_a(v) <= exp_b(v) forces min(exp_a, k) <= min(exp_b, k) and a
+// prefix of ones can only grow. The converse is false — the filter has false
+// positives (saturated fields, dropped variables) but never false negatives,
+// so callers run the exact Monomial::divides test on survivors and reducer
+// selection is bit-for-bit unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/monomial.hpp"
+
+namespace gbd {
+
+class DivMaskRuler {
+ public:
+  DivMaskRuler() = default;
+  explicit DivMaskRuler(std::size_t nvars);
+
+  std::size_t nvars() const { return bits_.size(); }
+
+  /// Signature of m under this ruler. Monomials compared through masks must
+  /// come from the same ruler (i.e. the same nvars).
+  std::uint64_t mask(const Monomial& m) const;
+
+  /// Necessary condition for "divisor | multiple": every exponent-threshold
+  /// bit the divisor sets must also be set by the multiple.
+  static bool may_divide(std::uint64_t divisor_mask, std::uint64_t multiple_mask) {
+    return (divisor_mask & ~multiple_mask) == 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;    // field width per variable (may be 0)
+  std::vector<std::uint8_t> offset_;  // field start bit per variable
+};
+
+/// Counters for the find_reducer hot path, thread-local so the simulated
+/// engines (which run many logical processors on one thread) aggregate
+/// naturally and benchmarks can read them without plumbing.
+struct FindReducerStats {
+  std::uint64_t calls = 0;         ///< find_reducer invocations
+  std::uint64_t probes = 0;        ///< candidate heads examined (mask test included)
+  std::uint64_t mask_rejects = 0;  ///< candidates dismissed by the divmask alone
+  std::uint64_t divides_calls = 0; ///< full exponent-vector comparisons performed
+};
+
+FindReducerStats& find_reducer_stats();
+void reset_find_reducer_stats();
+
+}  // namespace gbd

@@ -1,0 +1,234 @@
+#include "poly/geobucket.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+namespace {
+
+// Once the pending multipliers exceed this many bits in total, materialize
+// and divide by the content. Rare on the seed problems (reducer head
+// coefficients stay small), but bounds worst-case coefficient blowup to a
+// constant factor over the per-step-primitive naive path.
+constexpr std::size_t kNormalizeBits = 512;
+
+}  // namespace
+
+Geobucket::Geobucket(const PolyContext& ctx, Polynomial p) : ctx_(&ctx) {
+  if (p.is_zero()) return;
+  std::vector<Term> terms(p.terms().begin(), p.terms().end());
+  insert(std::move(terms), BigInt(1));
+}
+
+void Geobucket::settle_bucket(Bucket& b) {
+  if (b.scale.is_one()) return;
+  for (std::size_t i = b.start; i < b.terms.size(); ++i) {
+    b.terms[i].coeff *= b.scale;
+  }
+  b.scale = BigInt(1);
+}
+
+std::vector<Term> Geobucket::merge(std::vector<Term> a, std::size_t astart, std::vector<Term> b,
+                                   std::size_t bstart) const {
+  std::vector<Term> out;
+  out.reserve((a.size() - astart) + (b.size() - bstart));
+  std::size_t i = astart, j = bstart;
+  while (i < a.size() && j < b.size()) {
+    int c = ctx_->cmp(a[i].mono, b[j].mono);
+    if (c > 0) {
+      out.push_back(std::move(a[i++]));
+    } else if (c < 0) {
+      out.push_back(std::move(b[j++]));
+    } else {
+      a[i].coeff += b[j].coeff;
+      if (!a[i].coeff.is_zero()) out.push_back(std::move(a[i]));
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(std::move(a[i]));
+  for (; j < b.size(); ++j) out.push_back(std::move(b[j]));
+  // Same term-movement charge as Polynomial::add for these lengths.
+  CostCounter::charge((a.size() - astart) + (b.size() - bstart));
+  return out;
+}
+
+void Geobucket::insert(std::vector<Term> terms, BigInt scale) {
+  if (terms.empty()) return;
+  std::size_t i = 0;
+  while (cap(i) < terms.size()) ++i;
+  if (buckets_.size() <= i) buckets_.resize(i + 1);
+  std::size_t start = 0;
+  for (;;) {
+    if (buckets_.size() <= i) buckets_.resize(i + 1);
+    Bucket& b = buckets_[i];
+    if (!b.live()) {
+      b.terms = std::move(terms);
+      b.start = start;
+      b.scale = std::move(scale);
+      return;
+    }
+    // Occupied: materialize both pending scales and merge.
+    settle_bucket(b);
+    if (!scale.is_one()) {
+      for (std::size_t k = start; k < terms.size(); ++k) terms[k].coeff *= scale;
+      scale = BigInt(1);
+    }
+    terms = merge(std::move(b.terms), b.start, std::move(terms), start);
+    start = 0;
+    b.terms.clear();
+    b.start = 0;
+    b.scale = BigInt(1);
+    if (terms.empty()) return;
+    if (terms.size() <= cap(i)) {
+      b.terms = std::move(terms);
+      return;
+    }
+    ++i;  // cascade upward
+  }
+}
+
+bool Geobucket::lead(Term* out) {
+  if (lead_valid_) {
+    *out = lead_;
+    return true;
+  }
+  for (;;) {
+    // Largest head monomial across the live buckets.
+    const Monomial* maxm = nullptr;
+    for (const Bucket& b : buckets_) {
+      if (!b.live()) continue;
+      const Monomial& hm = b.terms[b.start].mono;
+      if (maxm == nullptr || ctx_->cmp(hm, *maxm) > 0) maxm = &hm;
+    }
+    if (maxm == nullptr) return false;
+    Monomial mono = *maxm;
+    // Exact coefficient: sum the contributing heads under their scales.
+    BigInt coeff;
+    lead_src_.clear();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      Bucket& b = buckets_[i];
+      if (!b.live() || b.terms[b.start].mono != mono) continue;
+      lead_src_.push_back(i);
+      if (b.scale.is_one()) {
+        coeff += b.terms[b.start].coeff;
+      } else {
+        coeff += b.terms[b.start].coeff * b.scale;
+      }
+    }
+    if (coeff.is_zero()) {
+      // Heads cancelled exactly (the designed outcome of a reduction step):
+      // drop them and look again.
+      for (std::size_t i : lead_src_) buckets_[i].start += 1;
+      continue;
+    }
+    lead_.mono = std::move(mono);
+    lead_.coeff = std::move(coeff);
+    lead_valid_ = true;
+    *out = lead_;
+    return true;
+  }
+}
+
+void Geobucket::retire_lead() {
+  GBD_CHECK_MSG(lead_valid_, "retire_lead without a current lead");
+  for (std::size_t i : lead_src_) buckets_[i].start += 1;
+  done_.push_back(Retired{std::move(lead_), static_cast<std::uint32_t>(scale_log_.size())});
+  lead_valid_ = false;
+}
+
+void Geobucket::axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m,
+                     const Polynomial& p) {
+  GBD_DCHECK(!scale.is_zero() && !coeff.is_zero());
+  lead_valid_ = false;
+  if (!scale.is_one()) {
+    for (Bucket& b : buckets_) {
+      if (b.live()) b.scale *= scale;
+    }
+    scale_log_.push_back(scale);
+    pending_bits_ += scale.bit_length();
+  }
+  std::vector<Term> add;
+  add.reserve(p.nterms());
+  for (const Term& t : p.terms()) {
+    add.push_back(Term{t.coeff, t.mono * m});
+  }
+  insert(std::move(add), coeff);
+  if (pending_bits_ > kNormalizeBits) normalize();
+}
+
+void Geobucket::settle_done() {
+  BigInt acc(1);
+  std::size_t j = scale_log_.size();
+  for (std::size_t i = done_.size(); i-- > 0;) {
+    while (j > done_[i].epoch) acc *= scale_log_[--j];
+    if (!acc.is_one()) done_[i].term.coeff *= acc;
+    done_[i].epoch = 0;
+  }
+}
+
+std::vector<Term> Geobucket::drain_buckets() {
+  std::vector<Term> all;
+  for (Bucket& b : buckets_) {
+    if (!b.live()) {
+      b.terms.clear();
+      b.start = 0;
+      b.scale = BigInt(1);
+      continue;
+    }
+    settle_bucket(b);
+    std::vector<Term> run = std::move(b.terms);
+    std::size_t start = b.start;
+    b.terms.clear();
+    b.start = 0;
+    b.scale = BigInt(1);
+    all = all.empty() && start == 0 ? std::move(run) : merge(std::move(all), 0, std::move(run), start);
+  }
+  return all;
+}
+
+void Geobucket::normalize() {
+  normalizations_ += 1;
+  settle_done();
+  std::vector<Term> rest = drain_buckets();
+  std::size_t ndone = done_.size();
+  std::vector<Term> all;
+  all.reserve(ndone + rest.size());
+  for (auto& d : done_) all.push_back(std::move(d.term));
+  for (auto& t : rest) all.push_back(std::move(t));
+  Polynomial p = Polynomial::from_sorted_terms(*ctx_, std::move(all));
+  p.make_primitive();
+  // Split back: retired terms are strictly larger than every bucketed term,
+  // and rescaling never changes the support, so the boundary is positional.
+  std::vector<Term> terms(p.terms().begin(), p.terms().end());
+  for (std::size_t i = 0; i < ndone; ++i) {
+    done_[i].term = std::move(terms[i]);
+    done_[i].epoch = 0;
+  }
+  scale_log_.clear();
+  pending_bits_ = 0;
+  std::vector<Term> tail(std::make_move_iterator(terms.begin() + static_cast<std::ptrdiff_t>(ndone)),
+                         std::make_move_iterator(terms.end()));
+  insert(std::move(tail), BigInt(1));
+}
+
+Polynomial Geobucket::extract() {
+  lead_valid_ = false;
+  settle_done();
+  std::vector<Term> rest = drain_buckets();
+  std::vector<Term> all;
+  all.reserve(done_.size() + rest.size());
+  for (auto& d : done_) all.push_back(std::move(d.term));
+  for (auto& t : rest) all.push_back(std::move(t));
+  done_.clear();
+  scale_log_.clear();
+  pending_bits_ = 0;
+  Polynomial p = Polynomial::from_sorted_terms(*ctx_, std::move(all));
+  p.make_primitive();
+  return p;
+}
+
+}  // namespace gbd

@@ -1,0 +1,117 @@
+// Geobucket accumulator for polynomial reduction (Yan, "The geobucket data
+// structure for polynomials", J. Symbolic Computation 1998).
+//
+// A reduction of an n-term polynomial performs many updates of the shape
+//     acc ← a·acc + c·(m·r),
+// and the naive representation (one flat sorted term vector) pays O(n) term
+// movement per update — O(n·steps) overall. A geobucket keeps the accumulator
+// as O(log n) buckets of sorted term lists, bucket i holding at most 4^(i+1)
+// terms; an update touches only a bucket of the reducer's size plus an
+// amortized cascade, and the leading term is found by comparing the bucket
+// heads. Total term movement is O(n log n).
+//
+// Two twists adapt the structure to *fraction-free* reduction over the
+// integers:
+//
+//   · Pending scales. The step multiplies the whole accumulator by a. Each
+//     bucket carries a lazy BigInt multiplier instead: scaling is O(#buckets)
+//     coefficient multiplications, and a bucket's multiplier is materialized
+//     only when the bucket is merged or extracted. Invariant: the accumulator
+//     value is Σ_i scale_i · bucket_i  (+ the retired terms below).
+//
+//   · Epoch-stamped retirement. Tail reduction moves each irreducible leading
+//     term to a `done` list; terms retired earlier must still absorb every
+//     *later* a-multiplier. Each retired term is stamped with the current
+//     length of the scale log, and settlement multiplies it by the suffix
+//     product of the log past its stamp — O(done + steps) multiplications
+//     once, instead of O(done) per step. Every retired term is strictly
+//     larger (in the monomial order) than everything still bucketed, so the
+//     final polynomial is the done list concatenated with the merged buckets.
+//
+// The accumulated scales make coefficients grow where the naive path divided
+// by the content every step; when the pending scale bits pass a threshold the
+// bucket normalizes (materializes everything, divides by the content). Any
+// such rescaling keeps every intermediate a *scalar multiple* of the naive
+// path's value — g = gcd(s·c, hc(r)) absorbs the extra factor s — so the
+// monomial trajectory, the reducer choices and the step count are identical,
+// and the final make_primitive yields the bit-identical normal form. The
+// differential test in reduce_diff_test.cpp holds the two paths to exactly
+// that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+class Geobucket {
+ public:
+  /// Start accumulating with the terms of p (consumed).
+  Geobucket(const PolyContext& ctx, Polynomial p);
+
+  /// Refresh the current leading (largest-monomial) term into *out, with its
+  /// exact coefficient (all pending scales applied). Groups of bucket heads
+  /// that cancel to zero are discarded on the way. Returns false when the
+  /// accumulator has no terms left.
+  bool lead(Term* out);
+
+  /// Move the current leading term (the last one lead() produced) to the
+  /// done list. Requires a preceding successful lead() with no intervening
+  /// axpy().
+  void retire_lead();
+
+  /// acc ← scale·acc + coeff·(m·p): the fraction-free cancellation step.
+  /// scale and coeff must be nonzero.
+  void axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m, const Polynomial& p);
+
+  /// Materialize done ++ remaining buckets as a primitive polynomial and
+  /// reset the accumulator to empty.
+  Polynomial extract();
+
+  /// Number of threshold-triggered normalizations performed (observability).
+  std::uint64_t normalizations() const { return normalizations_; }
+
+ private:
+  struct Bucket {
+    std::vector<Term> terms;  // descending monomials; [start, end) live
+    std::size_t start = 0;
+    BigInt scale{1};  // pending multiplier on every live coefficient
+    bool live() const { return start < terms.size(); }
+    std::size_t size() const { return terms.size() - start; }
+  };
+  struct Retired {
+    Term term;
+    std::uint32_t epoch;  // scale_log_.size() at retirement
+  };
+
+  static std::size_t cap(std::size_t i) { return std::size_t{4} << (2 * i); }
+
+  /// Insert a sorted term run with a pending scale, cascading merges upward.
+  void insert(std::vector<Term> terms, BigInt scale);
+  /// Multiply the live coefficients of b by its pending scale.
+  static void settle_bucket(Bucket& b);
+  /// Sum of two descending term runs (coefficients added, zeros dropped).
+  std::vector<Term> merge(std::vector<Term> a, std::size_t astart, std::vector<Term> b,
+                          std::size_t bstart) const;
+  /// Apply the scale-log suffix products to the done list.
+  void settle_done();
+  /// Merge every bucket into one settled run and empty the buckets.
+  std::vector<Term> drain_buckets();
+  /// Materialize, make primitive, rebuild — bounds coefficient growth.
+  void normalize();
+
+  const PolyContext* ctx_;
+  std::vector<Bucket> buckets_;
+  std::vector<Retired> done_;
+  std::vector<BigInt> scale_log_;  // every a applied since the last normalize
+  std::size_t pending_bits_ = 0;   // Σ bit_length over scale_log_
+  std::uint64_t normalizations_ = 0;
+
+  Term lead_;                          // last value lead() produced
+  std::vector<std::size_t> lead_src_;  // buckets whose head contributes to it
+  bool lead_valid_ = false;
+};
+
+}  // namespace gbd

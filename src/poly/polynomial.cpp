@@ -32,6 +32,19 @@ Polynomial Polynomial::from_terms(const PolyContext& ctx, std::vector<Term> term
   return p;
 }
 
+Polynomial Polynomial::from_sorted_terms(const PolyContext& ctx, std::vector<Term> terms) {
+  (void)ctx;
+#ifndef NDEBUG
+  for (std::size_t i = 0; i + 1 < terms.size(); ++i) {
+    GBD_DCHECK(ctx.cmp(terms[i].mono, terms[i + 1].mono) > 0);
+  }
+  for (const auto& t : terms) GBD_DCHECK(!t.coeff.is_zero());
+#endif
+  Polynomial p;
+  p.terms_ = std::move(terms);
+  return p;
+}
+
 Polynomial Polynomial::monomial(BigInt coeff, Monomial m) {
   Polynomial p;
   if (!coeff.is_zero()) p.terms_.push_back(Term{std::move(coeff), std::move(m)});

@@ -55,6 +55,11 @@ class Polynomial {
   /// Build from arbitrary terms: sorts, merges equal monomials, drops zeros.
   static Polynomial from_terms(const PolyContext& ctx, std::vector<Term> terms);
 
+  /// Adopt terms already in canonical form (strictly decreasing monomials,
+  /// no zero coefficients) without re-sorting. Checked in debug builds; the
+  /// geobucket accumulator produces terms in exactly this form.
+  static Polynomial from_sorted_terms(const PolyContext& ctx, std::vector<Term> terms);
+
   /// A single term (coefficient must be nonzero unless building zero).
   static Polynomial monomial(BigInt coeff, Monomial m);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "poly/geobucket.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 
@@ -16,21 +17,47 @@ bool reducer_preferred(const Polynomial& a, const Polynomial& b) {
 }
 
 const Polynomial* VectorReducerSet::find_reducer(const Monomial& m, std::uint64_t* out_id) const {
-  if (polys_ == nullptr) return nullptr;
+  if (polys_ == nullptr || polys_->empty()) return nullptr;
+  FindReducerStats& st = find_reducer_stats();
+  st.calls += 1;
+  // Extend the mask cache over elements appended since the last call.
+  if (masks_.size() < polys_->size()) {
+    if (ruler_.nvars() != m.nvars()) ruler_ = DivMaskRuler(m.nvars());
+    for (std::size_t i = masks_.size(); i < polys_->size(); ++i) {
+      const Polynomial& r = (*polys_)[i];
+      // A zero element can never divide; all-ones almost always fails the
+      // mask test, and the is_zero() check below covers the remainder.
+      masks_.push_back(r.is_zero() ? ~std::uint64_t{0} : ruler_.mask(r.hmono()));
+    }
+  }
+  const std::uint64_t tmask = ruler_.mask(m);
   // Among all applicable reducers prefer the one whose head coefficient is
   // smallest (the fraction-free step scales the reduct by hc(r)/g, so a big
   // head coefficient inflates every later coefficient), then the one with
   // the fewest terms; ties go to the oldest. This keeps reduction cost
   // stable across the different basis orders the parallel engines produce.
+  // The running best's key (bits, terms) is carried through the scan instead
+  // of re-deriving it per candidate (reducer_preferred recomputes both
+  // bit_lengths on every call).
   const Polynomial* best = nullptr;
-  std::size_t best_i = 0;
+  std::size_t best_i = 0, best_bits = 0, best_terms = 0;
   for (std::size_t i = 0; i < polys_->size(); ++i) {
+    st.probes += 1;
+    if (!DivMaskRuler::may_divide(masks_[i], tmask)) {
+      st.mask_rejects += 1;
+      continue;
+    }
     const Polynomial& r = (*polys_)[i];
-    if (!r.is_zero() && r.hmono().divides(m)) {
-      if (best == nullptr || reducer_preferred(r, *best)) {
-        best = &r;
-        best_i = i;
-      }
+    if (r.is_zero()) continue;
+    st.divides_calls += 1;
+    if (!r.hmono().divides(m)) continue;
+    std::size_t rbits = r.hcoef().bit_length();
+    std::size_t rterms = r.nterms();
+    if (best == nullptr || rbits < best_bits || (rbits == best_bits && rterms < best_terms)) {
+      best = &r;
+      best_i = i;
+      best_bits = rbits;
+      best_terms = rterms;
     }
   }
   if (best && out_id) *out_id = best_i;
@@ -66,8 +93,13 @@ Polynomial reduce_step(const PolyContext& ctx, const Polynomial& p, const Polyno
   return cancel_at(ctx, p, 0, r);
 }
 
-ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
-                          const ReduceOptions& opts, ReduceObserver* obs) {
+namespace {
+
+/// The pre-geobucket flat-vector path: rebuilds the whole polynomial every
+/// step. Kept for one release as the differential-test oracle (see
+/// ReduceOptions::use_geobuckets) — it is the reference semantics.
+ReduceOutcome reduce_full_naive(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
+                                const ReduceOptions& opts, ReduceObserver* obs) {
   ReduceOutcome out;
   Polynomial cur = std::move(p);
   cur.make_primitive();
@@ -88,6 +120,46 @@ ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet
     if (obs) obs->on_step(id, cost.elapsed());
   }
   out.poly = std::move(cur);
+  return out;
+}
+
+}  // namespace
+
+ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
+                          const ReduceOptions& opts, ReduceObserver* obs) {
+  if (!opts.use_geobuckets) return reduce_full_naive(ctx, std::move(p), set, opts, obs);
+  // Geobucket path. Intermediate values are scalar multiples of the naive
+  // path's (normalization is deferred, not per-step), which leaves the
+  // monomial trajectory, reducer choices and step count identical and the
+  // final primitive form bit-identical — see geobucket.hpp.
+  ReduceOutcome out;
+  p.make_primitive();
+  Geobucket acc(ctx, std::move(p));
+  Term lead;
+  while (acc.lead(&lead)) {
+    std::uint64_t id = 0;
+    const Polynomial* r = set.find_reducer(lead.mono, &id);
+    if (r == nullptr) {
+      if (!opts.tail_reduce) break;
+      acc.retire_lead();
+      continue;
+    }
+    CostScope cost;
+    BigInt g = BigInt::gcd(lead.coeff, r->hcoef());
+    BigInt a = r->hcoef() / g;
+    BigInt b = lead.coeff / g;
+    if (a.is_negative()) {
+      a = -a;
+      b = -b;
+    }
+    b = -b;
+    Monomial m = lead.mono / r->hmono();
+    acc.axpy(a, b, m, *r);
+    ++out.steps;
+    GBD_CHECK_MSG(out.steps <= opts.max_steps, "reduce_full exceeded max_steps");
+    if (obs) obs->on_step(id, cost.elapsed());
+  }
+  out.poly = acc.extract();
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "poly/divmask.hpp"
 #include "poly/polynomial.hpp"
 
 namespace gbd {
@@ -42,6 +43,12 @@ bool reducer_preferred(const Polynomial& a, const Polynomial& b);
 
 /// ReducerSet over a vector of polynomials; reducer id is the vector index.
 /// Among applicable reducers the reducer_preferred one wins (deterministic).
+///
+/// Maintains a divmask signature per element (see divmask.hpp) so the scan
+/// dismisses most non-divisors with one AND/compare. The cache extends itself
+/// lazily as the backing vector grows; the contract is that the vector is
+/// APPEND-ONLY while this set is alive (elements are never modified or
+/// removed in place) — exactly how every engine uses its basis vector.
 class VectorReducerSet final : public ReducerSet {
  public:
   VectorReducerSet() = default;
@@ -51,6 +58,9 @@ class VectorReducerSet final : public ReducerSet {
 
  private:
   const std::vector<Polynomial>* polys_ = nullptr;
+  // Lazily extended per-element head masks (mutable: a pure cache).
+  mutable DivMaskRuler ruler_;
+  mutable std::vector<std::uint64_t> masks_;
 };
 
 /// Per-step notification, used by Table 1's per-reducer time accounting and
@@ -66,6 +76,11 @@ struct ReduceOptions {
   /// what NORMAL/REDUCE of the paper require; tail reduction is used when
   /// producing the canonical reduced basis and as an ablation.
   bool tail_reduce = false;
+  /// Accumulate through a geobucket (O(n log n) term movement) instead of
+  /// rebuilding the flat term vector every step. Produces bit-identical
+  /// normal forms and step counts (see geobucket.hpp); the naive path is kept
+  /// for one release as the differential-test oracle and escape hatch.
+  bool use_geobuckets = true;
   /// Safety valve for property tests; reduction of a polynomial by a finite
   /// set always terminates, so hitting this aborts.
   std::uint64_t max_steps = std::numeric_limits<std::uint64_t>::max();

@@ -36,9 +36,12 @@ class Writer {
   void str(const std::string& s) { bytes(s.data(), s.size()); }
 
   /// Length-prefixed vector of 32-bit words.
-  void words(const std::vector<std::uint32_t>& w) {
-    u64(w.size());
-    append(w.data(), w.size() * sizeof(std::uint32_t));
+  void words(const std::vector<std::uint32_t>& w) { words(w.data(), w.size()); }
+
+  /// Length-prefixed run of 32-bit words from a raw buffer.
+  void words(const std::uint32_t* w, std::size_t n) {
+    u64(n);
+    append(w, n * sizeof(std::uint32_t));
   }
 
   const std::vector<std::uint8_t>& data() const { return buf_; }

@@ -317,5 +317,107 @@ TEST_P(BigIntPropertyTest, StringRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// --- small-value representation and in-place operators (PR 2) ---------------
+
+TEST(BigIntInlineTest, SmallValuesNeverTouchTheHeap) {
+  LimbVec::reset_heap_allocs();
+  BigInt a(0xFFFFFFFFLL);  // one limb, all bits set
+  BigInt b(-0x12345678);
+  BigInt c = a + a;  // carries into the second limb, still inline
+  BigInt d = a * BigInt(2);
+  BigInt e = c - d;  // exact cancellation
+  BigInt f = d / BigInt(3);
+  BigInt g = BigInt::gcd(a, d);
+  BigInt s = a + b;
+  EXPECT_TRUE(e.is_zero());
+  EXPECT_FALSE(f.is_zero());
+  EXPECT_EQ(g, a);
+  EXPECT_EQ(s, BigInt(0xFFFFFFFFLL - 0x12345678LL));
+  EXPECT_EQ(LimbVec::heap_allocs(), 0u);
+  // A product above 64 bits must spill — and be counted.
+  BigInt h = c * c;
+  EXPECT_GT(h.bit_length(), 64u);
+  EXPECT_GT(LimbVec::heap_allocs(), 0u);
+}
+
+TEST(BigIntInlineTest, CompoundOperatorsMatchBinaryOnes) {
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = random_bigint(rng, 4);
+    BigInt b = random_bigint(rng, 4);
+    BigInt s = a;
+    s += b;
+    EXPECT_EQ(s, a + b);
+    BigInt d = a;
+    d -= b;
+    EXPECT_EQ(d, a - b);
+    BigInt p = a;
+    p *= b;
+    EXPECT_EQ(p, a * b);
+    if (!b.is_zero()) {
+      BigInt q = a;
+      q /= b;
+      EXPECT_EQ(q, a / b);
+      BigInt r = a;
+      r %= b;
+      EXPECT_EQ(r, a % b);
+    }
+  }
+}
+
+TEST(BigIntInlineTest, CompoundOperatorsHandleAliasing) {
+  for (std::int64_t v : {0LL, 1LL, -7LL, 1LL << 40, -(1LL << 62)}) {
+    BigInt x(v);
+    x += x;
+    EXPECT_EQ(x, BigInt(v) * BigInt(2));
+    BigInt y(v);
+    y -= y;
+    EXPECT_TRUE(y.is_zero());
+    BigInt z(v);
+    z *= z;
+    EXPECT_EQ(z, BigInt(v) * BigInt(v));
+  }
+  // Aliasing with multi-limb magnitudes (buffer reuse path).
+  BigInt big = BigInt::from_string("123456789012345678901234567890");
+  BigInt x = big;
+  x += x;
+  EXPECT_EQ(x, big * BigInt(2));
+  x -= x;
+  EXPECT_TRUE(x.is_zero());
+}
+
+TEST(BigIntInlineTest, InPlaceAddReusesBufferAcrossSignsAndSizes) {
+  Rng rng(0xABCDEF);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt acc = random_bigint(rng, 5);
+    BigInt expected = acc;
+    for (int k = 0; k < 8; ++k) {
+      BigInt delta = random_bigint(rng, 5);
+      if (rng.below(2)) {
+        acc += delta;
+        expected = expected + delta;
+      } else {
+        acc -= delta;
+        expected = expected - delta;
+      }
+      ASSERT_EQ(acc, expected);
+      ASSERT_EQ(acc.to_string(), expected.to_string());
+    }
+  }
+}
+
+TEST(BigIntInlineTest, HotAccumulationLoopDoesNotAllocate) {
+  // The inner-loop shape of reduction: repeated small +=, -=, *=.
+  BigInt acc(1);
+  LimbVec::reset_heap_allocs();
+  for (int i = 1; i <= 1000; ++i) {
+    acc += BigInt(i % 97);
+    acc -= BigInt((i * 7) % 89);
+    if (i % 50 == 0) acc *= BigInt(1);
+  }
+  EXPECT_EQ(LimbVec::heap_allocs(), 0u);
+  EXPECT_TRUE(acc.fits_int64());
+}
+
 }  // namespace
 }  // namespace gbd

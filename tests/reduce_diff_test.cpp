@@ -1,0 +1,263 @@
+// Differential and fuzz coverage for the reduction-kernel overhaul:
+//
+//   · geobucket reduce_full vs the naive flat-vector path must produce
+//     bit-identical normal forms AND identical step counts, across random
+//     systems × orderings × tail on/off and on the real benchmark inputs
+//     (the scalar-multiple argument of geobucket.hpp, checked exactly);
+//   · the divmask prefilter must be sound (a | b implies may_divide) and the
+//     divmask-indexed find_reducer must agree with a plain linear scan —
+//     including for the replicated basis while chaos mode reorders,
+//     duplicates and delays the invalidation/fetch protocol underneath it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "basis/replicated_basis.hpp"
+#include "io/parse.hpp"
+#include "machine/sim_machine.hpp"
+#include "poly/divmask.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+Monomial random_monomial(Rng& rng, std::size_t nvars, std::uint32_t maxexp) {
+  std::vector<std::uint32_t> exps;
+  exps.reserve(nvars);
+  for (std::size_t v = 0; v < nvars; ++v) {
+    exps.push_back(static_cast<std::uint32_t>(rng.below(maxexp + 1)));
+  }
+  return Monomial(std::move(exps));
+}
+
+/// The pre-divmask linear scan, verbatim: the reference oracle.
+const Polynomial* linear_scan(const std::vector<Polynomial>& polys, const Monomial& m,
+                              std::uint64_t* out_id) {
+  const Polynomial* best = nullptr;
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    const Polynomial& r = polys[i];
+    if (!r.is_zero() && r.hmono().divides(m)) {
+      if (best == nullptr || reducer_preferred(r, *best)) {
+        best = &r;
+        best_i = i;
+      }
+    }
+  }
+  if (best && out_id) *out_id = best_i;
+  return best;
+}
+
+void expect_both_paths_agree(const PolyContext& ctx, const Polynomial& p,
+                             const std::vector<Polynomial>& basis, bool tail) {
+  VectorReducerSet set(&basis);
+  ReduceOptions geo;
+  geo.tail_reduce = tail;
+  geo.use_geobuckets = true;
+  geo.max_steps = 200000;
+  ReduceOptions naive = geo;
+  naive.use_geobuckets = false;
+  ReduceOutcome a = reduce_full(ctx, p, set, geo);
+  ReduceOutcome b = reduce_full(ctx, p, set, naive);
+  EXPECT_TRUE(a.poly.equals(b.poly))
+      << "geobucket: " << a.poly.to_string(ctx) << "\nnaive:     " << b.poly.to_string(ctx);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+class GeobucketDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeobucketDiffTest, RandomSystemsAcrossOrderingsAndModes) {
+  for (OrderKind order : {OrderKind::kGrLex, OrderKind::kLex, OrderKind::kGRevLex}) {
+    Rng rng(GetParam() ^ (static_cast<std::uint64_t>(order) << 32));
+    PolySystem sys = random_system(rng, 3, 6, 4, 5, 50);
+    sys.ctx.order = order;
+    // random_system canonicalized under its default order; re-sort the term
+    // vectors under the order actually being tested.
+    for (auto& p : sys.polys) {
+      p = Polynomial::from_terms(sys.ctx, std::vector<Term>(p.terms().begin(), p.terms().end()));
+    }
+    const PolyContext& c = sys.ctx;
+    std::vector<Polynomial> basis(sys.polys.begin(), sys.polys.begin() + 4);
+    for (auto& g : basis) g.make_primitive();
+    for (std::size_t i = 4; i < sys.polys.size(); ++i) {
+      expect_both_paths_agree(c, sys.polys[i], basis, /*tail=*/false);
+      expect_both_paths_agree(c, sys.polys[i], basis, /*tail=*/true);
+    }
+    // Products of basis elements reduce to zero both ways.
+    Polynomial member = basis[0].mul(c, sys.polys[4]);
+    expect_both_paths_agree(c, member, basis, /*tail=*/true);
+  }
+}
+
+TEST_P(GeobucketDiffTest, LargeCoefficientsForceNormalization) {
+  // Huge reducer head coefficients drive the pending-scale bits past the
+  // geobucket's normalization threshold, exercising the mid-reduction
+  // materialize/make_primitive/rebuild path.
+  Rng rng(GetParam() ^ 0x9e3779b9);
+  PolySystem sys = random_system(rng, 3, 5, 3, 4, 1000000007LL);
+  const PolyContext& c = sys.ctx;
+  std::vector<Polynomial> basis(sys.polys.begin(), sys.polys.begin() + 3);
+  for (auto& g : basis) g.make_primitive();
+  expect_both_paths_agree(c, sys.polys[3], basis, /*tail=*/true);
+  expect_both_paths_agree(c, sys.polys[4], basis, /*tail=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeobucketDiffTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(GeobucketDiffTest, BenchmarkProblemSpolys) {
+  for (const char* name : {"arnborg4", "katsura4", "trinks1"}) {
+    PolySystem sys = load_problem(name);
+    const PolyContext& c = sys.ctx;
+    std::vector<Polynomial> basis = sys.polys;
+    for (auto& g : basis) g.make_primitive();
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      for (std::size_t j = i + 1; j < basis.size(); ++j) {
+        Polynomial s = spoly(c, basis[i], basis[j]);
+        if (s.is_zero()) continue;
+        expect_both_paths_agree(c, s, basis, /*tail=*/false);
+        expect_both_paths_agree(c, s, basis, /*tail=*/true);
+      }
+    }
+  }
+}
+
+// --- divmask -----------------------------------------------------------------
+
+TEST(DivmaskTest, FilterIsSound) {
+  for (std::size_t nvars : {1u, 3u, 7u, 13u, 70u}) {
+    DivMaskRuler ruler(nvars);
+    Rng rng(0xD1FF ^ nvars);
+    for (int iter = 0; iter < 2000; ++iter) {
+      Monomial a = random_monomial(rng, nvars, 6);
+      Monomial b = random_monomial(rng, nvars, 6);
+      if (a.divides(b)) {
+        EXPECT_TRUE(DivMaskRuler::may_divide(ruler.mask(a), ruler.mask(b)));
+      }
+      // A monomial always divides itself and its multiples.
+      Monomial ab = a * b;
+      EXPECT_TRUE(DivMaskRuler::may_divide(ruler.mask(a), ruler.mask(ab)));
+      EXPECT_TRUE(DivMaskRuler::may_divide(ruler.mask(b), ruler.mask(ab)));
+    }
+  }
+}
+
+TEST(DivmaskTest, FilterActuallyRejects) {
+  // Not a correctness property, but the point of the index: on disjoint
+  // supports the mask must reject without an exponent walk.
+  DivMaskRuler ruler(4);
+  Monomial x = Monomial({1, 0, 0, 0});
+  Monomial y3 = Monomial({0, 3, 0, 0});
+  EXPECT_FALSE(DivMaskRuler::may_divide(ruler.mask(x), ruler.mask(y3)));
+}
+
+class DivmaskFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DivmaskFuzzTest, IndexedFindReducerMatchesLinearScan) {
+  Rng rng(GetParam());
+  PolySystem sys = random_system(rng, 4, 10, 4, 4, 30);
+  std::vector<Polynomial> basis;
+  VectorReducerSet set(&basis);
+  auto check_queries = [&](int n) {
+    for (int q = 0; q < n; ++q) {
+      Monomial m = random_monomial(rng, 4, 5);
+      if (!basis.empty() && rng.below(2)) {
+        // Bias toward hits: query a multiple of some head.
+        m = basis[rng.below(basis.size())].hmono() * m;
+      }
+      std::uint64_t got_id = ~0ull, want_id = ~0ull;
+      const Polynomial* got = set.find_reducer(m, &got_id);
+      const Polynomial* want = linear_scan(basis, m, &want_id);
+      ASSERT_EQ(got, want);
+      if (want != nullptr) ASSERT_EQ(got_id, want_id);
+    }
+  };
+  // Grow the backing vector between query rounds: the lazy mask extension
+  // must pick up appended elements (the engines' append-only usage).
+  for (auto& p : sys.polys) {
+    p.make_primitive();
+    basis.push_back(std::move(p));
+    check_queries(25);
+  }
+}
+
+TEST_P(DivmaskFuzzTest, ReplicatedBasisUnderChaosMatchesLinearScan) {
+  // Chaos mode jitters, reorders and duplicates the invalidate/ack/fetch/body
+  // traffic while every processor adds elements and validates; at every
+  // stage each processor's divmask-indexed ReducerView must agree with a
+  // linear scan over whatever its local replica happens to hold.
+  const int kP = 4;
+  ChaosConfig chaos = ChaosConfig::intensity(2, GetParam());
+  chaos.dup_safe = {kBaInvalidate, kBaInvAck, kBaFetch, kBaBody};
+  SimMachine m(kP, CostModel{}, chaos);
+
+  Rng gen(GetParam() ^ 0xFEED);
+  PolySystem sys = random_system(gen, 3, 2 * kP, 3, 4, 20);
+  for (auto& p : sys.polys) p.make_primitive();
+
+  m.run([&](Proc& self) {
+    ReplicatedBasis basis(self);
+    Rng qrng(GetParam() ^ static_cast<std::uint64_t>(self.id()));
+    auto cross_check = [&]() {
+      // Reference: the same preference policy over the local replica.
+      std::vector<Polynomial> local;
+      for (PolyId id : basis.local_ids()) local.push_back(*basis.find(id));
+      for (int q = 0; q < 20; ++q) {
+        Monomial mono = random_monomial(qrng, 3, 4);
+        if (!local.empty() && qrng.below(2)) {
+          mono = local[qrng.below(local.size())].hmono() * mono;
+        }
+        std::uint64_t got_id = 0, want_i = 0;
+        const Polynomial* got = basis.reducer_set().find_reducer(mono, &got_id);
+        const Polynomial* want = linear_scan(local, mono, &want_i);
+        if (want == nullptr) {
+          ASSERT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          ASSERT_TRUE(got->equals(*want));
+          ASSERT_EQ(got_id, basis.local_ids()[want_i]);
+        }
+      }
+    };
+    // Each processor adds two elements, one at a time, round-robin by id.
+    for (int round = 0; round < 2; ++round) {
+      for (int owner = 0; owner < kP; ++owner) {
+        if (owner == self.id()) {
+          basis.begin_add(sys.polys[static_cast<std::size_t>(2 * owner + round)]);
+          while (!basis.add_done()) {
+            ASSERT_TRUE(self.wait());
+          }
+        } else {
+          // Drain protocol traffic until the adder's element is known here.
+          PolyId expect = make_poly_id(owner, static_cast<std::uint32_t>(round));
+          while (!basis.known(expect)) {
+            ASSERT_TRUE(self.wait());
+          }
+        }
+        cross_check();
+      }
+      // Re-issue begin_validate on every wake: a later turn's invalidation
+      // can land mid-validation (in-flight fetches dedup, so this is safe).
+      while (!basis.valid()) {
+        basis.begin_validate();
+        ASSERT_TRUE(self.wait());
+      }
+      cross_check();
+    }
+    while (self.wait()) {
+    }
+    // Everything settled: replicas are complete and must still agree.
+    EXPECT_EQ(basis.replica_size(), static_cast<std::size_t>(2 * kP));
+    cross_check();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivmaskFuzzTest,
+                         ::testing::Values(0x101, 0x202, 0x303, 0x404, 0x505, 0x606));
+
+}  // namespace
+}  // namespace gbd

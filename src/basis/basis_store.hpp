@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "poly/reduce.hpp"
+#include "support/check.hpp"
 
 namespace gbd {
 
@@ -35,13 +36,34 @@ inline int poly_id_owner(PolyId id) { return static_cast<int>(id >> 32); }
 inline std::uint32_t poly_id_seq(PolyId id) { return static_cast<std::uint32_t>(id); }
 
 struct BasisStats {
-  std::uint64_t invalidations_sent = 0;
-  std::uint64_t fetches_sent = 0;
+  std::uint64_t invalidations_sent = 0;  ///< per-destination id announcements (logical)
+  std::uint64_t fetches_sent = 0;        ///< logical body requests issued
   std::uint64_t bodies_received = 0;
   std::uint64_t bodies_served = 0;   ///< fetch requests answered locally
   std::uint64_t bodies_forwarded = 0;
   std::uint64_t evictions = 0;       ///< hybrid only
   std::size_t max_resident = 0;      ///< high-water mark of resident bodies
+  // Wire-batching envelope counters (zero when batching is off): the
+  // logical counters above keep their meaning, these count the coalesced
+  // envelopes actually put on the wire.
+  std::uint64_t invalidation_batches = 0;
+  std::uint64_t fetch_batches = 0;
+  std::uint64_t body_batches = 0;
+};
+
+/// Wire-level batching knobs for the basis protocol (PR 3). Off by default:
+/// the one-message-per-id path is the differential oracle the batched path
+/// is tested against.
+struct BasisWireConfig {
+  /// Coalesce the invalidation broadcast of a whole add batch into one
+  /// multi-id envelope per destination (enables the engine's multi-add
+  /// lock rounds via add_open/add_push/add_close).
+  bool batch_invalidations = false;
+  /// Coalesce validation fetches by tree parent and body replies by
+  /// requester into multi-id envelopes.
+  bool batch_fetches = false;
+
+  bool any() const { return batch_invalidations || batch_fetches; }
 };
 
 class BasisStore {
@@ -55,6 +77,21 @@ class BasisStore {
   /// collect acknowledgements; poll until add_done().
   virtual PolyId begin_add(Polynomial poly) = 0;
   virtual bool add_done() const = 0;
+
+  /// Batched AddToSet (optional; stores that return false from
+  /// supports_batch_add keep the one-at-a-time contract). add_open() starts
+  /// a batch; each add_push() stores the body locally — immediately visible
+  /// to find()/reducer_set(), so later batch members reduce against earlier
+  /// ones — and add_close() broadcasts ONE multi-id invalidation envelope
+  /// per destination and starts a single ack round for the whole batch;
+  /// add_done() turns true when that round completes.
+  virtual bool supports_batch_add() const { return false; }
+  virtual void add_open() { GBD_CHECK_MSG(false, "batched add unsupported by this store"); }
+  virtual PolyId add_push(Polynomial) {
+    GBD_CHECK_MSG(false, "batched add unsupported by this store");
+    return 0;
+  }
+  virtual void add_close() { GBD_CHECK_MSG(false, "batched add unsupported by this store"); }
 
   /// Validate, split-phase: start whatever fetches this store's consistency
   /// policy wants; poll until valid().

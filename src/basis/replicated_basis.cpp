@@ -1,15 +1,21 @@
 #include "basis/replicated_basis.hpp"
 
+#include <cstring>
+
 #include "machine/chaos.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
 
-ReplicatedBasis::ReplicatedBasis(Proc& self) : self_(self), reducer_view_(this) {
+ReplicatedBasis::ReplicatedBasis(Proc& self, BasisWireConfig wire)
+    : self_(self), wire_(wire), reducer_view_(this) {
   self_.on(kBaInvalidate, [this](Proc&, int src, Reader& r) { on_invalidate(src, r); });
+  self_.on(kBaInvBatch, [this](Proc&, int src, Reader& r) { on_inv_batch(src, r); });
   self_.on(kBaInvAck, [this](Proc&, int src, Reader& r) { on_inv_ack(src, r); });
   self_.on(kBaFetch, [this](Proc&, int src, Reader& r) { on_fetch(src, r); });
+  self_.on(kBaFetchBatch, [this](Proc&, int src, Reader& r) { on_fetch_batch(src, r); });
   self_.on(kBaBody, [this](Proc&, int, Reader& r) { on_body(r); });
+  self_.on(kBaBodyBatch, [this](Proc&, int, Reader& r) { on_body_batch(r); });
   ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
 }
 
@@ -61,11 +67,13 @@ int ReplicatedBasis::tree_parent(int owner) const {
 
 PolyId ReplicatedBasis::begin_add(Polynomial poly) {
   GBD_CHECK_MSG(add_done(), "begin_add while a previous add is still in flight");
+  GBD_CHECK_MSG(!batch_open_, "begin_add inside an open add batch");
   PolyId id = make_poly_id(self_.id(), next_local_seq_++);
   Monomial head = poly.hmono();
   store(id, std::move(poly));
   acks_missing_ = self_.nprocs() - 1;
   add_in_flight_ = id;
+  in_flight_ids_.assign(1, id);
   ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
   if (acks_missing_ == 0) completed_adds_.push_back(id);  // 1-proc degenerate add
   for (int p = 0; p < self_.nprocs(); ++p) {
@@ -77,6 +85,47 @@ PolyId ReplicatedBasis::begin_add(Polynomial poly) {
     stats_.invalidations_sent += 1;
   }
   return id;
+}
+
+void ReplicatedBasis::add_open() {
+  GBD_CHECK_MSG(add_done(), "add_open while a previous add is still in flight");
+  GBD_CHECK_MSG(!batch_open_, "add_open twice");
+  batch_open_ = true;
+  in_flight_ids_.clear();
+}
+
+PolyId ReplicatedBasis::add_push(Polynomial poly) {
+  GBD_CHECK_MSG(batch_open_, "add_push outside an open add batch");
+  PolyId id = make_poly_id(self_.id(), next_local_seq_++);
+  store(id, std::move(poly));  // locally visible at once: later pushes reduce against it
+  in_flight_ids_.push_back(id);
+  return id;
+}
+
+void ReplicatedBasis::add_close() {
+  GBD_CHECK_MSG(batch_open_ && !in_flight_ids_.empty(), "add_close on an empty batch");
+  batch_open_ = false;
+  acks_missing_ = self_.nprocs() - 1;
+  add_in_flight_ = in_flight_ids_.front();  // the whole round acks this token
+  ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
+  stats_.invalidations_sent +=
+      in_flight_ids_.size() * static_cast<std::uint64_t>(self_.nprocs() - 1);
+  if (acks_missing_ == 0) {  // 1-proc degenerate add
+    completed_adds_.insert(completed_adds_.end(), in_flight_ids_.begin(), in_flight_ids_.end());
+    return;
+  }
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(in_flight_ids_.size()));
+  for (PolyId id : in_flight_ids_) {
+    w.u64(id);
+    replica_.at(id).hmono().write(w);
+  }
+  const std::vector<std::uint8_t> payload = w.take();
+  for (int p = 0; p < self_.nprocs(); ++p) {
+    if (p == self_.id()) continue;
+    self_.send(p, kBaInvBatch, payload);
+    stats_.invalidation_batches += 1;
+  }
 }
 
 void ReplicatedBasis::on_invalidate(int src, Reader& r) {
@@ -106,22 +155,86 @@ void ReplicatedBasis::on_invalidate(int src, Reader& r) {
   if (on_invalidate_) on_invalidate_(id);
 }
 
+void ReplicatedBasis::on_inv_batch(int src, Reader& r) {
+  // Same contract as on_invalidate, amortized: announce/shadow every id of
+  // the batch, then acknowledge once with the batch token (its first id).
+  // Announce and shadow insertion both deduplicate, so a duplicated or
+  // reordered batch delivery is as harmless as a duplicated single one.
+  std::uint32_t count = r.u32();
+  GBD_CHECK_MSG(count > 0, "empty invalidation batch");
+  PolyId token = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PolyId id = r.u64();
+    Monomial head = Monomial::read(r);
+    if (i == 0) token = id;
+    // Injected fault (chaos harness only), drawn per id exactly as in
+    // on_invalidate: the batch is acked but this id is "lost" before
+    // applying — the coherence checker must catch it in the batched
+    // protocol too.
+    const ChaosConfig* chaos = self_.chaos();
+    if (chaos != nullptr && chaos->fault_drop_invalidate_permille > 0) {
+      std::uint64_t draw = chaos_mix2(chaos->seed ^ 0x464449ULL,
+                                      (static_cast<std::uint64_t>(self_.id()) << 40) ^ fault_draws_++);
+      if (draw % 1000 < chaos->fault_drop_invalidate_permille) continue;
+    }
+    announce(id, head);
+    if (replica_.find(id) == replica_.end()) {
+      shadow_.emplace(id, std::move(head));
+    }
+    if (on_invalidate_) on_invalidate_(id);
+  }
+  Writer ack;
+  ack.u64(token);
+  self_.send(src, kBaInvAck, ack.take());
+}
+
 void ReplicatedBasis::on_inv_ack(int src, Reader& r) {
   PolyId id = r.u64();
-  // Acks are counted once per (id, processor): a duplicated delivery (chaos
-  // mode) or an ack for a previous, already-completed add is ignored rather
-  // than corrupting the in-flight count.
+  // Acks are counted once per (round, processor): a duplicated delivery
+  // (chaos mode) or an ack for a previous, already-completed round is
+  // ignored rather than corrupting the in-flight count.
   if (id != add_in_flight_ || acks_missing_ == 0) return;
   auto s = static_cast<std::size_t>(src);
   if (s >= ack_seen_.size() || ack_seen_[s]) return;
   ack_seen_[s] = true;
   acks_missing_ -= 1;
-  if (acks_missing_ == 0) completed_adds_.push_back(id);
+  if (acks_missing_ == 0) {
+    completed_adds_.insert(completed_adds_.end(), in_flight_ids_.begin(), in_flight_ids_.end());
+  }
 }
 
 void ReplicatedBasis::begin_validate() {
-  for (const auto& [id, head] : shadow_) {
-    request_body(id);
+  if (!wire_.batch_fetches) {
+    for (const auto& [id, head] : shadow_) {
+      request_body(id);
+    }
+    return;
+  }
+  std::vector<PolyId> wanted;
+  wanted.reserve(shadow_.size());
+  for (const auto& [id, head] : shadow_) wanted.push_back(id);
+  request_bodies(wanted);
+}
+
+void ReplicatedBasis::request_bodies(const std::vector<PolyId>& ids) {
+  if (!wire_.batch_fetches) {
+    for (PolyId id : ids) request_body(id);
+    return;
+  }
+  // Group by tree parent so the whole validation round costs one envelope
+  // per distinct upstream hop instead of one per id.
+  std::map<int, std::vector<PolyId>> by_parent;
+  for (PolyId id : ids) {
+    if (!fetch_in_flight_.emplace(id, true).second) continue;  // already requested
+    by_parent[tree_parent(poly_id_owner(id))].push_back(id);
+    stats_.fetches_sent += 1;
+  }
+  for (auto& [parent, list] : by_parent) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(list.size()));
+    for (PolyId id : list) w.u64(id);
+    self_.send(parent, kBaFetchBatch, w.take());
+    stats_.fetch_batches += 1;
   }
 }
 
@@ -152,9 +265,37 @@ void ReplicatedBasis::on_fetch(int src, Reader& r) {
   request_body(id);
 }
 
-void ReplicatedBasis::on_body(Reader& r) {
-  PolyId id = r.u64();
-  Polynomial poly = Polynomial::read(r);
+void ReplicatedBasis::on_fetch_batch(int src, Reader& r) {
+  std::uint32_t count = r.u32();
+  GBD_CHECK_MSG(count > 0, "empty fetch batch");
+  Writer reply;
+  std::uint32_t resident = 0;
+  reply.u32(0);  // patched below
+  std::vector<PolyId> missing;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PolyId id = r.u64();
+    const Polynomial* body = find(id);
+    if (body != nullptr) {
+      reply.u64(id);
+      body->write(reply);
+      resident += 1;
+      stats_.bodies_served += 1;
+    } else {
+      pending_requesters_[id].push_back(src);
+      missing.push_back(id);
+    }
+  }
+  if (resident > 0) {
+    std::vector<std::uint8_t> payload = reply.take();
+    std::memcpy(payload.data(), &resident, sizeof resident);
+    self_.send(src, kBaBodyBatch, std::move(payload));
+    stats_.body_batches += 1;
+  }
+  // Pull everything we lack from our own parents, batched per hop again.
+  if (!missing.empty()) request_bodies(missing);
+}
+
+std::vector<int> ReplicatedBasis::absorb_body(PolyId id, Polynomial poly) {
   stats_.bodies_received += 1;
   fetch_in_flight_.erase(id);
   std::vector<int> children;
@@ -163,23 +304,58 @@ void ReplicatedBasis::on_body(Reader& r) {
     children = std::move(pend->second);
     pending_requesters_.erase(pend);
   }
+  // Store before erasing the shadow entry, and only then let the caller
+  // forward to waiting children. send() is a scheduling point, and the
+  // original erase-forward-store order left a window where the id was in
+  // neither the shadow set nor the replica — a transiently "unknown"
+  // element that the chaos harness's coherence sweep caught (a completed
+  // AddToSet demands known-everywhere).
+  store(id, std::move(poly));
+  shadow_.erase(id);
+  return children;
+}
+
+void ReplicatedBasis::on_body(Reader& r) {
+  PolyId id = r.u64();
+  Polynomial poly = Polynomial::read(r);
   std::vector<std::uint8_t> payload;
-  if (!children.empty()) {
+  {
     Writer w;
     w.u64(id);
     poly.write(w);
     payload = w.take();
   }
-  // Store before erasing the shadow entry, and only then forward to waiting
-  // children. send() is a scheduling point, and the original erase-forward-
-  // store order left a window where the id was in neither the shadow set nor
-  // the replica — a transiently "unknown" element that the chaos harness's
-  // coherence sweep caught (a completed AddToSet demands known-everywhere).
-  store(id, std::move(poly));
-  shadow_.erase(id);
+  std::vector<int> children = absorb_body(id, std::move(poly));
   for (int child : children) {
     self_.send(child, kBaBody, payload);
     stats_.bodies_forwarded += 1;
+  }
+}
+
+void ReplicatedBasis::on_body_batch(Reader& r) {
+  std::uint32_t count = r.u32();
+  GBD_CHECK_MSG(count > 0, "empty body batch");
+  // Absorb every body first (all stores precede any forward), collecting
+  // which ids each waiting child needs; then unwind with one batched
+  // envelope per child.
+  std::map<int, std::vector<PolyId>> per_child;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PolyId id = r.u64();
+    Polynomial poly = Polynomial::read(r);
+    for (int child : absorb_body(id, std::move(poly))) {
+      per_child[child].push_back(id);
+    }
+  }
+  for (auto& [child, ids] : per_child) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (PolyId id : ids) {
+      w.u64(id);
+      replica_.at(id).write(w);
+      stats_.bodies_forwarded += 1;
+    }
+    self_.send(child, kBaBodyBatch, w.take());
+    stats_.body_batches += 1;
   }
 }
 

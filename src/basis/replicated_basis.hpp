@@ -41,27 +41,38 @@
 
 namespace gbd {
 
-/// Handler-id block 120..123 (reserved; see taskq.hpp for the convention).
-/// All four message types are idempotent: the ack carries the invalidated id
-/// and the adder counts at most one ack per (id, processor), so duplicated
-/// or reordered deliveries (chaos mode, or a retrying transport) never
-/// corrupt the add protocol.
+/// Handler-id block 120..127 (124 belongs to hybrid_basis.hpp; see
+/// taskq.hpp for the range convention). All message types — batched and
+/// unbatched — are idempotent: the ack carries the invalidated id (a
+/// batch's first id) and the adder counts at most one ack per (round,
+/// processor), so duplicated or reordered deliveries (chaos mode, or a
+/// retrying transport) never corrupt the add protocol.
 enum BasisHandlers : HandlerId {
   kBaInvalidate = 120,  ///< new basis element announcement (id + head monomial)
   kBaInvAck = 121,      ///< invalidation acknowledgement (carries the id)
   kBaFetch = 122,       ///< body request, routed up the owner-rooted tree
   kBaBody = 123,        ///< body reply, unwinds the pending-requester chain
+  // 124 is kBaHomeBody (hybrid_basis.hpp). Batched wire formats (PR 3) —
+  // idempotent like their unbatched counterparts, so chaos mode may
+  // duplicate or reorder them freely:
+  kBaInvBatch = 125,    ///< [count, (id, head)*count]; acked once per batch
+  kBaFetchBatch = 126,  ///< [count, id*count], grouped by tree parent
+  kBaBodyBatch = 127,   ///< [count, (id, body)*count], grouped by requester
 };
 
 /// One processor's endpoint of the replicated basis. Construct inside the
 /// worker on every processor before any polling.
 class ReplicatedBasis final : public BasisStore {
  public:
-  explicit ReplicatedBasis(Proc& self);
+  explicit ReplicatedBasis(Proc& self, BasisWireConfig wire = {});
 
   void preload(PolyId id, Polynomial poly) override;
   PolyId begin_add(Polynomial poly) override;
   bool add_done() const override { return acks_missing_ == 0; }
+  bool supports_batch_add() const override { return true; }
+  void add_open() override;
+  PolyId add_push(Polynomial poly) override;
+  void add_close() override;
   void begin_validate() override;
   bool valid() const override { return shadow_.empty(); }
   void prefetch(PolyId id) override {
@@ -128,13 +139,24 @@ class ReplicatedBasis final : public BasisStore {
   void announce(PolyId id, const Monomial& head);
   void store(PolyId id, Polynomial poly);
   void request_body(PolyId id);
+  /// Issue upward fetches for `ids`, skipping those already in flight; one
+  /// multi-id envelope per tree parent when wire_.batch_fetches, else one
+  /// envelope per id.
+  void request_bodies(const std::vector<PolyId>& ids);
+  /// Absorb one fetched body and return the children waiting on it (the
+  /// caller forwards — after every body of its batch has been stored).
+  std::vector<int> absorb_body(PolyId id, Polynomial poly);
 
   void on_invalidate(int src, Reader& r);
+  void on_inv_batch(int src, Reader& r);
   void on_inv_ack(int src, Reader& r);
   void on_fetch(int src, Reader& r);
+  void on_fetch_batch(int src, Reader& r);
   void on_body(Reader& r);
+  void on_body_batch(Reader& r);
 
   Proc& self_;
+  BasisWireConfig wire_;
   BasisStats stats_;
 
   std::map<PolyId, Polynomial> replica_;
@@ -152,8 +174,11 @@ class ReplicatedBasis final : public BasisStore {
 
   std::uint32_t next_local_seq_ = 0;
   int acks_missing_ = 0;
-  PolyId add_in_flight_ = 0;        ///< id of the add currently collecting acks
-  std::vector<bool> ack_seen_;      ///< per-proc, for the in-flight add only
+  PolyId add_in_flight_ = 0;         ///< ack token of the in-flight add round
+                                     ///< (the id, or a batch's first id)
+  std::vector<PolyId> in_flight_ids_;  ///< all ids of the in-flight round
+  std::vector<bool> ack_seen_;       ///< per-proc, for the in-flight round only
+  bool batch_open_ = false;          ///< between add_open and add_close
   std::vector<PolyId> completed_adds_;
   std::uint64_t fault_draws_ = 0;   ///< chaos fault-injection draw counter
 

@@ -80,6 +80,7 @@ class DoneIdPairs {
 struct ProcOutput {
   std::vector<std::pair<PolyId, Polynomial>> added;
   GbStats stats;
+  BasisStats basis;
   ProcTrace trace;
   std::uint64_t lock_wait = 0;
 };
@@ -180,6 +181,7 @@ class GlpWorker {
     out_->stats.idle_units = self_.comm_stats().idle_units;
     out_->stats.polys_transferred = basis_.stats().bodies_received;
     out_->stats.peak_resident_bodies = basis_.stats().max_resident;
+    out_->basis = basis_.stats();
   }
 
  private:
@@ -400,11 +402,23 @@ class GlpWorker {
       basis_.begin_validate();
     }
     if (aug_state_ == AugState::kValidating && basis_.valid()) {
-      finish_augment_under_lock();
+      if (use_batched_adds()) {
+        finish_augment_under_lock_batched();
+      } else {
+        finish_augment_under_lock();
+      }
     }
     if (aug_state_ == AugState::kAdding && basis_.add_done()) {
-      complete_add();
+      if (!batch_adding_.empty()) {
+        complete_add_batch();
+      } else {
+        complete_add();
+      }
     }
+  }
+
+  bool use_batched_adds() const {
+    return cfg_.wire.batch_invalidations && basis_.supports_batch_add();
   }
 
   /// With the lock held and a valid replica: re-reduce the pending reduct
@@ -505,6 +519,114 @@ class GlpWorker {
     if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(p.trace));
   }
 
+  /// Batched AUGMENT (wire.batch_invalidations): admit up to max_batch_adds
+  /// surviving reducts under this single lock hold. Each is re-reduced
+  /// against the complete replica *including the batch members pushed
+  /// before it* (add_push stores immediately), so the admitted set is
+  /// exactly what the unbatched path would have added over that many
+  /// consecutive lock rounds — minus the per-add lock hand-offs and the
+  /// per-id invalidation envelopes.
+  void finish_augment_under_lock_batched() {
+    bool open = false;
+    while (!pending_.empty() && batch_adding_.size() < cfg_.max_batch_adds) {
+      Pending& p = pending_.front();
+      reduce_by_replica(&p.poly, &p.trace);
+      if (!p.poly.is_zero()) {
+        if (PolyId blocked = basis_.pending_reducer(p.poly.hmono()); blocked != 0) {
+          // Unreachable on the replicated store (no invalidation can arrive
+          // while we hold the lock), but kept for parity with the unbatched
+          // path: fetch and resume from pump_augment when the body lands.
+          basis_.prefetch(blocked);
+          break;
+        }
+      }
+      if (p.poly.is_zero()) {
+        out_->stats.reductions_to_zero += 1;
+        done_.mark(p.a, p.b);
+        if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(p.trace));
+        pending_.pop_front();
+        continue;
+      }
+      if (!open) {
+        basis_.add_open();
+        open = true;
+      }
+      BatchAdd add;
+      add.a = p.a;
+      add.b = p.b;
+      add.trace = std::move(p.trace);
+      add.id = basis_.add_push(std::move(p.poly));
+      batch_adding_.push_back(std::move(add));
+      pending_.pop_front();
+    }
+    if (!open) {
+      // Everything died (release) or the front reduct is blocked on a fetch
+      // (keep the lock; pump_augment retries when the body arrives).
+      if (pending_.empty()) release_and_continue();
+      return;
+    }
+    basis_.add_close();
+    aug_state_ = AugState::kAdding;
+  }
+
+  /// All acks for the batch round arrived: the adds are globally visible.
+  /// Release the lock, then create each member's pairs exactly as the
+  /// unbatched path would have — member k pairs against everything known
+  /// before it, including earlier batch members but not later ones.
+  void complete_add_batch() {
+    std::vector<BatchAdd> batch = std::move(batch_adding_);
+    batch_adding_.clear();
+    release_and_continue();
+    // Batch ids are this processor's own sequence numbers: ascending.
+    std::vector<PolyId> batch_ids;
+    for (const BatchAdd& add : batch) batch_ids.push_back(add.id);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      BatchAdd& add = batch[k];
+      const Polynomial* body = basis_.find(add.id);
+      GBD_CHECK(body != nullptr);
+      Monomial new_head = body->hmono();
+      std::vector<PolyId> others;
+      std::vector<Monomial> heads;
+      for (const auto& [kid, head] : basis_.known_heads()) {
+        if (kid == add.id) continue;
+        // Skip later batch members: they were not yet in G when this
+        // element was (logically) added.
+        if (kid > add.id &&
+            std::binary_search(batch_ids.begin(), batch_ids.end(), kid)) {
+          continue;
+        }
+        others.push_back(kid);
+        heads.push_back(head);
+      }
+      if (cfg_.gb.gm_update) {
+        out_->stats.pairs_created += others.size();
+        GmPruneCounts gm;
+        std::vector<std::size_t> kept = gm_new_pairs(sys_.ctx, heads, new_head, &gm);
+        out_->stats.pairs_pruned_coprime += gm.coprime;
+        out_->stats.pairs_pruned_chain += gm.m_rule + gm.f_rule;
+        std::vector<bool> keep(others.size(), false);
+        for (std::size_t i : kept) keep[i] = true;
+        for (std::size_t i = 0; i < others.size(); ++i) {
+          if (keep[i]) {
+            enqueue_pair(others[i], add.id, heads[i], new_head);
+          } else if (Monomial::coprime(heads[i], new_head)) {
+            done_.mark(others[i], add.id);  // grounded by criterion 1 only
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < others.size(); ++i) {
+          create_pair(others[i], add.id, heads[i], new_head);
+        }
+      }
+      out_->stats.basis_added += 1;
+      out_->added.emplace_back(add.id, *body);
+      done_.mark(add.a, add.b);
+      add.trace.added = true;
+      add.trace.result = add.id;
+      if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(add.trace));
+    }
+  }
+
   void release_and_continue() {
     lock_.release();
     if (!pending_.empty()) {
@@ -556,6 +678,14 @@ class GlpWorker {
     PolyId a, b;
   };
 
+  /// One member of an in-flight batched add round (its body already lives in
+  /// the store; the id is assigned by add_push).
+  struct BatchAdd {
+    PolyId id;
+    PolyId a, b;
+    TaskTrace trace;
+  };
+
   Proc& self_;
   const PolySystem& sys_;
   const ParallelConfig& cfg_;
@@ -570,7 +700,7 @@ class GlpWorker {
       hc.cache_capacity = cfg.hybrid_cache_capacity;
       return std::make_unique<HybridBasis>(self, hc);
     }
-    return std::make_unique<ReplicatedBasis>(self);
+    return std::make_unique<ReplicatedBasis>(self, cfg.wire);
   }
 
   std::unique_ptr<BasisStore> basis_owned_;
@@ -589,6 +719,7 @@ class GlpWorker {
   std::deque<PairTask> suspended_;
   std::deque<Stalled> stalled_;
   std::deque<Pending> pending_;
+  std::vector<BatchAdd> batch_adding_;
   AugState aug_state_ = AugState::kIdle;
   PolyId adding_id_ = 0;
   std::size_t replica_seen_ = 0;
@@ -715,6 +846,7 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     MachineStats ms = machine.run(worker);
     res.machine.makespan = ms.makespan;
     res.machine.per_proc = std::move(ms.per_proc);
+    res.machine.mailbox = std::move(ms.mailbox);
   }
   if (mon != nullptr) {
     res.violations = monitor.violations();
@@ -728,6 +860,15 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     res.stats.merge(out.stats);
     res.compute_units += out.stats.work_units;
     res.trace.procs.push_back(std::move(out.trace));
+    res.wire.invalidations_sent += out.basis.invalidations_sent;
+    res.wire.fetches_sent += out.basis.fetches_sent;
+    res.wire.bodies_received += out.basis.bodies_received;
+    res.wire.bodies_served += out.basis.bodies_served;
+    res.wire.bodies_forwarded += out.basis.bodies_forwarded;
+    res.wire.evictions += out.basis.evictions;
+    res.wire.invalidation_batches += out.basis.invalidation_batches;
+    res.wire.fetch_batches += out.basis.fetch_batches;
+    res.wire.body_batches += out.basis.body_batches;
   }
   std::sort(res.basis_ids.begin(), res.basis_ids.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });
@@ -759,7 +900,9 @@ ParallelResult groebner_parallel(const PolySystem& sys, const ParallelConfig& cf
     // Grants/pushes (task payloads!), wave probes/reports (reply counting),
     // the ring token and the lock protocol are NOT idempotent by design —
     // exactly-once is part of their contract.
-    chaos.dup_safe = {kBaInvalidate, kBaInvAck, kBaFetch, kBaBody, kTqSteal, kTqAnnounce};
+    chaos.dup_safe = {kBaInvalidate, kBaInvAck,    kBaFetch,     kBaBody,
+                      kBaInvBatch,   kBaFetchBatch, kBaBodyBatch,
+                      kTqSteal,      kTqAnnounce};
   }
   SimMachine machine(cfg.nprocs, cfg.cost, chaos);
   return run_on_machine(machine, /*sim=*/true, sys, cfg);

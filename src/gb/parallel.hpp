@@ -27,6 +27,7 @@
 
 #include <map>
 
+#include "basis/basis_store.hpp"
 #include "gb/engine_common.hpp"
 #include "gb/trace.hpp"
 #include "io/parse.hpp"
@@ -55,6 +56,14 @@ struct ParallelConfig {
   /// Reserve the coordinator processor for lock/termination duty only
   /// (the paper's CM-5 setup). Requires nprocs >= 2.
   bool reserve_coordinator = false;
+  /// Wire-level protocol batching (PR 3): coalesce invalidation broadcasts
+  /// and validation fetch/body traffic into multi-id envelopes, and admit
+  /// several reducts per lock hold. Off by default — the one-message-per-id
+  /// path is the differential oracle. Replicated store only; the hybrid
+  /// store ignores it.
+  BasisWireConfig wire;
+  /// Max reducts admitted per lock hold when wire.batch_invalidations is on.
+  std::size_t max_batch_adds = 8;
   /// Task-queue tuning (coordinator field is overridden to 0).
   TaskQueueConfig taskq;
   /// Record per-task traces for the Fig. 8(b) replay baseline.
@@ -77,6 +86,10 @@ struct ParallelResult : GbResult {
   /// Virtual makespan and per-processor machine counters.
   SimStats machine;
   std::vector<GbStats> per_proc;
+  /// Basis-protocol traffic summed over processors (logical ids + the
+  /// PR-3 batched-envelope counters; max_resident is meaningless summed and
+  /// is left per-store).
+  BasisStats wire;
   /// Total algebra work (spoly + reduction + criteria) across processors —
   /// the replay baseline approximates this.
   std::uint64_t compute_units = 0;

@@ -53,6 +53,24 @@ struct ProcCommStats {
   std::uint64_t idle_units = 0;  ///< virtual time spent blocked in wait()
 };
 
+/// Per-processor mailbox behavior under real concurrency (ThreadMachine
+/// only; SimMachine leaves MachineStats::mailbox empty). The sender-side
+/// fields are maintained under the destination mailbox's mutex; the
+/// owner-side fields are touched only by the owning thread — both are safe
+/// to read once run() has joined every worker.
+struct MailboxStats {
+  // Sender side (indexed by *destination* mailbox).
+  std::uint64_t enqueues = 0;        ///< messages pushed into this mailbox
+  std::uint64_t notifies = 0;        ///< pushes that found the owner asleep and woke it
+  std::uint64_t lock_contended = 0;  ///< mailbox-mutex acquisitions that had to block
+  // Owner side.
+  std::uint64_t cv_waits = 0;          ///< times the owner blocked on the condvar
+  std::uint64_t wakeups = 0;           ///< condvar waits that ended with work (not shutdown)
+  std::uint64_t drains = 0;            ///< poll() swaps that returned >= 1 message
+  std::uint64_t drained_messages = 0;  ///< total messages taken across drains
+  std::uint64_t max_drain_batch = 0;   ///< largest single drain
+};
+
 /// One logical processor's view of the machine. Only ever touched by its own
 /// worker thread (and by handlers running inside its poll/wait).
 class Proc {
@@ -62,8 +80,13 @@ class Proc {
   virtual int id() const = 0;
   virtual int nprocs() const = 0;
 
-  /// Register the handler for a message type. Must happen before the first
-  /// poll()/wait(); unknown incoming handler ids abort.
+  /// Register the handler for a message type. All registration must happen
+  /// before this processor's first send()/poll()/wait(); unknown incoming
+  /// handler ids abort. ThreadMachine additionally enforces a machine-wide
+  /// registration barrier: the first send/poll/wait on any processor blocks
+  /// until every processor has finished registering (i.e. performed its own
+  /// first communication call, or returned from its worker), so a fast
+  /// processor's message can never race a slow processor's on().
   virtual void on(HandlerId h, Handler fn) = 0;
 
   /// Asynchronous send; never blocks. Self-sends are allowed (delivered on a
@@ -82,6 +105,14 @@ class Proc {
   /// Add explicit work to this processor's clock (most work is charged
   /// implicitly through CostCounter by the algebra kernels).
   virtual void charge(std::uint64_t units) = 0;
+
+  /// Pause for roughly `units` work-units' worth of time, or until traffic
+  /// arrives — the idle-throttling primitive (steal backoff). On the
+  /// simulator this is exactly charge(); on real threads it is a timed
+  /// sleep that a sender's notify cuts short. Unlike wait(), a processor in
+  /// backoff still counts as busy for quiescence detection (it will resume
+  /// and may send), so backoff can never cause a premature shutdown.
+  virtual void backoff(std::uint64_t units) { charge(units); }
 
   /// Current time: virtual units (SimMachine) or wall nanoseconds
   /// (ThreadMachine).
@@ -105,6 +136,8 @@ class Proc {
 struct MachineStats {
   std::uint64_t makespan = 0;  ///< max processor finish time (virtual or wall ns)
   std::vector<ProcCommStats> per_proc;
+  /// Per-processor mailbox counters (ThreadMachine only; empty on SimMachine).
+  std::vector<MailboxStats> mailbox;
 };
 
 /// A P-processor machine executing one worker function per processor.

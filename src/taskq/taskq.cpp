@@ -112,7 +112,9 @@ DistTaskQueue::Dequeue DistTaskQueue::try_dequeue(std::vector<std::uint8_t>* pay
   if (self_.nprocs() > 1 && !steal_outstanding_) {
     if (consecutive_empty_grants_ >= self_.nprocs() - 1) {
       consecutive_empty_grants_ = 0;
-      self_.charge(cfg_.steal_backoff);
+      // backoff == charge on the simulator (identical schedules); on real
+      // threads it is a timed sleep that new traffic cuts short.
+      self_.backoff(cfg_.steal_backoff);
     }
     steal_outstanding_ = true;
     stats_.steals_sent += 1;

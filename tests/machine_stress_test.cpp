@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "machine/cost_model.hpp"
 #include "machine/sim_machine.hpp"
@@ -150,6 +152,120 @@ TEST(ThreadStressTest, PingPongChainsUnderRealConcurrency) {
     }
   });
   EXPECT_EQ(hops.load(), 301);
+}
+
+TEST(ThreadStressTest, MultiProducerMailboxThroughputAndOrdering) {
+  // Every other processor floods processor 0's mailbox concurrently with a
+  // per-source sequence number. The machine contract is FIFO per (src, dst):
+  // each producer's stream must arrive in order; interleaving across
+  // producers is free. Also exercises the drain path's slab swapping under
+  // real contention and checks the PR-3 mailbox counters add up.
+  const int kP = 8;
+  const int kEach = 2000;
+  ThreadMachine m(kP);
+  std::vector<std::uint64_t> next_expected(kP, 0);
+  std::uint64_t received = 0;  // proc 0 only — no lock needed
+  MachineStats stats = m.run([&](Proc& self) {
+    self.on(kWork, [&](Proc&, int src, Reader& r) {
+      std::uint64_t seq = r.u64();
+      ASSERT_EQ(seq, next_expected[static_cast<std::size_t>(src)]) << "src " << src;
+      next_expected[static_cast<std::size_t>(src)] = seq + 1;
+      ++received;
+    });
+    if (self.id() != 0) {
+      for (int k = 0; k < kEach; ++k) {
+        Writer w;
+        w.u64(static_cast<std::uint64_t>(k));
+        self.send(0, kWork, w.take());
+      }
+    }
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(received, static_cast<std::uint64_t>((kP - 1) * kEach));
+  ASSERT_EQ(stats.mailbox.size(), static_cast<std::size_t>(kP));
+  const MailboxStats& mb0 = stats.mailbox[0];
+  EXPECT_EQ(mb0.enqueues, static_cast<std::uint64_t>((kP - 1) * kEach));
+  EXPECT_EQ(mb0.drained_messages, mb0.enqueues);
+  EXPECT_GE(mb0.max_drain_batch, 1u);
+  EXPECT_LE(mb0.notifies, mb0.enqueues);
+}
+
+TEST(ThreadStressTest, RegistrationBarrierBlocksCrossProcDispatch) {
+  // Regression for the handler-registration race: processor 0 fires at
+  // processor 1 immediately, while processor 1 dawdles before registering.
+  // The machine-wide barrier must hold 0's send until 1's registration is
+  // complete — otherwise the dispatch aborts on an unknown handler id.
+  const int kP = 2;
+  for (int round = 0; round < 20; ++round) {
+    ThreadMachine m(kP);
+    std::atomic<int> got{0};
+    m.run([&](Proc& self) {
+      if (self.id() == 0) {
+        self.on(kWork, [](Proc&, int, Reader&) {});
+        self.send(1, kWork, {});  // first comm call: blocks on the barrier
+      } else {
+        // Not a comm call, so the barrier is still open while we stall.
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+        self.on(kWork, [&](Proc&, int, Reader&) { got.fetch_add(1); });
+      }
+      while (self.wait()) {
+      }
+    });
+    ASSERT_EQ(got.load(), 1) << "round " << round;
+  }
+}
+
+TEST(ThreadStressTest, WorkersThatNeverCommunicateStillQuiesce) {
+  // A worker may return without ever sending or waiting; the barrier and
+  // the quiescence count must both account for it.
+  ThreadMachine m(4);
+  std::atomic<int> got{0};
+  m.run([&](Proc& self) {
+    if (self.id() == 3) return;  // registers nothing, communicates never
+    self.on(kWork, [&](Proc&, int, Reader&) { got.fetch_add(1); });
+    if (self.id() == 0) self.send(1, kWork, {});
+    while (self.wait()) {
+    }
+  });
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(ThreadStressTest, AllToAllStormQuiescesWithConservedCounters) {
+  // Random all-to-all storm on real threads: echo chains with decreasing
+  // TTL. Checks global quiescence under the atomic in-flight counter and
+  // that sender-side enqueues equal owner-side drains on every mailbox.
+  const int kP = 6;
+  ThreadMachine m(kP);
+  std::atomic<std::uint64_t> delivered{0};
+  MachineStats stats = m.run([&](Proc& self) {
+    Rng rng(static_cast<std::uint64_t>(self.id()) * 7919 + 1);
+    self.on(kWork, [&](Proc& p, int, Reader& r) {
+      std::uint64_t ttl = r.u64();
+      delivered.fetch_add(1);
+      if (ttl > 0) {
+        Writer w;
+        w.u64(ttl - 1);
+        p.send(static_cast<int>(rng.below(kP)), kWork, w.take());
+      }
+    });
+    for (int k = 0; k < 20; ++k) {
+      Writer w;
+      w.u64(rng.next() % 30);
+      self.send(static_cast<int>(rng.below(kP)), kWork, w.take());
+    }
+    while (self.wait()) {
+    }
+  });
+  std::uint64_t enqueued = 0, drained = 0, sent = 0;
+  for (const MailboxStats& mb : stats.mailbox) {
+    enqueued += mb.enqueues;
+    drained += mb.drained_messages;
+  }
+  for (const ProcCommStats& pc : stats.per_proc) sent += pc.messages_sent;
+  EXPECT_EQ(delivered.load(), sent);
+  EXPECT_EQ(enqueued, sent);
+  EXPECT_EQ(drained, sent);
 }
 
 TEST(SimStressTest, ManyProcessorsQuiesce) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "machine/chaos.hpp"
+#include "obs/tracer.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
@@ -75,6 +76,10 @@ PolyId ReplicatedBasis::begin_add(Polynomial poly) {
   add_in_flight_ = id;
   in_flight_ids_.assign(1, id);
   ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
+  if (ProcTracer* t = self_.tracer()) {
+    t->async_begin(Ev::kAddRound, self_.now(), id, 1);
+    if (acks_missing_ == 0) t->async_end(Ev::kAddRound, self_.now(), id);
+  }
   if (acks_missing_ == 0) completed_adds_.push_back(id);  // 1-proc degenerate add
   for (int p = 0; p < self_.nprocs(); ++p) {
     if (p == self_.id()) continue;
@@ -108,6 +113,10 @@ void ReplicatedBasis::add_close() {
   acks_missing_ = self_.nprocs() - 1;
   add_in_flight_ = in_flight_ids_.front();  // the whole round acks this token
   ack_seen_.assign(static_cast<std::size_t>(self_.nprocs()), false);
+  if (ProcTracer* t = self_.tracer()) {
+    t->async_begin(Ev::kAddRound, self_.now(), add_in_flight_, in_flight_ids_.size());
+    if (acks_missing_ == 0) t->async_end(Ev::kAddRound, self_.now(), add_in_flight_);
+  }
   stats_.invalidations_sent +=
       in_flight_ids_.size() * static_cast<std::uint64_t>(self_.nprocs() - 1);
   if (acks_missing_ == 0) {  // 1-proc degenerate add
@@ -199,11 +208,18 @@ void ReplicatedBasis::on_inv_ack(int src, Reader& r) {
   ack_seen_[s] = true;
   acks_missing_ -= 1;
   if (acks_missing_ == 0) {
+    if (ProcTracer* t = self_.tracer()) t->async_end(Ev::kAddRound, self_.now(), add_in_flight_);
     completed_adds_.insert(completed_adds_.end(), in_flight_ids_.begin(), in_flight_ids_.end());
   }
 }
 
 void ReplicatedBasis::begin_validate() {
+  if (ProcTracer* t = self_.tracer(); t != nullptr && !validate_open_ && !shadow_.empty()) {
+    // One async round per shadow-drain episode: opened at the first fetch
+    // wave, closed when the shadow set empties in absorb_body.
+    validate_open_ = true;
+    t->async_begin(Ev::kValidate, self_.now(), ++validate_rounds_, shadow_.size());
+  }
   if (!wire_.batch_fetches) {
     for (const auto& [id, head] : shadow_) {
       request_body(id);
@@ -312,6 +328,10 @@ std::vector<int> ReplicatedBasis::absorb_body(PolyId id, Polynomial poly) {
   // AddToSet demands known-everywhere).
   store(id, std::move(poly));
   shadow_.erase(id);
+  if (validate_open_ && shadow_.empty()) {
+    validate_open_ = false;
+    if (ProcTracer* t = self_.tracer()) t->async_end(Ev::kValidate, self_.now(), validate_rounds_);
+  }
   return children;
 }
 
@@ -422,6 +442,7 @@ LockClient::LockClient(Proc& self, int coordinator) : self_(self), coordinator_(
     GBD_CHECK_MSG(requested_ && !granted_, "unexpected lock grant");
     granted_ = true;
     wait_units_ += self_.now() - request_time_;
+    if (ProcTracer* t = self_.tracer()) t->async_end(Ev::kLockWait, self_.now(), rounds_);
   });
 }
 
@@ -429,6 +450,8 @@ void LockClient::request() {
   GBD_CHECK_MSG(!requested_, "lock already requested");
   requested_ = true;
   request_time_ = self_.now();
+  rounds_ += 1;
+  if (ProcTracer* t = self_.tracer()) t->async_begin(Ev::kLockWait, request_time_, rounds_);
   self_.send(coordinator_, kLkRequest, {});
 }
 

@@ -180,6 +180,8 @@ class ReplicatedBasis final : public BasisStore {
   std::vector<bool> ack_seen_;       ///< per-proc, for the in-flight round only
   bool batch_open_ = false;          ///< between add_open and add_close
   std::vector<PolyId> completed_adds_;
+  bool validate_open_ = false;         ///< kValidate async round in progress
+  std::uint64_t validate_rounds_ = 0;  ///< async id of the current/last round
   std::uint64_t fault_draws_ = 0;   ///< chaos fault-injection draw counter
 
   std::function<void(PolyId)> on_invalidate_;
@@ -225,6 +227,7 @@ class LockClient {
   bool granted_ = false;
   std::uint64_t request_time_ = 0;
   std::uint64_t wait_units_ = 0;
+  std::uint64_t rounds_ = 0;  ///< request count, doubles as the kLockWait async id
 };
 
 }  // namespace gbd

@@ -10,6 +10,8 @@
 #include "gb/pairs.hpp"
 #include "machine/invariants.hpp"
 #include "machine/thread_machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
 #include "support/check.hpp"
@@ -88,6 +90,9 @@ struct ProcOutput {
 /// The augment protocol's split-phase state (§5: the suspended "thread").
 enum class AugState { kIdle, kWaitLock, kValidating, kAdding };
 
+/// Async-round id for a pair's hold/stall episode (matches begin to end).
+std::uint64_t hold_id(PolyId a, PolyId b) { return (a * 0x9e3779b97f4a7c15ULL) ^ b; }
+
 /// One processor's GL-P worker.
 class GlpWorker {
  public:
@@ -118,7 +123,12 @@ class GlpWorker {
   bool app_idle_now() const { return app_idle(); }
 
   void run() {
-    seed_initial_pairs();
+    {
+      // Spanned so a trace's timeline starts at the first real activity
+      // (initial pair creation is engine work, not idle time).
+      TraceSpan span(self_, Ev::kAugment);
+      seed_initial_pairs();
+    }
     std::vector<std::uint8_t> payload;
     for (;;) {
       self_.poll();
@@ -133,7 +143,7 @@ class GlpWorker {
       if (is_reserved_coordinator()) {
         queue_.pump_termination();
         if (queue_.terminated()) break;
-        if (!self_.wait()) break;
+        if (!traced_wait()) break;
         continue;
       }
       if (aug_state_ != AugState::kIdle && aug_state_ != AugState::kWaitLock) {
@@ -141,7 +151,7 @@ class GlpWorker {
         // split-phase transfers complete. (While merely *waiting* for the
         // lock we fall through and overlap other pair work — the paper's
         // thread suspension.)
-        if (!self_.wait()) {
+        if (!traced_wait()) {
           finishing_ = true;  // machine quiescence mid-protocol: checked below
         } else {
           continue;
@@ -155,7 +165,7 @@ class GlpWorker {
           finishing_ = true;
           break;
         case DistTaskQueue::Dequeue::kEmpty:
-          if (!self_.wait()) finishing_ = true;
+          if (!traced_wait()) finishing_ = true;
           break;
       }
       if (finishing_) {
@@ -182,6 +192,7 @@ class GlpWorker {
     out_->stats.polys_transferred = basis_.stats().bodies_received;
     out_->stats.peak_resident_bodies = basis_.stats().max_resident;
     out_->basis = basis_.stats();
+    if (cfg_.metrics != nullptr) push_metrics(*cfg_.metrics);
   }
 
  private:
@@ -218,6 +229,65 @@ class GlpWorker {
 
   bool is_reserved_coordinator() const {
     return cfg_.reserve_coordinator && self_.id() == 0;
+  }
+
+  /// Why we are about to block: classifies the wait for the breakdown
+  /// analyzer (hold = bodies en route, protocol = augment round in flight,
+  /// idle = genuinely nothing to do).
+  WaitReason wait_reason() const {
+    if (!suspended_.empty() || !stalled_.empty()) return WaitReason::kHold;
+    if (aug_state_ != AugState::kIdle || !pending_.empty()) return WaitReason::kProtocol;
+    return WaitReason::kIdle;
+  }
+
+  /// wait() wrapped in a kWait span tagged with the reason. Handler spans
+  /// emitted by deliveries during the wait nest inside it, so the analyzer's
+  /// self-time pass charges dispatch work to comm, not to the wait bucket.
+  bool traced_wait() {
+    if (self_.tracer() == nullptr) return self_.wait();
+    TraceSpan span(self_, Ev::kWait, static_cast<std::uint64_t>(wait_reason()));
+    return self_.wait();
+  }
+
+  /// Run-end metrics: every per-processor counter this worker owns, as named
+  /// series (the machine-level comm/mailbox series are pushed by the driver).
+  void push_metrics(MetricsRegistry& reg) {
+    int p = self_.id();
+    const GbStats& g = out_->stats;
+    reg.add("gb.pairs_created", p, g.pairs_created);
+    reg.add("gb.pairs_pruned_coprime", p, g.pairs_pruned_coprime);
+    reg.add("gb.pairs_pruned_chain", p, g.pairs_pruned_chain);
+    reg.add("gb.spolys_computed", p, g.spolys_computed);
+    reg.add("gb.reductions_to_zero", p, g.reductions_to_zero);
+    reg.add("gb.basis_added", p, g.basis_added);
+    reg.add("gb.reduction_steps", p, g.reduction_steps);
+    reg.add("gb.work_units", p, g.work_units);
+    reg.add("gb.lock_wait_units", p, g.lock_wait_units);
+    reg.add("gb.idle_units", p, g.idle_units);
+    reg.add("gb.peak_resident_bodies", p, g.peak_resident_bodies);
+    const BasisStats& b = basis_.stats();
+    reg.add("basis.invalidations_sent", p, b.invalidations_sent);
+    reg.add("basis.fetches_sent", p, b.fetches_sent);
+    reg.add("basis.bodies_received", p, b.bodies_received);
+    reg.add("basis.bodies_served", p, b.bodies_served);
+    reg.add("basis.bodies_forwarded", p, b.bodies_forwarded);
+    reg.add("basis.evictions", p, b.evictions);
+    reg.add("basis.max_resident", p, b.max_resident);
+    reg.add("basis.invalidation_batches", p, b.invalidation_batches);
+    reg.add("basis.fetch_batches", p, b.fetch_batches);
+    reg.add("basis.body_batches", p, b.body_batches);
+    const TaskQueueStats& q = queue_.stats();
+    reg.add("taskq.enqueued", p, q.enqueued);
+    reg.add("taskq.dequeued", p, q.dequeued);
+    reg.add("taskq.steals_sent", p, q.steals_sent);
+    reg.add("taskq.steals_won", p, q.steals_won);
+    reg.add("taskq.tasks_migrated", p, q.tasks_migrated);
+    reg.add("taskq.tasks_migrated_in", p, q.tasks_migrated_in);
+    reg.add("taskq.waves_started", p, q.waves_started);
+    reg.add("taskq.token_rounds", p, q.token_rounds);
+    // Kernel thread-locals: this worker's thread hosts exactly this logical
+    // processor on both backends, so the delta since construction is ours.
+    collect_kernel_delta(reg, p, kernel_base_);
   }
 
   bool app_idle() const {
@@ -278,6 +348,7 @@ class GlpWorker {
 
   void process_task(PairTask task) {
     executing_ = true;
+    TraceSpan span(self_, Ev::kTask, task.a, task.b);
     if (cfg_.gb.coprime_criterion && Monomial::coprime(task.ha, task.hb)) {
       out_->stats.pairs_pruned_coprime += 1;
       done_.mark(task.a, task.b);
@@ -298,6 +369,9 @@ class GlpWorker {
       // other pairs proceed meanwhile.
       if (pa == nullptr) basis_.prefetch(task.a);
       if (pb == nullptr) basis_.prefetch(task.b);
+      if (ProcTracer* t = self_.tracer()) {
+        t->async_begin(Ev::kHold, self_.now(), hold_id(task.a, task.b), task.a);
+      }
       suspended_.push_back(std::move(task));
       executing_ = false;
       return;
@@ -308,6 +382,9 @@ class GlpWorker {
     trace.b = task.b;
     Polynomial h;
     {
+      // Span strictly encloses the CostScope (see obs/span.hpp): its end
+      // drains the s-poly work into the clock after elapsed() was read.
+      TraceSpan sp(self_, Ev::kSpoly, task.a, task.b);
       CostScope cost;
       h = spoly(sys_.ctx, *pa, *pb);
       out_->stats.work_units += cost.elapsed();
@@ -334,6 +411,9 @@ class GlpWorker {
     }
     if (PolyId blocked = basis_.pending_reducer(h.hmono()); blocked != 0) {
       basis_.prefetch(blocked);
+      if (ProcTracer* t = self_.tracer()) {
+        t->async_begin(Ev::kStall, self_.now(), hold_id(task.a, task.b), blocked);
+      }
       stalled_.push_back(Stalled{std::move(task), std::move(h), std::move(trace)});
       executing_ = false;
       return;
@@ -352,6 +432,8 @@ class GlpWorker {
   /// the network between steps (the paper's minimum grain is a single
   /// reduction step). Appends reducer ids to the trace.
   void reduce_by_replica(Polynomial* h, TaskTrace* trace) {
+    TraceSpan span(self_, Ev::kReduce);
+    std::uint64_t steps = 0;
     h->make_primitive();
     while (!h->is_zero()) {
       std::uint64_t rid = 0;
@@ -361,6 +443,7 @@ class GlpWorker {
       *h = reduce_step(sys_.ctx, *h, *r);
       h->make_primitive();
       std::uint64_t c = cost.elapsed();
+      steps += 1;
       out_->stats.reduction_steps += 1;
       out_->stats.max_step_cost = std::max(out_->stats.max_step_cost, c);
       out_->stats.work_units += c;
@@ -373,6 +456,7 @@ class GlpWorker {
       // augment itself reduces.
       pump_augment();
     }
+    span.result(steps);
   }
 
   /// Advance the augment state machine as far as the arrived messages allow.
@@ -427,6 +511,7 @@ class GlpWorker {
   /// Re-reduce queued reducts against the current replica; retire any that
   /// reach zero. Runs outside the lock.
   void freshen_pending() {
+    TraceSpan span(self_, Ev::kFreshen, pending_.size());
     for (std::size_t i = 0; i < pending_.size();) {
       Pending& p = pending_[i];
       reduce_by_replica(&p.poly, &p.trace);
@@ -442,6 +527,7 @@ class GlpWorker {
   }
 
   void finish_augment_under_lock() {
+    TraceSpan span(self_, Ev::kAugment);
     if (pending_.empty()) {
       // Everything we queued for died while we waited; give the lock back.
       release_and_continue();
@@ -474,6 +560,7 @@ class GlpWorker {
   /// All invalidation acks arrived: record the new element, create its pairs
   /// (replica is complete, so this is {(s, r) : s ∈ G}), release the lock.
   void complete_add() {
+    TraceSpan span(self_, Ev::kAugment, adding_id_);
     Pending p = std::move(pending_.front());
     pending_.pop_front();
     const Polynomial* body = basis_.find(adding_id_);
@@ -527,6 +614,7 @@ class GlpWorker {
   /// consecutive lock rounds — minus the per-add lock hand-offs and the
   /// per-id invalidation envelopes.
   void finish_augment_under_lock_batched() {
+    TraceSpan span(self_, Ev::kAugment);
     bool open = false;
     while (!pending_.empty() && batch_adding_.size() < cfg_.max_batch_adds) {
       Pending& p = pending_.front();
@@ -574,6 +662,7 @@ class GlpWorker {
   /// unbatched path would have — member k pairs against everything known
   /// before it, including earlier batch members but not later ones.
   void complete_add_batch() {
+    TraceSpan span(self_, Ev::kAugment, batch_adding_.size());
     std::vector<BatchAdd> batch = std::move(batch_adding_);
     batch_adding_.clear();
     release_and_continue();
@@ -644,6 +733,10 @@ class GlpWorker {
       if (have_a && have_b) {
         PairTask t = std::move(*it);
         suspended_.erase(it);
+        if (ProcTracer* tr = self_.tracer()) {
+          tr->async_end(Ev::kHold, self_.now(), hold_id(t.a, t.b));
+        }
+        TraceSpan span(self_, Ev::kResume, t.a, t.b);
         process_task(std::move(t));
         return true;
       }
@@ -662,6 +755,10 @@ class GlpWorker {
           basis_.reducer_set().find_reducer(it->partial.hmono(), nullptr) != nullptr) {
         Stalled s = std::move(*it);
         stalled_.erase(it);
+        if (ProcTracer* tr = self_.tracer()) {
+          tr->async_end(Ev::kStall, self_.now(), hold_id(s.task.a, s.task.b));
+        }
+        TraceSpan span(self_, Ev::kResume, s.task.a, s.task.b);
         continue_reduction(std::move(s.task), std::move(s.partial), std::move(s.trace));
         return true;
       }
@@ -722,6 +819,9 @@ class GlpWorker {
   std::vector<BatchAdd> batch_adding_;
   AugState aug_state_ = AugState::kIdle;
   PolyId adding_id_ = 0;
+  /// Kernel thread-local counters at construction (on the hosting thread),
+  /// windowing this run's deltas for the metrics registry.
+  KernelBaseline kernel_base_ = kernel_baseline();
   std::size_t replica_seen_ = 0;
   bool executing_ = false;
   bool in_pump_ = false;
@@ -832,6 +932,7 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     machine.set_monitor(mon);
     register_invariants(monitor, workers);
   }
+  machine.set_tracer(cfg.tracer);
   auto worker = [&](Proc& self) {
     auto& slot = workers[static_cast<std::size_t>(self.id())];
     slot = std::make_unique<GlpWorker>(self, sys, cfg, inputs,
@@ -847,7 +948,9 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     res.machine.makespan = ms.makespan;
     res.machine.per_proc = std::move(ms.per_proc);
     res.machine.mailbox = std::move(ms.mailbox);
+    res.machine.has_mailbox_stats = ms.has_mailbox_stats;
   }
+  if (cfg.metrics != nullptr) collect_machine_stats(*cfg.metrics, res.machine);
   if (mon != nullptr) {
     res.violations = monitor.violations();
     res.invariant_sweeps = monitor.sweeps_run();

@@ -38,6 +38,9 @@
 
 namespace gbd {
 
+class Tracer;           // obs/tracer.hpp
+class MetricsRegistry;  // obs/metrics.hpp
+
 /// Basis storage policy (see basis/basis_store.hpp).
 enum class BasisMode : std::uint8_t {
   kReplicated,  ///< the paper's main design: every processor holds every body
@@ -78,6 +81,14 @@ struct ParallelConfig {
   bool check_invariants = false;
   /// Deliveries between periodic invariant sweeps (see InvariantMonitor).
   std::uint64_t invariant_period = 128;
+  /// Observability (obs/): when non-null, `tracer` is attached to the machine
+  /// and records per-processor event timelines (task/reduce/wait/hold spans,
+  /// protocol rounds); `metrics` receives every run-end counter — machine,
+  /// queue, basis, engine and kernel — as named per-processor series. Both
+  /// must outlive the call. Null ⇒ zero instrumentation beyond a pointer
+  /// test per site.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ParallelResult : GbResult {

@@ -39,6 +39,8 @@ using HandlerId = std::uint32_t;
 
 struct ChaosConfig;      // machine/chaos.hpp
 class InvariantMonitor;  // machine/invariants.hpp
+class ProcTracer;        // obs/tracer.hpp
+class Tracer;            // obs/tracer.hpp
 
 class Proc;
 
@@ -53,11 +55,13 @@ struct ProcCommStats {
   std::uint64_t idle_units = 0;  ///< virtual time spent blocked in wait()
 };
 
-/// Per-processor mailbox behavior under real concurrency (ThreadMachine
-/// only; SimMachine leaves MachineStats::mailbox empty). The sender-side
-/// fields are maintained under the destination mailbox's mutex; the
-/// owner-side fields are touched only by the owning thread — both are safe
-/// to read once run() has joined every worker.
+/// Per-processor mailbox/delivery behavior. On ThreadMachine the sender-side
+/// fields are maintained under the destination mailbox's mutex and the
+/// owner-side fields only by the owning thread — both are safe to read once
+/// run() has joined every worker. SimMachine populates the equivalent
+/// counters from its envelope queues (notifies/lock_contended/cv_waits stay
+/// zero there: the simulator has no condvars and no lock contention), so
+/// both backends report the same stats shape.
 struct MailboxStats {
   // Sender side (indexed by *destination* mailbox).
   std::uint64_t enqueues = 0;        ///< messages pushed into this mailbox
@@ -65,8 +69,8 @@ struct MailboxStats {
   std::uint64_t lock_contended = 0;  ///< mailbox-mutex acquisitions that had to block
   // Owner side.
   std::uint64_t cv_waits = 0;          ///< times the owner blocked on the condvar
-  std::uint64_t wakeups = 0;           ///< condvar waits that ended with work (not shutdown)
-  std::uint64_t drains = 0;            ///< poll() swaps that returned >= 1 message
+  std::uint64_t wakeups = 0;           ///< waits that ended with work delivered (not shutdown)
+  std::uint64_t drains = 0;            ///< poll() rounds that delivered >= 1 message
   std::uint64_t drained_messages = 0;  ///< total messages taken across drains
   std::uint64_t max_drain_batch = 0;   ///< largest single drain
 };
@@ -128,16 +132,28 @@ class Proc {
 
   const ProcCommStats& comm_stats() const { return comm_; }
 
+  /// This processor's event sink, or nullptr when tracing is off. Engine
+  /// layers emit spans through this (obs/span.hpp); the machine attaches it
+  /// from the Tracer set on the Machine before running the worker.
+#ifdef GBD_DISABLE_TRACING
+  ProcTracer* tracer() const { return nullptr; }
+#else
+  ProcTracer* tracer() const { return tracer_; }
+#endif
+
  protected:
   ProcCommStats comm_;
+  ProcTracer* tracer_ = nullptr;
 };
 
 /// Machine-wide run statistics.
 struct MachineStats {
   std::uint64_t makespan = 0;  ///< max processor finish time (virtual or wall ns)
   std::vector<ProcCommStats> per_proc;
-  /// Per-processor mailbox counters (ThreadMachine only; empty on SimMachine).
+  /// Per-processor mailbox counters; both backends populate these and set
+  /// has_mailbox_stats, so downstream consumers see one shape.
   std::vector<MailboxStats> mailbox;
+  bool has_mailbox_stats = false;
 };
 
 /// A P-processor machine executing one worker function per processor.
@@ -154,8 +170,17 @@ class Machine {
   void set_monitor(InvariantMonitor* m) { monitor_ = m; }
   InvariantMonitor* monitor() const { return monitor_; }
 
+  /// Attach an event tracer (obs/tracer.hpp). run() resets it for nprocs(),
+  /// hands each processor its ProcTracer, and stamps the makespan at the
+  /// end; the tracer must outlive run(). Pass nullptr to detach. With no
+  /// tracer attached every emission site is a single null test (and with
+  /// GBD_DISABLE_TRACING they compile out entirely).
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+
  protected:
   InvariantMonitor* monitor_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gbd

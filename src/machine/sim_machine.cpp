@@ -1,5 +1,6 @@
 #include "machine/sim_machine.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "machine/invariants.hpp"
+#include "obs/tracer.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 
@@ -90,9 +92,11 @@ class SimMachine::SimProc final : public Proc {
       if (machine_->chaos_duplicates(h, seq)) {
         std::uint64_t dseq = machine_->core_->next_seq++;
         machine_->core_->duplicated += 1;
+        dst_proc.mbox_.enqueues += 1;
         dst_proc.inbox_.push(SimEnvelope{wire + machine_->chaos_delay(dseq),
                                          machine_->chaos_rank(dseq), dseq, id_, h, payload});
       }
+      dst_proc.mbox_.enqueues += 1;
       dst_proc.inbox_.push(SimEnvelope{wire + machine_->chaos_delay(seq),
                                        machine_->chaos_rank(seq), seq, id_, h,
                                        std::move(payload)});
@@ -138,6 +142,7 @@ class SimMachine::SimProc final : public Proc {
       }
 
       state_ = St::kWaiting;
+      mbox_.cv_waits += 1;  // parked with an empty inbox — the sim's "condvar wait"
       int next = machine_->core_->pick_next_locked(id_);
       machine_->core_->grant_locked(next);  // next == -1 triggers shutdown check
       block_until_active(lock);
@@ -145,6 +150,7 @@ class SimMachine::SimProc final : public Proc {
         state_ = St::kDone;  // no further participation in scheduling
         return false;
       }
+      mbox_.wakeups += 1;  // resumed with traffic pending, not by shutdown
     }
   }
 
@@ -213,6 +219,7 @@ class SimMachine::SimProc final : public Proc {
         env = inbox_.top();
         inbox_.pop();
       }
+      std::uint64_t t0 = clock_;
       clock_ += machine_->cost_.dispatch;
       comm_.messages_received += 1;
       GBD_CHECK_MSG(env.handler < handlers_.size() && handlers_[env.handler],
@@ -220,10 +227,19 @@ class SimMachine::SimProc final : public Proc {
       Reader r(env.payload.data(), env.payload.size());
       handlers_[env.handler](*this, env.src, r);
       drain_cost();  // handler work lands on this processor's clock
+      if (tracer() != nullptr) {
+        tracer()->complete(Ev::kHandler, t0, clock_, env.handler,
+                           static_cast<std::uint64_t>(env.src));
+      }
       ++delivered;
       // Safe point for global invariant checks: this processor is between
       // handlers, every other processor is parked at a scheduling point.
       if (machine_->monitor_ != nullptr) machine_->monitor_->maybe_check();
+    }
+    if (delivered > 0) {
+      mbox_.drains += 1;
+      mbox_.drained_messages += delivered;
+      mbox_.max_drain_batch = std::max<std::uint64_t>(mbox_.max_drain_batch, delivered);
     }
     return delivered;
   }
@@ -233,6 +249,10 @@ class SimMachine::SimProc final : public Proc {
   std::vector<Handler> handlers_;
   std::uint64_t clock_ = 0;
   std::uint64_t scale_ = 1;  ///< chaos starvation multiplier (set at run start)
+  /// Delivery counters, mirroring ThreadMachine's mailbox stats. enqueues is
+  /// sender-written under core->mu; the owner-side fields are touched only
+  /// by this processor's thread.
+  MailboxStats mbox_;
 
   // Guarded by core->mu:
   std::priority_queue<SimEnvelope, std::vector<SimEnvelope>, ArrivalLater> inbox_;
@@ -325,6 +345,12 @@ SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
     core_->procs.push_back(std::make_unique<SimProc>(this, i));
     core_->procs.back()->scale_ = chaos_.starve_scale(i);
   }
+  if (tracer_ != nullptr) {
+    tracer_->start_run(nprocs_, ClockDomain::kVirtual);
+    for (int i = 0; i < nprocs_; ++i) {
+      core_->procs[static_cast<std::size_t>(i)]->tracer_ = &tracer_->at(i);
+    }
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs_));
@@ -361,11 +387,14 @@ SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
 
   SimStats stats;
   stats.duplicated_messages = core_->duplicated;
+  stats.has_mailbox_stats = true;
   for (auto& p : core_->procs) {
     stats.per_proc.push_back(p->comm_stats());
+    stats.mailbox.push_back(p->mbox_);
     stats.proc_clocks.push_back(p->clock_);
     stats.makespan = std::max(stats.makespan, p->clock_);
   }
+  if (tracer_ != nullptr) tracer_->finish_run(stats.makespan);
   return stats;
 }
 

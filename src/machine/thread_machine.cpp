@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "machine/invariants.hpp"
+#include "obs/tracer.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
@@ -184,7 +185,12 @@ class ThreadMachine::ThreadProc final : public Proc {
                   "message for unregistered handler");
     comm_.messages_received += 1;
     Reader r(env.payload.data(), env.payload.size());
+    std::uint64_t t0 = tracer() != nullptr ? now() : 0;
     handlers_[env.handler](*this, env.src, r);
+    if (tracer() != nullptr) {
+      tracer()->complete(Ev::kHandler, t0, now(), env.handler,
+                         static_cast<std::uint64_t>(env.src));
+    }
   }
 
   ThreadMachine* machine_;
@@ -241,6 +247,12 @@ MachineStats ThreadMachine::run(const std::function<void(Proc&)>& worker) {
     procs_.push_back(std::make_unique<ThreadProc>(this, i));
     procs_.back()->mailbox_ = std::make_unique<Mailbox>();
   }
+  if (tracer_ != nullptr) {
+    tracer_->start_run(nprocs_, ClockDomain::kSteadyNs);
+    for (int i = 0; i < nprocs_; ++i) {
+      procs_[static_cast<std::size_t>(i)]->tracer_ = &tracer_->at(i);
+    }
+  }
   epoch_ns_ = wall_ns();
 
   std::vector<std::thread> threads;
@@ -260,10 +272,12 @@ MachineStats ThreadMachine::run(const std::function<void(Proc&)>& worker) {
 
   MachineStats stats;
   stats.makespan = wall_ns() - epoch_ns_;
+  stats.has_mailbox_stats = true;
   for (auto& p : procs_) {
     stats.per_proc.push_back(p->comm_stats());
     stats.mailbox.push_back(p->mailbox_->stats);
   }
+  if (tracer_ != nullptr) tracer_->finish_run(stats.makespan);
   return stats;
 }
 

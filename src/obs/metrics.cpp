@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include "machine/machine.hpp"
+#include "support/check.hpp"
+
+namespace gbd {
+
+std::uint64_t MetricsSnapshot::total(const std::string& name) const {
+  const std::vector<std::uint64_t>* s = find(name);
+  if (s == nullptr) return 0;
+  std::uint64_t t = 0;
+  for (std::uint64_t v : *s) t += v;
+  return t;
+}
+
+const std::vector<std::uint64_t>* MetricsSnapshot::find(const std::string& name) const {
+  auto it = series.find(name);
+  return it == series.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"nprocs\":" + std::to_string(nprocs) + ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, values] : series) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(name);  // metric names are fixed identifiers; no escaping needed
+    out.append("\":{\"per_proc\":[");
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(std::to_string(values[i]));
+      total += values[i];
+    }
+    out.append("],\"total\":");
+    out.append(std::to_string(total));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(int nprocs) : nprocs_(nprocs) { GBD_CHECK(nprocs >= 1); }
+
+void MetricsRegistry::add(const std::string& name, int proc, std::uint64_t v) {
+  GBD_CHECK(proc >= 0 && proc < nprocs_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(name);
+  if (inserted) it->second.assign(static_cast<std::size_t>(nprocs_), 0);
+  it->second[static_cast<std::size_t>(proc)] += v;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.nprocs = nprocs_;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.series = series_;
+  return s;
+}
+
+KernelBaseline kernel_baseline() {
+  return KernelBaseline{find_reducer_stats(), geobucket_stats()};
+}
+
+void collect_kernel_delta(MetricsRegistry& reg, int proc, const KernelBaseline& base) {
+  const FindReducerStats& fr = find_reducer_stats();
+  reg.add("kernel.find_reducer.calls", proc, fr.calls - base.find_reducer.calls);
+  reg.add("kernel.find_reducer.probes", proc, fr.probes - base.find_reducer.probes);
+  reg.add("kernel.find_reducer.mask_rejects", proc,
+          fr.mask_rejects - base.find_reducer.mask_rejects);
+  reg.add("kernel.find_reducer.divides_calls", proc,
+          fr.divides_calls - base.find_reducer.divides_calls);
+  const GeobucketStats& gb = geobucket_stats();
+  reg.add("kernel.geobucket.axpys", proc, gb.axpys - base.geobucket.axpys);
+  reg.add("kernel.geobucket.extracts", proc, gb.extracts - base.geobucket.extracts);
+  reg.add("kernel.geobucket.normalizations", proc,
+          gb.normalizations - base.geobucket.normalizations);
+}
+
+void collect_machine_stats(MetricsRegistry& reg, const MachineStats& ms) {
+  for (std::size_t p = 0; p < ms.per_proc.size(); ++p) {
+    int i = static_cast<int>(p);
+    const ProcCommStats& c = ms.per_proc[p];
+    reg.add("comm.messages_sent", i, c.messages_sent);
+    reg.add("comm.bytes_sent", i, c.bytes_sent);
+    reg.add("comm.messages_received", i, c.messages_received);
+    reg.add("comm.idle_units", i, c.idle_units);
+  }
+  if (ms.has_mailbox_stats) {
+    for (std::size_t p = 0; p < ms.mailbox.size(); ++p) {
+      int i = static_cast<int>(p);
+      const MailboxStats& m = ms.mailbox[p];
+      reg.add("mailbox.enqueues", i, m.enqueues);
+      reg.add("mailbox.notifies", i, m.notifies);
+      reg.add("mailbox.lock_contended", i, m.lock_contended);
+      reg.add("mailbox.cv_waits", i, m.cv_waits);
+      reg.add("mailbox.wakeups", i, m.wakeups);
+      reg.add("mailbox.drains", i, m.drains);
+      reg.add("mailbox.drained_messages", i, m.drained_messages);
+      reg.add("mailbox.max_drain_batch", i, m.max_drain_batch);
+    }
+  }
+  reg.add("machine.makespan", 0, ms.makespan);
+}
+
+}  // namespace gbd

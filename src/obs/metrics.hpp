@@ -1,0 +1,79 @@
+// Unified metrics registry — one named, per-processor snapshot over the
+// counters that previously lived in scattered structs and thread-locals
+// (ProcCommStats, MailboxStats, TaskQueueStats, BasisStats, GbStats,
+// FindReducerStats, geobucket stats).
+//
+// Model: a metric is a named series of one u64 value per processor. The
+// engine and the machine *push* into the registry at run end (collection is
+// not a hot path; a mutex guards the map). Both machine backends produce the
+// identical set of series — including mailbox.* now that SimMachine
+// populates MachineStats::mailbox — so cross-backend comparisons are a
+// field-by-field diff of two snapshots.
+//
+// Kernel counters (find_reducer, geobucket) are accumulated in thread-locals
+// for speed; because both backends host every logical processor on its own
+// OS thread, a worker's thread-local deltas ARE that processor's counts.
+// kernel_baseline()/collect_kernel_delta() window them per worker so the
+// registry, not the raw thread-local, is the reporting surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "poly/divmask.hpp"
+#include "poly/geobucket.hpp"
+
+namespace gbd {
+
+struct MachineStats;  // machine/machine.hpp
+
+/// Immutable snapshot: sorted name -> per-proc values.
+struct MetricsSnapshot {
+  int nprocs = 0;
+  std::map<std::string, std::vector<std::uint64_t>> series;
+
+  std::uint64_t total(const std::string& name) const;
+  const std::vector<std::uint64_t>* find(const std::string& name) const;
+  /// {"nprocs":N,"metrics":{"name":{"per_proc":[...],"total":T},...}}
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(int nprocs);
+
+  int nprocs() const { return nprocs_; }
+
+  /// Add v to series `name` at processor `proc` (creates the series lazily,
+  /// zero-filled). Thread-safe; intended for run-end collection, not inner
+  /// loops.
+  void add(const std::string& name, int proc, std::uint64_t v);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  int nprocs_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::uint64_t>> series_;
+};
+
+/// Calling thread's kernel counters right now (delta window start).
+struct KernelBaseline {
+  FindReducerStats find_reducer;
+  GeobucketStats geobucket;
+};
+KernelBaseline kernel_baseline();
+
+/// Push the calling thread's kernel-counter deltas since `base` into the
+/// registry as kernel.find_reducer.* and kernel.geobucket.* series.
+void collect_kernel_delta(MetricsRegistry& reg, int proc, const KernelBaseline& base);
+
+/// Flatten MachineStats into comm.* / mailbox.* / machine.* series. Both
+/// backends produce the same shape (mailbox.* series are emitted whenever
+/// has_mailbox_stats, which both now set).
+void collect_machine_stats(MetricsRegistry& reg, const MachineStats& ms);
+
+}  // namespace gbd

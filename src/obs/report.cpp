@@ -1,0 +1,202 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace gbd {
+
+namespace {
+
+enum class Cat { kReduce, kComm, kHold, kIdle };
+
+Cat category(const TraceEvent& e) {
+  switch (e.kind) {
+    case Ev::kTask:
+    case Ev::kSpoly:
+    case Ev::kReduce:
+    case Ev::kFreshen:
+    case Ev::kAugment:
+      return Cat::kReduce;
+    case Ev::kHandler:
+      return Cat::kComm;
+    case Ev::kResume:
+      return Cat::kHold;
+    case Ev::kWait:
+      switch (static_cast<WaitReason>(e.a)) {
+        case WaitReason::kHold: return Cat::kHold;
+        case WaitReason::kProtocol: return Cat::kComm;
+        case WaitReason::kIdle: break;
+      }
+      return Cat::kIdle;
+    case Ev::kBackoff:
+      return Cat::kIdle;
+    default:
+      return Cat::kIdle;  // async/instant kinds never reach here
+  }
+}
+
+struct Frame {
+  std::uint64_t t0, t1;
+};
+
+}  // namespace
+
+BreakdownReport analyze_trace(const TraceData& data) {
+  BreakdownReport rep;
+  rep.domain = data.domain;
+  rep.makespan = data.makespan;
+  for (const TraceData::ProcData& pd : data.procs) {
+    ProcBreakdown b;
+    rep.dropped_events += pd.dropped;
+    std::vector<Frame> frames;  // completed top-level-so-far spans, t0 ascending
+    std::uint64_t last_t = 0;
+    for (const TraceEvent& e : pd.events) {
+      last_t = std::max(last_t, e.t1);
+      if (e.phase == Ph::kAsyncBegin) {
+        if (e.kind == Ev::kHold) b.holds_opened += 1;
+        continue;
+      }
+      if (e.phase == Ph::kInstant) {
+        if (e.kind == Ev::kSteal) b.steals += 1;
+        continue;
+      }
+      if (e.phase != Ph::kSpan) continue;
+      b.spans += 1;
+      // Completion order puts children before parents: frames whose start is
+      // inside this span are its direct children (grandchildren were already
+      // absorbed into them).
+      std::uint64_t child_sum = 0;
+      while (!frames.empty() && frames.back().t0 >= e.t0) {
+        child_sum += frames.back().t1 - frames.back().t0;
+        frames.pop_back();
+      }
+      std::uint64_t dur = e.t1 >= e.t0 ? e.t1 - e.t0 : 0;
+      std::uint64_t self = dur >= child_sum ? dur - child_sum : 0;
+      switch (category(e)) {
+        case Cat::kReduce: b.reduce += self; break;
+        case Cat::kComm: b.comm += self; break;
+        case Cat::kHold: b.hold += self; break;
+        case Cat::kIdle: b.idle += self; break;
+      }
+      frames.push_back(Frame{e.t0, e.t1});
+    }
+    // Account for the uncovered remainder of [0, makespan]: gaps between
+    // top-level spans are unattributed busy time ("other"); the head gap
+    // before the first event and the tail gap after the last are idle (the
+    // tail gap is the load-imbalance loss).
+    std::uint64_t covered = 0;
+    for (const Frame& f : frames) covered += f.t1 - f.t0;
+    if (!frames.empty()) {
+      std::uint64_t window = frames.back().t1 - frames.front().t0;
+      b.other = window >= covered ? window - covered : 0;
+      b.idle += frames.front().t0;
+    } else {
+      b.idle += std::min(last_t, data.makespan);
+    }
+    if (data.makespan > last_t) b.idle += data.makespan - last_t;
+    rep.procs.push_back(b);
+  }
+  double mean_busy = 0.0;
+  for (const ProcBreakdown& b : rep.procs) {
+    mean_busy += static_cast<double>(b.busy());
+    rep.critical_path = std::max(rep.critical_path, b.busy());
+  }
+  if (!rep.procs.empty()) mean_busy /= static_cast<double>(rep.procs.size());
+  rep.load_imbalance = mean_busy > 0.0 ? static_cast<double>(rep.critical_path) / mean_busy : 1.0;
+  return rep;
+}
+
+std::string check_well_formed(const TraceData& data) {
+  for (std::size_t p = 0; p < data.procs.size(); ++p) {
+    const TraceData::ProcData& pd = data.procs[p];
+    auto where = [&](std::size_t i) {
+      return "proc " + std::to_string(p) + " event " + std::to_string(i);
+    };
+    if (pd.open_spans != 0) {
+      return "proc " + std::to_string(p) + " finished with " + std::to_string(pd.open_spans) +
+             " open span(s)";
+    }
+    std::vector<Frame> frames;
+    std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> open_async;
+    std::uint64_t prev_t1 = 0;
+    for (std::size_t i = 0; i < pd.events.size(); ++i) {
+      const TraceEvent& e = pd.events[i];
+      if (e.t1 < e.t0) return where(i) + ": negative duration";
+      if (e.phase == Ph::kAsyncBegin) {
+        open_async[{static_cast<std::uint8_t>(e.kind), e.a}] += 1;
+        continue;
+      }
+      if (e.phase == Ph::kAsyncEnd) {
+        auto key = std::make_pair(static_cast<std::uint8_t>(e.kind), e.a);
+        auto it = open_async.find(key);
+        if (pd.dropped == 0 && (it == open_async.end() || it->second == 0)) {
+          return where(i) + ": async end of " + ev_name(e.kind) + " round " + std::to_string(e.a) +
+                 " with no matching begin";
+        }
+        if (it != open_async.end() && it->second > 0) it->second -= 1;
+        continue;
+      }
+      if (e.phase != Ph::kSpan) continue;
+      if (e.t1 < prev_t1) return where(i) + ": completion order not monotone";
+      prev_t1 = e.t1;
+      while (!frames.empty() && frames.back().t0 >= e.t0) {
+        if (frames.back().t1 > e.t1) {
+          return where(i) + ": child span extends past its parent (" + ev_name(e.kind) + ")";
+        }
+        frames.pop_back();
+      }
+      if (!frames.empty() && frames.back().t1 > e.t0) {
+        return where(i) + ": span partially overlaps an earlier sibling (" + ev_name(e.kind) + ")";
+      }
+      frames.push_back(Frame{e.t0, e.t1});
+    }
+  }
+  return "";
+}
+
+std::string render_breakdown(const BreakdownReport& rep) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line, "per-processor activity breakdown (%s, makespan %llu):\n",
+                rep.domain == ClockDomain::kVirtual ? "virtual units" : "wall ns",
+                static_cast<unsigned long long>(rep.makespan));
+  out += line;
+  out += "  proc    reduce%     comm%     hold%     idle%          busy\n";
+  double max_other_pct = 0.0;
+  for (std::size_t p = 0; p < rep.procs.size(); ++p) {
+    const ProcBreakdown& b = rep.procs[p];
+    double total = rep.makespan > 0 ? static_cast<double>(rep.makespan) : 1.0;
+    double reduce = 100.0 * static_cast<double>(b.reduce) / total;
+    // The unattributed residual is protocol-driving engine time; fold it
+    // into comm so the four columns partition the makespan.
+    double comm = 100.0 * static_cast<double>(b.comm + b.other) / total;
+    double hold = 100.0 * static_cast<double>(b.hold) / total;
+    double idle = 100.0 * static_cast<double>(b.idle) / total;
+    max_other_pct = std::max(max_other_pct, 100.0 * static_cast<double>(b.other) / total);
+    std::snprintf(line, sizeof line, "  %4zu  %8.2f  %8.2f  %8.2f  %8.2f  %12llu\n", p, reduce,
+                  comm, hold, idle, static_cast<unsigned long long>(b.busy()));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  load imbalance (max/mean busy): %.3f\n", rep.load_imbalance);
+  out += line;
+  double cp_pct = rep.makespan > 0
+                      ? 100.0 * static_cast<double>(rep.critical_path) /
+                            static_cast<double>(rep.makespan)
+                      : 0.0;
+  std::snprintf(line, sizeof line, "  critical-path estimate (busiest proc): %llu (%.1f%% of makespan)\n",
+                static_cast<unsigned long long>(rep.critical_path), cp_pct);
+  out += line;
+  std::snprintf(line, sizeof line, "  unattributed engine time (folded into comm%%): max %.2f%%\n",
+                max_other_pct);
+  out += line;
+  if (rep.dropped_events > 0) {
+    std::snprintf(line, sizeof line,
+                  "  WARNING: %llu events dropped (ring overflow) — breakdown is partial\n",
+                  static_cast<unsigned long long>(rep.dropped_events));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gbd

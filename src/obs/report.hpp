@@ -1,0 +1,81 @@
+// Trace analyzer — the paper's per-processor idle/utilization breakdown.
+//
+// Input is a TraceData (obs/tracer.hpp); output is, per processor, the
+// virtual (or wall) time split into the four buckets of the paper's
+// activity analysis:
+//
+//   reduce — useful algebra: task processing, s-polys, reduction, the
+//            under-lock augment work and freshen re-reductions (self-time:
+//            nested handler/wait spans are subtracted);
+//   comm   — serving the network (handler dispatch spans), waiting on
+//            protocol rounds (wait spans with WaitReason::kProtocol), and
+//            the residual unattributed engine time (steal/validate send
+//            circuits and loop bookkeeping — protocol-driving code that is
+//            not individually spanned);
+//   hold   — waiting on missing polynomial bodies (wait spans with
+//            WaitReason::kHold) plus the suspended/stalled resume scans;
+//   idle   — true idleness: wait spans with WaitReason::kIdle, steal-circuit
+//            backoff pauses, and the head/tail gaps before a processor's
+//            first event and after its last (the tail gap is the
+//            load-imbalance loss: the processor finished while the makespan
+//            clock kept running).
+//
+// The four buckets plus the (internally tracked, comm-folded) residual
+// partition [0, makespan] exactly, so the rendered percentages sum to 100.
+//
+// Self-time uses the completion-order invariant of the span ring (children
+// are recorded before their parents): scanning events in order, frames
+// contained in a new span are its direct children and their durations are
+// subtracted once. The same pass powers check_well_formed, which verifies
+// the stack discipline a trace claims (used by the chaos tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace gbd {
+
+struct ProcBreakdown {
+  std::uint64_t reduce = 0;
+  std::uint64_t comm = 0;  ///< handler + protocol-wait self-time (no residual)
+  std::uint64_t hold = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t other = 0;  ///< unattributed busy time; folded into comm when rendered
+
+  // Secondary per-proc facts for the report.
+  std::uint64_t spans = 0;         ///< sync spans analyzed
+  std::uint64_t holds_opened = 0;  ///< kHold async begins
+  std::uint64_t steals = 0;        ///< steal instants
+
+  std::uint64_t busy() const { return reduce + comm + hold + other; }
+};
+
+struct BreakdownReport {
+  ClockDomain domain = ClockDomain::kVirtual;
+  std::uint64_t makespan = 0;
+  std::vector<ProcBreakdown> procs;
+  /// max busy / mean busy over processors (1.0 = perfectly balanced).
+  double load_imbalance = 0.0;
+  /// Busy time of the busiest processor — an estimate of the schedule's
+  /// critical path; makespan minus this is that processor's idle loss.
+  std::uint64_t critical_path = 0;
+  std::uint64_t dropped_events = 0;  ///< ring overflow across processors
+};
+
+BreakdownReport analyze_trace(const TraceData& data);
+
+/// "" when every processor's sync spans obey the discipline (every open span
+/// closed, properly nested, no partial overlap, completion order monotone);
+/// otherwise a description of the first violation found.
+std::string check_well_formed(const TraceData& data);
+
+/// The paper-style table: one row per processor with % reduce / % comm /
+/// % hold / % idle (comm includes the unattributed residual; the footnote
+/// reports its maximum), plus makespan, load-imbalance ratio and the
+/// critical-path estimate.
+std::string render_breakdown(const BreakdownReport& report);
+
+}  // namespace gbd

@@ -1,0 +1,43 @@
+// RAII span helper binding the tracer to a Proc's clock.
+//
+// Constructing a TraceSpan opens a span stamped with the processor's
+// current time; destruction closes it. With no tracer attached (or with
+// GBD_DISABLE_TRACING) both ends reduce to one null test.
+//
+// Timestamp discipline: Proc::now() on the simulator drains the thread-local
+// CostCounter into the virtual clock, so never construct or destroy a
+// TraceSpan between a CostScope's construction and the last read of its
+// elapsed() — the drain would make the pending delta vanish. Placing the
+// span strictly outside the CostScope block (or after elapsed() is read)
+// is always safe; every call site in the engine follows that rule.
+#pragma once
+
+#include "machine/machine.hpp"
+#include "obs/tracer.hpp"
+
+namespace gbd {
+
+class TraceSpan {
+ public:
+  TraceSpan(Proc& p, Ev kind, std::uint64_t a = 0, std::uint64_t b = 0)
+      : t_(p.tracer()), p_(&p), kind_(kind) {
+    if (t_ != nullptr) t_->begin(kind, p.now(), a, b);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Recorded into the event's b field at close (e.g. reduction steps).
+  void result(std::uint64_t r) { result_ = r; }
+
+  ~TraceSpan() {
+    if (t_ != nullptr) t_->end(kind_, p_->now(), result_);
+  }
+
+ private:
+  ProcTracer* t_;
+  Proc* p_;
+  Ev kind_;
+  std::uint64_t result_ = 0;
+};
+
+}  // namespace gbd

@@ -1,0 +1,275 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+ProcTracer::ProcTracer(std::size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(cap_, 1024));
+  stack_.reserve(16);
+}
+
+void ProcTracer::push(const TraceEvent& e) {
+  if (ring_.size() < cap_) {
+    ring_.push_back(e);
+  } else {
+    // Ring semantics: overwrite the oldest. The analyzer warns when
+    // dropped() is nonzero — a truncated trace still renders but its
+    // breakdown covers only the surviving window.
+    ring_[next_] = e;
+  }
+  next_ = (next_ + 1) % cap_;
+  total_ += 1;
+}
+
+void ProcTracer::begin(Ev kind, std::uint64_t t, std::uint64_t a, std::uint64_t b) {
+  stack_.push_back(Open{kind, t, a, b});
+}
+
+void ProcTracer::end(Ev kind, std::uint64_t t, std::uint64_t result) {
+  GBD_CHECK_MSG(!stack_.empty(), "span end with no open span");
+  Open o = stack_.back();
+  stack_.pop_back();
+  GBD_CHECK_MSG(o.kind == kind, "span end does not match the innermost open span");
+  TraceEvent e;
+  e.t0 = o.t0;
+  e.t1 = t;
+  e.a = o.a;
+  e.b = result != 0 ? result : o.b;
+  e.kind = kind;
+  e.phase = Ph::kSpan;
+  push(e);
+}
+
+void ProcTracer::complete(Ev kind, std::uint64_t t0, std::uint64_t t1, std::uint64_t a,
+                          std::uint64_t b) {
+  push(TraceEvent{t0, t1, a, b, kind, Ph::kSpan});
+}
+
+void ProcTracer::instant(Ev kind, std::uint64_t t, std::uint64_t a, std::uint64_t b) {
+  push(TraceEvent{t, t, a, b, kind, Ph::kInstant});
+}
+
+void ProcTracer::async_begin(Ev kind, std::uint64_t t, std::uint64_t id, std::uint64_t b) {
+  push(TraceEvent{t, t, id, b, kind, Ph::kAsyncBegin});
+}
+
+void ProcTracer::async_end(Ev kind, std::uint64_t t, std::uint64_t id) {
+  push(TraceEvent{t, t, id, 0, kind, Ph::kAsyncEnd});
+}
+
+std::uint64_t ProcTracer::dropped() const { return total_ - ring_.size(); }
+
+std::vector<TraceEvent> ProcTracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+  } else {
+    // Unroll the ring: oldest surviving event sits at the write cursor.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+Tracer::Tracer(TracerConfig cfg) : cfg_(cfg) {}
+
+void Tracer::start_run(int nprocs, ClockDomain domain) {
+  procs_.clear();
+  for (int i = 0; i < nprocs; ++i) procs_.emplace_back(cfg_.ring_capacity);
+  domain_ = domain;
+  makespan_ = 0;
+}
+
+TraceData Tracer::data() const {
+  TraceData d;
+  d.domain = domain_;
+  d.makespan = makespan_;
+  for (const ProcTracer& p : procs_) {
+    TraceData::ProcData pd;
+    pd.events = p.events();
+    pd.dropped = p.dropped();
+    pd.open_spans = static_cast<std::uint32_t>(p.open_spans());
+    d.procs.push_back(std::move(pd));
+  }
+  return d;
+}
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x54444247;  // "GBDT"
+constexpr std::uint32_t kTraceVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> TraceData::encode() const {
+  Writer w;
+  w.u32(kTraceMagic);
+  w.u32(kTraceVersion);
+  w.u8(static_cast<std::uint8_t>(domain));
+  w.u64(makespan);
+  w.u32(static_cast<std::uint32_t>(procs.size()));
+  for (const ProcData& p : procs) {
+    w.u64(p.dropped);
+    w.u32(p.open_spans);
+    w.u64(p.events.size());
+    for (const TraceEvent& e : p.events) {
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.u8(static_cast<std::uint8_t>(e.phase));
+      w.u64(e.t0);
+      w.u64(e.t1);
+      w.u64(e.a);
+      w.u64(e.b);
+    }
+  }
+  return w.take();
+}
+
+TraceData TraceData::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  GBD_CHECK_MSG(r.u32() == kTraceMagic, "not a gbd trace file");
+  GBD_CHECK_MSG(r.u32() == kTraceVersion, "unsupported trace version");
+  TraceData d;
+  d.domain = static_cast<ClockDomain>(r.u8());
+  d.makespan = r.u64();
+  std::uint32_t nprocs = r.u32();
+  for (std::uint32_t i = 0; i < nprocs; ++i) {
+    ProcData p;
+    p.dropped = r.u64();
+    p.open_spans = r.u32();
+    std::uint64_t n = r.u64();
+    p.events.reserve(n);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      TraceEvent e;
+      e.kind = static_cast<Ev>(r.u8());
+      e.phase = static_cast<Ph>(r.u8());
+      e.t0 = r.u64();
+      e.t1 = r.u64();
+      e.a = r.u64();
+      e.b = r.u64();
+      p.events.push_back(e);
+    }
+    d.procs.push_back(std::move(p));
+  }
+  return d;
+}
+
+const char* ev_name(Ev kind) {
+  switch (kind) {
+    case Ev::kTask: return "task";
+    case Ev::kSpoly: return "spoly";
+    case Ev::kReduce: return "reduce";
+    case Ev::kFreshen: return "freshen";
+    case Ev::kAugment: return "augment";
+    case Ev::kResume: return "resume-scan";
+    case Ev::kWait: return "wait";
+    case Ev::kBackoff: return "backoff";
+    case Ev::kHandler: return "handler";
+    case Ev::kHold: return "hold";
+    case Ev::kStall: return "stall";
+    case Ev::kValidate: return "validate-round";
+    case Ev::kAddRound: return "add-round";
+    case Ev::kLockWait: return "lock-wait";
+    case Ev::kSteal: return "steal";
+    case Ev::kStealGrant: return "steal-grant";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Append a microsecond timestamp: virtual units 1:1, nanoseconds /1000 with
+/// three fractional digits (so nothing collapses to zero-length).
+void append_ts(std::string* out, std::uint64_t t, ClockDomain domain) {
+  if (domain == ClockDomain::kVirtual) {
+    out->append(std::to_string(t));
+    return;
+  }
+  out->append(std::to_string(t / 1000));
+  std::uint64_t frac = t % 1000;
+  out->push_back('.');
+  out->push_back(static_cast<char>('0' + frac / 100));
+  out->push_back(static_cast<char>('0' + frac / 10 % 10));
+  out->push_back(static_cast<char>('0' + frac % 10));
+}
+
+void append_common(std::string* out, int proc, const TraceEvent& e, ClockDomain domain) {
+  out->append("\"pid\":0,\"tid\":");
+  out->append(std::to_string(proc));
+  out->append(",\"ts\":");
+  append_ts(out, e.t0, domain);
+  out->append(",\"name\":\"");
+  out->append(ev_name(e.kind));
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string trace_to_perfetto_json(const TraceData& data) {
+  std::string out;
+  out.reserve(1u << 16);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  // Thread-name metadata gives each processor a labeled Perfetto track.
+  for (std::size_t p = 0; p < data.procs.size(); ++p) {
+    sep();
+    out.append("{\"ph\":\"M\",\"pid\":0,\"tid\":");
+    out.append(std::to_string(p));
+    out.append(",\"name\":\"thread_name\",\"args\":{\"name\":\"proc ");
+    out.append(std::to_string(p));
+    out.append("\"}}");
+  }
+  for (std::size_t p = 0; p < data.procs.size(); ++p) {
+    for (const TraceEvent& e : data.procs[p].events) {
+      sep();
+      switch (e.phase) {
+        case Ph::kSpan: {
+          out.append("{\"ph\":\"X\",");
+          append_common(&out, static_cast<int>(p), e, data.domain);
+          out.append(",\"cat\":\"engine\",\"dur\":");
+          append_ts(&out, e.t1 - e.t0, data.domain);
+          out.append(",\"args\":{\"a\":");
+          out.append(std::to_string(e.a));
+          out.append(",\"b\":");
+          out.append(std::to_string(e.b));
+          out.append("}}");
+          break;
+        }
+        case Ph::kAsyncBegin:
+        case Ph::kAsyncEnd: {
+          out.append(e.phase == Ph::kAsyncBegin ? "{\"ph\":\"b\"," : "{\"ph\":\"e\",");
+          append_common(&out, static_cast<int>(p), e, data.domain);
+          out.append(",\"cat\":\"round\",\"id\":\"");
+          // Disambiguate rounds across kinds and processors: Perfetto matches
+          // async begin/end on (cat, id).
+          out.append(std::to_string((static_cast<std::uint64_t>(p) << 48) ^
+                                    (static_cast<std::uint64_t>(e.kind) << 40) ^ e.a));
+          out.append("\"}");
+          break;
+        }
+        case Ph::kInstant: {
+          out.append("{\"ph\":\"i\",");
+          append_common(&out, static_cast<int>(p), e, data.domain);
+          out.append(",\"cat\":\"engine\",\"s\":\"t\",\"args\":{\"a\":");
+          out.append(std::to_string(e.a));
+          out.append("}}");
+          break;
+        }
+      }
+    }
+  }
+  out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock_domain\":\"");
+  out.append(data.domain == ClockDomain::kVirtual ? "virtual" : "steady_ns");
+  out.append("\",\"makespan\":");
+  out.append(std::to_string(data.makespan));
+  out.append("}}");
+  return out;
+}
+
+}  // namespace gbd

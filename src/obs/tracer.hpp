@@ -1,0 +1,198 @@
+// Per-processor event tracer — the observability substrate for the paper's
+// idle/utilization breakdown (its Figures 7-8 derive from per-processor
+// activity timelines, not single wall numbers).
+//
+// Design:
+//
+//   · Every logical processor records into its *own* ProcTracer: a fixed-
+//     capacity ring of completed events plus a small open-span stack. No
+//     locks anywhere on the hot path — a ProcTracer is touched only by the
+//     thread hosting that processor (both machine backends host each logical
+//     processor on its own OS thread), and the Tracer that owns the rings is
+//     read only after Machine::run has joined every worker.
+//
+//   · Timestamps come from Proc::now(): virtual work units on SimMachine,
+//     steady-clock nanoseconds since run start on ThreadMachine. The clock
+//     domain is recorded in the trace so consumers scale correctly.
+//     CAUTION: on the simulator now() drains the thread-local CostCounter
+//     into the virtual clock, so a span boundary must never be taken while
+//     an enclosing CostScope still has an unread elapsed() — every
+//     instrumentation site in the engine takes its timestamps outside (or
+//     after the last read of) any CostScope.
+//
+//   · Three event shapes. *Spans* (begin/end) follow strict LIFO stack
+//     discipline per processor and record exclusive-time breakdowns; the
+//     completed event is written at end(), so the ring holds events in
+//     completion order (children before parents — what the analyzer's
+//     self-time pass expects). *Async* spans (begin/end matched by id) model
+//     split-phase protocol rounds — holds, validate/add rounds, lock waits —
+//     which overlap arbitrary other work and therefore cannot live on the
+//     stack. *Instants* are point markers (steal attempts).
+//
+//   · Runtime-off by default: tracing is enabled by attaching a Tracer to
+//     the Machine; with none attached every emission site is a single
+//     null-pointer test. Compile-out: configure with -DGBD_DISABLE_TRACING=ON
+//     and Proc::tracer() becomes a constant nullptr, letting the compiler
+//     delete the sites entirely.
+//
+// The binary encoding (encode/decode) is a deterministic function of the
+// recorded events, so two identical simulator runs produce byte-identical
+// traces — asserted by obs_test. Chrome/Perfetto trace_event JSON export
+// lives here too; the breakdown analyzer is in obs/report.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbd {
+
+/// Event kinds. Values are part of the serialized format; append only.
+enum class Ev : std::uint8_t {
+  // Spans (stack discipline per processor).
+  kTask = 1,      ///< pair-task processing; a,b = the pair's polynomial ids
+  kSpoly = 2,     ///< s-polynomial construction
+  kReduce = 3,    ///< reduction against the local replica; b = steps performed
+  kFreshen = 4,   ///< re-reduction of queued reducts while waiting for the lock
+  kAugment = 5,   ///< under-lock augment work / add completion (pair creation)
+  kResume = 6,    ///< suspended/stalled resume scan
+  kWait = 7,      ///< blocked in wait(); a = WaitReason
+  kBackoff = 8,   ///< idle-throttle pause in the steal circuit
+  kHandler = 9,   ///< message handler dispatch; a = handler id, b = source proc
+  // Async spans (begin/end matched by `a` as round id; overlap other work).
+  kHold = 10,      ///< pair suspended on missing bodies; b = packed (a,b) hint
+  kStall = 11,     ///< reduct stalled on a shadowed (en-route) reducer
+  kValidate = 12,  ///< validation round open -> shadow set empty; b = shadow size
+  kAddRound = 13,  ///< AddToSet broadcast -> all acks in; b = ids in the round
+  kLockWait = 14,  ///< lock request -> grant
+  // Instants.
+  kSteal = 15,       ///< steal request sent; a = victim
+  kStealGrant = 16,  ///< grant received; a = tasks carried (0 = NACK)
+};
+
+/// Why a processor entered wait() (the `a` argument of a kWait span).
+enum class WaitReason : std::uint64_t {
+  kIdle = 0,      ///< no local work of any kind — true idleness
+  kHold = 1,      ///< suspended/stalled pairs exist — waiting on bodies
+  kProtocol = 2,  ///< augment round in flight — waiting on acks/lock/transfers
+};
+
+enum class Ph : std::uint8_t {
+  kSpan = 0,
+  kAsyncBegin = 1,
+  kAsyncEnd = 2,
+  kInstant = 3,
+};
+
+/// Timestamp domain of a trace.
+enum class ClockDomain : std::uint8_t {
+  kVirtual = 0,   ///< simulator work units
+  kSteadyNs = 1,  ///< steady-clock nanoseconds since run start
+};
+
+struct TraceEvent {
+  std::uint64_t t0 = 0;  ///< start (== t1 for instants and async endpoints)
+  std::uint64_t t1 = 0;
+  std::uint64_t a = 0;  ///< kind-specific; async round id
+  std::uint64_t b = 0;  ///< kind-specific; spans: begin's b unless end() supplied one
+  Ev kind{};
+  Ph phase{};
+};
+
+/// One processor's event sink. Touched only by the owning proc's thread.
+class ProcTracer {
+ public:
+  explicit ProcTracer(std::size_t capacity = 1u << 15);
+
+  /// Open a span. Must be closed by end() with the same kind (LIFO).
+  void begin(Ev kind, std::uint64_t t, std::uint64_t a = 0, std::uint64_t b = 0);
+  /// Close the innermost span; `result`, when nonzero, replaces the b field.
+  void end(Ev kind, std::uint64_t t, std::uint64_t result = 0);
+  /// Emit an already-delimited leaf span (machine dispatch uses this).
+  void complete(Ev kind, std::uint64_t t0, std::uint64_t t1, std::uint64_t a = 0,
+                std::uint64_t b = 0);
+  void instant(Ev kind, std::uint64_t t, std::uint64_t a = 0, std::uint64_t b = 0);
+  void async_begin(Ev kind, std::uint64_t t, std::uint64_t id, std::uint64_t b = 0);
+  void async_end(Ev kind, std::uint64_t t, std::uint64_t id);
+
+  std::uint64_t recorded() const { return total_; }
+  std::uint64_t dropped() const;
+  std::size_t open_spans() const { return stack_.size(); }
+
+  /// Ring contents in recording (completion) order, oldest surviving first.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  void push(const TraceEvent& e);
+
+  struct Open {
+    Ev kind;
+    std::uint64_t t0, a, b;
+  };
+
+  std::vector<TraceEvent> ring_;
+  std::size_t cap_;
+  std::size_t next_ = 0;    ///< ring write cursor
+  std::uint64_t total_ = 0; ///< events ever recorded
+  std::vector<Open> stack_;
+};
+
+/// Plain-data view of a finished trace — what the exporters and the analyzer
+/// consume, and what decode() reconstructs from bytes.
+struct TraceData {
+  struct ProcData {
+    std::vector<TraceEvent> events;  ///< completion order
+    std::uint64_t dropped = 0;
+    std::uint32_t open_spans = 0;  ///< spans never closed (0 in a well-formed trace)
+  };
+
+  ClockDomain domain = ClockDomain::kVirtual;
+  std::uint64_t makespan = 0;
+  std::vector<ProcData> procs;
+
+  std::vector<std::uint8_t> encode() const;
+  static TraceData decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct TracerConfig {
+  std::size_t ring_capacity = 1u << 15;  ///< completed events kept per processor
+};
+
+/// Whole-machine trace: one ProcTracer per processor. Attach via
+/// Machine::set_tracer before run(); the machine resets it at run start and
+/// stamps the makespan at run end. Must outlive the run.
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig cfg = {});
+
+  /// Called by the machine at run start.
+  void start_run(int nprocs, ClockDomain domain);
+  /// Called by the machine at run end.
+  void finish_run(std::uint64_t makespan) { makespan_ = makespan; }
+
+  ProcTracer& at(int proc) { return procs_[static_cast<std::size_t>(proc)]; }
+  const ProcTracer& at(int proc) const { return procs_[static_cast<std::size_t>(proc)]; }
+  int nprocs() const { return static_cast<int>(procs_.size()); }
+  ClockDomain domain() const { return domain_; }
+  std::uint64_t makespan() const { return makespan_; }
+
+  /// Snapshot into the plain-data form (call after the run has joined).
+  TraceData data() const;
+
+ private:
+  TracerConfig cfg_;
+  std::vector<ProcTracer> procs_;
+  ClockDomain domain_ = ClockDomain::kVirtual;
+  std::uint64_t makespan_ = 0;
+};
+
+/// Human-readable name of an event kind (Perfetto track labels, reports).
+const char* ev_name(Ev kind);
+
+/// Chrome/Perfetto trace_event JSON: {"traceEvents":[...],...}. Spans become
+/// "X" complete events, async rounds "b"/"e" pairs, instants "i". Timestamps
+/// are microseconds as the format requires: virtual units map 1:1 (one unit
+/// := 1us), steady nanoseconds are divided by 1000 with 3 fractional digits.
+std::string trace_to_perfetto_json(const TraceData& data);
+
+}  // namespace gbd

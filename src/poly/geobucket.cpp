@@ -17,6 +17,13 @@ constexpr std::size_t kNormalizeBits = 512;
 
 }  // namespace
 
+GeobucketStats& geobucket_stats() {
+  thread_local GeobucketStats stats;
+  return stats;
+}
+
+void reset_geobucket_stats() { geobucket_stats() = GeobucketStats{}; }
+
 Geobucket::Geobucket(const PolyContext& ctx, Polynomial p) : ctx_(&ctx) {
   if (p.is_zero()) return;
   std::vector<Term> terms(p.terms().begin(), p.terms().end());
@@ -143,6 +150,7 @@ void Geobucket::retire_lead() {
 void Geobucket::axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m,
                      const Polynomial& p) {
   GBD_DCHECK(!scale.is_zero() && !coeff.is_zero());
+  geobucket_stats().axpys += 1;
   lead_valid_ = false;
   if (!scale.is_one()) {
     for (Bucket& b : buckets_) {
@@ -192,6 +200,7 @@ std::vector<Term> Geobucket::drain_buckets() {
 
 void Geobucket::normalize() {
   normalizations_ += 1;
+  geobucket_stats().normalizations += 1;
   settle_done();
   std::vector<Term> rest = drain_buckets();
   std::size_t ndone = done_.size();
@@ -216,6 +225,7 @@ void Geobucket::normalize() {
 }
 
 Polynomial Geobucket::extract() {
+  geobucket_stats().extracts += 1;
   lead_valid_ = false;
   settle_done();
   std::vector<Term> rest = drain_buckets();

@@ -46,6 +46,19 @@
 
 namespace gbd {
 
+/// Thread-local geobucket activity counters, mirroring FindReducerStats:
+/// both machine backends host each logical processor on its own OS thread,
+/// so a worker's deltas are that processor's counts. Windowed per run by the
+/// metrics registry (obs/metrics.hpp).
+struct GeobucketStats {
+  std::uint64_t axpys = 0;
+  std::uint64_t extracts = 0;
+  std::uint64_t normalizations = 0;
+};
+
+GeobucketStats& geobucket_stats();
+void reset_geobucket_stats();
+
 class Geobucket {
  public:
   /// Start accumulating with the terms of p (consumed).

@@ -1,5 +1,6 @@
 #include "taskq/taskq.hpp"
 
+#include "obs/span.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
@@ -114,10 +115,14 @@ DistTaskQueue::Dequeue DistTaskQueue::try_dequeue(std::vector<std::uint8_t>* pay
       consecutive_empty_grants_ = 0;
       // backoff == charge on the simulator (identical schedules); on real
       // threads it is a timed sleep that new traffic cuts short.
+      TraceSpan span(self_, Ev::kBackoff, cfg_.steal_backoff);
       self_.backoff(cfg_.steal_backoff);
     }
     steal_outstanding_ = true;
     stats_.steals_sent += 1;
+    if (ProcTracer* t = self_.tracer()) {
+      t->instant(Ev::kSteal, self_.now(), static_cast<std::uint64_t>(next_victim_));
+    }
     self_.send(next_victim_, kTqSteal, {});
     next_victim_ = (next_victim_ + 1) % self_.nprocs();
     if (next_victim_ == self_.id()) next_victim_ = (next_victim_ + 1) % self_.nprocs();
@@ -138,6 +143,7 @@ void DistTaskQueue::on_steal(int src) {
 void DistTaskQueue::on_grant(int, Reader& r) {
   steal_outstanding_ = false;
   std::uint64_t n = r.u64();
+  if (ProcTracer* t = self_.tracer()) t->instant(Ev::kStealGrant, self_.now(), n);
   if (n == 0) {
     consecutive_empty_grants_ += 1;
     return;

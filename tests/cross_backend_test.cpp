@@ -11,6 +11,7 @@
 #include "gb/parallel.hpp"
 #include "gb/sequential.hpp"
 #include "gb/verify.hpp"
+#include "obs/metrics.hpp"
 #include "poly/reduce.hpp"
 #include "problems/problems.hpp"
 
@@ -99,6 +100,46 @@ TEST(CrossBackendTest, ThreadMachineSurfacesMailboxStats) {
   EXPECT_EQ(enqueues, sent);
   EXPECT_LE(drained, enqueues);
   EXPECT_GT(drained, 0u);
+}
+
+TEST(CrossBackendTest, MetricsSnapshotsHaveIdenticalShape) {
+  // The unified registry is the cross-backend reporting surface: both
+  // machines must yield the exact same set of series names, each with one
+  // slot per processor — including mailbox.*, which required the simulator
+  // to start populating MachineStats::mailbox (PR 4 satellite).
+  PolySystem sys = load_problem("katsura4");
+  ParallelConfig cfg;
+  cfg.nprocs = 4;
+  MetricsRegistry sim_reg(cfg.nprocs);
+  MetricsRegistry thr_reg(cfg.nprocs);
+  cfg.metrics = &sim_reg;
+  ParallelResult sim = groebner_parallel(sys, cfg);
+  cfg.metrics = &thr_reg;
+  ParallelResult thr = groebner_parallel_threads(sys, cfg);
+  ASSERT_TRUE(sim.machine.has_mailbox_stats);
+  ASSERT_TRUE(thr.machine.has_mailbox_stats);
+  ASSERT_EQ(sim.machine.mailbox.size(), 4u);
+
+  MetricsSnapshot a = sim_reg.snapshot();
+  MetricsSnapshot b = thr_reg.snapshot();
+  std::vector<std::string> a_names, b_names;
+  for (const auto& [name, vals] : a.series) {
+    a_names.push_back(name);
+    EXPECT_EQ(vals.size(), 4u) << name;
+  }
+  for (const auto& [name, vals] : b.series) {
+    b_names.push_back(name);
+    EXPECT_EQ(vals.size(), 4u) << name;
+  }
+  EXPECT_EQ(a_names, b_names);
+  EXPECT_NE(a.find("mailbox.enqueues"), nullptr);
+  // Schedule-independent identities hold on both backends through the
+  // registry as well.
+  for (const MetricsSnapshot* s : {&a, &b}) {
+    EXPECT_EQ(s->total("gb.spolys_computed"),
+              s->total("gb.reductions_to_zero") + s->total("gb.basis_added"));
+    EXPECT_EQ(s->total("comm.messages_sent"), s->total("mailbox.enqueues"));
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "io/parse.hpp"
 #include "machine/sim_machine.hpp"
 #include "poly/divmask.hpp"
+#include "poly/geobucket.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
 #include "problems/problems.hpp"
@@ -52,6 +53,25 @@ const Polynomial* linear_scan(const std::vector<Polynomial>& polys, const Monomi
   return best;
 }
 
+/// find_reducer counter deltas across one reduce_full call (thread-local
+/// stats windowed the same way obs/metrics.hpp does per worker).
+struct ProbeDelta {
+  std::uint64_t calls, probes, mask_rejects, divides_calls;
+  bool operator==(const ProbeDelta&) const = default;
+};
+
+ReduceOutcome windowed_reduce(const PolyContext& ctx, const Polynomial& p,
+                              const VectorReducerSet& set, const ReduceOptions& opt,
+                              ProbeDelta* delta) {
+  FindReducerStats before = find_reducer_stats();
+  ReduceOutcome out = reduce_full(ctx, p, set, opt);
+  FindReducerStats after = find_reducer_stats();
+  *delta = ProbeDelta{after.calls - before.calls, after.probes - before.probes,
+                      after.mask_rejects - before.mask_rejects,
+                      after.divides_calls - before.divides_calls};
+  return out;
+}
+
 void expect_both_paths_agree(const PolyContext& ctx, const Polynomial& p,
                              const std::vector<Polynomial>& basis, bool tail) {
   VectorReducerSet set(&basis);
@@ -61,11 +81,23 @@ void expect_both_paths_agree(const PolyContext& ctx, const Polynomial& p,
   geo.max_steps = 200000;
   ReduceOptions naive = geo;
   naive.use_geobuckets = false;
-  ReduceOutcome a = reduce_full(ctx, p, set, geo);
-  ReduceOutcome b = reduce_full(ctx, p, set, naive);
+  ProbeDelta da{}, db{};
+  GeobucketStats gb_before = geobucket_stats();
+  ReduceOutcome a = windowed_reduce(ctx, p, set, geo, &da);
+  std::uint64_t geo_axpys = geobucket_stats().axpys - gb_before.axpys;
+  ReduceOutcome b = windowed_reduce(ctx, p, set, naive, &db);
   EXPECT_TRUE(a.poly.equals(b.poly))
       << "geobucket: " << a.poly.to_string(ctx) << "\nnaive:     " << b.poly.to_string(ctx);
   EXPECT_EQ(a.steps, b.steps);
+  // Both paths walk the identical sequence of leading monomials, so the
+  // reducer-lookup work — probes, divmask rejects, full divides — must be
+  // bit-identical, not merely similar. The geobucket changes *how* the
+  // accumulation is represented, never *what* is looked up.
+  EXPECT_EQ(da, db) << "find_reducer probe/reject counts diverged between paths";
+  // And only the geobucket path touches geobucket machinery.
+  if (a.steps > 0) EXPECT_GT(geo_axpys, 0u);
+  EXPECT_EQ(geobucket_stats().axpys - gb_before.axpys, geo_axpys)
+      << "naive path must not perform geobucket axpys";
 }
 
 class GeobucketDiffTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,0 +1,185 @@
+// trace_report — run a built-in problem under the event tracer and print the
+// paper's per-processor utilization breakdown (% reduce / % comm / % hold /
+// % idle), or re-analyze a previously saved binary trace.
+//
+// Run mode (default):
+//   trace_report [--problem NAME] [--procs N] [--threads] [--seed S]
+//                [--chaos SEED] [--reserve] [--ring CAP]
+//                [--perfetto FILE] [--metrics FILE] [--save FILE]
+//
+//   Runs GL-P on the simulator (or, with --threads, on real OS threads) with
+//   a tracer and a metrics registry attached, prints the breakdown table to
+//   stdout, and optionally writes:
+//     --perfetto FILE   Chrome/Perfetto trace_event JSON (open in ui.perfetto.dev)
+//     --metrics  FILE   unified metrics snapshot JSON
+//     --save     FILE   the raw binary trace, reloadable with --load
+//
+// Load mode:
+//   trace_report --load FILE [--perfetto FILE]
+//
+//   Decodes a saved trace and prints the same report without re-running.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gb/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
+#include "problems/problems.hpp"
+
+using namespace gbd;
+
+namespace {
+
+struct Options {
+  std::string problem = "trinks1";
+  int procs = 4;
+  bool threads = false;
+  std::uint64_t seed = 1;
+  std::uint64_t chaos_seed = 0;
+  bool reserve = false;
+  std::size_t ring = 1u << 15;
+  std::string perfetto_path;
+  std::string metrics_path;
+  std::string save_path;
+  std::string load_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--problem NAME] [--procs N] [--threads] [--seed S]\n"
+               "          [--chaos SEED] [--reserve] [--ring CAP]\n"
+               "          [--perfetto FILE] [--metrics FILE] [--save FILE]\n"
+               "       %s --load FILE [--perfetto FILE]\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--problem") == 0) {
+      opt.problem = value(i);
+    } else if (std::strcmp(a, "--procs") == 0) {
+      opt.procs = std::atoi(value(i));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      opt.threads = true;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      opt.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(a, "--chaos") == 0) {
+      opt.chaos_seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(a, "--reserve") == 0) {
+      opt.reserve = true;
+    } else if (std::strcmp(a, "--ring") == 0) {
+      opt.ring = static_cast<std::size_t>(std::strtoull(value(i), nullptr, 10));
+    } else if (std::strcmp(a, "--perfetto") == 0) {
+      opt.perfetto_path = value(i);
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.metrics_path = value(i);
+    } else if (std::strcmp(a, "--save") == 0) {
+      opt.save_path = value(i);
+    } else if (std::strcmp(a, "--load") == 0) {
+      opt.load_path = value(i);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.procs < 1) usage(argv[0]);
+  return opt;
+}
+
+bool write_file(const std::string& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  return static_cast<bool>(out);
+}
+
+int report(const TraceData& data, const Options& opt) {
+  std::string violation = check_well_formed(data);
+  if (!violation.empty()) {
+    std::fprintf(stderr, "warning: trace is not well-formed: %s\n", violation.c_str());
+  }
+  BreakdownReport br = analyze_trace(data);
+  std::fputs(render_breakdown(br).c_str(), stdout);
+  if (!opt.perfetto_path.empty()) {
+    std::string json = trace_to_perfetto_json(data);
+    if (!write_file(opt.perfetto_path, json.data(), json.size())) return 1;
+    std::printf("\nperfetto trace written to %s\n", opt.perfetto_path.c_str());
+  }
+  if (!opt.save_path.empty()) {
+    std::vector<std::uint8_t> bytes = data.encode();
+    if (!write_file(opt.save_path, bytes.data(), bytes.size())) return 1;
+    std::printf("binary trace written to %s (%zu bytes)\n", opt.save_path.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_args(argc, argv);
+
+  if (!opt.load_path.empty()) {
+    std::ifstream in(opt.load_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", opt.load_path.c_str());
+      return 1;
+    }
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    return report(TraceData::decode(bytes), opt);
+  }
+
+  if (!has_problem(opt.problem)) {
+    std::fprintf(stderr, "error: unknown problem '%s'\n", opt.problem.c_str());
+    return 1;
+  }
+  PolySystem sys = load_problem(opt.problem);
+
+  Tracer tracer(TracerConfig{opt.ring});
+  MetricsRegistry metrics(opt.procs);
+  ParallelConfig cfg;
+  cfg.nprocs = opt.procs;
+  cfg.seed = opt.seed;
+  cfg.reserve_coordinator = opt.reserve;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  if (opt.chaos_seed != 0) {
+    cfg.chaos.seed = opt.chaos_seed;
+    cfg.chaos.jitter = 40;
+    cfg.chaos.reorder_permille = 100;
+    cfg.chaos.reorder_window = 200;
+  }
+
+  ParallelResult res =
+      opt.threads ? groebner_parallel_threads(sys, cfg) : groebner_parallel(sys, cfg);
+
+  std::printf("%s  P=%d  backend=%s  seed=%llu  basis=%zu  makespan=%llu%s\n\n",
+              opt.problem.c_str(), opt.procs, opt.threads ? "threads" : "sim",
+              static_cast<unsigned long long>(opt.seed), res.basis_ids.size(),
+              static_cast<unsigned long long>(res.machine.makespan),
+              opt.threads ? " ns" : " units");
+
+  int rc = report(tracer.data(), opt);
+  if (rc != 0) return rc;
+
+  if (!opt.metrics_path.empty()) {
+    std::string json = metrics.snapshot().to_json();
+    if (!write_file(opt.metrics_path, json.data(), json.size())) return 1;
+    std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+  }
+  return 0;
+}

@@ -1016,4 +1016,10 @@ ParallelResult groebner_parallel_threads(const PolySystem& sys, const ParallelCo
   return run_on_machine(machine, /*sim=*/false, sys, cfg);
 }
 
+ParallelResult groebner_parallel_machine(Machine& machine, const PolySystem& sys,
+                                         const ParallelConfig& cfg) {
+  GBD_CHECK_MSG(machine.nprocs() == cfg.nprocs, "cfg.nprocs must match the machine");
+  return run_on_machine(machine, /*sim=*/false, sys, cfg);
+}
+
 }  // namespace gbd

@@ -122,4 +122,15 @@ ParallelResult groebner_parallel(const PolySystem& sys, const ParallelConfig& cf
 /// fields of the result are wall-clock and not comparable to virtual units).
 ParallelResult groebner_parallel_threads(const PolySystem& sys, const ParallelConfig& cfg);
 
+class Machine;  // machine/machine.hpp
+
+/// Run GL-P on a caller-supplied real-time Machine backend (ThreadMachine,
+/// SocketMachine, ...). cfg.nprocs must equal machine.nprocs(). On a
+/// machine that hosts only a subset of the logical processors in this
+/// process (SocketMachine hosts exactly one), the result is *partial*: only
+/// the locally hosted ranks contribute per_proc/basis entries — use
+/// net/net_engine.hpp to merge a full result across processes.
+ParallelResult groebner_parallel_machine(Machine& machine, const PolySystem& sys,
+                                         const ParallelConfig& cfg);
+
 }  // namespace gbd

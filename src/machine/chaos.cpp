@@ -57,6 +57,10 @@ std::string ChaosConfig::encode() const {
   if (starve_permille) append_kv(&s, "sp", starve_permille);
   if (starve_factor != 1) append_kv(&s, "sf", starve_factor);
   if (fault_drop_invalidate_permille) append_kv(&s, "fdi", fault_drop_invalidate_permille);
+  if (net_drop_permille) append_kv(&s, "ndp", net_drop_permille);
+  if (net_dup_permille) append_kv(&s, "nup", net_dup_permille);
+  if (net_delay_permille) append_kv(&s, "nlp", net_delay_permille);
+  if (net_delay_ms) append_kv(&s, "nlm", net_delay_ms);
   return s;
 }
 
@@ -90,6 +94,14 @@ ChaosConfig ChaosConfig::decode(const std::string& s) {
       c.starve_factor = static_cast<std::uint32_t>(parse_u64(val));
     } else if (key == "fdi") {
       c.fault_drop_invalidate_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "ndp") {
+      c.net_drop_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "nup") {
+      c.net_dup_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "nlp") {
+      c.net_delay_permille = static_cast<std::uint32_t>(parse_u64(val));
+    } else if (key == "nlm") {
+      c.net_delay_ms = static_cast<std::uint32_t>(parse_u64(val));
     } else {
       GBD_CHECK_MSG(false, "unknown chaos replay key");
     }
@@ -124,6 +136,33 @@ ChaosConfig ChaosConfig::intensity(int level, std::uint64_t seed) {
       c.dup_permille = 250;
       c.starve_permille = 333;
       c.starve_factor = 8;
+      break;
+  }
+  return c;
+}
+
+ChaosConfig ChaosConfig::net_intensity(int level, std::uint64_t seed) {
+  ChaosConfig c;
+  c.seed = seed;
+  switch (level) {
+    case 0:
+      break;
+    case 1:
+      c.net_drop_permille = 20;
+      c.net_dup_permille = 20;
+      break;
+    case 2:
+      c.net_drop_permille = 50;
+      c.net_dup_permille = 50;
+      c.net_delay_permille = 100;
+      c.net_delay_ms = 5;
+      break;
+    default:
+      GBD_CHECK_MSG(level == 3, "net chaos intensity must be 0..3");
+      c.net_drop_permille = 150;
+      c.net_dup_permille = 150;
+      c.net_delay_permille = 250;
+      c.net_delay_ms = 20;
       break;
   }
   return c;

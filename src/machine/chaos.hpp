@@ -30,6 +30,15 @@
 //               A healthy harness must catch this via the replica-coherence
 //               invariant; it is never enabled outside such tests.
 //
+// A second family of knobs (net_*) targets the SocketMachine transport
+// (src/net/): they perturb *frames on the wire* rather than the simulator's
+// schedule. Dropped frames are recovered by the transport's retransmit
+// layer, duplicates are deduplicated by sequence number, and delays create
+// genuine reordering the receiver must repair — so enabling them must never
+// change the computed answer, only exercise the recovery machinery. Every
+// decision is a pure function of (seed, destination, frame sequence number),
+// keyed by the same seed as the schedule-level knobs.
+//
 // A config round-trips through a compact replay string (encode/decode) so a
 // failing fuzz case can be reported as one line and re-run exactly.
 #pragma once
@@ -76,11 +85,24 @@ struct ChaosConfig {
   /// acknowledges an INVALIDATE without applying it.
   std::uint32_t fault_drop_invalidate_permille = 0;
 
+  // Transport-level faults (SocketMachine only; no-ops on the in-process
+  // backends). Applied per application frame at the sender.
+  std::uint32_t net_drop_permille = 0;   ///< frame "lost" on first send; retransmit recovers
+  std::uint32_t net_dup_permille = 0;    ///< frame written twice; receiver dedups by seq
+  std::uint32_t net_delay_permille = 0;  ///< frame held net_delay_ms before the write
+  std::uint32_t net_delay_ms = 0;
+
   bool schedule_chaos() const {
     return jitter != 0 || reorder_permille != 0 || dup_permille != 0 ||
            (starve_permille != 0 && starve_factor > 1);
   }
-  bool enabled() const { return schedule_chaos() || fault_drop_invalidate_permille != 0; }
+  bool net_chaos() const {
+    return net_drop_permille != 0 || net_dup_permille != 0 ||
+           (net_delay_permille != 0 && net_delay_ms != 0);
+  }
+  bool enabled() const {
+    return schedule_chaos() || net_chaos() || fault_drop_invalidate_permille != 0;
+  }
 
   bool dup_allowed(HandlerId h) const {
     for (HandlerId s : dup_safe) {
@@ -107,6 +129,12 @@ struct ChaosConfig {
   /// starvation, 3 = heavy everything. dup_safe stays empty — the engine
   /// fills in its idempotent handler set.
   static ChaosConfig intensity(int level, std::uint64_t seed);
+
+  /// Transport-fault presets for SocketMachine runs: 0 = off, 1 = default
+  /// (mild drop + dup), 2 = drop + dup + delay, 3 = heavy everything. The
+  /// schedule-level knobs are left untouched (they have no effect on the
+  /// socket backend anyway).
+  static ChaosConfig net_intensity(int level, std::uint64_t seed);
 
   bool operator==(const ChaosConfig&) const = default;
 };

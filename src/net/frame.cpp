@@ -1,0 +1,134 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace gbd {
+
+namespace {
+
+/// Lazily built 256-entry table for the reflected IEEE polynomial.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+void put_u16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t n, std::uint32_t seed) {
+  const std::uint32_t* t = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kReady: return "ready";
+    case FrameType::kGo: return "go";
+    case FrameType::kApp: return "app";
+    case FrameType::kAck: return "ack";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kIdle: return "idle";
+    case FrameType::kProbe: return "probe";
+    case FrameType::kProbeAck: return "probe-ack";
+    case FrameType::kQuiescent: return "quiescent";
+    case FrameType::kExitStats: return "exit-stats";
+    case FrameType::kExitAck: return "exit-ack";
+    case FrameType::kGather: return "gather";
+    case FrameType::kGatherAck: return "gather-ack";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out(kFrameHeaderSize + f.payload.size());
+  std::uint8_t* h = out.data();
+  put_u32(h + 0, kFrameMagic);
+  h[4] = kFrameVersion;
+  h[5] = static_cast<std::uint8_t>(f.type);
+  put_u16(h + 6, 0);
+  put_u32(h + 8, f.src);
+  put_u32(h + 12, f.handler);
+  put_u64(h + 16, f.seq);
+  put_u32(h + 24, static_cast<std::uint32_t>(f.payload.size()));
+  if (!f.payload.empty()) {
+    std::memcpy(h + kFrameHeaderSize, f.payload.data(), f.payload.size());
+  }
+  std::uint32_t crc = crc32_ieee(h, 28);
+  crc = crc32_ieee(f.payload.data(), f.payload.size(), crc);
+  put_u32(h + 28, crc);
+  return out;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame* out) {
+  if (!error_.empty()) return Status::kError;
+  // Compact the consumed prefix once it dominates the buffer, so a long
+  // stream doesn't grow the vector without bound.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderSize) return Status::kNeedMore;
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (get_u32(h) != kFrameMagic) return fail("bad frame magic (not a GBDF stream)");
+  if (h[4] != kFrameVersion) {
+    return fail("unsupported frame version " + std::to_string(int(h[4])) + " (expected " +
+                std::to_string(int(kFrameVersion)) + ")");
+  }
+  if (h[5] == 0 || h[5] > kMaxFrameType) {
+    return fail("unknown frame type " + std::to_string(int(h[5])));
+  }
+  if (get_u16(h + 6) != 0) return fail("nonzero reserved flags");
+  std::uint32_t len = get_u32(h + 24);
+  if (len > max_payload_) {
+    return fail("frame payload length " + std::to_string(len) + " exceeds limit " +
+                std::to_string(max_payload_));
+  }
+  if (buf_.size() - pos_ < kFrameHeaderSize + len) return Status::kNeedMore;
+  std::uint32_t crc = crc32_ieee(h, 28);
+  crc = crc32_ieee(h + kFrameHeaderSize, len, crc);
+  if (crc != get_u32(h + 28)) {
+    return fail("frame CRC mismatch (type " + std::string(frame_type_name(FrameType(h[5]))) +
+                ", " + std::to_string(len) + " payload bytes)");
+  }
+  out->type = static_cast<FrameType>(h[5]);
+  out->src = get_u32(h + 8);
+  out->handler = get_u32(h + 12);
+  out->seq = get_u64(h + 16);
+  out->payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + len);
+  pos_ += kFrameHeaderSize + len;
+  return Status::kFrame;
+}
+
+}  // namespace gbd

@@ -1,0 +1,117 @@
+// Length-prefixed frame codec for the SocketMachine wire protocol.
+//
+// Everything crossing a TCP connection between two ranks is a frame: a
+// fixed 32-byte header followed by `payload_len` payload bytes. The header
+// carries a magic/version pair (so a stray connection or a skewed build is
+// rejected immediately, not misparsed), the frame type, the sender's rank,
+// the application handler id (kApp frames only), a per-channel sequence
+// number (the transport's retransmit/dedup layer keys on it), and a CRC32
+// over the header and payload so a corrupted frame is *diagnosed*, never
+// dispatched. Application payloads are the exact envelope bytes the engine
+// already marshals through Writer/Reader — including the PR-3 batch
+// envelopes (kBaInvBatch/kBaFetchBatch/kBaBodyBatch) — so the codec is
+// oblivious to message schemas and needs no per-type code.
+//
+// Layout (all integers little-endian, matching support/serialize.hpp):
+//
+//   off  size  field
+//   0    4     magic "GBDF"
+//   4    1     version (kFrameVersion)
+//   5    1     type (FrameType)
+//   6    2     flags (reserved, must be 0)
+//   8    4     src rank
+//   12   4     handler id (kApp) / 0
+//   16   8     sequence number (kApp reliability channel) / 0
+//   24   4     payload length
+//   28   4     CRC32 of header bytes [0,28) ++ payload
+//   32   …     payload
+//
+// FrameDecoder is incremental: feed() raw TCP bytes in any chunking, next()
+// yields complete frames. A malformed header or CRC mismatch is a terminal
+// decode error with a human-readable diagnostic — the transport reports it
+// and drops the connection; it never aborts the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbd {
+
+constexpr std::uint32_t kFrameMagic = 0x46444247;  // "GBDF" little-endian
+constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::size_t kFrameHeaderSize = 32;
+
+/// Wire frame types. Values are part of the protocol; append only.
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< first frame on a connection: identifies the sender's rank
+  kReady = 2,      ///< registration barrier: rank -> 0, "my handlers are registered"
+  kGo = 3,         ///< registration barrier: 0 -> all, "everyone is registered"
+  kApp = 4,        ///< application envelope (handler id + payload); sequenced
+  kAck = 5,        ///< cumulative reliability ack: u64 highest-delivered seq
+  kHeartbeat = 6,  ///< liveness keepalive on an otherwise silent channel
+  kIdle = 7,       ///< quiescence report: rank -> 0, (sent, delivered) totals
+  kProbe = 8,      ///< quiescence confirmation wave: 0 -> all, u64 wave id
+  kProbeAck = 9,   ///< wave reply: (wave id, idle?, sent, delivered)
+  kQuiescent = 10, ///< machine-wide shutdown: every wait() now returns false
+  kExitStats = 11, ///< end-of-run per-rank stats: rank -> 0
+  kExitAck = 12,   ///< 0 -> all: stats collected, run() may return
+  kGather = 13,    ///< post-run application blob: rank -> 0
+  kGatherAck = 14, ///< 0 -> all: gather round complete
+};
+
+/// Largest type value the decoder accepts (bump when appending types).
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kGatherAck);
+
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint32_t src = 0;
+  std::uint32_t handler = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected). `seed` chains partial buffers.
+std::uint32_t crc32_ieee(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Serialize one frame (header + payload) ready for the wire.
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Incremental frame parser over a TCP byte stream.
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< *out holds the next frame
+    kError,     ///< stream corrupt; error() explains — terminal for the stream
+  };
+
+  /// `max_payload` bounds a single frame's payload; a larger (or absurd,
+  /// i.e. corrupt) declared length is a decode error, not an allocation.
+  explicit FrameDecoder(std::uint32_t max_payload = 64u << 20)
+      : max_payload_(max_payload) {}
+
+  void feed(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  Status next(Frame* out);
+
+  const std::string& error() const { return error_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Status fail(std::string why) {
+    error_ = std::move(why);
+    return Status::kError;
+  }
+
+  std::uint32_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix (compacted between frames)
+  std::string error_;
+};
+
+}  // namespace gbd

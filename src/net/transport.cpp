@@ -1,0 +1,683 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/check.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+namespace {
+
+constexpr std::uint64_t kAckEvery = 16;   ///< force a cumulative ack per N deliveries
+constexpr int kAckDelayMs = 20;           ///< max latency of a lazy ack
+
+std::string errno_str() { return std::strerror(errno); }
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  GBD_CHECK(flags >= 0);
+  GBD_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+/// Per-peer connection state. One per remote rank, plus anonymous pending_
+/// entries for accepted connections whose kHello has not arrived yet.
+struct Transport::Peer {
+  enum class State : std::uint8_t {
+    kIdle,       ///< not yet dialed / accepted
+    kConnecting, ///< nonblocking connect in flight
+    kUp,         ///< hello exchanged, traffic flows
+    kClosed,     ///< gone (lenient mode only; otherwise closing throws)
+  };
+
+  int rank = -1;  ///< -1 while anonymous (accepted, pre-hello)
+  int fd = -1;
+  State state = State::kIdle;
+  bool dialer = false;  ///< we dial lower ranks; higher ranks dial us
+
+  // Outgoing bytes: fully encoded frames, drained front-first.
+  std::deque<std::vector<std::uint8_t>> sendq;
+  std::size_t send_off = 0;  ///< progress into sendq.front()
+
+  FrameDecoder decoder;
+  // Reliability (kApp only).
+  std::uint64_t next_send_seq = 1;
+  std::uint64_t delivered_cum = 0;  ///< highest contiguously delivered incoming seq
+  std::uint64_t acked_out = 0;      ///< highest cumulative ack we have sent
+  std::uint64_t last_ack_ms = 0;
+  std::map<std::uint64_t, Frame> reorder;  ///< arrived ahead of a gap
+  struct Unacked {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t last_sent_ms;
+  };
+  std::deque<Unacked> unacked;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> delayed;  ///< chaos holds
+
+  // Liveness / dial retry.
+  std::uint64_t last_recv_ms = 0;
+  std::uint64_t last_send_ms = 0;
+  std::uint64_t next_dial_ms = 0;
+  int dial_backoff_ms = 10;
+  std::uint64_t dial_deadline_ms = 0;
+
+  explicit Peer(std::uint32_t max_payload) : decoder(max_payload) {}
+  ~Peer() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::uint64_t Transport::now_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+Transport::Transport(const NetConfig& cfg,
+                     std::function<void(int, FrameType, Reader&)> on_control)
+    : cfg_(cfg), on_control_(std::move(on_control)) {
+  GBD_CHECK(cfg_.rank >= 0 && cfg_.rank < cfg_.nprocs);
+  GBD_CHECK_MSG(cfg_.nprocs == 1 || static_cast<int>(cfg_.peers.size()) == cfg_.nprocs,
+                "NetConfig.peers must list one endpoint per rank");
+  peers_.resize(static_cast<std::size_t>(cfg_.nprocs));
+  last_timer_ms_ = now_ms();
+}
+
+Transport::~Transport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Transport::Peer& Transport::peer_for(int r) {
+  GBD_CHECK(r >= 0 && r < cfg_.nprocs && r != cfg_.rank);
+  Peer* p = peers_[static_cast<std::size_t>(r)].get();
+  GBD_CHECK_MSG(p != nullptr, "peer not initialized — connect_all not run?");
+  return *p;
+}
+
+void Transport::bind_listen() {
+  const NetEndpoint& self = cfg_.peers[static_cast<std::size_t>(cfg_.rank)];
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  GBD_CHECK(listen_fd_ >= 0);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(self.port);
+  addr.sin_addr.s_addr = INADDR_ANY;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw NetError("rank " + std::to_string(cfg_.rank) + ": cannot bind port " +
+                   std::to_string(self.port) + ": " + errno_str());
+  }
+  GBD_CHECK(::listen(listen_fd_, cfg_.nprocs + 4) == 0);
+  set_nonblocking(listen_fd_);
+}
+
+void Transport::dial(int peer_rank) {
+  Peer& p = peer_for(peer_rank);
+  const NetEndpoint& ep = cfg_.peers[static_cast<std::size_t>(peer_rank)];
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string port = std::to_string(ep.port);
+  int rc = getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw NetError("rank " + std::to_string(cfg_.rank) + ": cannot resolve " + ep.host + ": " +
+                   gai_strerror(rc));
+  }
+  p.fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  GBD_CHECK(p.fd >= 0);
+  set_nonblocking(p.fd);
+  set_nodelay(p.fd);
+  rc = ::connect(p.fd, res->ai_addr, res->ai_addrlen);
+  freeaddrinfo(res);
+  if (rc == 0) {
+    p.state = Peer::State::kConnecting;  // completion detected via POLLOUT
+  } else if (errno == EINPROGRESS) {
+    p.state = Peer::State::kConnecting;
+  } else {
+    // Peer not up yet (ECONNREFUSED on loopback): retry with backoff.
+    ::close(p.fd);
+    p.fd = -1;
+    p.state = Peer::State::kIdle;
+    p.next_dial_ms = now_ms() + static_cast<std::uint64_t>(p.dial_backoff_ms);
+    p.dial_backoff_ms = std::min(p.dial_backoff_ms * 2, cfg_.connect_retry_max_ms);
+  }
+}
+
+void Transport::start_hello(int peer_rank) {
+  Peer& p = peer_for(peer_rank);
+  p.state = Peer::State::kUp;
+  p.last_recv_ms = p.last_send_ms = now_ms();
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.src = static_cast<std::uint32_t>(cfg_.rank);
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(cfg_.nprocs));
+  hello.payload = w.take();
+  queue_frame(p, encode_frame(hello));
+}
+
+void Transport::accept_pending() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      throw NetError("rank " + std::to_string(cfg_.rank) + ": accept: " + errno_str());
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    auto p = std::make_unique<Peer>(cfg_.max_payload);
+    p->fd = fd;
+    p->state = Peer::State::kUp;  // identity pending; kHello will name it
+    p->last_recv_ms = p->last_send_ms = now_ms();
+    pending_.push_back(std::move(p));
+  }
+}
+
+void Transport::connect_all() {
+  if (cfg_.nprocs == 1) return;
+  bind_listen();
+  std::uint64_t deadline = now_ms() + static_cast<std::uint64_t>(cfg_.connect_timeout_ms);
+  for (int r = 0; r < cfg_.nprocs; ++r) {
+    if (r == cfg_.rank) continue;
+    peers_[static_cast<std::size_t>(r)] = std::make_unique<Peer>(cfg_.max_payload);
+    Peer& p = *peers_[static_cast<std::size_t>(r)];
+    p.rank = r;
+    p.dialer = r < cfg_.rank;  // we dial every lower rank
+    p.dial_deadline_ms = deadline;
+    if (p.dialer) dial(r);
+  }
+  for (;;) {
+    bool all_up = true;
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      if (r == cfg_.rank) continue;
+      all_up = all_up && peer_for(r).state == Peer::State::kUp && peer_for(r).rank == r;
+    }
+    // Dialed peers are kUp once the connect completes; accepted peers only
+    // once their kHello named them (until then they live in pending_).
+    if (all_up) {
+      bool hello_done = true;
+      for (int r = cfg_.rank + 1; r < cfg_.nprocs; ++r) {
+        hello_done = hello_done && peers_[static_cast<std::size_t>(r)] != nullptr &&
+                     peers_[static_cast<std::size_t>(r)]->fd >= 0;
+      }
+      if (hello_done) return;
+    }
+    if (now_ms() > deadline) {
+      std::string missing;
+      for (int r = 0; r < cfg_.nprocs; ++r) {
+        if (r == cfg_.rank) continue;
+        const Peer& p = peer_for(r);
+        if (p.state != Peer::State::kUp || p.fd < 0) missing += " " + std::to_string(r);
+      }
+      throw NetError("rank " + std::to_string(cfg_.rank) +
+                     ": rendezvous timed out; unreachable ranks:" + missing);
+    }
+    pump(20);
+  }
+}
+
+void Transport::queue_frame(Peer& p, std::vector<std::uint8_t> bytes) {
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += bytes.size();
+  p.sendq.push_back(std::move(bytes));
+  flush(p);
+}
+
+void Transport::send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload) {
+  Peer& p = peer_for(dst);
+  GBD_CHECK_MSG(p.state == Peer::State::kUp, "send_app before rendezvous completed");
+  Frame f;
+  f.type = FrameType::kApp;
+  f.src = static_cast<std::uint32_t>(cfg_.rank);
+  f.handler = handler;
+  f.seq = p.next_send_seq++;
+  f.payload = std::move(payload);
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  stats_.app_sent += 1;
+  std::uint64_t now = now_ms();
+
+  // Chaos: a pure function of (seed, src, dst, seq) decides this frame's
+  // fate, so a seeded run perturbs the same frames every time.
+  const ChaosConfig& ch = cfg_.chaos;
+  bool dropped = false;
+  if (ch.net_chaos()) {
+    std::uint64_t key = (static_cast<std::uint64_t>(cfg_.rank) << 48) ^
+                        (static_cast<std::uint64_t>(dst) << 40) ^ f.seq;
+    if (ch.net_drop_permille != 0 &&
+        chaos_mix2(ch.seed ^ 0x4e44524fULL, key) % 1000 < ch.net_drop_permille) {
+      // "Lost on the wire": never written, but retained below for the
+      // retransmit timer — delivery is late, not absent.
+      stats_.chaos_drops += 1;
+      dropped = true;
+    } else if (ch.net_delay_permille != 0 && ch.net_delay_ms != 0 &&
+               chaos_mix2(ch.seed ^ 0x4e444c59ULL, key) % 1000 < ch.net_delay_permille) {
+      std::uint64_t extra = 1 + chaos_mix2(ch.seed ^ 0x4e444c32ULL, key) % ch.net_delay_ms;
+      stats_.chaos_delays += 1;
+      p.delayed.emplace_back(now + extra, bytes);
+      // Counted as sent when actually written (run_timers).
+    } else {
+      if (ch.net_dup_permille != 0 &&
+          chaos_mix2(ch.seed ^ 0x4e445550ULL, key) % 1000 < ch.net_dup_permille) {
+        stats_.chaos_dups += 1;
+        queue_frame(p, bytes);  // the duplicate; receiver dedups by seq
+      }
+      queue_frame(p, bytes);
+    }
+  } else {
+    queue_frame(p, bytes);
+  }
+  (void)dropped;  // a dropped frame still enters unacked; retransmit recovers it
+  p.unacked.push_back(Peer::Unacked{f.seq, std::move(bytes), now});
+}
+
+void Transport::send_control(int dst, FrameType type, std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.type = type;
+  f.src = static_cast<std::uint32_t>(cfg_.rank);
+  f.payload = std::move(payload);
+  if (dst == -1) {
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      if (r == cfg_.rank) continue;
+      Peer& p = peer_for(r);
+      if (p.state == Peer::State::kUp && p.fd >= 0) queue_frame(p, encode_frame(f));
+    }
+    return;
+  }
+  Peer& p = peer_for(dst);
+  if (p.state == Peer::State::kUp && p.fd >= 0) queue_frame(p, encode_frame(f));
+}
+
+void Transport::flush(Peer& p) {
+  if (p.fd < 0 || p.state == Peer::State::kConnecting) return;
+  while (!p.sendq.empty()) {
+    const std::vector<std::uint8_t>& front = p.sendq.front();
+    ssize_t n = ::send(p.fd, front.data() + p.send_off, front.size() - p.send_off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      peer_failed(p, std::string("send: ") + errno_str());
+      return;
+    }
+    p.send_off += static_cast<std::size_t>(n);
+    p.last_send_ms = now_ms();
+    if (p.send_off == front.size()) {
+      p.sendq.pop_front();
+      p.send_off = 0;
+    }
+  }
+}
+
+void Transport::read_from(Peer& p) {
+  std::uint8_t buf[64 << 10];
+  for (;;) {
+    ssize_t n = ::recv(p.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_failed(p, std::string("recv: ") + errno_str());
+      return;
+    }
+    if (n == 0) {
+      peer_failed(p, "connection closed by peer");
+      return;
+    }
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    p.last_recv_ms = now_ms();
+    p.decoder.feed(buf, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof buf) break;
+  }
+  // Anonymous accepted connections (rank unknown until kHello): only buffer
+  // bytes; pump()'s promotion step parses the hello and everything after it.
+  if (p.rank < 0) return;
+  Frame f;
+  for (;;) {
+    FrameDecoder::Status st = p.decoder.next(&f);
+    if (st == FrameDecoder::Status::kNeedMore) break;
+    if (st == FrameDecoder::Status::kError) {
+      peer_failed(p, "frame decode error: " + p.decoder.error());
+      return;
+    }
+    stats_.frames_received += 1;
+    handle_frame(p, std::move(f));
+    if (p.fd < 0) return;  // handle_frame may have closed it (lenient)
+  }
+}
+
+void Transport::handle_frame(Peer& p, Frame f) {
+  switch (f.type) {
+    case FrameType::kHello: {
+      // Identity of an accepted connection (or a duplicate on a known one).
+      Reader r(f.payload);
+      std::uint32_t nprocs = r.u32();
+      if (static_cast<int>(nprocs) != cfg_.nprocs) {
+        peer_failed(p, "peer disagrees on world size (" + std::to_string(nprocs) + " vs " +
+                           std::to_string(cfg_.nprocs) + ")");
+      }
+      return;  // rank binding handled in pump() for pending_ entries
+    }
+    case FrameType::kAck: {
+      Reader r(f.payload);
+      std::uint64_t cum = r.u64();
+      while (!p.unacked.empty() && p.unacked.front().seq <= cum) p.unacked.pop_front();
+      return;
+    }
+    case FrameType::kHeartbeat:
+      return;  // last_recv_ms already refreshed
+    case FrameType::kApp: {
+      if (f.seq <= p.delivered_cum) {
+        // Chaos duplicate or retransmit overlap: already delivered. Re-ack so
+        // the sender stops retransmitting.
+        stats_.dup_frames_dropped += 1;
+        Writer w;
+        w.u64(p.delivered_cum);
+        Frame ack;
+        ack.type = FrameType::kAck;
+        ack.src = static_cast<std::uint32_t>(cfg_.rank);
+        ack.payload = w.take();
+        p.acked_out = p.delivered_cum;
+        stats_.acks_sent += 1;
+        queue_frame(p, encode_frame(ack));
+        return;
+      }
+      if (f.seq != p.delivered_cum + 1) stats_.reorder_buffered += 1;
+      p.reorder.emplace(f.seq, std::move(f));
+      deliver_in_order(p);
+      return;
+    }
+    default:
+      // Machine-level control plane.
+      Reader r(f.payload);
+      on_control_(static_cast<int>(f.src), f.type, r);
+      return;
+  }
+}
+
+void Transport::deliver_in_order(Peer& p) {
+  while (!p.reorder.empty() && p.reorder.begin()->first == p.delivered_cum + 1) {
+    Frame f = std::move(p.reorder.begin()->second);
+    p.reorder.erase(p.reorder.begin());
+    p.delivered_cum += 1;
+    inbox_.push_back(AppMessage{p.rank, f.handler, std::move(f.payload)});
+  }
+  if (p.delivered_cum >= p.acked_out + kAckEvery) {
+    Writer w;
+    w.u64(p.delivered_cum);
+    Frame ack;
+    ack.type = FrameType::kAck;
+    ack.src = static_cast<std::uint32_t>(cfg_.rank);
+    ack.payload = w.take();
+    p.acked_out = p.delivered_cum;
+    p.last_ack_ms = now_ms();
+    stats_.acks_sent += 1;
+    queue_frame(p, encode_frame(ack));
+  }
+}
+
+bool Transport::outbox_empty() const {
+  for (const auto& up : peers_) {
+    if (up != nullptr && up->fd >= 0 && !up->sendq.empty()) return false;
+  }
+  return true;
+}
+
+bool Transport::next_app(AppMessage* out) {
+  if (inbox_.empty()) return false;
+  *out = std::move(inbox_.front());
+  inbox_.pop_front();
+  stats_.app_delivered += 1;
+  return true;
+}
+
+void Transport::peer_failed(Peer& p, const std::string& why) {
+  int r = p.rank;
+  if (p.fd >= 0) {
+    ::close(p.fd);
+    p.fd = -1;
+  }
+  p.state = Peer::State::kClosed;
+  p.sendq.clear();
+  if (lenient_) return;  // expected during teardown
+  throw NetError("rank " + std::to_string(cfg_.rank) + ": peer rank " +
+                 (r >= 0 ? std::to_string(r) : std::string("?")) + " failed: " + why);
+}
+
+void Transport::run_timers() {
+  std::uint64_t now = now_ms();
+  last_timer_ms_ = now;
+  for (auto& up : peers_) {
+    Peer* pp = up.get();
+    if (pp == nullptr) continue;
+    // Dial retries (rendezvous: the peer's listener may not be up yet).
+    if (pp->state == Peer::State::kIdle && pp->dialer && pp->next_dial_ms != 0 &&
+        now >= pp->next_dial_ms) {
+      pp->next_dial_ms = 0;
+      dial(pp->rank);
+    }
+    if (pp->state != Peer::State::kUp || pp->fd < 0) continue;
+    Peer& p = *pp;
+    // Chaos-delayed frames whose hold expired.
+    if (!p.delayed.empty()) {
+      std::size_t kept = 0;
+      for (auto& [due, bytes] : p.delayed) {
+        if (due <= now) {
+          queue_frame(p, std::move(bytes));
+        } else {
+          p.delayed[kept++] = {due, std::move(bytes)};
+        }
+      }
+      p.delayed.resize(kept);
+    }
+    // Retransmit unacked application frames the peer has gone quiet on.
+    for (Peer::Unacked& u : p.unacked) {
+      if (now - u.last_sent_ms >= static_cast<std::uint64_t>(cfg_.retransmit_ms)) {
+        u.last_sent_ms = now;
+        stats_.retransmits += 1;
+        queue_frame(p, u.bytes);
+      }
+    }
+    // Lazy cumulative ack.
+    if (p.delivered_cum > p.acked_out &&
+        now - p.last_ack_ms >= static_cast<std::uint64_t>(kAckDelayMs)) {
+      Writer w;
+      w.u64(p.delivered_cum);
+      Frame ack;
+      ack.type = FrameType::kAck;
+      ack.src = static_cast<std::uint32_t>(cfg_.rank);
+      ack.payload = w.take();
+      p.acked_out = p.delivered_cum;
+      p.last_ack_ms = now;
+      stats_.acks_sent += 1;
+      queue_frame(p, encode_frame(ack));
+    }
+    // Keepalive on silent channels.
+    if (now - p.last_send_ms >= static_cast<std::uint64_t>(cfg_.heartbeat_ms)) {
+      Frame hb;
+      hb.type = FrameType::kHeartbeat;
+      hb.src = static_cast<std::uint32_t>(cfg_.rank);
+      stats_.heartbeats_sent += 1;
+      queue_frame(p, encode_frame(hb));
+    }
+    // Liveness: silence past the deadline is a dead or wedged peer.
+    if (!lenient_ && now - p.last_recv_ms > static_cast<std::uint64_t>(cfg_.peer_timeout_ms)) {
+      peer_failed(p, "no traffic for " + std::to_string(now - p.last_recv_ms) +
+                         " ms (timeout " + std::to_string(cfg_.peer_timeout_ms) + " ms)");
+    }
+  }
+}
+
+void Transport::pump(int timeout_ms) {
+  // Bind any accepted-but-anonymous connection whose kHello arrived: its
+  // first parsed frame names the rank; then it becomes the peer entry.
+  // (Processed here rather than in handle_frame so a hello and follow-on
+  // traffic arriving in one TCP segment are handled in order.)
+  std::vector<pollfd> fds;
+  std::vector<Peer*> owners;
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    owners.push_back(nullptr);
+  }
+  auto add_peer = [&](Peer& p) {
+    if (p.fd < 0) return;
+    short ev = POLLIN;
+    if (p.state == Peer::State::kConnecting || !p.sendq.empty()) ev |= POLLOUT;
+    fds.push_back(pollfd{p.fd, ev, 0});
+    owners.push_back(&p);
+  };
+  for (auto& up : peers_) {
+    if (up != nullptr) add_peer(*up);
+  }
+  for (auto& up : pending_) add_peer(*up);
+
+  // Clamp the poll to the nearest timer so heartbeats/retransmits/redials
+  // fire on time even on a totally silent machine.
+  int wait = timeout_ms;
+  std::uint64_t now = now_ms();
+  auto clamp_to = [&](std::uint64_t due) {
+    int delta = due <= now ? 0 : static_cast<int>(std::min<std::uint64_t>(due - now, 1u << 20));
+    if (wait < 0 || delta < wait) wait = delta;
+  };
+  for (auto& up : peers_) {
+    Peer* p = up.get();
+    if (p == nullptr) continue;
+    if (p->state == Peer::State::kIdle && p->dialer && p->next_dial_ms != 0) {
+      clamp_to(p->next_dial_ms);
+    }
+    if (p->state != Peer::State::kUp) continue;
+    if (!p->delayed.empty()) {
+      for (auto& [due, bytes] : p->delayed) clamp_to(due);
+    }
+    if (!p->unacked.empty()) {
+      clamp_to(p->unacked.front().last_sent_ms + static_cast<std::uint64_t>(cfg_.retransmit_ms));
+    }
+    if (p->delivered_cum > p->acked_out) {
+      clamp_to(p->last_ack_ms + static_cast<std::uint64_t>(kAckDelayMs));
+    }
+    clamp_to(p->last_send_ms + static_cast<std::uint64_t>(cfg_.heartbeat_ms));
+    if (!lenient_) {
+      clamp_to(p->last_recv_ms + static_cast<std::uint64_t>(cfg_.peer_timeout_ms) + 1);
+    }
+  }
+
+  int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), wait);
+  if (rc < 0 && errno != EINTR) {
+    throw NetError("rank " + std::to_string(cfg_.rank) + ": poll: " + errno_str());
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    if (owners[i] == nullptr) {
+      accept_pending();
+      continue;
+    }
+    Peer& p = *owners[i];
+    if (p.fd != fds[i].fd) continue;  // closed mid-loop
+    if (p.state == Peer::State::kConnecting && (fds[i].revents & (POLLOUT | POLLERR | POLLHUP))) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        // Dial failed (listener not up yet): back off and retry.
+        ::close(p.fd);
+        p.fd = -1;
+        p.state = Peer::State::kIdle;
+        p.next_dial_ms = now_ms() + static_cast<std::uint64_t>(p.dial_backoff_ms);
+        p.dial_backoff_ms = std::min(p.dial_backoff_ms * 2, cfg_.connect_retry_max_ms);
+        continue;
+      }
+      start_hello(p.rank);
+    }
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_from(p);
+    if (p.fd >= 0 && (fds[i].revents & POLLOUT)) flush(p);
+  }
+
+  // Promote accepted connections whose kHello has arrived. The hello frame
+  // itself was consumed by handle_frame; identity comes from the decoder's
+  // first frame src — recorded when the frame was parsed.
+  for (std::size_t i = 0; i < pending_.size();) {
+    Peer& p = *pending_[i];
+    Frame f;
+    bool promoted = false;
+    // Peek one frame: a pending peer's first frame must be kHello.
+    FrameDecoder::Status st = p.decoder.next(&f);
+    if (st == FrameDecoder::Status::kFrame) {
+      if (f.type != FrameType::kHello) {
+        if (!lenient_) {
+          throw NetError("rank " + std::to_string(cfg_.rank) +
+                         ": first frame on accepted connection was " +
+                         frame_type_name(f.type) + ", expected hello");
+        }
+      } else {
+        stats_.frames_received += 1;
+        int r = static_cast<int>(f.src);
+        if (r >= 0 && r < cfg_.nprocs && r != cfg_.rank &&
+            peers_[static_cast<std::size_t>(r)] != nullptr &&
+            peers_[static_cast<std::size_t>(r)]->fd < 0 &&
+            !peers_[static_cast<std::size_t>(r)]->dialer) {
+          Reader rd(f.payload);
+          std::uint32_t nprocs = rd.u32();
+          if (static_cast<int>(nprocs) != cfg_.nprocs) {
+            throw NetError("rank " + std::to_string(cfg_.rank) + ": peer rank " +
+                           std::to_string(r) + " disagrees on world size");
+          }
+          // Transfer the socket + any already-buffered bytes into the slot.
+          Peer& slot = *peers_[static_cast<std::size_t>(r)];
+          slot.fd = p.fd;
+          p.fd = -1;
+          slot.state = Peer::State::kUp;
+          slot.decoder = std::move(p.decoder);
+          slot.last_recv_ms = slot.last_send_ms = now_ms();
+          promoted = true;
+          // Frames that followed the hello in the same segment: parse now.
+          Frame g;
+          for (;;) {
+            FrameDecoder::Status s2 = slot.decoder.next(&g);
+            if (s2 == FrameDecoder::Status::kNeedMore) break;
+            if (s2 == FrameDecoder::Status::kError) {
+              peer_failed(slot, "frame decode error: " + slot.decoder.error());
+              break;
+            }
+            stats_.frames_received += 1;
+            handle_frame(slot, std::move(g));
+            if (slot.fd < 0) break;
+          }
+        } else if (!lenient_) {
+          throw NetError("rank " + std::to_string(cfg_.rank) + ": unexpected hello from rank " +
+                         std::to_string(r));
+        }
+      }
+    } else if (st == FrameDecoder::Status::kError && !lenient_) {
+      throw NetError("rank " + std::to_string(cfg_.rank) +
+                     ": handshake decode error: " + p.decoder.error());
+    }
+    if (promoted || p.fd < 0) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  run_timers();
+}
+
+}  // namespace gbd

@@ -1,0 +1,178 @@
+// TCP transport between ranks — the wire under SocketMachine.
+//
+// One OS process per logical processor ("rank"), full mesh of loopback (or
+// real-host) TCP connections. The connection rule is deterministic: every
+// rank listens on its own endpoint; rank i dials every lower rank j < i and
+// identifies itself with a kHello frame, so each pair has exactly one
+// connection and no simultaneous-open races. Dials retry with exponential
+// backoff until `connect_timeout_ms` — workers may be launched in any order.
+//
+// Sockets are nonblocking; pump() runs one ::poll() round over every fd,
+// flushing per-peer send queues and parsing received bytes through
+// FrameDecoder. Delivered application envelopes land in an inbox the
+// machine drains; control frames are handed to the machine's callback.
+//
+// Reliability layer: every kApp frame carries a per-(src,dst) sequence
+// number. The receiver delivers strictly in sequence order, buffering gaps,
+// deduplicating repeats, and acking cumulatively; the sender retransmits
+// unacked frames after `retransmit_ms`. On a healthy TCP stream this layer
+// is nearly free (sequence numbers are contiguous, acks are batched) — its
+// purpose is chaos mode: seeded frame drop/duplicate/delay (ChaosConfig
+// net_* knobs) are injected at the sender *under* this layer, so enabled
+// faults exercise recovery without ever changing delivery semantics.
+//
+// Failure semantics: a peer that closes its socket, resets the connection,
+// or goes silent past `peer_timeout_ms` raises NetError from the pump — a
+// clean, catchable error naming the peer, never a hang. Heartbeats keep
+// healthy-but-quiet channels from tripping the timeout. After quiescence
+// the machine switches the transport lenient (leaving peers are expected).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "machine/chaos.hpp"
+#include "machine/machine.hpp"
+#include "net/frame.hpp"
+
+namespace gbd {
+
+/// Clean transport failure: timeouts, peer death, protocol corruption.
+struct NetError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct NetEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct NetConfig {
+  int rank = 0;
+  int nprocs = 1;
+  /// One endpoint per rank (index == rank). Every rank binds its own entry
+  /// and dials every lower-ranked entry.
+  std::vector<NetEndpoint> peers;
+  /// Rendezvous: give up dialing a peer after this long.
+  int connect_timeout_ms = 15000;
+  /// Dial retry backoff cap (starts at 10ms, doubles).
+  int connect_retry_max_ms = 400;
+  /// Keepalive cadence on silent channels.
+  int heartbeat_ms = 250;
+  /// Silence from a connected peer longer than this is a NetError. Also the
+  /// deadline for noticing a killed worker.
+  int peer_timeout_ms = 10000;
+  /// Unacked application frames are resent after this long (chaos-drop
+  /// recovery; effectively idle on a healthy run).
+  int retransmit_ms = 100;
+  /// Per-frame payload bound enforced by the decoder.
+  std::uint32_t max_payload = 64u << 20;
+  /// Transport fault injection (net_* knobs; see machine/chaos.hpp).
+  ChaosConfig chaos;
+};
+
+/// Wire/transport counters for one rank (surfaced as net.* metrics).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;      ///< all types, incl. retransmits/dups
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t app_sent = 0;         ///< logical envelopes (once per send_app)
+  std::uint64_t app_delivered = 0;    ///< envelopes taken from the inbox
+  std::uint64_t acks_sent = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_frames_dropped = 0;  ///< seq already delivered (chaos dup or retransmit overlap)
+  std::uint64_t reorder_buffered = 0;    ///< frames that arrived ahead of a gap
+  std::uint64_t chaos_drops = 0;
+  std::uint64_t chaos_dups = 0;
+  std::uint64_t chaos_delays = 0;
+};
+
+/// A delivered application envelope.
+struct AppMessage {
+  int src = 0;
+  HandlerId handler = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Transport {
+ public:
+  /// `on_control` receives every non-kApp, non-reliability frame (barrier,
+  /// quiescence, stats, gather) as (src, type, payload reader).
+  Transport(const NetConfig& cfg,
+            std::function<void(int src, FrameType type, Reader& r)> on_control);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Rendezvous: bind, dial lower ranks, accept higher ranks, exchange
+  /// kHello. Throws NetError on timeout. No-op when nprocs == 1.
+  void connect_all();
+
+  /// Queue an application envelope to `dst` (!= own rank; self-sends are the
+  /// machine's business). Never blocks; bytes drain through pump().
+  void send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload);
+
+  /// Queue a control frame. dst == -1 broadcasts to every peer.
+  void send_control(int dst, FrameType type, std::vector<std::uint8_t> payload = {});
+
+  /// One I/O round: flush writes, read + parse, run timers (acks, heartbeats,
+  /// retransmits, chaos delays, peer timeouts). Blocks in ::poll up to
+  /// `timeout_ms` (0 = nonblocking) or until any fd is ready. Throws
+  /// NetError on peer failure (unless lenient).
+  void pump(int timeout_ms);
+
+  /// Pop the next in-order application envelope, if any.
+  bool next_app(AppMessage* out);
+  std::size_t inbox_size() const { return inbox_.size(); }
+
+  /// True when every peer's send queue has fully drained to the kernel.
+  bool outbox_empty() const;
+
+  /// After machine quiescence: peers closing their sockets is expected, not
+  /// an error, and peer-silence timeouts stop applying.
+  void set_lenient(bool lenient) { lenient_ = lenient; }
+
+  const TransportStats& stats() const { return stats_; }
+  int rank() const { return cfg_.rank; }
+
+  /// Monotonic milliseconds (shared timebase for all transport timers).
+  static std::uint64_t now_ms();
+
+ private:
+  struct Peer;
+
+  void bind_listen();
+  void dial(int peer_rank);
+  void start_hello(int peer_rank);
+  void accept_pending();
+  void queue_frame(Peer& p, std::vector<std::uint8_t> bytes);
+  void flush(Peer& p);
+  void read_from(Peer& p);
+  void handle_frame(Peer& p, Frame f);
+  void deliver_in_order(Peer& p);
+  void run_timers();
+  void peer_failed(Peer& p, const std::string& why);
+  Peer& peer_for(int r);
+
+  NetConfig cfg_;
+  std::function<void(int, FrameType, Reader&)> on_control_;
+  TransportStats stats_;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Peer>> peers_;  ///< index == rank; own slot null
+  /// Accepted connections whose kHello has not arrived yet.
+  std::vector<std::unique_ptr<Peer>> pending_;
+  std::deque<AppMessage> inbox_;
+  bool lenient_ = false;
+  std::uint64_t last_timer_ms_ = 0;
+};
+
+}  // namespace gbd

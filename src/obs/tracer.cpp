@@ -89,6 +89,7 @@ TraceData Tracer::data() const {
   TraceData d;
   d.domain = domain_;
   d.makespan = makespan_;
+  d.wall_epoch_ns = wall_epoch_ns_;
   for (const ProcTracer& p : procs_) {
     TraceData::ProcData pd;
     pd.events = p.events();
@@ -101,7 +102,9 @@ TraceData Tracer::data() const {
 
 namespace {
 constexpr std::uint32_t kTraceMagic = 0x54444247;  // "GBDT"
-constexpr std::uint32_t kTraceVersion = 1;
+// v2 adds wall_epoch_ns after makespan (for cross-process clock alignment);
+// v1 files still decode, with wall_epoch_ns = 0.
+constexpr std::uint32_t kTraceVersion = 2;
 }  // namespace
 
 std::vector<std::uint8_t> TraceData::encode() const {
@@ -110,6 +113,7 @@ std::vector<std::uint8_t> TraceData::encode() const {
   w.u32(kTraceVersion);
   w.u8(static_cast<std::uint8_t>(domain));
   w.u64(makespan);
+  w.u64(wall_epoch_ns);
   w.u32(static_cast<std::uint32_t>(procs.size()));
   for (const ProcData& p : procs) {
     w.u64(p.dropped);
@@ -130,10 +134,12 @@ std::vector<std::uint8_t> TraceData::encode() const {
 TraceData TraceData::decode(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   GBD_CHECK_MSG(r.u32() == kTraceMagic, "not a gbd trace file");
-  GBD_CHECK_MSG(r.u32() == kTraceVersion, "unsupported trace version");
+  std::uint32_t version = r.u32();
+  GBD_CHECK_MSG(version == 1 || version == kTraceVersion, "unsupported trace version");
   TraceData d;
   d.domain = static_cast<ClockDomain>(r.u8());
   d.makespan = r.u64();
+  if (version >= 2) d.wall_epoch_ns = r.u64();
   std::uint32_t nprocs = r.u32();
   for (std::uint32_t i = 0; i < nprocs; ++i) {
     ProcData p;
@@ -195,31 +201,35 @@ void append_ts(std::string* out, std::uint64_t t, ClockDomain domain) {
   out->push_back(static_cast<char>('0' + frac % 10));
 }
 
-void append_common(std::string* out, int proc, const TraceEvent& e, ClockDomain domain) {
-  out->append("\"pid\":0,\"tid\":");
-  out->append(std::to_string(proc));
+void append_common(std::string* out, int pid, int tid, const TraceEvent& e, ClockDomain domain,
+                   std::uint64_t shift) {
+  out->append("\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
   out->append(",\"ts\":");
-  append_ts(out, e.t0, domain);
+  append_ts(out, e.t0 + shift, domain);
   out->append(",\"name\":\"");
   out->append(ev_name(e.kind));
   out->push_back('"');
 }
 
-}  // namespace
-
-std::string trace_to_perfetto_json(const TraceData& data) {
-  std::string out;
-  out.reserve(1u << 16);
-  out.append("{\"traceEvents\":[");
-  bool first = true;
+/// Emit one TraceData's events under process track `pid`, with every
+/// timestamp shifted by `shift` (same unit as the clock domain).
+void append_trace_events(std::string* outp, bool* first, const TraceData& data, int pid,
+                         std::uint64_t shift) {
+  std::string& out = *outp;
   auto sep = [&] {
-    if (!first) out.push_back(',');
-    first = false;
+    if (!*first) out.push_back(',');
+    *first = false;
   };
   // Thread-name metadata gives each processor a labeled Perfetto track.
   for (std::size_t p = 0; p < data.procs.size(); ++p) {
+    if (pid != 0 && data.procs[p].events.empty()) continue;  // merged view: skip empty slots
     sep();
-    out.append("{\"ph\":\"M\",\"pid\":0,\"tid\":");
+    out.append("{\"ph\":\"M\",\"pid\":");
+    out.append(std::to_string(pid));
+    out.append(",\"tid\":");
     out.append(std::to_string(p));
     out.append(",\"name\":\"thread_name\",\"args\":{\"name\":\"proc ");
     out.append(std::to_string(p));
@@ -231,7 +241,7 @@ std::string trace_to_perfetto_json(const TraceData& data) {
       switch (e.phase) {
         case Ph::kSpan: {
           out.append("{\"ph\":\"X\",");
-          append_common(&out, static_cast<int>(p), e, data.domain);
+          append_common(&out, pid, static_cast<int>(p), e, data.domain, shift);
           out.append(",\"cat\":\"engine\",\"dur\":");
           append_ts(&out, e.t1 - e.t0, data.domain);
           out.append(",\"args\":{\"a\":");
@@ -244,18 +254,19 @@ std::string trace_to_perfetto_json(const TraceData& data) {
         case Ph::kAsyncBegin:
         case Ph::kAsyncEnd: {
           out.append(e.phase == Ph::kAsyncBegin ? "{\"ph\":\"b\"," : "{\"ph\":\"e\",");
-          append_common(&out, static_cast<int>(p), e, data.domain);
+          append_common(&out, pid, static_cast<int>(p), e, data.domain, shift);
           out.append(",\"cat\":\"round\",\"id\":\"");
-          // Disambiguate rounds across kinds and processors: Perfetto matches
-          // async begin/end on (cat, id).
-          out.append(std::to_string((static_cast<std::uint64_t>(p) << 48) ^
+          // Disambiguate rounds across kinds, processors and ranks: Perfetto
+          // matches async begin/end on (cat, id).
+          out.append(std::to_string((static_cast<std::uint64_t>(pid) << 56) ^
+                                    (static_cast<std::uint64_t>(p) << 48) ^
                                     (static_cast<std::uint64_t>(e.kind) << 40) ^ e.a));
           out.append("\"}");
           break;
         }
         case Ph::kInstant: {
           out.append("{\"ph\":\"i\",");
-          append_common(&out, static_cast<int>(p), e, data.domain);
+          append_common(&out, pid, static_cast<int>(p), e, data.domain, shift);
           out.append(",\"cat\":\"engine\",\"s\":\"t\",\"args\":{\"a\":");
           out.append(std::to_string(e.a));
           out.append("}}");
@@ -264,11 +275,63 @@ std::string trace_to_perfetto_json(const TraceData& data) {
       }
     }
   }
+}
+
+}  // namespace
+
+std::string trace_to_perfetto_json(const TraceData& data) {
+  std::string out;
+  out.reserve(1u << 16);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  append_trace_events(&out, &first, data, /*pid=*/0, /*shift=*/0);
   out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock_domain\":\"");
   out.append(data.domain == ClockDomain::kVirtual ? "virtual" : "steady_ns");
   out.append("\",\"makespan\":");
   out.append(std::to_string(data.makespan));
   out.append("}}");
+  return out;
+}
+
+std::string merged_traces_to_perfetto_json(const std::vector<TraceData>& ranks) {
+  // Clock alignment: each rank's timestamps count from its own run start.
+  // With wall epochs recorded, shift each rank by its epoch's distance from
+  // the earliest one, putting all ranks on a common timeline.
+  std::uint64_t min_epoch = 0;
+  bool have_epochs = !ranks.empty();
+  for (const TraceData& d : ranks) have_epochs = have_epochs && d.wall_epoch_ns != 0;
+  if (have_epochs) {
+    min_epoch = ranks.front().wall_epoch_ns;
+    for (const TraceData& d : ranks) min_epoch = std::min(min_epoch, d.wall_epoch_ns);
+  }
+  std::string out;
+  out.reserve(1u << 16);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  for (std::size_t rk = 0; rk < ranks.size(); ++rk) {
+    std::uint64_t shift = have_epochs ? ranks[rk].wall_epoch_ns - min_epoch : 0;
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"ph\":\"M\",\"pid\":");
+    out.append(std::to_string(rk));
+    out.append(",\"name\":\"process_name\",\"args\":{\"name\":\"rank ");
+    out.append(std::to_string(rk));
+    out.append("\"}}");
+    append_trace_events(&out, &first, ranks[rk], static_cast<int>(rk), shift);
+  }
+  std::uint64_t makespan = 0;
+  for (const TraceData& d : ranks) makespan = std::max(makespan, d.makespan);
+  out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock_domain\":\"");
+  out.append(!ranks.empty() && ranks.front().domain == ClockDomain::kVirtual ? "virtual"
+                                                                             : "steady_ns");
+  out.append("\",\"makespan\":");
+  out.append(std::to_string(makespan));
+  out.append(",\"clock_offsets_ns\":[");
+  for (std::size_t rk = 0; rk < ranks.size(); ++rk) {
+    if (rk) out.push_back(',');
+    out.append(std::to_string(have_epochs ? ranks[rk].wall_epoch_ns - min_epoch : 0));
+  }
+  out.append("]}}");
   return out;
 }
 

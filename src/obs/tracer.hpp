@@ -148,6 +148,11 @@ struct TraceData {
 
   ClockDomain domain = ClockDomain::kVirtual;
   std::uint64_t makespan = 0;
+  /// CLOCK_REALTIME at the run's local t=0, or 0 when unknown. Per-rank
+  /// traces from a SocketMachine run record it so a merge can align the
+  /// ranks' independent steady clocks on one timeline (v2 field; traces
+  /// decoded from v1 files carry 0).
+  std::uint64_t wall_epoch_ns = 0;
   std::vector<ProcData> procs;
 
   std::vector<std::uint8_t> encode() const;
@@ -169,6 +174,9 @@ class Tracer {
   void start_run(int nprocs, ClockDomain domain);
   /// Called by the machine at run end.
   void finish_run(std::uint64_t makespan) { makespan_ = makespan; }
+  /// Wall-clock (CLOCK_REALTIME) timestamp of this run's t=0, for aligning
+  /// traces from different processes. SocketMachine stamps it at run start.
+  void set_wall_epoch_ns(std::uint64_t ns) { wall_epoch_ns_ = ns; }
 
   ProcTracer& at(int proc) { return procs_[static_cast<std::size_t>(proc)]; }
   const ProcTracer& at(int proc) const { return procs_[static_cast<std::size_t>(proc)]; }
@@ -184,6 +192,7 @@ class Tracer {
   std::vector<ProcTracer> procs_;
   ClockDomain domain_ = ClockDomain::kVirtual;
   std::uint64_t makespan_ = 0;
+  std::uint64_t wall_epoch_ns_ = 0;
 };
 
 /// Human-readable name of an event kind (Perfetto track labels, reports).
@@ -194,5 +203,12 @@ const char* ev_name(Ev kind);
 /// are microseconds as the format requires: virtual units map 1:1 (one unit
 /// := 1us), steady nanoseconds are divided by 1000 with 3 fractional digits.
 std::string trace_to_perfetto_json(const TraceData& data);
+
+/// Stitch per-rank traces (one TraceData per process of a SocketMachine run,
+/// indexed by rank) into a single Perfetto timeline: rank r's events appear
+/// under pid r. When every input carries a wall_epoch_ns, the ranks' steady
+/// clocks are aligned to the earliest epoch (each rank's offset is recorded
+/// in otherData.clock_offsets_ns); otherwise timestamps are used as-is.
+std::string merged_traces_to_perfetto_json(const std::vector<TraceData>& ranks);
 
 }  // namespace gbd

@@ -6,14 +6,23 @@
 // engine's accounting identities must hold on any schedule. This is the
 // differential test that the real-concurrency backend implements the same
 // protocol, not a lookalike.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "gb/parallel.hpp"
 #include "gb/sequential.hpp"
 #include "gb/verify.hpp"
+#include "net/net_engine.hpp"
 #include "obs/metrics.hpp"
 #include "poly/reduce.hpp"
 #include "problems/problems.hpp"
+#include "support/serialize.hpp"
 
 namespace gbd {
 namespace {
@@ -100,6 +109,127 @@ TEST(CrossBackendTest, ThreadMachineSurfacesMailboxStats) {
   EXPECT_EQ(enqueues, sent);
   EXPECT_LE(drained, enqueues);
   EXPECT_GT(drained, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Third backend: one OS process per rank over loopback TCP (src/net/).
+// ---------------------------------------------------------------------------
+
+struct SocketRunResult {
+  bool ok = false;
+  std::vector<Polynomial> basis;
+  std::uint64_t sent = 0;      ///< sum of per-rank envelopes sent
+  std::uint64_t received = 0;  ///< sum of per-rank envelopes delivered
+};
+
+/// Fork `nprocs` real processes, run GL-P over sockets, and recover rank 0's
+/// merged result through a temp file (children cannot return objects). The
+/// per-rank ProcCommStats come back too: rank 0's exit handshake collects
+/// every rank's counters, which is what makes the conservation law checkable
+/// from one process.
+SocketRunResult run_socket_backend(const PolySystem& sys, int nprocs, int base_port) {
+  std::string path = "/tmp/gbd_xbk_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(base_port) + ".bin";
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nprocs; ++r) {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      SocketMachineConfig mc;
+      mc.net.rank = r;
+      mc.net.nprocs = nprocs;
+      for (int i = 0; i < nprocs; ++i) {
+        NetEndpoint ep;
+        ep.host = "127.0.0.1";
+        ep.port = static_cast<std::uint16_t>(base_port + i);
+        mc.net.peers.push_back(ep);
+      }
+      SocketMachine machine(mc);
+      ParallelConfig cfg;
+      cfg.nprocs = nprocs;
+      ParallelResult res;
+      try {
+        res = groebner_parallel_socket(machine, sys, cfg);
+      } catch (const NetError& e) {
+        std::fprintf(stderr, "rank %d: %s\n", r, e.what());
+        ::_exit(3);
+      }
+      if (r != 0) ::_exit(0);
+      Writer w;
+      w.u32(static_cast<std::uint32_t>(res.basis.size()));
+      for (const Polynomial& p : res.basis) p.write(w);
+      std::uint64_t sent = 0, received = 0;
+      for (const ProcCommStats& pc : res.machine.per_proc) {
+        sent += pc.messages_sent;
+        received += pc.messages_received;
+      }
+      w.u64(sent);
+      w.u64(received);
+      std::vector<std::uint8_t> bytes = w.take();
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      out.close();  // _exit skips destructors; flush explicitly
+      ::_exit(out ? 0 : 1);
+    }
+    pids.push_back(pid);
+  }
+  SocketRunResult result;
+  result.ok = true;
+  for (pid_t pid : pids) {
+    int st = 0;
+    ::waitpid(pid, &st, 0);
+    result.ok = result.ok && WIFEXITED(st) && WEXITSTATUS(st) == 0;
+  }
+  if (!result.ok) return result;
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  Reader rd(bytes);
+  std::uint32_t n = rd.u32();
+  for (std::uint32_t i = 0; i < n; ++i) result.basis.push_back(Polynomial::read(rd));
+  result.sent = rd.u64();
+  result.received = rd.u64();
+  result.ok = rd.done();
+  return result;
+}
+
+int xbk_port(int salt) { return 24100 + static_cast<int>(::getpid() % 17000) + salt; }
+
+// The full three-way differential: simulator, threads and sockets reduce to
+// the *identical* canonical basis at P=2 and P=4, and the socket backend's
+// gathered counters conserve envelopes (everything sent across process
+// boundaries was delivered somewhere — quiescence guarantees no residue).
+TEST(CrossBackendTest, SimThreadsAndSocketsComputeTheSameBasis) {
+  PolySystem sys = load_problem("katsura4");
+  int salt = 0;
+  for (int nprocs : {2, 4}) {
+    ParallelConfig cfg;
+    cfg.nprocs = nprocs;
+    ParallelResult sim = groebner_parallel(sys, cfg);
+    ParallelResult thr = groebner_parallel_threads(sys, cfg);
+    SocketRunResult sock = run_socket_backend(sys, nprocs, xbk_port(salt));
+    salt += nprocs + 1;
+    ASSERT_TRUE(sock.ok) << "socket run failed at P=" << nprocs;
+    std::string label = "P=" + std::to_string(nprocs);
+    expect_identical_reduced(sys, sim.basis, thr.basis, label + " sim/threads");
+    expect_identical_reduced(sys, sim.basis, sock.basis, label + " sim/sockets");
+    EXPECT_EQ(sock.sent, sock.received) << label << " envelope conservation across ranks";
+    EXPECT_GT(sock.sent, 0u) << label;
+  }
+}
+
+TEST(CrossBackendTest, SocketsMatchSimOnTrinks1) {
+  PolySystem sys = load_problem("trinks1");
+  ParallelConfig cfg;
+  cfg.nprocs = 4;
+  ParallelResult sim = groebner_parallel(sys, cfg);
+  SocketRunResult sock = run_socket_backend(sys, 4, xbk_port(97));
+  ASSERT_TRUE(sock.ok);
+  std::string why;
+  ASSERT_TRUE(verify_groebner_result(sys.ctx, sys.polys, sock.basis, &why)) << why;
+  expect_identical_reduced(sys, sim.basis, sock.basis, "trinks1 sim/sockets");
+  EXPECT_EQ(sock.sent, sock.received);
 }
 
 TEST(CrossBackendTest, MetricsSnapshotsHaveIdenticalShape) {

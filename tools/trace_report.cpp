@@ -18,6 +18,15 @@
 //   trace_report --load FILE [--perfetto FILE]
 //
 //   Decodes a saved trace and prints the same report without re-running.
+//
+// Merge mode:
+//   trace_report --merge OUT.json rank0.gbdt rank1.gbdt ...
+//
+//   Stitches per-rank traces from a SocketMachine run (tools/gbd_launch
+//   --trace-dir) into one Perfetto timeline: each rank becomes a process
+//   track (pid = rank), timelines are aligned by the wall-clock epoch each
+//   rank recorded at run start, and the per-rank clock offsets land in the
+//   trace metadata (otherData.clock_offsets_ns).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +56,8 @@ struct Options {
   std::string metrics_path;
   std::string save_path;
   std::string load_path;
+  std::string merge_out;
+  std::vector<std::string> merge_inputs;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -54,8 +65,9 @@ struct Options {
                "usage: %s [--problem NAME] [--procs N] [--threads] [--seed S]\n"
                "          [--chaos SEED] [--reserve] [--ring CAP]\n"
                "          [--perfetto FILE] [--metrics FILE] [--save FILE]\n"
-               "       %s --load FILE [--perfetto FILE]\n",
-               argv0, argv0);
+               "       %s --load FILE [--perfetto FILE]\n"
+               "       %s --merge OUT.json rank0.gbdt rank1.gbdt ...\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -89,6 +101,10 @@ Options parse_args(int argc, char** argv) {
       opt.save_path = value(i);
     } else if (std::strcmp(a, "--load") == 0) {
       opt.load_path = value(i);
+    } else if (std::strcmp(a, "--merge") == 0) {
+      opt.merge_out = value(i);
+      while (i + 1 < argc) opt.merge_inputs.emplace_back(argv[++i]);
+      if (opt.merge_inputs.size() < 2) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -127,10 +143,42 @@ int report(const TraceData& data, const Options& opt) {
   return 0;
 }
 
+std::vector<std::uint8_t> read_file_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt = parse_args(argc, argv);
+
+  if (!opt.merge_out.empty()) {
+    std::vector<TraceData> ranks;
+    for (const std::string& path : opt.merge_inputs) {
+      ranks.push_back(TraceData::decode(read_file_or_die(path)));
+      const TraceData& d = ranks.back();
+      std::printf("%-28s procs=%zu makespan=%llu ns epoch=%llu\n", path.c_str(), d.procs.size(),
+                  static_cast<unsigned long long>(d.makespan),
+                  static_cast<unsigned long long>(d.wall_epoch_ns));
+      if (d.wall_epoch_ns == 0) {
+        std::fprintf(stderr,
+                     "warning: %s has no wall-clock epoch (trace v1?); "
+                     "its track will not be offset-aligned\n",
+                     path.c_str());
+      }
+    }
+    std::string json = merged_traces_to_perfetto_json(ranks);
+    if (!write_file(opt.merge_out, json.data(), json.size())) return 1;
+    std::printf("merged perfetto trace (%zu ranks) written to %s\n", ranks.size(),
+                opt.merge_out.c_str());
+    return 0;
+  }
 
   if (!opt.load_path.empty()) {
     std::ifstream in(opt.load_path, std::ios::binary);

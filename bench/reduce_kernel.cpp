@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "bigint/zp.hpp"
 #include "gb/sequential.hpp"
+#include "poly/coeff.hpp"
 #include "poly/divmask.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
@@ -73,6 +75,45 @@ void BM_ReduceFullNaive(benchmark::State& state) { reduce_bench(state, false); }
 void BM_ReduceFullGeobucket(benchmark::State& state) { reduce_bench(state, true); }
 BENCHMARK(BM_ReduceFullNaive)->DenseRange(0, 3);
 BENCHMARK(BM_ReduceFullGeobucket)->DenseRange(0, 3);
+
+/// Same reduction, coefficients in Z/pZ (Montgomery word arithmetic) instead
+/// of exact integers: the per-step cost the multi-modular driver's jobs pay.
+/// The BigInt heap-spill counter should read ~0 here — every coefficient is
+/// one canonical machine word.
+void reduce_bench_zp(benchmark::State& state, bool geobuckets) {
+  const std::string& name = problem_names()[static_cast<std::size_t>(state.range(0))];
+  const std::uint64_t prime = prev_prime_u64(std::uint64_t{1} << 62);
+  PolySystem sys = load_problem(name);
+  CoeffOptions zp = CoeffOptions::zp(prime);
+  std::vector<Polynomial> basis = groebner_sequential(sys).basis;
+  Polynomial h = heavy_spoly(sys.ctx, basis);
+  for (auto& g : basis) coeff_normalize(sys.ctx, &g, zp);
+  coeff_normalize(sys.ctx, &h, zp);
+  VectorReducerSet set(&basis);
+  ReduceOptions opts;
+  opts.tail_reduce = true;
+  opts.use_geobuckets = geobuckets;
+  opts.coeff = zp;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_full(sys.ctx, h, set, opts));
+  }
+
+  reset_find_reducer_stats();
+  LimbVec::reset_heap_allocs();
+  ReduceOutcome out = reduce_full(sys.ctx, h, set, opts);
+  const FindReducerStats& st = find_reducer_stats();
+  state.SetLabel(name + " mod p");
+  state.counters["steps"] = static_cast<double>(out.steps);
+  state.counters["probes"] = static_cast<double>(st.probes);
+  state.counters["mask_rejects"] = static_cast<double>(st.mask_rejects);
+  state.counters["heap_allocs"] = static_cast<double>(LimbVec::heap_allocs());
+}
+
+void BM_ReduceFullNaiveZp(benchmark::State& state) { reduce_bench_zp(state, false); }
+void BM_ReduceFullGeobucketZp(benchmark::State& state) { reduce_bench_zp(state, true); }
+BENCHMARK(BM_ReduceFullNaiveZp)->DenseRange(0, 3);
+BENCHMARK(BM_ReduceFullGeobucketZp)->DenseRange(0, 3);
 
 }  // namespace
 }  // namespace gbd

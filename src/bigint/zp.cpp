@@ -1,0 +1,141 @@
+#include "bigint/zp.hpp"
+
+#include "support/check.hpp"
+
+namespace gbd {
+
+ZpField::ZpField(std::uint64_t p) : p_(p) {
+  GBD_CHECK_MSG(p >= 3 && p < (std::uint64_t{1} << 62), "ZpField: prime out of range");
+  GBD_CHECK_MSG((p & 1) != 0, "ZpField: prime must be odd");
+  GBD_CHECK_MSG(is_prime_u64(p), "ZpField: modulus is not prime");
+  // Newton–Hensel: x_{k+1} = x_k·(2 − p·x_k) doubles the bits of p^{-1} mod
+  // 2^64 each round; five rounds from the 3-bit seed x = p cover 64 bits.
+  std::uint64_t x = p;
+  for (int i = 0; i < 5; ++i) x *= 2 - p * x;
+  ninv_ = ~x + 1;  // -p^{-1} mod 2^64
+  // R^2 mod p via one 128-bit remainder (construction only, never hot).
+  unsigned __int128 r = (~static_cast<unsigned __int128>(0)) % p;  // 2^128-1 mod p
+  r2_ = static_cast<std::uint64_t>((r + 1) % p);                   // 2^128 mod p
+  one_ = from_residue(1);
+}
+
+Zp ZpField::from_int64(std::int64_t v) const {
+  if (v >= 0) return from_u64(static_cast<std::uint64_t>(v));
+  std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
+  return neg(from_u64(mag));
+}
+
+Zp ZpField::from_bigint(const BigInt& v) const {
+  if (v.is_zero()) return zero();
+  if (v.fits_int64()) return from_int64(v.to_int64());
+  BigInt r = v % BigInt(static_cast<std::int64_t>(p_));
+  std::int64_t small = r.to_int64();  // |r| < p < 2^62 always fits
+  return from_int64(small);
+}
+
+Zp ZpField::pow(Zp a, std::uint64_t e) const {
+  Zp acc = one_;
+  Zp base = a;
+  while (e != 0) {
+    if (e & 1) acc = mul(acc, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+Zp ZpField::inv(Zp a) const {
+  GBD_CHECK_MSG(a.m != 0, "ZpField::inv of zero");
+  return pow(a, p_ - 2);
+}
+
+std::uint64_t zp_residue_u64(const BigInt& b) {
+  GBD_DCHECK(!b.is_negative() && b.fits_int64());
+  return static_cast<std::uint64_t>(b.to_int64());
+}
+
+namespace {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t acc = 1 % m;
+  while (e != 0) {
+    if (e & 1) acc = mulmod_u64(acc, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t q : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull,
+                          37ull}) {
+    if (n == q) return true;
+    if (n % q == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // Sprp to these twelve bases is primality for every n < 3.3·10^24 —
+  // deterministic over the whole 64-bit range.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull,
+                          37ull}) {
+    std::uint64_t x = powmod_u64(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < s; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t prev_prime_u64(std::uint64_t n) {
+  GBD_CHECK_MSG(n > 3, "prev_prime_u64: no prime below");
+  std::uint64_t c = n - 1;
+  if ((c & 1) == 0) {
+    if (c == 2) return 2;
+    --c;
+  }
+  for (; c >= 3; c -= 2) {
+    if (is_prime_u64(c)) return c;
+  }
+  return 2;
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  GBD_CHECK_MSG(m > BigInt(1), "mod_inverse: modulus must exceed 1");
+  // Half-extended Euclid tracking only the coefficient of a.
+  BigInt r0 = m;
+  BigInt r1 = a % m;
+  if (r1.is_negative()) r1 += m;
+  BigInt t0(0), t1(1);
+  while (!r1.is_zero()) {
+    BigInt q, rem;
+    BigInt::divmod(r0, r1, &q, &rem);
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(rem);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (!r0.is_one()) return BigInt(0);  // not invertible
+  if (t0.is_negative()) t0 += m;
+  return t0;
+}
+
+}  // namespace gbd

@@ -1,0 +1,122 @@
+// Machine-word prime fields Z/pZ with Montgomery reduction.
+//
+// The exact engines carry primitive-integer coefficients whose bit-length
+// grows with every fraction-free step — the PR-4 breakdowns show that growth
+// dominating reduce time. Over a word-sized prime field every coefficient is
+// one machine word and every operation a handful of cycles, which is where
+// GBLA-style implementations get their order of magnitude. This header is
+// the arithmetic core of that coefficient ring; the multi-modular driver
+// (gb/modular.hpp) lifts several such fields back to Q by CRT + rational
+// reconstruction.
+//
+// Representation: a ZpField fixes an odd prime 3 <= p < 2^62 and works in
+// Montgomery form with R = 2^64: an element Zp holds v·R mod p. REDC costs
+// two 64x64 multiplies and no division. Mixed-form products — one operand in
+// Montgomery form, one a canonical residue — yield canonical residues
+// directly (REDC(x̃·y) = x·y mod p), which is exactly the shape of the hot
+// polynomial loops: convert the step's scalar once, then one REDC per term.
+//
+// Canonical residues (plain values in [0, p)) are what polynomials store (as
+// inline small BigInts); Montgomery form never leaves a kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+
+namespace gbd {
+
+/// An element of Z/pZ in Montgomery form (value·2^64 mod p). A distinct
+/// struct so Montgomery-form words cannot silently mix with canonical
+/// residues; only ZpField can produce or consume one.
+struct Zp {
+  std::uint64_t m = 0;
+
+  bool operator==(const Zp&) const = default;
+};
+
+/// A fixed odd prime field. Construction precomputes the Montgomery
+/// constants; all operations are then division-free. Cheap to copy.
+class ZpField {
+ public:
+  /// p must be an odd prime with 3 <= p < 2^62 (checked).
+  explicit ZpField(std::uint64_t p);
+
+  std::uint64_t p() const { return p_; }
+
+  Zp zero() const { return Zp{0}; }
+  Zp one() const { return one_; }
+  bool is_zero(Zp a) const { return a.m == 0; }
+
+  /// Montgomery form of an arbitrary machine word / signed word / BigInt.
+  Zp from_u64(std::uint64_t v) const { return from_residue(v % p_); }
+  Zp from_int64(std::int64_t v) const;
+  Zp from_bigint(const BigInt& v) const;
+  /// Montgomery form of a canonical residue already in [0, p).
+  Zp from_residue(std::uint64_t r) const { return Zp{redc(mul_128(r, r2_))}; }
+
+  /// Canonical residue in [0, p).
+  std::uint64_t to_u64(Zp a) const { return redc(a.m); }
+  BigInt to_bigint(Zp a) const { return BigInt(static_cast<std::int64_t>(to_u64(a))); }
+
+  Zp add(Zp a, Zp b) const { return Zp{add_canonical(a.m, b.m)}; }
+  Zp sub(Zp a, Zp b) const { return Zp{sub_canonical(a.m, b.m)}; }
+  Zp neg(Zp a) const { return Zp{a.m == 0 ? 0 : p_ - a.m}; }
+  Zp mul(Zp a, Zp b) const { return Zp{redc(mul_128(a.m, b.m))}; }
+  /// a^e by square-and-multiply.
+  Zp pow(Zp a, std::uint64_t e) const;
+  /// Multiplicative inverse (Fermat). a must be nonzero.
+  Zp inv(Zp a) const;
+
+  // Canonical-residue primitives for the polynomial kernels: residues in
+  // [0, p) in, residues out, no Montgomery conversion on the data path.
+
+  /// (a + b) mod p.
+  std::uint64_t add_canonical(std::uint64_t a, std::uint64_t b) const {
+    std::uint64_t s = a + b;  // p < 2^63 so no overflow
+    return s >= p_ ? s - p_ : s;
+  }
+  /// (a - b) mod p.
+  std::uint64_t sub_canonical(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + p_ - b;
+  }
+  /// a·c mod p for a in Montgomery form and c a canonical residue: one REDC,
+  /// result canonical. The per-term scaling primitive of the Zp kernels.
+  std::uint64_t mul_canonical(Zp a, std::uint64_t c) const { return redc(mul_128(a.m, c)); }
+
+  bool operator==(const ZpField& o) const { return p_ == o.p_; }
+
+ private:
+  static unsigned __int128 mul_128(std::uint64_t a, std::uint64_t b) {
+    return static_cast<unsigned __int128>(a) * b;
+  }
+  /// Montgomery reduction: t·R^{-1} mod p for t < p·2^64.
+  std::uint64_t redc(unsigned __int128 t) const {
+    std::uint64_t m = static_cast<std::uint64_t>(t) * ninv_;
+    std::uint64_t r = static_cast<std::uint64_t>((t + mul_128(m, p_)) >> 64);
+    return r >= p_ ? r - p_ : r;
+  }
+
+  std::uint64_t p_ = 0;
+  std::uint64_t ninv_ = 0;  // -p^{-1} mod 2^64
+  std::uint64_t r2_ = 0;    // (2^64)^2 mod p
+  Zp one_;
+};
+
+/// Canonical residue of a small BigInt known to lie in [0, 2^62) — the fast
+/// path for coefficients a Zp-mode polynomial already stores. Checked in
+/// debug builds; out-of-contract values abort there.
+std::uint64_t zp_residue_u64(const BigInt& b);
+
+/// Deterministic Miller–Rabin, exact for all 64-bit n.
+bool is_prime_u64(std::uint64_t n);
+
+/// Largest prime strictly below n; aborts if n <= 3.
+std::uint64_t prev_prime_u64(std::uint64_t n);
+
+/// a^{-1} mod m by extended Euclid (m > 1), or zero if gcd(a, m) != 1.
+/// BigInt-based: used by CRT lifting and as the reference implementation the
+/// Zp differential tests check Montgomery arithmetic against.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+}  // namespace gbd

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "poly/coeff.hpp"
 #include "poly/polynomial.hpp"
 
 namespace gbd {
@@ -52,6 +53,13 @@ struct GbConfig {
   /// exists for the baseline benchmark and as an escape hatch.
   bool use_geobuckets = true;
   Selection selection = Selection::kNormal;
+  /// Coefficient ring (poly/coeff.hpp): kExact is the historical
+  /// fraction-free path over Q, bit-identical to before the seam existed;
+  /// kZp runs the whole engine over Z/pZ with monic canonical forms.
+  /// Honored by the sequential and GL-P engines (Sim/Thread/Socket); the
+  /// transition, pipeline and shared-memory engines are exact-only and
+  /// abort on a Zp config.
+  CoeffOptions coeff;
   /// Abort knob for tests; a correct run never hits it.
   std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();
 };

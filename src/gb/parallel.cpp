@@ -105,6 +105,8 @@ class GlpWorker {
         out_(out),
         monitor_(monitor),
         ledger_(ledger),
+        zp_(cfg.gb.coeff.is_zp() ? std::make_optional<ZpField>(cfg.gb.coeff.prime)
+                                 : std::nullopt),
         basis_owned_(make_store(self, cfg)),
         basis_(*basis_owned_),
         lock_mgr_(self.id() == 0 ? std::make_optional<LockManager>(self) : std::nullopt),
@@ -386,7 +388,7 @@ class GlpWorker {
       // drains the s-poly work into the clock after elapsed() was read.
       TraceSpan sp(self_, Ev::kSpoly, task.a, task.b);
       CostScope cost;
-      h = spoly(sys_.ctx, *pa, *pb);
+      h = spoly(sys_.ctx, *pa, *pb, cfg_.gb.coeff);
       out_->stats.work_units += cost.elapsed();
     }
     out_->stats.spolys_computed += 1;
@@ -434,14 +436,21 @@ class GlpWorker {
   void reduce_by_replica(Polynomial* h, TaskTrace* trace) {
     TraceSpan span(self_, Ev::kReduce);
     std::uint64_t steps = 0;
-    h->make_primitive();
+    if (!zp_) h->make_primitive();
     while (!h->is_zero()) {
       std::uint64_t rid = 0;
       const Polynomial* r = basis_.reducer_set().find_reducer(h->hmono(), &rid);
       if (r == nullptr) break;
       CostScope cost;
-      *h = reduce_step(sys_.ctx, *h, *r);
-      h->make_primitive();
+      if (zp_) {
+        // Mod-p steps keep residues canonical by construction; the monic
+        // normalization happens once at the end (reduce_step_mod is
+        // scalar-equivariant, so deferring it changes nothing downstream).
+        *h = reduce_step_mod(sys_.ctx, *h, *r, *zp_);
+      } else {
+        *h = reduce_step(sys_.ctx, *h, *r);
+        h->make_primitive();
+      }
       std::uint64_t c = cost.elapsed();
       steps += 1;
       out_->stats.reduction_steps += 1;
@@ -456,6 +465,7 @@ class GlpWorker {
       // augment itself reduces.
       pump_augment();
     }
+    if (zp_) h->make_monic(*zp_);
     span.result(steps);
   }
 
@@ -789,6 +799,9 @@ class GlpWorker {
   ProcOutput* out_;
   InvariantMonitor* monitor_ = nullptr;
   TaskLedger* ledger_ = nullptr;
+  /// Engaged iff cfg.gb.coeff selects Zp — the Montgomery constants are
+  /// computed once per worker, not once per reduction step.
+  std::optional<ZpField> zp_;
 
   static std::unique_ptr<BasisStore> make_store(Proc& self, const ParallelConfig& cfg) {
     if (cfg.basis_mode == BasisMode::kHybrid) {
@@ -914,9 +927,9 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
   std::vector<std::pair<PolyId, Polynomial>> inputs;
   std::uint32_t seq = 0;
   for (const auto& p : sys.polys) {
-    if (p.is_zero()) continue;
     Polynomial q = p;
-    q.make_primitive();
+    coeff_normalize(sys.ctx, &q, cfg.gb.coeff);
+    if (q.is_zero()) continue;
     inputs.emplace_back(make_poly_id(0, seq++), std::move(q));
   }
 

@@ -48,6 +48,8 @@ double PipelineResult::achieved_parallelism() const {
 
 PipelineResult groebner_pipeline(const PolySystem& sys, const PipelineConfig& cfg) {
   GBD_CHECK(cfg.nstages >= 1 && cfg.inflight >= 1);
+  GBD_CHECK_MSG(!cfg.gb.coeff.is_zp(),
+                "groebner_pipeline is exact-only; use the sequential or GL-P engines for Zp");
   PipelineResult res;
   const PolyContext& ctx = sys.ctx;
   const GbConfig& gb = cfg.gb;

@@ -50,17 +50,19 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
   const PolyContext& ctx = sys.ctx;
   CostScope total;
 
-  // G = F, canonicalized.
+  // G = F, canonicalized for the configured coefficient ring. Over Zp an
+  // input may vanish mod p (an inadmissible prime — the modular driver
+  // screens for this, but the engine must still not crash on it).
   std::vector<Polynomial> basis;
   for (const auto& p : sys.polys) {
-    if (p.is_zero()) continue;
     Polynomial q = p;
-    q.make_primitive();
+    coeff_normalize(ctx, &q, cfg.coeff);
+    if (q.is_zero()) continue;
     basis.push_back(std::move(q));
   }
 
   if (cfg.interreduce_input && basis.size() > 1) {
-    basis = interreduce(ctx, std::move(basis));
+    basis = interreduce(ctx, std::move(basis), cfg.coeff);
   }
 
   std::vector<Monomial> heads;
@@ -89,6 +91,7 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
   ReduceOptions ropts;
   ropts.tail_reduce = cfg.tail_reduce;
   ropts.use_geobuckets = cfg.use_geobuckets;
+  ropts.coeff = cfg.coeff;
 
   // gpq = all unordered pairs over the input.
   for (std::uint32_t i = 0; i < basis.size(); ++i) {
@@ -119,7 +122,7 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
       continue;
     }
 
-    Polynomial h = spoly(ctx, basis[pair.i], basis[pair.j]);
+    Polynomial h = spoly(ctx, basis[pair.i], basis[pair.j], cfg.coeff);
     res.stats.spolys_computed += 1;
     GBD_CHECK_MSG(res.stats.spolys_computed <= cfg.max_spolys,
                   "groebner_sequential exceeded max_spolys");

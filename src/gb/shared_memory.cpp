@@ -28,6 +28,8 @@ struct Worker {
 
 SharedMemoryResult groebner_shared(const PolySystem& sys, const SharedMemoryConfig& cfg) {
   GBD_CHECK(cfg.nprocs >= 1);
+  GBD_CHECK_MSG(!cfg.gb.coeff.is_zp(),
+                "groebner_shared is exact-only; use the sequential or GL-P engines for Zp");
   SharedMemoryResult res;
   const PolyContext& ctx = sys.ctx;
   const GbConfig& gb = cfg.gb;

@@ -21,6 +21,8 @@ struct Action {
 }  // namespace
 
 TransitionResult groebner_transition(const PolySystem& sys, const TransitionConfig& cfg) {
+  GBD_CHECK_MSG(!cfg.gb.coeff.is_zp(),
+                "groebner_transition is exact-only; use the sequential or GL-P engines for Zp");
   TransitionResult res;
   const PolyContext& ctx = sys.ctx;
   const GbConfig& gb = cfg.gb;

@@ -47,20 +47,49 @@ bool radical_contains(const PolyContext& ctx, const std::vector<Polynomial>& gen
   return false;
 }
 
+namespace {
+
+/// For kZp, the canonical mod-p image of a set (zp_combine and friends
+/// require canonical residues); for kExact, null — the caller uses the
+/// original vector untouched.
+std::vector<Polynomial> coeff_image(const PolyContext& ctx, const std::vector<Polynomial>& polys,
+                                    const CoeffOptions& coeff) {
+  std::vector<Polynomial> out;
+  out.reserve(polys.size());
+  for (const auto& p : polys) {
+    Polynomial q = p;
+    coeff_normalize(ctx, &q, coeff);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace
+
 bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& basis,
-                       std::string* why) {
-  // Reject zeros up front: spoly() has a nonzero precondition.
-  for (std::size_t i = 0; i < basis.size(); ++i) {
-    if (basis[i].is_zero()) {
+                       std::string* why, const CoeffOptions& coeff) {
+  std::vector<Polynomial> image;
+  const std::vector<Polynomial>* use = &basis;
+  if (coeff.is_zp()) {
+    image = coeff_image(ctx, basis, coeff);
+    use = &image;
+  }
+  // Reject zeros up front: spoly() has a nonzero precondition. (Over Zp an
+  // exactly-nonzero element can vanish mod p — that still disqualifies the
+  // set as a basis over this field.)
+  for (std::size_t i = 0; i < use->size(); ++i) {
+    if ((*use)[i].is_zero()) {
       if (why) *why = "basis contains the zero polynomial";
       return false;
     }
   }
-  VectorReducerSet set(&basis);
-  for (std::size_t i = 0; i < basis.size(); ++i) {
-    for (std::size_t j = i + 1; j < basis.size(); ++j) {
-      Polynomial s = spoly(ctx, basis[i], basis[j]);
-      ReduceOutcome out = reduce_full(ctx, std::move(s), set);
+  VectorReducerSet set(use);
+  ReduceOptions ropts;
+  ropts.coeff = coeff;
+  for (std::size_t i = 0; i < use->size(); ++i) {
+    for (std::size_t j = i + 1; j < use->size(); ++j) {
+      Polynomial s = spoly(ctx, (*use)[i], (*use)[j], coeff);
+      ReduceOutcome out = reduce_full(ctx, std::move(s), set, ropts);
       if (!out.poly.is_zero()) {
         if (why) {
           *why = "SPOL(basis[" + std::to_string(i) + "], basis[" + std::to_string(j) +
@@ -74,27 +103,36 @@ bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& ba
 }
 
 bool ideal_contains(const PolyContext& ctx, const std::vector<Polynomial>& gb,
-                    const Polynomial& p) {
-  VectorReducerSet set(&gb);
-  return reduce_full(ctx, p, set).poly.is_zero();
+                    const Polynomial& p, const CoeffOptions& coeff) {
+  std::vector<Polynomial> image;
+  const std::vector<Polynomial>* use = &gb;
+  if (coeff.is_zp()) {
+    image = coeff_image(ctx, gb, coeff);
+    use = &image;
+  }
+  VectorReducerSet set(use);
+  ReduceOptions ropts;
+  ropts.coeff = coeff;
+  return reduce_full(ctx, p, set, ropts).poly.is_zero();
 }
 
 bool same_ideal(const PolyContext& ctx, const std::vector<Polynomial>& gb1,
-                const std::vector<Polynomial>& gb2) {
+                const std::vector<Polynomial>& gb2, const CoeffOptions& coeff) {
   for (const auto& g : gb1) {
-    if (!ideal_contains(ctx, gb2, g)) return false;
+    if (!ideal_contains(ctx, gb2, g, coeff)) return false;
   }
   for (const auto& g : gb2) {
-    if (!ideal_contains(ctx, gb1, g)) return false;
+    if (!ideal_contains(ctx, gb1, g, coeff)) return false;
   }
   return true;
 }
 
 bool verify_groebner_result(const PolyContext& ctx, const std::vector<Polynomial>& inputs,
-                            const std::vector<Polynomial>& basis, std::string* why) {
-  if (!is_groebner_basis(ctx, basis, why)) return false;
+                            const std::vector<Polynomial>& basis, std::string* why,
+                            const CoeffOptions& coeff) {
+  if (!is_groebner_basis(ctx, basis, why, coeff)) return false;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    if (!ideal_contains(ctx, basis, inputs[i])) {
+    if (!ideal_contains(ctx, basis, inputs[i], coeff)) {
       if (why) *why = "input generator " + std::to_string(i) + " not in the output ideal";
       return false;
     }

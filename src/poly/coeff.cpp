@@ -1,0 +1,97 @@
+#include "poly/coeff.hpp"
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+std::string CoeffOptions::to_string() const {
+  if (!is_zp()) return "exact";
+  return "zp:" + std::to_string(prime);
+}
+
+Polynomial poly_mod(const PolyContext& ctx, const Polynomial& p, const ZpField& field) {
+  std::vector<Term> terms;
+  terms.reserve(p.nterms());
+  for (const Term& t : p.terms()) {
+    std::uint64_t r = field.to_u64(field.from_bigint(t.coeff));
+    if (r == 0) continue;
+    terms.push_back(Term{BigInt(static_cast<std::int64_t>(r)), t.mono});
+  }
+  CostCounter::charge(p.nterms());
+  // Residue mapping preserves the strictly-decreasing monomial order; only
+  // zero terms were dropped.
+  return Polynomial::from_sorted_terms(ctx, std::move(terms));
+}
+
+void coeff_normalize(const PolyContext& ctx, Polynomial* p, const CoeffOptions& coeff) {
+  if (!coeff.is_zp()) {
+    p->make_primitive();
+    return;
+  }
+  ZpField field(coeff.prime);
+  *p = poly_mod(ctx, *p, field);
+  p->make_monic(field);
+}
+
+Polynomial zp_combine(const PolyContext& ctx, const ZpField& field, std::uint64_t a,
+                      const Monomial& ma, const Polynomial& pa, std::uint64_t b,
+                      const Monomial& mb, const Polynomial& pb) {
+  GBD_DCHECK(a != 0 || pa.is_zero());
+  GBD_DCHECK(b != 0 || pb.is_zero());
+  // Scalars to Montgomery form once; each term then costs one REDC and the
+  // merged coefficients stay canonical residues throughout.
+  const Zp am = field.from_residue(a);
+  const Zp bm = field.from_residue(b);
+  const auto& ta = pa.terms();
+  const auto& tb = pb.terms();
+  std::vector<Term> out;
+  out.reserve(ta.size() + tb.size());
+  std::size_t i = 0, j = 0;
+  // Monomial multiplication is strictly order-preserving, so both scaled
+  // shifted runs stay sorted and a single merge suffices.
+  Monomial mi, mj;
+  bool mi_valid = false, mj_valid = false;
+  while (i < ta.size() || j < tb.size()) {
+    if (i < ta.size() && !mi_valid) {
+      mi = ta[i].mono * ma;
+      mi_valid = true;
+    }
+    if (j < tb.size() && !mj_valid) {
+      mj = tb[j].mono * mb;
+      mj_valid = true;
+    }
+    int c;
+    if (i >= ta.size()) {
+      c = -1;
+    } else if (j >= tb.size()) {
+      c = 1;
+    } else {
+      c = ctx.cmp(mi, mj);
+    }
+    if (c > 0) {
+      std::uint64_t r = field.mul_canonical(am, zp_residue_u64(ta[i].coeff));
+      if (r != 0) out.push_back(Term{BigInt(static_cast<std::int64_t>(r)), std::move(mi)});
+      mi_valid = false;
+      ++i;
+    } else if (c < 0) {
+      std::uint64_t r = field.mul_canonical(bm, zp_residue_u64(tb[j].coeff));
+      if (r != 0) out.push_back(Term{BigInt(static_cast<std::int64_t>(r)), std::move(mj)});
+      mj_valid = false;
+      ++j;
+    } else {
+      std::uint64_t r = field.add_canonical(field.mul_canonical(am, zp_residue_u64(ta[i].coeff)),
+                                            field.mul_canonical(bm, zp_residue_u64(tb[j].coeff)));
+      if (r != 0) out.push_back(Term{BigInt(static_cast<std::int64_t>(r)), std::move(mi)});
+      mi_valid = false;
+      mj_valid = false;
+      ++i;
+      ++j;
+    }
+  }
+  // Same term-movement charge Polynomial::add makes for these lengths.
+  CostCounter::charge(ta.size() + tb.size());
+  return Polynomial::from_sorted_terms(ctx, std::move(out));
+}
+
+}  // namespace gbd

@@ -1,0 +1,70 @@
+// The coefficient seam: one selector chooses which ring the reduction
+// kernels compute over.
+//
+// Every engine historically worked over Q via primitive-integer associates
+// (polynomial.hpp). CoeffOptions generalizes that seam: kExact keeps the
+// fraction-free integer path bit-for-bit unchanged (it remains the oracle),
+// kZp runs the same kernels over a machine-word prime field (bigint/zp.hpp).
+//
+// Canonical forms per ring:
+//   kExact — primitive integer associate, positive head coefficient;
+//   kZp    — every coefficient a canonical residue in [0, p) stored as an
+//            inline small BigInt, head coefficient 1 (monic).
+// Both are "the same polynomial up to a unit", so Gröbner structure is
+// untouched; what changes is that Zp coefficients never grow.
+//
+// Contract for the Zp kernels (zp_combine, Geobucket in Zp mode,
+// reduce_step_mod): operand coefficients must already be canonical residues.
+// Entry points that accept arbitrary integer polynomials (reduce_full,
+// reduce_basis, spoly, the engines) canonicalize via poly_mod/coeff_normalize
+// first; debug builds check the contract on every residue read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bigint/zp.hpp"
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+enum class CoeffField : std::uint8_t {
+  kExact,  ///< primitive-integer associates over Q (the historical path)
+  kZp,     ///< machine-word prime field Z/pZ (Montgomery, bigint/zp.hpp)
+};
+
+struct CoeffOptions {
+  CoeffField field = CoeffField::kExact;
+  /// The modulus when field == kZp; must satisfy ZpField's constraints.
+  std::uint64_t prime = 0;
+
+  bool is_zp() const { return field == CoeffField::kZp; }
+
+  static CoeffOptions exact() { return {}; }
+  static CoeffOptions zp(std::uint64_t prime) { return {CoeffField::kZp, prime}; }
+
+  /// "exact" or "zp:<prime>" (diagnostics, bench labels).
+  std::string to_string() const;
+
+  bool operator==(const CoeffOptions&) const = default;
+};
+
+/// Image of an arbitrary integer polynomial in Z/pZ: every coefficient
+/// replaced by its canonical residue, vanishing terms dropped. NOT made
+/// monic — compose with make_monic for the canonical Zp form.
+Polynomial poly_mod(const PolyContext& ctx, const Polynomial& p, const ZpField& field);
+
+/// Canonicalize in place for the selected ring: kExact → make_primitive;
+/// kZp → residues in [0, p) with monic head. The zero polynomial is fixed.
+void coeff_normalize(const PolyContext& ctx, Polynomial* p, const CoeffOptions& coeff);
+
+/// a·(ma·pa) + b·(mb·pb) over Z/pZ, merged in one pass. a and b are
+/// canonical residues (a nonzero; b may be zero only if pb is zero);
+/// pa/pb coefficients must be canonical residues. This is the single
+/// combination primitive behind the Zp s-polynomial and the naive Zp
+/// reduction step.
+Polynomial zp_combine(const PolyContext& ctx, const ZpField& field, std::uint64_t a,
+                      const Monomial& ma, const Polynomial& pa, std::uint64_t b,
+                      const Monomial& mb, const Polynomial& pb);
+
+}  // namespace gbd

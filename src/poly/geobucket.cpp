@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "bigint/zp.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 
@@ -24,16 +25,26 @@ GeobucketStats& geobucket_stats() {
 
 void reset_geobucket_stats() { geobucket_stats() = GeobucketStats{}; }
 
-Geobucket::Geobucket(const PolyContext& ctx, Polynomial p) : ctx_(&ctx) {
+Geobucket::Geobucket(const PolyContext& ctx, Polynomial p, const ZpField* zp)
+    : ctx_(&ctx), zp_(zp) {
   if (p.is_zero()) return;
   std::vector<Term> terms(p.terms().begin(), p.terms().end());
   insert(std::move(terms), BigInt(1));
 }
 
-void Geobucket::settle_bucket(Bucket& b) {
+void Geobucket::settle_bucket(Bucket& b) const {
   if (b.scale.is_one()) return;
-  for (std::size_t i = b.start; i < b.terms.size(); ++i) {
-    b.terms[i].coeff *= b.scale;
+  if (zp_ != nullptr) {
+    Zp s = zp_->from_residue(zp_residue_u64(b.scale));
+    for (std::size_t i = b.start; i < b.terms.size(); ++i) {
+      b.terms[i].coeff = BigInt(
+          static_cast<std::int64_t>(zp_->mul_canonical(s, zp_residue_u64(b.terms[i].coeff))));
+    }
+    CostCounter::charge(b.terms.size() - b.start);
+  } else {
+    for (std::size_t i = b.start; i < b.terms.size(); ++i) {
+      b.terms[i].coeff *= b.scale;
+    }
   }
   b.scale = BigInt(1);
 }
@@ -50,7 +61,12 @@ std::vector<Term> Geobucket::merge(std::vector<Term> a, std::size_t astart, std:
     } else if (c < 0) {
       out.push_back(std::move(b[j++]));
     } else {
-      a[i].coeff += b[j].coeff;
+      if (zp_ != nullptr) {
+        a[i].coeff = BigInt(static_cast<std::int64_t>(
+            zp_->add_canonical(zp_residue_u64(a[i].coeff), zp_residue_u64(b[j].coeff))));
+      } else {
+        a[i].coeff += b[j].coeff;
+      }
       if (!a[i].coeff.is_zero()) out.push_back(std::move(a[i]));
       ++i;
       ++j;
@@ -81,7 +97,16 @@ void Geobucket::insert(std::vector<Term> terms, BigInt scale) {
     // Occupied: materialize both pending scales and merge.
     settle_bucket(b);
     if (!scale.is_one()) {
-      for (std::size_t k = start; k < terms.size(); ++k) terms[k].coeff *= scale;
+      if (zp_ != nullptr) {
+        Zp s = zp_->from_residue(zp_residue_u64(scale));
+        for (std::size_t k = start; k < terms.size(); ++k) {
+          terms[k].coeff = BigInt(
+              static_cast<std::int64_t>(zp_->mul_canonical(s, zp_residue_u64(terms[k].coeff))));
+        }
+        CostCounter::charge(terms.size() - start);
+      } else {
+        for (std::size_t k = start; k < terms.size(); ++k) terms[k].coeff *= scale;
+      }
       scale = BigInt(1);
     }
     terms = merge(std::move(b.terms), b.start, std::move(terms), start);
@@ -116,14 +141,29 @@ bool Geobucket::lead(Term* out) {
     // Exact coefficient: sum the contributing heads under their scales.
     BigInt coeff;
     lead_src_.clear();
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      Bucket& b = buckets_[i];
-      if (!b.live() || b.terms[b.start].mono != mono) continue;
-      lead_src_.push_back(i);
-      if (b.scale.is_one()) {
-        coeff += b.terms[b.start].coeff;
-      } else {
-        coeff += b.terms[b.start].coeff * b.scale;
+    if (zp_ != nullptr) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        Bucket& b = buckets_[i];
+        if (!b.live() || b.terms[b.start].mono != mono) continue;
+        lead_src_.push_back(i);
+        std::uint64_t c = zp_residue_u64(b.terms[b.start].coeff);
+        if (!b.scale.is_one()) {
+          c = zp_->mul_canonical(zp_->from_residue(zp_residue_u64(b.scale)), c);
+        }
+        acc = zp_->add_canonical(acc, c);
+      }
+      coeff = BigInt(static_cast<std::int64_t>(acc));
+    } else {
+      for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        Bucket& b = buckets_[i];
+        if (!b.live() || b.terms[b.start].mono != mono) continue;
+        lead_src_.push_back(i);
+        if (b.scale.is_one()) {
+          coeff += b.terms[b.start].coeff;
+        } else {
+          coeff += b.terms[b.start].coeff * b.scale;
+        }
       }
     }
     if (coeff.is_zero()) {
@@ -150,6 +190,9 @@ void Geobucket::retire_lead() {
 void Geobucket::axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m,
                      const Polynomial& p) {
   GBD_DCHECK(!scale.is_zero() && !coeff.is_zero());
+  // Zp mode has no deferred fraction-free multiplier: the step's scale is
+  // always 1, so the scale log stays empty and normalize() never fires.
+  GBD_DCHECK(zp_ == nullptr || scale.is_one());
   geobucket_stats().axpys += 1;
   lead_valid_ = false;
   if (!scale.is_one()) {
@@ -237,7 +280,11 @@ Polynomial Geobucket::extract() {
   scale_log_.clear();
   pending_bits_ = 0;
   Polynomial p = Polynomial::from_sorted_terms(*ctx_, std::move(all));
-  p.make_primitive();
+  if (zp_ != nullptr) {
+    p.make_monic(*zp_);
+  } else {
+    p.make_primitive();
+  }
   return p;
 }
 

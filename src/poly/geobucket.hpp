@@ -59,10 +59,20 @@ struct GeobucketStats {
 GeobucketStats& geobucket_stats();
 void reset_geobucket_stats();
 
+class ZpField;  // bigint/zp.hpp
+
 class Geobucket {
  public:
-  /// Start accumulating with the terms of p (consumed).
-  Geobucket(const PolyContext& ctx, Polynomial p);
+  /// Start accumulating with the terms of p (consumed). When `zp` is
+  /// non-null the accumulator runs over Z/pZ instead of Z (the coefficient
+  /// seam, poly/coeff.hpp): every stored coefficient is a canonical residue
+  /// in [0, p), merges add mod p, pending multipliers scale mod p, and
+  /// extract() produces the monic canonical form. In Zp mode axpy's `scale`
+  /// must be 1 — the field has no fraction-free blowup to defer, so the
+  /// scale log stays empty and threshold normalization never fires. The
+  /// field must outlive the bucket; coefficients of p and of every axpy
+  /// operand must already be canonical residues.
+  explicit Geobucket(const PolyContext& ctx, Polynomial p, const ZpField* zp = nullptr);
 
   /// Refresh the current leading (largest-monomial) term into *out, with its
   /// exact coefficient (all pending scales applied). Groups of bucket heads
@@ -104,7 +114,7 @@ class Geobucket {
   /// Insert a sorted term run with a pending scale, cascading merges upward.
   void insert(std::vector<Term> terms, BigInt scale);
   /// Multiply the live coefficients of b by its pending scale.
-  static void settle_bucket(Bucket& b);
+  void settle_bucket(Bucket& b) const;
   /// Sum of two descending term runs (coefficients added, zeros dropped).
   std::vector<Term> merge(std::vector<Term> a, std::size_t astart, std::vector<Term> b,
                           std::size_t bstart) const;
@@ -116,6 +126,7 @@ class Geobucket {
   void normalize();
 
   const PolyContext* ctx_;
+  const ZpField* zp_ = nullptr;  // null ⇒ exact integer mode
   std::vector<Bucket> buckets_;
   std::vector<Retired> done_;
   std::vector<BigInt> scale_log_;  // every a applied since the last normalize

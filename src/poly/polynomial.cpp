@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bigint/zp.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 #include "support/serialize.hpp"
@@ -139,6 +140,19 @@ void Polynomial::div_exact_scalar(const BigInt& d) {
     GBD_CHECK_MSG(r.is_zero(), "div_exact_scalar: not an exact divisor");
     t.coeff = std::move(q);
   }
+}
+
+void Polynomial::make_monic(const ZpField& field) {
+  if (terms_.empty()) return;
+  std::uint64_t hc = zp_residue_u64(terms_.front().coeff);
+  GBD_DCHECK(hc != 0 && hc < field.p());
+  if (hc == 1) return;
+  Zp inv = field.inv(field.from_residue(hc));
+  for (auto& t : terms_) {
+    t.coeff = BigInt(
+        static_cast<std::int64_t>(field.mul_canonical(inv, zp_residue_u64(t.coeff))));
+  }
+  CostCounter::charge(terms_.size());
 }
 
 bool Polynomial::is_primitive() const {

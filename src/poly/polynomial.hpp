@@ -23,6 +23,8 @@
 
 namespace gbd {
 
+class ZpField;  // bigint/zp.hpp
+
 /// Variable names + monomial order shared by all polynomials of a computation.
 struct PolyContext {
   std::vector<std::string> vars;
@@ -103,6 +105,11 @@ class Polynomial {
 
   /// True iff already primitive with positive head coefficient.
   bool is_primitive() const;
+
+  /// Zp canonical form (the coefficient seam, poly/coeff.hpp): multiply
+  /// through by hcoef^{-1} mod field.p() so the head coefficient becomes 1.
+  /// Every coefficient must already be a canonical residue in [0, p).
+  void make_monic(const ZpField& field);
 
   /// Exact value at a rational point (one value per context variable).
   Rational evaluate(const PolyContext& ctx, const std::vector<Rational>& point) const;

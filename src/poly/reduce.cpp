@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "bigint/zp.hpp"
 #include "poly/geobucket.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
@@ -95,6 +96,32 @@ Polynomial reduce_step(const PolyContext& ctx, const Polynomial& p, const Polyno
 
 namespace {
 
+/// Cancel the term of p at index k against reducer r over Z/pZ:
+/// p − (c·hc(r)^{-1})·(m·r), all coefficients canonical residues. Unlike the
+/// fraction-free step there is no scalar ambiguity — the result is uniquely
+/// determined, which is what makes the geobucket and naive Zp paths agree
+/// coefficient-for-coefficient at every step.
+Polynomial zp_cancel_at(const PolyContext& ctx, const ZpField& field, const Polynomial& p,
+                        std::size_t k, const Polynomial& r) {
+  const Term& t = p.terms()[k];
+  Zp fac = field.mul(field.from_residue(zp_residue_u64(t.coeff)),
+                     field.inv(field.from_residue(zp_residue_u64(r.hcoef()))));
+  std::uint64_t b = field.to_u64(field.neg(fac));
+  Monomial unit(t.mono.nvars());
+  return zp_combine(ctx, field, 1, unit, p, b, t.mono / r.hmono(), r);
+}
+
+}  // namespace
+
+Polynomial reduce_step_mod(const PolyContext& ctx, const Polynomial& p, const Polynomial& r,
+                           const ZpField& field) {
+  GBD_CHECK_MSG(!p.is_zero() && !r.is_zero(), "reduce_step_mod with zero operand");
+  GBD_CHECK_MSG(r.hmono().divides(p.hmono()), "reduce_step_mod: reducer head does not divide");
+  return zp_cancel_at(ctx, field, p, 0, r);
+}
+
+namespace {
+
 /// The pre-geobucket flat-vector path: rebuilds the whole polynomial every
 /// step. Kept for one release as the differential-test oracle (see
 /// ReduceOptions::use_geobuckets) — it is the reference semantics.
@@ -123,10 +150,65 @@ ReduceOutcome reduce_full_naive(const PolyContext& ctx, Polynomial p, const Redu
   return out;
 }
 
+/// The Zp twin of reduce_full. Mod-p cancellation has no scalar ambiguity
+/// (every step is p ← p − c·hc(r)^{-1}·(m·r) over canonical residues), so
+/// the naive and geobucket paths agree coefficient-for-coefficient at every
+/// step — not merely up to a scalar — and both finish with the monic form.
+ReduceOutcome reduce_full_zp(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
+                             const ReduceOptions& opts, ReduceObserver* obs) {
+  ZpField field(opts.coeff.prime);
+  ReduceOutcome out;
+  // Entry canonicalization mirrors the exact paths' make_primitive: reduce
+  // every coefficient to its canonical residue (idempotent on engine data).
+  Polynomial cur = poly_mod(ctx, p, field);
+  if (!opts.use_geobuckets) {
+    std::size_t k = 0;
+    while (!cur.is_zero() && k < cur.nterms()) {
+      std::uint64_t id = 0;
+      const Polynomial* r = set.find_reducer(cur.terms()[k].mono, &id);
+      if (r == nullptr) {
+        if (!opts.tail_reduce) break;
+        ++k;
+        continue;
+      }
+      CostScope cost;
+      cur = zp_cancel_at(ctx, field, cur, k, *r);
+      ++out.steps;
+      GBD_CHECK_MSG(out.steps <= opts.max_steps, "reduce_full exceeded max_steps");
+      if (obs) obs->on_step(id, cost.elapsed());
+    }
+    cur.make_monic(field);
+    out.poly = std::move(cur);
+    return out;
+  }
+  Geobucket acc(ctx, std::move(cur), &field);
+  Term lead;
+  while (acc.lead(&lead)) {
+    std::uint64_t id = 0;
+    const Polynomial* r = set.find_reducer(lead.mono, &id);
+    if (r == nullptr) {
+      if (!opts.tail_reduce) break;
+      acc.retire_lead();
+      continue;
+    }
+    CostScope cost;
+    Zp fac = field.mul(field.from_residue(zp_residue_u64(lead.coeff)),
+                       field.inv(field.from_residue(zp_residue_u64(r->hcoef()))));
+    BigInt b(static_cast<std::int64_t>(field.to_u64(field.neg(fac))));
+    acc.axpy(BigInt(1), b, lead.mono / r->hmono(), *r);
+    ++out.steps;
+    GBD_CHECK_MSG(out.steps <= opts.max_steps, "reduce_full exceeded max_steps");
+    if (obs) obs->on_step(id, cost.elapsed());
+  }
+  out.poly = acc.extract();
+  return out;
+}
+
 }  // namespace
 
 ReduceOutcome reduce_full(const PolyContext& ctx, Polynomial p, const ReducerSet& set,
                           const ReduceOptions& opts, ReduceObserver* obs) {
+  if (opts.coeff.is_zp()) return reduce_full_zp(ctx, std::move(p), set, opts, obs);
   if (!opts.use_geobuckets) return reduce_full_naive(ctx, std::move(p), set, opts, obs);
   // Geobucket path. Intermediate values are scalar multiples of the naive
   // path's (normalization is deferred, not per-step), which leaves the
@@ -168,15 +250,17 @@ bool is_normal(const Polynomial& p, const ReducerSet& set) {
   return set.find_reducer(p.hmono(), nullptr) == nullptr;
 }
 
-std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens) {
+std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens,
+                                    const CoeffOptions& coeff) {
   std::vector<Polynomial> work;
   for (auto& g : gens) {
+    coeff_normalize(ctx, &g, coeff);
     if (g.is_zero()) continue;
-    g.make_primitive();
     work.push_back(std::move(g));
   }
   ReduceOptions opts;
   opts.tail_reduce = true;
+  opts.coeff = coeff;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -203,13 +287,14 @@ std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomi
   return work;
 }
 
-std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis) {
+std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis,
+                                     const CoeffOptions& coeff) {
   // Normalize and drop zeros.
   std::vector<Polynomial> in;
   in.reserve(basis.size());
   for (auto& g : basis) {
+    coeff_normalize(ctx, &g, coeff);
     if (g.is_zero()) continue;
-    g.make_primitive();
     in.push_back(std::move(g));
   }
 
@@ -245,6 +330,7 @@ std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynom
     VectorReducerSet set(&others);
     ReduceOptions opts;
     opts.tail_reduce = true;
+    opts.coeff = coeff;
     out[i] = reduce_full(ctx, minimal[i], set, opts).poly;
     GBD_CHECK_MSG(!out[i].is_zero(), "reduce_basis: minimal element reduced to zero");
   }

@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "poly/coeff.hpp"
 #include "poly/divmask.hpp"
 #include "poly/polynomial.hpp"
 
@@ -84,15 +85,26 @@ struct ReduceOptions {
   /// Safety valve for property tests; reduction of a polynomial by a finite
   /// set always terminates, so hitting this aborts.
   std::uint64_t max_steps = std::numeric_limits<std::uint64_t>::max();
+  /// Coefficient ring (poly/coeff.hpp). kExact is the historical
+  /// fraction-free integer path, bit-identical to before the seam existed.
+  /// kZp cancels with field inverses instead: p' = p − c·hc(r)^{-1}·(m·r)
+  /// mod prime, normal forms are monic, and reducer coefficients must
+  /// already be canonical residues (engine bases over Zp always are).
+  CoeffOptions coeff;
 };
 
 struct ReduceOutcome {
-  Polynomial poly;          ///< primitive normal form (head-normal if !tail_reduce)
+  Polynomial poly;          ///< canonical normal form (head-normal if !tail_reduce)
   std::uint64_t steps = 0;  ///< number of single reduction steps performed
 };
 
 /// One head-cancelling step of p by r. Requires r.hmono() | p.hmono().
 Polynomial reduce_step(const PolyContext& ctx, const Polynomial& p, const Polynomial& r);
+
+/// The Zp analogue: p − hc(p)·hc(r)^{-1}·(m·r) over Z/pZ. Both operands'
+/// coefficients must be canonical residues. Requires r.hmono() | p.hmono().
+Polynomial reduce_step_mod(const PolyContext& ctx, const Polynomial& p, const Polynomial& r,
+                           const ZpField& field);
 
 /// Full reduction of p by `set` (the paper's REDUCE(h, G)). Returns a
 /// primitive normal form; zero iff p reduces to zero.
@@ -113,13 +125,15 @@ bool is_normal(const Polynomial& p, const ReducerSet& set);
 /// element whose head another element's head divides, which only preserves
 /// the ideal when reduction is confluent. For arbitrary generating sets use
 /// interreduce().
-std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis);
+std::vector<Polynomial> reduce_basis(const PolyContext& ctx, std::vector<Polynomial> basis,
+                                     const CoeffOptions& coeff = {});
 
 /// Ideal-preserving interreduction of an arbitrary generating set: each
 /// element is fully (head+tail) reduced against the others until nothing
 /// changes; elements reducing to zero are dropped. Safe on any input — every
 /// step subtracts multiples of other generators — and terminates because
 /// each replacement strictly shrinks its element in the monomial order.
-std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens);
+std::vector<Polynomial> interreduce(const PolyContext& ctx, std::vector<Polynomial> gens,
+                                    const CoeffOptions& coeff = {});
 
 }  // namespace gbd

@@ -1,5 +1,6 @@
 #include "poly/spoly.hpp"
 
+#include "bigint/zp.hpp"
 #include "support/check.hpp"
 
 namespace gbd {
@@ -14,6 +15,22 @@ Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial&
   BigInt k2 = p2.hcoef() / kg;
   Polynomial s = p1.mul_term(k2, m2 / h).sub(ctx, p2.mul_term(k1, m1 / h));
   s.make_primitive();
+  return s;
+}
+
+Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial& p2,
+                 const CoeffOptions& coeff) {
+  if (!coeff.is_zp()) return spoly(ctx, p1, p2);
+  GBD_CHECK_MSG(!p1.is_zero() && !p2.is_zero(), "spoly of zero polynomial");
+  ZpField field(coeff.prime);
+  const Monomial& m1 = p1.hmono();
+  const Monomial& m2 = p2.hmono();
+  Monomial h = Monomial::hcf(m1, m2);
+  std::uint64_t hc1 = zp_residue_u64(p1.hcoef());
+  std::uint64_t hc2 = zp_residue_u64(p2.hcoef());
+  Polynomial s = zp_combine(ctx, field, hc2, m2 / h, p1,
+                            field.sub_canonical(0, hc1), m1 / h, p2);
+  s.make_monic(field);
   return s;
 }
 

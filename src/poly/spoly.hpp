@@ -1,6 +1,7 @@
 // S-polynomials — the pair-combination step of Buchberger's algorithm (§2).
 #pragma once
 
+#include "poly/coeff.hpp"
 #include "poly/polynomial.hpp"
 
 namespace gbd {
@@ -13,6 +14,13 @@ namespace gbd {
 /// polynomial up to a unit, with the smallest possible integers.
 /// Both inputs must be nonzero.
 Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial& p2);
+
+/// Coefficient-seam dispatch (poly/coeff.hpp). kExact forwards to the
+/// fraction-free spoly above; kZp forms hc2·(m2/HCF)·p1 − hc1·(m1/HCF)·p2
+/// over Z/pZ and returns the monic canonical form. Over Zp both inputs'
+/// coefficients must already be canonical residues.
+Polynomial spoly(const PolyContext& ctx, const Polynomial& p1, const Polynomial& p2,
+                 const CoeffOptions& coeff);
 
 /// The lcm of the two head monomials, HMONO(p1)·HMONO(p2)/HCF — the quantity
 /// the paper's selection heuristic minimizes (footnote 2).

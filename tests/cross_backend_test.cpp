@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gb/modular.hpp"
 #include "gb/parallel.hpp"
 #include "gb/sequential.hpp"
 #include "gb/verify.hpp"
@@ -230,6 +231,62 @@ TEST(CrossBackendTest, SocketsMatchSimOnTrinks1) {
   ASSERT_TRUE(verify_groebner_result(sys.ctx, sys.polys, sock.basis, &why)) << why;
   expect_identical_reduced(sys, sim.basis, sock.basis, "trinks1 sim/sockets");
   EXPECT_EQ(sock.sent, sock.received);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-modular driver: the per-prime jobs dispatch onto each backend in
+// turn, and the certified lifted basis must be identical everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(CrossBackendTest, ModularDriverAgreesAcrossAllBackends) {
+  PolySystem sys = load_problem("katsura4");
+  std::vector<Polynomial> exact = reduce_basis(sys.ctx, groebner_sequential(sys).basis);
+  int salt = 600;
+  for (int nprocs : {2, 4}) {
+    for (ModularBackend backend :
+         {ModularBackend::kSequential, ModularBackend::kSim, ModularBackend::kThread,
+          ModularBackend::kSocket}) {
+      ModularConfig cfg;
+      cfg.backend = backend;
+      cfg.nprocs = nprocs;
+      cfg.initial_primes = 2;
+      cfg.max_primes = 6;
+      cfg.socket_base_port = xbk_port(salt);
+      salt += 64;  // room for nprocs ports per prime job
+      ModularResult res = groebner_multimodular(sys, cfg);
+      std::string label =
+          std::string("modular ") + modular_backend_name(backend) + " P=" + std::to_string(nprocs);
+      EXPECT_TRUE(res.stats.verified) << label;
+      EXPECT_FALSE(res.stats.used_exact_fallback) << label;
+      ASSERT_EQ(res.basis.size(), exact.size()) << label;
+      for (std::size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_TRUE(res.basis[i].equals(exact[i])) << label << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(CrossBackendTest, ModularDriverSurvivesChaosAndInjectedFaults) {
+  // Level-1 chaos jitters the simulated machine under every per-prime GL-P
+  // job while the fault drill kills each job's early attempts outright. The
+  // driver must retry the jobs, still certify, and land on the exact basis.
+  PolySystem sys = load_problem("arnborg4");
+  std::vector<Polynomial> exact = reduce_basis(sys.ctx, groebner_sequential(sys).basis);
+  ModularConfig cfg;
+  cfg.backend = ModularBackend::kSim;
+  cfg.nprocs = 4;
+  cfg.chaos = ChaosConfig::intensity(1, 42);
+  cfg.fault_permille = 1000;  // every attempt but the last allowed one fails
+  cfg.max_job_retries = 2;
+  cfg.initial_primes = 2;
+  ModularResult res = groebner_multimodular(sys, cfg);
+  EXPECT_TRUE(res.stats.verified);
+  EXPECT_FALSE(res.stats.used_exact_fallback);
+  EXPECT_GE(res.stats.jobs_retried, 2u * cfg.initial_primes);
+  ASSERT_EQ(res.basis.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_TRUE(res.basis[i].equals(exact[i])) << "element " << i;
+  }
 }
 
 TEST(CrossBackendTest, MetricsSnapshotsHaveIdenticalShape) {

@@ -14,6 +14,10 @@
 #include <vector>
 
 #include "basis/replicated_basis.hpp"
+#include "bigint/zp.hpp"
+#include "gb/modular.hpp"
+#include "gb/sequential.hpp"
+#include "gb/verify.hpp"
 #include "io/parse.hpp"
 #include "machine/sim_machine.hpp"
 #include "poly/divmask.hpp"
@@ -155,6 +159,136 @@ TEST(GeobucketDiffTest, BenchmarkProblemSpolys) {
         expect_both_paths_agree(c, s, basis, /*tail=*/true);
       }
     }
+  }
+}
+
+// --- Zp coefficient path -----------------------------------------------------
+
+// Small, mid and edge primes for the per-prime differential runs.
+const std::uint64_t kZpDiffPrimes[] = {
+    1000003,
+    prev_prime_u64(std::uint64_t{1} << 31),
+    prev_prime_u64(std::uint64_t{1} << 62),
+};
+
+std::vector<Polynomial> zp_image(const PolyContext& ctx, const std::vector<Polynomial>& basis,
+                                 std::uint64_t prime) {
+  CoeffOptions zp = CoeffOptions::zp(prime);
+  std::vector<Polynomial> out;
+  out.reserve(basis.size());
+  for (const auto& g : basis) {
+    Polynomial q = g;
+    coeff_normalize(ctx, &q, zp);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+/// Mod p there is no scalar freedom at all (both paths cancel to the exact
+/// residue), so the geobucket and naive Zp reducers must agree
+/// coefficient-for-coefficient at identical step counts — a stronger
+/// statement than the exact paths' scalar-multiple argument.
+Polynomial expect_zp_paths_agree(const PolyContext& ctx, const Polynomial& p,
+                                 const std::vector<Polynomial>& zp_basis, std::uint64_t prime,
+                                 bool tail) {
+  VectorReducerSet set(&zp_basis);
+  ReduceOptions geo;
+  geo.tail_reduce = tail;
+  geo.use_geobuckets = true;
+  geo.max_steps = 200000;
+  geo.coeff = CoeffOptions::zp(prime);
+  ReduceOptions naive = geo;
+  naive.use_geobuckets = false;
+  ReduceOutcome a = reduce_full(ctx, p, set, geo);
+  ReduceOutcome b = reduce_full(ctx, p, set, naive);
+  EXPECT_TRUE(a.poly.equals(b.poly))
+      << "p=" << prime << "\ngeobucket: " << a.poly.to_string(ctx)
+      << "\nnaive:     " << b.poly.to_string(ctx);
+  EXPECT_EQ(a.steps, b.steps) << "p=" << prime;
+  return a.poly;
+}
+
+class ZpDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZpDiffTest, GeobucketMatchesNaiveModP) {
+  Rng rng(GetParam() ^ 0x5A5A);
+  PolySystem sys = random_system(rng, 3, 6, 4, 5, 50);
+  const PolyContext& c = sys.ctx;
+  std::vector<Polynomial> basis(sys.polys.begin(), sys.polys.begin() + 4);
+  for (std::uint64_t prime : kZpDiffPrimes) {
+    std::vector<Polynomial> zb;
+    for (const auto& g : zp_image(c, basis, prime)) {
+      if (!g.is_zero()) zb.push_back(g);
+    }
+    if (zb.empty()) continue;
+    for (std::size_t i = 4; i < sys.polys.size(); ++i) {
+      expect_zp_paths_agree(c, sys.polys[i], zb, prime, /*tail=*/false);
+      expect_zp_paths_agree(c, sys.polys[i], zb, prime, /*tail=*/true);
+    }
+    // An ideal member reduces to zero mod p on both paths.
+    Polynomial member = zb[0].mul(c, sys.polys[4]);
+    Polynomial nf = expect_zp_paths_agree(c, member, zb, prime, /*tail=*/true);
+    EXPECT_TRUE(nf.is_zero()) << "p=" << prime;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZpDiffTest, ::testing::Values(0xA1, 0xB2, 0xC3, 0xD4));
+
+TEST(ZpDiffTest, ThreeWayAgainstExactOnBenchmarkProblems) {
+  // Three-way differential on the corpus: exact-geobucket vs exact-naive is
+  // covered above; here each normal form additionally crosses the field
+  // boundary. Over the reduced Gröbner basis the (tail-reduced) normal form
+  // is *unique*, so the mod-p image of the exact normal form must be monic-
+  // equal to the normal form computed natively in Zp — two entirely disjoint
+  // arithmetic paths (BigInt gcd/divide vs Montgomery) landing on one value.
+  for (const char* name : {"arnborg4", "katsura4", "trinks1"}) {
+    PolySystem sys = load_problem(name);
+    const PolyContext& c = sys.ctx;
+    std::vector<Polynomial> gb = reduce_basis(c, groebner_sequential(sys).basis);
+    VectorReducerSet exact_set(&gb);
+    ReduceOptions exact_opts;
+    exact_opts.tail_reduce = true;
+    for (std::uint64_t prime : kZpDiffPrimes) {
+      ZpField field(prime);
+      CoeffOptions zp = CoeffOptions::zp(prime);
+      std::vector<Polynomial> zb = zp_image(c, gb, prime);
+      // These primes are lucky for the corpus: the image stays a GB mod p.
+      std::string why;
+      ASSERT_TRUE(verify_groebner_result(c, sys.polys, zb, &why, zp))
+          << name << " p=" << prime << ": " << why;
+      std::vector<Polynomial> probes = sys.polys;
+      for (std::size_t i = 0; i < gb.size(); ++i) {
+        for (std::size_t j = i + 1; j < gb.size() && probes.size() < 24; ++j) {
+          probes.push_back(spoly(c, gb[i], gb[j]));
+        }
+      }
+      for (const Polynomial& q : probes) {
+        if (q.is_zero()) continue;
+        Polynomial zp_nf = expect_zp_paths_agree(c, q, zb, prime, /*tail=*/true);
+        Polynomial exact_nf = reduce_full(c, q, exact_set, exact_opts).poly;
+        Polynomial img = poly_mod(c, exact_nf, field);
+        img.make_monic(field);
+        EXPECT_TRUE(img.equals(zp_nf))
+            << name << " p=" << prime << "\nexact mod p: " << img.to_string(c)
+            << "\nnative Zp:   " << zp_nf.to_string(c);
+      }
+    }
+  }
+}
+
+TEST(ZpDiffTest, LiftedMultimodularBasisIsCoefficientIdenticalToExact) {
+  // The full circle: per-prime Zp bases, CRT-lifted and rationally
+  // reconstructed, must land on the very same primitive integer polynomials
+  // as the exact engine — not just the same ideal.
+  PolySystem sys = load_problem("trinks1");
+  std::vector<Polynomial> exact = reduce_basis(sys.ctx, groebner_sequential(sys).basis);
+  ModularConfig cfg;
+  ModularResult res = groebner_multimodular(sys, cfg);
+  EXPECT_TRUE(res.stats.verified);
+  EXPECT_FALSE(res.stats.used_exact_fallback);
+  ASSERT_EQ(res.basis.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_TRUE(res.basis[i].equals(exact[i])) << "element " << i;
   }
 }
 

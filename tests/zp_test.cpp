@@ -1,0 +1,171 @@
+// The Zp arithmetic battery: field axioms as randomized properties over
+// several primes (including the edges of the supported range), the
+// Montgomery round-trip identity, and a differential check of every
+// operation against the BigInt-mod reference — the Montgomery code path
+// shares nothing with BigInt's division, so agreement is meaningful.
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bigint/zp.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+// Small, mid, and edge primes: just below 2^31 and the largest admissible
+// modulus just below 2^62.
+const std::uint64_t kPrimes[] = {
+    3,
+    5,
+    65537,
+    2147483647ULL,                       // 2^31 − 1 (Mersenne)
+    prev_prime_u64(std::uint64_t{1} << 31),
+    1000000007ULL,
+    prev_prime_u64(std::uint64_t{1} << 62),
+};
+
+std::uint64_t ref_mod(const BigInt& v, std::uint64_t p) {
+  BigInt r = v % BigInt(static_cast<std::int64_t>(p));
+  if (r.is_negative()) r += BigInt(static_cast<std::int64_t>(p));
+  // r is in [0, p) and p < 2^62, so it fits an int64 exactly.
+  return static_cast<std::uint64_t>(r.to_int64());
+}
+
+TEST(ZpFieldTest, PrimalityHelpers) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_TRUE(is_prime_u64(2147483647ULL));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(2147483647ULL * 2147483647ULL));
+  // Carmichael numbers must not fool the deterministic bases.
+  EXPECT_FALSE(is_prime_u64(561));
+  EXPECT_FALSE(is_prime_u64(41041));
+  EXPECT_FALSE(is_prime_u64(825265));
+  EXPECT_EQ(prev_prime_u64(10), 7u);
+  EXPECT_EQ(prev_prime_u64(8), 7u);
+  std::uint64_t p62 = prev_prime_u64(std::uint64_t{1} << 62);
+  EXPECT_TRUE(is_prime_u64(p62));
+  EXPECT_LT(p62, std::uint64_t{1} << 62);
+}
+
+TEST(ZpFieldTest, MontgomeryRoundTripIdentity) {
+  for (std::uint64_t p : kPrimes) {
+    ZpField f(p);
+    Rng rng(p ^ 0xABCDEF);
+    EXPECT_EQ(f.to_u64(f.one()), 1u % p) << p;
+    EXPECT_EQ(f.to_u64(f.zero()), 0u) << p;
+    for (int i = 0; i < 500; ++i) {
+      std::uint64_t r = rng.below(p);
+      EXPECT_EQ(f.to_u64(f.from_residue(r)), r) << "p=" << p;
+      std::uint64_t v = rng.next();
+      EXPECT_EQ(f.to_u64(f.from_u64(v)), v % p) << "p=" << p;
+    }
+  }
+}
+
+TEST(ZpFieldTest, FieldAxiomsRandomized) {
+  for (std::uint64_t p : kPrimes) {
+    ZpField f(p);
+    Rng rng(p * 0x9E37 + 17);
+    for (int i = 0; i < 300; ++i) {
+      Zp a = f.from_u64(rng.next());
+      Zp b = f.from_u64(rng.next());
+      Zp c = f.from_u64(rng.next());
+      // Commutativity and associativity.
+      EXPECT_EQ(f.add(a, b), f.add(b, a));
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+      EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+      EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+      // Identities and inverses.
+      EXPECT_EQ(f.add(a, f.zero()), a);
+      EXPECT_EQ(f.mul(a, f.one()), a);
+      EXPECT_EQ(f.add(a, f.neg(a)), f.zero());
+      // Distributivity.
+      EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      // Subtraction is addition of the negation.
+      EXPECT_EQ(f.sub(a, b), f.add(a, f.neg(b)));
+      // Multiplicative inverse for nonzero elements.
+      if (!f.is_zero(a)) {
+        EXPECT_EQ(f.mul(a, f.inv(a)), f.one()) << "p=" << p;
+      }
+      // Fermat: a^p = a.
+      EXPECT_EQ(f.pow(a, p), a) << "p=" << p;
+    }
+  }
+}
+
+TEST(ZpFieldTest, DifferentialVsBigIntReference) {
+  for (std::uint64_t p : kPrimes) {
+    ZpField f(p);
+    Rng rng(p + 99);
+    for (int i = 0; i < 200; ++i) {
+      // Random big integers, well beyond one limb and of both signs.
+      BigInt x(static_cast<std::int64_t>(rng.next() >> 1));
+      BigInt y(static_cast<std::int64_t>(rng.next() >> 1));
+      x = x * BigInt(static_cast<std::int64_t>(rng.next() >> 1)) - y * y;
+      std::uint64_t rx = ref_mod(x, p);
+      std::uint64_t ry = ref_mod(y, p);
+      EXPECT_EQ(f.to_u64(f.from_bigint(x)), rx) << "p=" << p;
+      Zp a = f.from_bigint(x);
+      Zp b = f.from_bigint(y);
+      EXPECT_EQ(f.to_u64(f.add(a, b)), ref_mod(x + y, p)) << "p=" << p;
+      EXPECT_EQ(f.to_u64(f.sub(a, b)), ref_mod(x - y, p)) << "p=" << p;
+      EXPECT_EQ(f.to_u64(f.mul(a, b)), ref_mod(x * y, p)) << "p=" << p;
+      EXPECT_EQ(f.to_u64(f.neg(a)), ref_mod(-x, p)) << "p=" << p;
+      // Canonical-residue kernel primitives against the same reference.
+      EXPECT_EQ(f.add_canonical(rx, ry), ref_mod(x + y, p));
+      EXPECT_EQ(f.sub_canonical(rx, ry), ref_mod(x - y, p));
+      EXPECT_EQ(f.mul_canonical(a, ry), ref_mod(x * y, p));
+      EXPECT_EQ(f.to_bigint(a), BigInt(static_cast<std::int64_t>(rx)));
+    }
+  }
+}
+
+TEST(ZpFieldTest, InverseMatchesExtendedEuclid) {
+  for (std::uint64_t p : kPrimes) {
+    ZpField f(p);
+    BigInt bp(static_cast<std::int64_t>(p));
+    Rng rng(p ^ 0x51);
+    for (int i = 0; i < 100; ++i) {
+      std::uint64_t r = 1 + rng.below(p - 1);
+      // Fermat inverse (Montgomery path) vs extended Euclid (BigInt path).
+      std::uint64_t fermat = f.to_u64(f.inv(f.from_residue(r)));
+      BigInt euclid = mod_inverse(BigInt(static_cast<std::int64_t>(r)), bp);
+      EXPECT_EQ(BigInt(static_cast<std::int64_t>(fermat)), euclid) << "p=" << p << " r=" << r;
+      EXPECT_EQ(f.mul_canonical(f.from_residue(r), fermat), 1u);
+    }
+    // mod_inverse reports non-invertibility with zero.
+    EXPECT_TRUE(mod_inverse(BigInt(0), bp).is_zero());
+    EXPECT_TRUE(mod_inverse(bp, bp).is_zero());
+  }
+}
+
+TEST(ZpFieldTest, SignedAndEdgeConversions) {
+  for (std::uint64_t p : kPrimes) {
+    ZpField f(p);
+    EXPECT_EQ(f.to_u64(f.from_int64(-1)), p - 1);
+    EXPECT_EQ(f.to_u64(f.from_int64(std::numeric_limits<std::int64_t>::min())),
+              ref_mod(BigInt(std::numeric_limits<std::int64_t>::min()), p));
+    EXPECT_EQ(f.to_u64(f.from_int64(std::numeric_limits<std::int64_t>::max())),
+              ref_mod(BigInt(std::numeric_limits<std::int64_t>::max()), p));
+    EXPECT_EQ(f.to_u64(f.from_u64(~std::uint64_t{0})),
+              (~std::uint64_t{0}) % p);
+  }
+}
+
+TEST(ZpFieldTest, ZpResidueFastPathAgrees) {
+  ZpField f(1000003);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t r = rng.below(f.p());
+    BigInt b(static_cast<std::int64_t>(r));
+    EXPECT_EQ(zp_residue_u64(b), r);
+  }
+}
+
+}  // namespace
+}  // namespace gbd

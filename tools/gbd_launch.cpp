@@ -3,9 +3,10 @@
 //
 // Launcher mode (default):
 //   gbd_launch [--procs N] [--problem NAME] [--port BASE] [--seed S]
-//              [--net-chaos LEVEL] [--chaos-seed S] [--batch] [--reserve]
-//              [--peer-timeout-ms T] [--trace-dir DIR] [--timeout SECONDS]
-//              [--no-verify] [--kill-rank R [--kill-after-ms T]]
+//              [--coeff exact|zp:P] [--net-chaos LEVEL] [--chaos-seed S]
+//              [--batch] [--reserve] [--peer-timeout-ms T] [--trace-dir DIR]
+//              [--timeout SECONDS] [--no-verify]
+//              [--kill-rank R [--kill-after-ms T]]
 //
 //   Forks N worker processes (re-exec of this binary) on 127.0.0.1 ports
 //   BASE..BASE+N-1, supervises them under a watchdog, and reports per-rank
@@ -37,6 +38,7 @@
 
 #include <unistd.h>
 
+#include "bigint/zp.hpp"
 #include "gb/verify.hpp"
 #include "net/net_engine.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +54,7 @@ struct Options {
   std::string problem = "trinks1";
   int port = 0;  ///< 0 = derive from pid
   std::uint64_t seed = 1;
+  std::string coeff = "exact";  ///< "exact" or "zp:P" (run over Z/PZ)
   int net_chaos = 0;
   std::uint64_t chaos_seed = 42;
   bool batch = false;
@@ -71,9 +74,10 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--procs N] [--problem NAME] [--port BASE] [--seed S]\n"
-               "          [--net-chaos LEVEL] [--chaos-seed S] [--batch] [--reserve]\n"
-               "          [--peer-timeout-ms T] [--trace-dir DIR] [--timeout SECONDS]\n"
-               "          [--no-verify] [--kill-rank R [--kill-after-ms T]]\n"
+               "          [--coeff exact|zp:P] [--net-chaos LEVEL] [--chaos-seed S]\n"
+               "          [--batch] [--reserve] [--peer-timeout-ms T] [--trace-dir DIR]\n"
+               "          [--timeout SECONDS] [--no-verify]\n"
+               "          [--kill-rank R [--kill-after-ms T]]\n"
                "       %s --worker --rank R [--hosts FILE] ...\n",
                argv0, argv0);
   std::exit(2);
@@ -95,6 +99,8 @@ Options parse_args(int argc, char** argv) {
       opt.port = std::atoi(value(i));
     } else if (std::strcmp(a, "--seed") == 0) {
       opt.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(a, "--coeff") == 0) {
+      opt.coeff = value(i);
     } else if (std::strcmp(a, "--net-chaos") == 0) {
       opt.net_chaos = std::atoi(value(i));
     } else if (std::strcmp(a, "--chaos-seed") == 0) {
@@ -128,6 +134,22 @@ Options parse_args(int argc, char** argv) {
   if (opt.procs < 1 || opt.procs > 256) usage(argv[0]);
   if (opt.worker && (opt.rank < 0 || opt.rank >= opt.procs)) usage(argv[0]);
   return opt;
+}
+
+/// "exact" or "zp:P" → engine coefficient options; exits on junk.
+CoeffOptions parse_coeff(const std::string& spec) {
+  if (spec == "exact") return CoeffOptions::exact();
+  if (spec.rfind("zp:", 0) == 0) {
+    std::uint64_t p = std::strtoull(spec.c_str() + 3, nullptr, 10);
+    if (p < 3 || p % 2 == 0 || p >= (std::uint64_t{1} << 62) || !is_prime_u64(p)) {
+      std::fprintf(stderr, "error: --coeff zp:P needs an odd prime 3 <= P < 2^62 (got '%s')\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    return CoeffOptions::zp(p);
+  }
+  std::fprintf(stderr, "error: --coeff must be 'exact' or 'zp:P' (got '%s')\n", spec.c_str());
+  std::exit(2);
 }
 
 int base_port(const Options& opt) {
@@ -202,7 +224,9 @@ int run_worker(const Options& opt) {
 
   Tracer tracer;
   MetricsRegistry metrics(opt.procs);
+  CoeffOptions coeff = parse_coeff(opt.coeff);
   ParallelConfig cfg;
+  cfg.gb.coeff = coeff;
   cfg.nprocs = opt.procs;
   cfg.seed = opt.seed;
   cfg.reserve_coordinator = opt.reserve;
@@ -245,9 +269,10 @@ int run_worker(const Options& opt) {
 
   if (opt.rank != 0) return 0;
 
-  std::printf("%s  P=%d  backend=socket  seed=%llu  basis=%zu  makespan=%.3f ms\n",
-              opt.problem.c_str(), opt.procs, static_cast<unsigned long long>(opt.seed),
-              res.basis_ids.size(), static_cast<double>(res.machine.makespan) / 1e6);
+  std::printf("%s  P=%d  backend=socket  coeff=%s  seed=%llu  basis=%zu  makespan=%.3f ms\n",
+              opt.problem.c_str(), opt.procs, opt.coeff.c_str(),
+              static_cast<unsigned long long>(opt.seed), res.basis_ids.size(),
+              static_cast<double>(res.machine.makespan) / 1e6);
   std::printf("messages=%llu  wire: frames=%llu retransmits=%llu dups_dropped=%llu "
               "chaos(drop/dup/delay)=%llu/%llu/%llu\n",
               static_cast<unsigned long long>(res.stats.messages_sent),
@@ -269,7 +294,7 @@ int run_worker(const Options& opt) {
       if (!p.is_zero()) inputs.push_back(p);
     }
     std::string why;
-    if (!verify_groebner_result(sys.ctx, inputs, res.basis, &why)) {
+    if (!verify_groebner_result(sys.ctx, inputs, res.basis, &why, coeff)) {
       std::fprintf(stderr, "certificate FAILED: %s\n", why.c_str());
       return 1;
     }

@@ -7,7 +7,26 @@
 //
 // Counters reported per benchmark: steps, find_reducer probes, divmask
 // rejects and BigInt heap spills for one reduction at that configuration.
+//
+// A second mode compares whole Gröbner runs instead of single reductions:
+//
+//   reduce_kernel --matrix [--smoke] [--out FILE]
+//
+// runs the sequential engine per-poly vs matrix_reduce (the batched F4-style
+// path) on the PR-7 workload table — trinks1, arnborg5 under lex, and
+// katsura(4..7), over Q and over Z/pZ — checks that both paths reach the
+// identical reduced basis, and prints/writes one JSON row per configuration
+// (wall times, speedup, matrix-kernel counters). Exact rows whose
+// coefficient growth makes them minutes-long (katsura 6/7 over Q) are
+// zp-only. --smoke trims to the fast rows for CI; --out writes the JSON
+// consumed as BENCH_pr7.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include <string>
 #include <vector>
@@ -19,6 +38,7 @@
 #include "poly/divmask.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
+#include "poly/symbolic.hpp"
 #include "problems/problems.hpp"
 #include "support/check.hpp"
 
@@ -115,7 +135,172 @@ void BM_ReduceFullGeobucketZp(benchmark::State& state) { reduce_bench_zp(state, 
 BENCHMARK(BM_ReduceFullNaiveZp)->DenseRange(0, 3);
 BENCHMARK(BM_ReduceFullGeobucketZp)->DenseRange(0, 3);
 
+// ---------------------------------------------------------------------------
+// --matrix mode: whole-run per-poly vs batched-matrix comparison (PR 7).
+
+struct MatrixRow {
+  const char* problem;
+  OrderKind order;
+  bool exact_too;        ///< also time the exact path (skipped where Q blows up)
+  bool smoke;            ///< part of the CI smoke subset
+  bool exact_full_only;  ///< exact half only under GBD_BENCH_FULL=1 (minutes-long)
+};
+
+const MatrixRow kMatrixRows[] = {
+    {"trinks1", OrderKind::kGrLex, true, true, false},
+    // Under lex the exact coefficients explode; the matrix's speculative
+    // pivot products multiply that BigInt work, so the exact half of this
+    // row runs for many minutes and is gated like katsura4/lex in pr6.
+    {"arnborg5", OrderKind::kLex, true, false, true},
+    {"katsura(4)", OrderKind::kGrLex, true, true, false},
+    {"katsura(5)", OrderKind::kGrLex, true, true, false},
+    {"katsura(6)", OrderKind::kGrLex, false, false, false},
+    {"katsura(7)", OrderKind::kGrLex, false, false, false},
+};
+
+PolySystem load_with_order(const std::string& name, OrderKind order) {
+  PolySystem sys = load_problem(name);
+  if (sys.ctx.order == order) return sys;
+  PolySystem out;
+  out.name = sys.name;
+  out.ctx = sys.ctx;
+  out.ctx.order = order;
+  for (const auto& p : sys.polys) {
+    std::vector<Term> terms(p.terms().begin(), p.terms().end());
+    out.polys.push_back(Polynomial::from_terms(out.ctx, std::move(terms)));
+  }
+  return out;
+}
+
+double timed_run_ms(const PolySystem& sys, const GbConfig& cfg, int reps,
+                    SequentialResult* out, int* reps_run = nullptr) {
+  double best = 0;
+  int ran = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    SequentialResult res = groebner_sequential(sys, cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+    if (r == 0) *out = std::move(res);
+    ++ran;
+    // A run this long has negligible timer noise; re-running it only makes
+    // regenerating the committed JSON painful.
+    if (best > 5000) break;
+  }
+  if (reps_run) *reps_run = ran;
+  return best;
+}
+
+int run_matrix_mode(bool smoke, const std::string& out_path) {
+  const std::uint64_t prime = prev_prime_u64(std::uint64_t{1} << 31);
+  const int reps = smoke ? 1 : 3;
+  std::string json = "{\n  \"bench\": \"pr7_matrix_reduce\",\n  \"rows\": [\n";
+  bool first_row = true;
+  bool any_zp_win = false;
+  std::printf("%-12s %-6s %-14s %12s %12s %9s  %s\n", "problem", "order", "coeff", "per_poly_ms",
+              "matrix_ms", "speedup", "batches/cols/axpys");
+
+  for (const MatrixRow& row : kMatrixRows) {
+    if (smoke && !row.smoke) continue;
+    PolySystem sys = load_with_order(row.problem, row.order);
+    for (bool use_zp : {false, true}) {
+      if (!use_zp && !row.exact_too) continue;
+      if (!use_zp && row.exact_full_only && std::getenv("GBD_BENCH_FULL") == nullptr) continue;
+      CoeffOptions coeff = use_zp ? CoeffOptions::zp(prime) : CoeffOptions{};
+      GbConfig per_poly;
+      per_poly.coeff = coeff;
+      GbConfig matrix = per_poly;
+      matrix.matrix_reduce = true;
+
+      SequentialResult a, b;
+      double pp_ms = timed_run_ms(sys, per_poly, reps, &a);
+      int mreps = 1;
+      reset_matrix_kernel_stats();
+      double mx_ms = timed_run_ms(sys, matrix, reps, &b, &mreps);
+      MatrixKernelStats ms = matrix_kernel_stats();
+      const std::uint64_t mr = static_cast<std::uint64_t>(mreps);
+
+      // Both paths must compute the same ideal's canonical reduced basis —
+      // the comparison is meaningless (and the build broken) otherwise.
+      std::vector<Polynomial> ga = reduce_basis(sys.ctx, a.basis, coeff);
+      std::vector<Polynomial> gb = reduce_basis(sys.ctx, b.basis, coeff);
+      bool equal = ga.size() == gb.size();
+      for (std::size_t i = 0; equal && i < ga.size(); ++i) equal = ga[i].equals(gb[i]);
+      if (!equal) {
+        std::fprintf(stderr, "FAIL: %s %s: matrix path basis differs from per-poly\n",
+                     sys.name.c_str(), use_zp ? "zp" : "exact");
+        return 1;
+      }
+
+      double speedup = mx_ms > 0 ? pp_ms / mx_ms : 0;
+      if (use_zp && speedup > 1.0) any_zp_win = true;
+      std::string coeff_name = use_zp ? "zp:" + std::to_string(prime) : "exact";
+      std::printf("%-12s %-6s %-14s %12.2f %12.2f %8.2fx  %llu/%llu/%llu\n", sys.name.c_str(),
+                  order_name(row.order), coeff_name.c_str(), pp_ms, mx_ms, speedup,
+                  static_cast<unsigned long long>(ms.batches / mr),
+                  static_cast<unsigned long long>(ms.frame_cols / mr),
+                  static_cast<unsigned long long>(ms.axpys / mr));
+      std::fflush(stdout);
+
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"name\": \"%s\", \"order\": \"%s\", \"coeff\": \"%s\", "
+          "\"per_poly_ms\": %.3f, \"matrix_ms\": %.3f, \"speedup\": %.4f, "
+          "\"basis_added\": %llu, \"matrix_batches\": %llu, \"frame_cols\": %llu, "
+          "\"pivot_rows\": %llu, \"work_rows\": %llu, \"rows_zeroed\": %llu, "
+          "\"axpys\": %llu, \"dense_cells\": %llu}",
+          sys.name.c_str(), order_name(row.order), coeff_name.c_str(), pp_ms, mx_ms, speedup,
+          static_cast<unsigned long long>(b.stats.basis_added),
+          static_cast<unsigned long long>(ms.batches / mr),
+          static_cast<unsigned long long>(ms.frame_cols / mr),
+          static_cast<unsigned long long>(ms.pivot_rows / mr),
+          static_cast<unsigned long long>(ms.work_rows / mr),
+          static_cast<unsigned long long>(ms.rows_zeroed / mr),
+          static_cast<unsigned long long>(ms.axpys / mr),
+          static_cast<unsigned long long>(ms.dense_cells / mr));
+      json += (first_row ? "" : ",\n");
+      json += buf;
+      first_row = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("\nwritten to %s\n", out_path.c_str());
+  }
+  if (!smoke && !any_zp_win) {
+    std::fprintf(stderr, "note: matrix path did not beat per-poly on any Zp row\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gbd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool matrix = false, smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--matrix") == 0) {
+      matrix = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (matrix) return gbd::run_matrix_mode(smoke, out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

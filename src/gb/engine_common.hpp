@@ -60,6 +60,20 @@ struct GbConfig {
   /// transition, pipeline and shared-memory engines are exact-only and
   /// abort on a Zp config.
   CoeffOptions coeff;
+  /// Batched F4-style matrix reduction (poly/symbolic+matrix+echelon):
+  /// select every queued pair of the currently minimal lcm degree (capped by
+  /// matrix_batch_max), reduce their s-polynomials as one Macaulay matrix,
+  /// and add all surviving rows. The per-poly geobucket path stays the
+  /// bit-exact oracle; both paths yield the same reduced basis. Honored by
+  /// the sequential engine and the GL-P engines (and, through them, the
+  /// multi-modular driver's per-prime jobs); other engines ignore it.
+  bool matrix_reduce = false;
+  /// Cap on pairs per matrix round (matrix_reduce only).
+  std::size_t matrix_batch_max = 64;
+  /// Worker threads for the elimination kernel (sequential engine only; the
+  /// GL-P engines parallelize across procs instead). Results are identical
+  /// for any value.
+  std::size_t matrix_threads = 1;
   /// Abort knob for tests; a correct run never hits it.
   std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();
 };

@@ -49,6 +49,11 @@ PendingPair SequentialPairQueue::pop_best() {
   return p;
 }
 
+const PendingPair& SequentialPairQueue::peek_best() const {
+  GBD_CHECK_MSG(!pairs_.empty(), "peek_best on empty pair queue");
+  return *pairs_.begin();
+}
+
 std::vector<std::size_t> gm_new_pairs(const PolyContext& ctx,
                                       const std::vector<Monomial>& heads, const Monomial& hr,
                                       GmPruneCounts* counts) {

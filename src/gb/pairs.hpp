@@ -44,6 +44,11 @@ class SequentialPairQueue {
   /// Remove and return the best pair under the selection strategy.
   PendingPair pop_best();
 
+  /// The pair pop_best would return, without removing it. Queue must be
+  /// non-empty. Used by the batched matrix path to gather all pairs of the
+  /// current minimal degree.
+  const PendingPair& peek_best() const;
+
  private:
   struct Cmp {
     const SequentialPairQueue* q;

@@ -12,6 +12,7 @@
 #include "machine/thread_machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "poly/echelon.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
 #include "support/check.hpp"
@@ -161,7 +162,11 @@ class GlpWorker {
       }
       if (!finishing_) switch (queue_.try_dequeue(&payload)) {
         case DistTaskQueue::Dequeue::kGot:
-          process_task(PairTask::decode(payload));
+          if (cfg_.gb.matrix_reduce) {
+            process_task_batch(&payload);
+          } else {
+            process_task(PairTask::decode(payload));
+          }
           break;
         case DistTaskQueue::Dequeue::kTerminated:
           finishing_ = true;
@@ -393,6 +398,140 @@ class GlpWorker {
     }
     out_->stats.spolys_computed += 1;
     continue_reduction(std::move(task), std::move(h), std::move(trace));
+  }
+
+  /// Batched (F4-style) variant of process_task, used when
+  /// cfg.gb.matrix_reduce is set. Starting from one dequeued task, drains up
+  /// to matrix_batch_max further *locally available* tasks (no degree filter:
+  /// unlike the sequential engine there is no global queue to group by
+  /// degree, and whatever is local IS this processor's share of the front),
+  /// screens each exactly as process_task would — criteria, then residency
+  /// suspension — and reduces the survivors' s-polynomials as one Macaulay
+  /// matrix against the replica. Each surviving row enters the augment
+  /// pipeline as its own Pending attributed to its originating pair, so
+  /// done-marking, freshening and pair creation reuse the per-pair machinery
+  /// unchanged. The network is NOT served between symbolic preprocessing and
+  /// the elimination: the frame holds pointers into replica storage, which
+  /// stays stable only while we do not poll.
+  void process_task_batch(std::vector<std::uint8_t>* payload) {
+    executing_ = true;
+    struct Ready {
+      PairTask task;
+      Polynomial spoly;
+    };
+    std::vector<Ready> ready;
+    {
+      TraceSpan span(self_, Ev::kTask);
+      for (;;) {
+        PairTask task = PairTask::decode(*payload);
+        if (cfg_.gb.coprime_criterion && Monomial::coprime(task.ha, task.hb)) {
+          out_->stats.pairs_pruned_coprime += 1;
+          done_.mark(task.a, task.b);
+        } else if (chain_prunable(task)) {
+          // Not marked done: only self-grounded treatments are citable (see
+          // sequential.cpp on the justification-cycle hazard).
+          out_->stats.pairs_pruned_chain += 1;
+        } else {
+          const Polynomial* pa = basis_.find(task.a);
+          const Polynomial* pb = basis_.find(task.b);
+          if (pa == nullptr || pb == nullptr) {
+            if (pa == nullptr) basis_.prefetch(task.a);
+            if (pb == nullptr) basis_.prefetch(task.b);
+            if (ProcTracer* t = self_.tracer()) {
+              t->async_begin(Ev::kHold, self_.now(), hold_id(task.a, task.b), task.a);
+            }
+            suspended_.push_back(std::move(task));
+          } else {
+            Polynomial h;
+            {
+              TraceSpan sp(self_, Ev::kSpoly, task.a, task.b);
+              CostScope cost;
+              h = spoly(sys_.ctx, *pa, *pb, cfg_.gb.coeff);
+              out_->stats.work_units += cost.elapsed();
+            }
+            out_->stats.spolys_computed += 1;
+            ready.push_back(Ready{std::move(task), std::move(h)});
+          }
+        }
+        if (ready.size() >= cfg_.gb.matrix_batch_max) break;
+        if (queue_.try_dequeue(payload) != DistTaskQueue::Dequeue::kGot) break;
+      }
+      span.result(ready.size());
+    }
+    if (ready.empty()) {
+      executing_ = false;
+      return;
+    }
+
+    std::vector<Polynomial> rows;
+    rows.reserve(ready.size());
+    for (Ready& r : ready) rows.push_back(std::move(r.spoly));
+
+    SymbolicFrame frame;
+    {
+      TraceSpan sp(self_, Ev::kMatSymbolic, rows.size());
+      CostScope cost;
+      frame = symbolic_preprocess(sys_.ctx, rows, basis_.reducer_set());
+      out_->stats.work_units += cost.elapsed();
+      sp.result(frame.ncols());
+    }
+    MacaulayMatrix mat;
+    {
+      TraceSpan sp(self_, Ev::kMatBuild, rows.size(), frame.ncols());
+      CostScope cost;
+      mat = build_matrix(sys_.ctx, frame, rows, cfg_.gb.coeff);
+      out_->stats.work_units += cost.elapsed();
+    }
+    EchelonOptions eopts;
+    eopts.coeff = cfg_.gb.coeff;
+    EchelonOutput eo;
+    {
+      TraceSpan sp(self_, Ev::kMatEliminate, rows.size());
+      CostScope cost;
+      const std::uint64_t axpys_before = matrix_kernel_stats().axpys;
+      eo = echelon_reduce(sys_.ctx, frame, mat, eopts);
+      out_->stats.reduction_steps += matrix_kernel_stats().axpys - axpys_before;
+      std::uint64_t c = cost.elapsed();
+      out_->stats.work_units += c;
+      out_->stats.max_step_cost = std::max(out_->stats.max_step_cost, c);
+      sp.result(eo.rows.size());
+    }
+
+    TraceSpan sp(self_, Ev::kMatConvert, eo.rows.size());
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < ready.size(); ++s) {
+      PairTask& task = ready[s].task;
+      TaskTrace trace;
+      trace.a = task.a;
+      trace.b = task.b;
+      if (eo.src_zeroed[s]) {
+        // Zero in-matrix: the row's standard representation uses replica
+        // elements plus (possibly) other batch rows, each of which itself
+        // either joins the basis or dies against real basis elements — so
+        // the treatment is grounded and citable, as in the sequential batch.
+        out_->stats.reductions_to_zero += 1;
+        done_.mark(task.a, task.b);
+        if (cfg_.record_trace) out_->trace.tasks.push_back(std::move(trace));
+        continue;
+      }
+      GBD_CHECK(next < eo.rows.size() && eo.rows[next].src == s);
+      Polynomial h = std::move(eo.rows[next].poly);
+      ++next;
+      if (PolyId blocked = basis_.pending_reducer(h.hmono()); blocked != 0) {
+        basis_.prefetch(blocked);
+        if (ProcTracer* t = self_.tracer()) {
+          t->async_begin(Ev::kStall, self_.now(), hold_id(task.a, task.b), blocked);
+        }
+        stalled_.push_back(Stalled{std::move(task), std::move(h), std::move(trace)});
+        continue;
+      }
+      pending_.push_back(Pending{std::move(h), std::move(trace), task.a, task.b});
+      if (!lock_.requested()) {
+        lock_.request();
+        aug_state_ = AugState::kWaitLock;
+      }
+    }
+    executing_ = false;
   }
 
   /// Drive a reduct toward augment: reduce against the local replica, and

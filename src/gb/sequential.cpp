@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gb/pairs.hpp"
+#include "poly/echelon.hpp"
 #include "poly/reduce.hpp"
 #include "poly/spoly.hpp"
 #include "support/check.hpp"
@@ -103,24 +104,98 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
     }
   }
 
-  while (!queue.empty()) {
-    PendingPair pair = queue.pop_best();
+  // Augment the basis with a reduced nonzero element and enqueue pairs with
+  // every existing element, filtered by the Gebauer–Möller update when
+  // enabled. Dropped pairs count as treated — the criteria certify their
+  // standard representation.
+  auto augment = [&](Polynomial poly, std::uint32_t sugar) {
+    std::uint32_t m = static_cast<std::uint32_t>(basis.size());
+    Monomial new_head = poly.hmono();
+    res.stats.pairs_created += m;
+    std::vector<bool> keep(m, true);
+    if (cfg.gm_update) {
+      GmPruneCounts gm;
+      std::vector<std::size_t> kept = gm_new_pairs(ctx, heads, new_head, &gm);
+      keep.assign(m, false);
+      for (std::size_t i : kept) keep[i] = true;
+      res.stats.pairs_pruned_coprime += gm.coprime;
+      res.stats.pairs_pruned_chain += gm.m_rule + gm.f_rule;
+    }
+    heads.push_back(new_head);
+    sugars.push_back(sugar);
+    basis.push_back(std::move(poly));
+    res.stats.basis_added += 1;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      if (keep[i]) {
+        Monomial l = Monomial::lcm(heads[i], heads[m]);
+        std::uint32_t s = pair_sugar(i, m, l);
+        queue.push(i, m, std::move(l), s);
+      } else if (coprime_criterion(heads[i], heads[m])) {
+        done.mark(i, m);  // grounded by criterion 1; M/F drops stay uncitable
+      }
+    }
+  };
 
-    // Elimination criteria. Only *self-grounded* treatments enter `done`
-    // (coprime pairs — criterion 1 needs no other pair — and actually
-    // reduced pairs): letting a chain- or GM-pruned pair be cited by a later
-    // chain-criterion application can close a justification cycle where two
-    // pruned pairs certify each other and neither is ever reduced, silently
-    // producing a non-basis. Pruned-but-ungrounded pairs are simply dropped.
+  // Elimination criteria for a popped pair. Only *self-grounded* treatments
+  // enter `done` (coprime pairs — criterion 1 needs no other pair — and
+  // actually reduced pairs): letting a chain- or GM-pruned pair be cited by
+  // a later chain-criterion application can close a justification cycle
+  // where two pruned pairs certify each other and neither is ever reduced,
+  // silently producing a non-basis. Pruned-but-ungrounded pairs are dropped.
+  auto pruned = [&](const PendingPair& pair) {
     if (cfg.coprime_criterion && coprime_criterion(heads[pair.i], heads[pair.j])) {
       res.stats.pairs_pruned_coprime += 1;
       done.mark(pair.i, pair.j);
-      continue;
+      return true;
     }
     if (cfg.chain_criterion && chain_criterion(pair.i, pair.j, pair.lcm, heads, done)) {
       res.stats.pairs_pruned_chain += 1;
+      return true;
+    }
+    return false;
+  };
+
+  while (!queue.empty()) {
+    if (cfg.matrix_reduce) {
+      // Batch round: every queued pair of the current minimal lcm degree
+      // (the F4 selection), reduced together as one Macaulay matrix. The
+      // criteria still screen pair-by-pair; chain applications within a
+      // round cannot cite same-round pairs (done-marking happens after the
+      // elimination), which is conservative but sound.
+      const std::uint32_t deg = queue.peek_best().lcm.degree();
+      std::vector<PendingPair> batch;
+      while (!queue.empty() && batch.size() < cfg.matrix_batch_max &&
+             queue.peek_best().lcm.degree() == deg) {
+        PendingPair pair = queue.pop_best();
+        if (!pruned(pair)) batch.push_back(std::move(pair));
+      }
+      if (batch.empty()) continue;
+
+      std::vector<Polynomial> rows;
+      rows.reserve(batch.size());
+      for (const PendingPair& pair : batch) {
+        rows.push_back(spoly(ctx, basis[pair.i], basis[pair.j], cfg.coeff));
+        res.stats.spolys_computed += 1;
+        GBD_CHECK_MSG(res.stats.spolys_computed <= cfg.max_spolys,
+                      "groebner_sequential exceeded max_spolys");
+      }
+
+      EchelonOptions eopts;
+      eopts.coeff = cfg.coeff;
+      eopts.nthreads = cfg.matrix_threads;
+      const std::uint64_t axpys_before = matrix_kernel_stats().axpys;
+      EchelonOutput eo = reduce_batch(ctx, rows, reducer_set, eopts);
+      res.stats.reduction_steps += matrix_kernel_stats().axpys - axpys_before;
+      for (const PendingPair& pair : batch) done.mark(pair.i, pair.j);
+      res.stats.reductions_to_zero += batch.size() - eo.rows.size();
+      for (EchelonOutput::NewRow& nr : eo.rows) {
+        augment(std::move(nr.poly), batch[nr.src].sugar);
+      }
       continue;
     }
+
+    PendingPair pair = queue.pop_best();
+    if (pruned(pair)) continue;
 
     Polynomial h = spoly(ctx, basis[pair.i], basis[pair.j], cfg.coeff);
     res.stats.spolys_computed += 1;
@@ -134,35 +209,7 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
       res.stats.reductions_to_zero += 1;
       continue;
     }
-
-    // Augment the basis and enqueue pairs with every existing element,
-    // filtered by the Gebauer–Möller update when enabled. Dropped pairs
-    // count as treated — the criteria certify their standard representation.
-    std::uint32_t m = static_cast<std::uint32_t>(basis.size());
-    Monomial new_head = red.poly.hmono();
-    res.stats.pairs_created += m;
-    std::vector<bool> keep(m, true);
-    if (cfg.gm_update) {
-      GmPruneCounts gm;
-      std::vector<std::size_t> kept = gm_new_pairs(ctx, heads, new_head, &gm);
-      keep.assign(m, false);
-      for (std::size_t i : kept) keep[i] = true;
-      res.stats.pairs_pruned_coprime += gm.coprime;
-      res.stats.pairs_pruned_chain += gm.m_rule + gm.f_rule;
-    }
-    heads.push_back(new_head);
-    sugars.push_back(pair.sugar);  // the s-polynomial's sugar survives reduction
-    basis.push_back(std::move(red.poly));
-    res.stats.basis_added += 1;
-    for (std::uint32_t i = 0; i < m; ++i) {
-      if (keep[i]) {
-        Monomial l = Monomial::lcm(heads[i], heads[m]);
-        std::uint32_t sugar = pair_sugar(i, m, l);
-        queue.push(i, m, std::move(l), sugar);
-      } else if (coprime_criterion(heads[i], heads[m])) {
-        done.mark(i, m);  // grounded by criterion 1; M/F drops stay uncitable
-      }
-    }
+    augment(std::move(red.poly), pair.sugar);
   }
 
   res.basis = std::move(basis);

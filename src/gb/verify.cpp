@@ -64,32 +64,72 @@ std::vector<Polynomial> coeff_image(const PolyContext& ctx, const std::vector<Po
   return out;
 }
 
-}  // namespace
-
-bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& basis,
-                       std::string* why, const CoeffOptions& coeff) {
-  std::vector<Polynomial> image;
-  const std::vector<Polynomial>* use = &basis;
-  if (coeff.is_zp()) {
-    image = coeff_image(ctx, basis, coeff);
-    use = &image;
+/// True iff every polynomial is already in the exact form coeff_image would
+/// produce over Zp: monic with every coefficient a canonical residue. Engine
+/// bases over Zp always are, so the certificate can skip re-normalizing them
+/// (a per-call full copy of the basis, pre-PR7).
+bool zp_canonical(const std::vector<Polynomial>& polys, const ZpField& field) {
+  for (const Polynomial& p : polys) {
+    if (p.is_zero()) continue;  // the image of zero is zero
+    if (!p.hcoef().is_one()) return false;
+    for (const Term& t : p.terms()) {
+      if (t.coeff.is_negative() || t.coeff.bit_length() > 62) return false;
+      if (zp_residue_u64(t.coeff) >= field.p()) return false;
+    }
   }
+  return true;
+}
+
+/// Shared verification context: the coefficient image (or the original
+/// vector, when it is usable as-is) plus ONE divmask-backed reducer set over
+/// it. Built once per top-level verify entry; pre-PR7 every containment
+/// query rebuilt both, which made verify_s rival gb_s on small problems.
+struct VerifyView {
+  VerifyView(const PolyContext& ctx, const std::vector<Polynomial>& polys,
+             const CoeffOptions& coeff) {
+    if (coeff.is_zp() && !zp_canonical(polys, ZpField(coeff.prime))) {
+      image_ = coeff_image(ctx, polys, coeff);
+      use_ = &image_;
+    } else {
+      use_ = &polys;
+    }
+    set_ = VectorReducerSet(use_);
+    ropts_.coeff = coeff;
+  }
+  VerifyView(const VerifyView&) = delete;
+  VerifyView& operator=(const VerifyView&) = delete;
+
+  const std::vector<Polynomial>& polys() const { return *use_; }
+  const VectorReducerSet& set() const { return set_; }
+  const ReduceOptions& ropts() const { return ropts_; }
+
+ private:
+  const std::vector<Polynomial>* use_ = nullptr;
+  std::vector<Polynomial> image_;
+  VectorReducerSet set_;
+  ReduceOptions ropts_;
+};
+
+bool is_groebner_basis_view(const PolyContext& ctx, const VerifyView& v, std::string* why,
+                            const CoeffOptions& coeff) {
+  const std::vector<Polynomial>& use = v.polys();
   // Reject zeros up front: spoly() has a nonzero precondition. (Over Zp an
   // exactly-nonzero element can vanish mod p — that still disqualifies the
   // set as a basis over this field.)
-  for (std::size_t i = 0; i < use->size(); ++i) {
-    if ((*use)[i].is_zero()) {
+  for (std::size_t i = 0; i < use.size(); ++i) {
+    if (use[i].is_zero()) {
       if (why) *why = "basis contains the zero polynomial";
       return false;
     }
   }
-  VectorReducerSet set(use);
-  ReduceOptions ropts;
-  ropts.coeff = coeff;
-  for (std::size_t i = 0; i < use->size(); ++i) {
-    for (std::size_t j = i + 1; j < use->size(); ++j) {
-      Polynomial s = spoly(ctx, (*use)[i], (*use)[j], coeff);
-      ReduceOutcome out = reduce_full(ctx, std::move(s), set, ropts);
+  for (std::size_t i = 0; i < use.size(); ++i) {
+    for (std::size_t j = i + 1; j < use.size(); ++j) {
+      // Buchberger's first criterion is a theorem, not a heuristic: coprime
+      // heads guarantee S(f,g) reduces to zero modulo {f,g} alone, so the
+      // certificate need not recompute it.
+      if (Monomial::coprime(use[i].hmono(), use[j].hmono())) continue;
+      Polynomial s = spoly(ctx, use[i], use[j], coeff);
+      ReduceOutcome out = reduce_full(ctx, std::move(s), v.set(), v.ropts());
       if (!out.poly.is_zero()) {
         if (why) {
           *why = "SPOL(basis[" + std::to_string(i) + "], basis[" + std::to_string(j) +
@@ -102,27 +142,33 @@ bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& ba
   return true;
 }
 
+bool ideal_contains_view(const PolyContext& ctx, const VerifyView& v, const Polynomial& p) {
+  return reduce_full(ctx, p, v.set(), v.ropts()).poly.is_zero();
+}
+
+}  // namespace
+
+bool is_groebner_basis(const PolyContext& ctx, const std::vector<Polynomial>& basis,
+                       std::string* why, const CoeffOptions& coeff) {
+  VerifyView v(ctx, basis, coeff);
+  return is_groebner_basis_view(ctx, v, why, coeff);
+}
+
 bool ideal_contains(const PolyContext& ctx, const std::vector<Polynomial>& gb,
                     const Polynomial& p, const CoeffOptions& coeff) {
-  std::vector<Polynomial> image;
-  const std::vector<Polynomial>* use = &gb;
-  if (coeff.is_zp()) {
-    image = coeff_image(ctx, gb, coeff);
-    use = &image;
-  }
-  VectorReducerSet set(use);
-  ReduceOptions ropts;
-  ropts.coeff = coeff;
-  return reduce_full(ctx, p, set, ropts).poly.is_zero();
+  VerifyView v(ctx, gb, coeff);
+  return ideal_contains_view(ctx, v, p);
 }
 
 bool same_ideal(const PolyContext& ctx, const std::vector<Polynomial>& gb1,
                 const std::vector<Polynomial>& gb2, const CoeffOptions& coeff) {
+  VerifyView v1(ctx, gb1, coeff);
+  VerifyView v2(ctx, gb2, coeff);
   for (const auto& g : gb1) {
-    if (!ideal_contains(ctx, gb2, g, coeff)) return false;
+    if (!ideal_contains_view(ctx, v2, g)) return false;
   }
   for (const auto& g : gb2) {
-    if (!ideal_contains(ctx, gb1, g, coeff)) return false;
+    if (!ideal_contains_view(ctx, v1, g)) return false;
   }
   return true;
 }
@@ -130,9 +176,12 @@ bool same_ideal(const PolyContext& ctx, const std::vector<Polynomial>& gb1,
 bool verify_groebner_result(const PolyContext& ctx, const std::vector<Polynomial>& inputs,
                             const std::vector<Polynomial>& basis, std::string* why,
                             const CoeffOptions& coeff) {
-  if (!is_groebner_basis(ctx, basis, why, coeff)) return false;
+  // One image + one reducer set (with its lazily built divmask cache) backs
+  // both the S-pair sweep and every input-containment query.
+  VerifyView v(ctx, basis, coeff);
+  if (!is_groebner_basis_view(ctx, v, why, coeff)) return false;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    if (!ideal_contains(ctx, basis, inputs[i], coeff)) {
+    if (!ideal_contains_view(ctx, v, inputs[i])) {
       if (why) *why = "input generator " + std::to_string(i) + " not in the output ideal";
       return false;
     }

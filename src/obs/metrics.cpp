@@ -60,7 +60,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 KernelBaseline kernel_baseline() {
-  return KernelBaseline{find_reducer_stats(), geobucket_stats()};
+  return KernelBaseline{find_reducer_stats(), geobucket_stats(), matrix_kernel_stats()};
 }
 
 void collect_kernel_delta(MetricsRegistry& reg, int proc, const KernelBaseline& base) {
@@ -76,6 +76,14 @@ void collect_kernel_delta(MetricsRegistry& reg, int proc, const KernelBaseline& 
   reg.add("kernel.geobucket.extracts", proc, gb.extracts - base.geobucket.extracts);
   reg.add("kernel.geobucket.normalizations", proc,
           gb.normalizations - base.geobucket.normalizations);
+  const MatrixKernelStats& mk = matrix_kernel_stats();
+  reg.add("kernel.matrix.batches", proc, mk.batches - base.matrix.batches);
+  reg.add("kernel.matrix.frame_cols", proc, mk.frame_cols - base.matrix.frame_cols);
+  reg.add("kernel.matrix.pivot_rows", proc, mk.pivot_rows - base.matrix.pivot_rows);
+  reg.add("kernel.matrix.work_rows", proc, mk.work_rows - base.matrix.work_rows);
+  reg.add("kernel.matrix.rows_zeroed", proc, mk.rows_zeroed - base.matrix.rows_zeroed);
+  reg.add("kernel.matrix.axpys", proc, mk.axpys - base.matrix.axpys);
+  reg.add("kernel.matrix.dense_cells", proc, mk.dense_cells - base.matrix.dense_cells);
 }
 
 void collect_machine_stats(MetricsRegistry& reg, const MachineStats& ms) {

@@ -25,6 +25,7 @@
 
 #include "poly/divmask.hpp"
 #include "poly/geobucket.hpp"
+#include "poly/symbolic.hpp"
 
 namespace gbd {
 
@@ -64,6 +65,7 @@ class MetricsRegistry {
 struct KernelBaseline {
   FindReducerStats find_reducer;
   GeobucketStats geobucket;
+  MatrixKernelStats matrix;
 };
 KernelBaseline kernel_baseline();
 

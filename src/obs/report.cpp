@@ -17,6 +17,10 @@ Cat category(const TraceEvent& e) {
     case Ev::kReduce:
     case Ev::kFreshen:
     case Ev::kAugment:
+    case Ev::kMatSymbolic:
+    case Ev::kMatBuild:
+    case Ev::kMatEliminate:
+    case Ev::kMatConvert:
       return Cat::kReduce;
     case Ev::kHandler:
       return Cat::kComm;
@@ -78,6 +82,13 @@ BreakdownReport analyze_trace(const TraceData& data) {
         case Cat::kComm: b.comm += self; break;
         case Cat::kHold: b.hold += self; break;
         case Cat::kIdle: b.idle += self; break;
+      }
+      switch (e.kind) {
+        case Ev::kMatSymbolic: b.mat_symbolic += self; break;
+        case Ev::kMatBuild: b.mat_build += self; break;
+        case Ev::kMatEliminate: b.mat_eliminate += self; break;
+        case Ev::kMatConvert: b.mat_convert += self; break;
+        default: break;
       }
       frames.push_back(Frame{e.t0, e.t1});
     }
@@ -190,6 +201,21 @@ std::string render_breakdown(const BreakdownReport& rep) {
   std::snprintf(line, sizeof line, "  unattributed engine time (folded into comm%%): max %.2f%%\n",
                 max_other_pct);
   out += line;
+  std::uint64_t ms = 0, mb = 0, me = 0, mc = 0;
+  for (const ProcBreakdown& b : rep.procs) {
+    ms += b.mat_symbolic;
+    mb += b.mat_build;
+    me += b.mat_eliminate;
+    mc += b.mat_convert;
+  }
+  if (ms + mb + me + mc > 0) {
+    std::snprintf(line, sizeof line,
+                  "  matrix phases (within reduce): symbolic %llu  build %llu  eliminate %llu"
+                  "  convert %llu\n",
+                  static_cast<unsigned long long>(ms), static_cast<unsigned long long>(mb),
+                  static_cast<unsigned long long>(me), static_cast<unsigned long long>(mc));
+    out += line;
+  }
   if (rep.dropped_events > 0) {
     std::snprintf(line, sizeof line,
                   "  WARNING: %llu events dropped (ring overflow) — breakdown is partial\n",

@@ -45,12 +45,22 @@ struct ProcBreakdown {
   std::uint64_t idle = 0;
   std::uint64_t other = 0;  ///< unattributed busy time; folded into comm when rendered
 
+  // Matrix-reduction phase self-times (subsets of `reduce`; all zero unless
+  // the run used cfg.gb.matrix_reduce).
+  std::uint64_t mat_symbolic = 0;
+  std::uint64_t mat_build = 0;
+  std::uint64_t mat_eliminate = 0;
+  std::uint64_t mat_convert = 0;
+
   // Secondary per-proc facts for the report.
   std::uint64_t spans = 0;         ///< sync spans analyzed
   std::uint64_t holds_opened = 0;  ///< kHold async begins
   std::uint64_t steals = 0;        ///< steal instants
 
   std::uint64_t busy() const { return reduce + comm + hold + other; }
+  std::uint64_t matrix_total() const {
+    return mat_symbolic + mat_build + mat_eliminate + mat_convert;
+  }
 };
 
 struct BreakdownReport {

@@ -180,6 +180,10 @@ const char* ev_name(Ev kind) {
     case Ev::kLockWait: return "lock-wait";
     case Ev::kSteal: return "steal";
     case Ev::kStealGrant: return "steal-grant";
+    case Ev::kMatSymbolic: return "mat-symbolic";
+    case Ev::kMatBuild: return "mat-build";
+    case Ev::kMatEliminate: return "mat-eliminate";
+    case Ev::kMatConvert: return "mat-convert";
   }
   return "unknown";
 }

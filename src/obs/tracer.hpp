@@ -68,6 +68,11 @@ enum class Ev : std::uint8_t {
   // Instants.
   kSteal = 15,       ///< steal request sent; a = victim
   kStealGrant = 16,  ///< grant received; a = tasks carried (0 = NACK)
+  // Spans (matrix-reduction phases; emitted only under cfg.gb.matrix_reduce).
+  kMatSymbolic = 17,   ///< symbolic preprocessing; a = batch rows, b = frame cols
+  kMatBuild = 18,      ///< matrix build; a = work rows, b = frame cols
+  kMatEliminate = 19,  ///< blocked row-echelon sweep; a = work rows, b = survivors
+  kMatConvert = 20,    ///< surviving rows back to polynomials / augment hand-off
 };
 
 /// Why a processor entered wait() (the `a` argument of a kWait span).

@@ -1,0 +1,231 @@
+#include "poly/echelon.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "poly/geobucket.hpp"
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+namespace {
+
+struct SweepTally {
+  std::uint64_t axpys = 0;
+  std::uint64_t dense_cells = 0;
+  std::uint64_t cost = 0;  // term-operation units this worker charged
+};
+
+/// Zp pivot sweep for one work row: dense accumulator of canonical residues,
+/// columns walked in tiles. A pivot's tail scatters strictly to the right of
+/// its head, so one left-to-right pass clears every pivot column.
+Polynomial sweep_row_zp(const PolyContext& ctx, const SymbolicFrame& frame,
+                        const MacaulayMatrix& mat, const ZpField& field, const MatrixRow& row,
+                        std::size_t block_cols, std::vector<std::uint64_t>* acc,
+                        SweepTally* tally) {
+  const std::size_t ncols = mat.ncols;
+  std::fill(acc->begin(), acc->end(), 0);
+  for (std::size_t i = 0; i < row.nnz(); ++i) {
+    (*acc)[row.cols[i]] = zp_residue_u64(row.coeffs[i]);
+  }
+  const std::size_t tile = std::max<std::size_t>(1, block_cols);
+  for (std::size_t b = 0; b < ncols; b += tile) {
+    const std::size_t be = std::min(ncols, b + tile);
+    for (std::size_t c = b; c < be; ++c) {
+      std::uint64_t f = (*acc)[c];
+      if (f == 0) continue;
+      std::int32_t pv = frame.pivot_of_col[c];
+      if (pv < 0) continue;
+      const ZpPivotRow& prow = mat.zp_pivots[static_cast<std::size_t>(pv)];
+      // prow is monic with head at column c: the head cancels exactly.
+      (*acc)[c] = 0;
+      for (std::size_t j = 1; j < prow.cols.size(); ++j) {
+        std::uint64_t& cell = (*acc)[prow.cols[j]];
+        cell = field.sub_canonical(cell, field.mul_canonical(Zp{prow.mont[j]}, f));
+      }
+      tally->axpys += 1;
+      CostCounter::charge(prow.cols.size());
+    }
+  }
+  tally->dense_cells += ncols;
+  CostCounter::charge(ncols / 8 + 1);  // the tile scan itself, amortized
+
+  std::vector<Term> terms;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::uint64_t v = (*acc)[c];
+    if (v != 0) terms.push_back(Term{BigInt(static_cast<std::int64_t>(v)), frame.cols[c]});
+  }
+  Polynomial out = Polynomial::from_sorted_terms(ctx, std::move(terms));
+  out.make_monic(field);
+  return out;
+}
+
+/// Exact pivot sweep for one work row: the reduce_full geobucket loop with
+/// the reducer choice read off the frame. Bit-identical to the per-poly
+/// oracle's tail-reduced normal form (same reducers, same fraction-free
+/// steps, same final make_primitive inside extract()).
+Polynomial sweep_row_exact(const PolyContext& ctx, const SymbolicFrame& frame,
+                           const MatrixRow& mrow, SweepTally* tally) {
+  Polynomial p = row_to_poly(ctx, frame, mrow);
+  p.make_primitive();
+  if (p.is_zero()) return p;
+  Geobucket acc(ctx, std::move(p));
+  Term lead;
+  while (acc.lead(&lead)) {
+    std::int64_t c = frame.col_of(lead.mono);
+    GBD_CHECK_MSG(c >= 0, "echelon_reduce: monomial escaped the frame");
+    std::int32_t pv = frame.pivot_of_col[static_cast<std::size_t>(c)];
+    if (pv < 0) {
+      acc.retire_lead();
+      continue;
+    }
+    const PivotProduct& prod = frame.pivots[static_cast<std::size_t>(pv)];
+    BigInt g = BigInt::gcd(lead.coeff, prod.reducer->hcoef());
+    BigInt a = prod.reducer->hcoef() / g;
+    BigInt b = lead.coeff / g;
+    if (a.is_negative()) {
+      a = -a;
+      b = -b;
+    }
+    b = -b;
+    acc.axpy(a, b, prod.mult, *prod.reducer);
+    tally->axpys += 1;
+  }
+  return acc.extract();
+}
+
+/// Combine `row` against `piv` (equal head monomials), fraction-free.
+void combine_exact(const PolyContext& ctx, Polynomial* row, const Polynomial& piv) {
+  BigInt g = BigInt::gcd(row->hcoef(), piv.hcoef());
+  BigInt a = piv.hcoef() / g;
+  BigInt b = row->hcoef() / g;
+  if (a.is_negative()) {
+    a = -a;
+    b = -b;
+  }
+  Monomial unit(row->hmono().nvars());
+  Polynomial sub = piv.mul_term(b, unit);
+  *row = (a.is_one() ? *row : row->mul_term(a, unit)).sub(ctx, sub);
+  row->make_primitive();
+}
+
+}  // namespace
+
+EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
+                             const MacaulayMatrix& mat, const EchelonOptions& opts) {
+  MatrixKernelStats& st = matrix_kernel_stats();
+  const std::size_t nrows = mat.work_rows.size();
+  EchelonOutput out;
+  out.src_zeroed.assign(nrows, false);
+
+  const bool zp = opts.coeff.is_zp();
+  ZpField field(zp ? opts.coeff.prime : 3);
+
+  // Stage 1: per-row pivot sweep, parallel across rows. Each worker owns its
+  // accumulator and tally; slot i of `reduced` is written by exactly one
+  // worker.
+  std::vector<Polynomial> reduced(nrows);
+  std::size_t nthreads = std::max<std::size_t>(1, opts.nthreads);
+  nthreads = std::min(nthreads, std::max<std::size_t>(1, nrows));
+  std::vector<SweepTally> tallies(nthreads);
+
+  auto sweep_range = [&](std::size_t t) {
+    SweepTally& tally = tallies[t];
+    CostScope scope;
+    std::vector<std::uint64_t> acc;
+    if (zp) acc.assign(mat.ncols, 0);
+    for (std::size_t i = t; i < nrows; i += nthreads) {
+      const MatrixRow& row = mat.work_rows[i];
+      if (row.empty()) continue;
+      reduced[i] = zp ? sweep_row_zp(ctx, frame, mat, field, row, opts.block_cols, &acc, &tally)
+                      : sweep_row_exact(ctx, frame, row, &tally);
+    }
+    tally.cost = scope.elapsed();
+  };
+
+  if (nthreads == 1) {
+    sweep_range(0);
+  } else {
+    // Workers charge their own thread-local cost counters, which die with
+    // the threads; the caller is charged the slowest worker's total below
+    // (parallel makespan, same convention as the machine backends).
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) workers.emplace_back(sweep_range, t);
+    for (auto& w : workers) w.join();
+    std::uint64_t makespan = 0;
+    for (const auto& tally : tallies) makespan = std::max(makespan, tally.cost);
+    CostCounter::charge(makespan);
+  }
+  for (const auto& tally : tallies) {
+    st.axpys += tally.axpys;
+    st.dense_cells += tally.dense_cells;
+  }
+
+  // Stage 2: row echelon of the surviving rows. Rows are processed in
+  // descending head order (ties by src) so an accepted row can never be
+  // re-touched by a later combination; each combination strictly lowers the
+  // working row's head. Row identity (src) survives combination.
+  struct Work {
+    Polynomial poly;
+    std::size_t src;
+  };
+  std::vector<Work> alive;
+  for (std::size_t i = 0; i < nrows; ++i) {
+    if (mat.work_rows[i].empty() || reduced[i].is_zero()) {
+      if (!mat.work_rows[i].empty()) out.src_zeroed[i] = true;
+      continue;
+    }
+    alive.push_back(Work{std::move(reduced[i]), i});
+  }
+
+  if (opts.interreduce && alive.size() > 1) {
+    std::sort(alive.begin(), alive.end(), [&](const Work& a, const Work& b) {
+      int c = ctx.cmp(a.poly.hmono(), b.poly.hmono());
+      if (c != 0) return c > 0;
+      return a.src < b.src;
+    });
+    std::unordered_map<Monomial, std::size_t, SymbolicFrame::MonoHash> head_of;
+    std::vector<Work> kept;
+    Monomial unit(ctx.nvars());
+    for (Work& w : alive) {
+      while (!w.poly.is_zero()) {
+        auto it = head_of.find(w.poly.hmono());
+        if (it == head_of.end()) break;
+        const Polynomial& piv = kept[it->second].poly;
+        if (zp) {
+          std::uint64_t f = field.p() - zp_residue_u64(w.poly.hcoef());  // piv is monic
+          w.poly = zp_combine(ctx, field, 1, unit, w.poly, f, unit, piv);
+        } else {
+          combine_exact(ctx, &w.poly, piv);
+        }
+        st.axpys += 1;
+      }
+      if (w.poly.is_zero()) {
+        out.src_zeroed[w.src] = true;
+        continue;
+      }
+      if (zp) w.poly.make_monic(field);
+      head_of.emplace(w.poly.hmono(), kept.size());
+      kept.push_back(std::move(w));
+    }
+    alive = std::move(kept);
+  }
+
+  std::sort(alive.begin(), alive.end(),
+            [](const Work& a, const Work& b) { return a.src < b.src; });
+  out.rows.reserve(alive.size());
+  for (Work& w : alive) out.rows.push_back(EchelonOutput::NewRow{std::move(w.poly), w.src});
+  for (bool z : out.src_zeroed) st.rows_zeroed += z ? 1 : 0;
+  return out;
+}
+
+EchelonOutput reduce_batch(const PolyContext& ctx, const std::vector<Polynomial>& rows,
+                           const ReducerSet& reducers, const EchelonOptions& opts) {
+  SymbolicFrame frame = symbolic_preprocess(ctx, rows, reducers);
+  MacaulayMatrix mat = build_matrix(ctx, frame, rows, opts.coeff);
+  return echelon_reduce(ctx, frame, mat, opts);
+}
+
+}  // namespace gbd

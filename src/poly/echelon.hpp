@@ -1,0 +1,70 @@
+// Blocked sparse row-echelon kernel over a Macaulay matrix (matrix.hpp).
+//
+// Stage 1 — pivot sweep. Every work row is reduced against the (triangular)
+// pivot block independently, left to right over the columns, which makes the
+// stage embarrassingly parallel across rows:
+//   · Zp: the row scatters into a dense accumulator of canonical residues,
+//     and the sweep walks the columns in cache-sized tiles; eliminating a
+//     cell costs one REDC per pivot-row term (the pivot block was made monic
+//     and Montgomery-converted once at build). This is the GBLA-style dense
+//     tail over the sparse pivot structure.
+//   · exact: the row runs through the same geobucket accumulator as
+//     reduce_full, but reducer *lookup* is a frame-indexed array load instead
+//     of a divmask scan — the choice was fixed by symbolic preprocessing.
+//     Cancellation is the identical fraction-free step, so each row's result
+//     is bit-identical to the per-poly oracle's tail-reduced normal form.
+//
+// Stage 2 — optional interreduction (row echelon of the D block): surviving
+// rows with equal head monomials are combined until all heads are distinct.
+// Engines want this on (duplicate heads would enter the basis only to be
+// discarded); the differential tests turn it off to compare per-row normal
+// forms one-to-one against reduce_full.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/coeff.hpp"
+#include "poly/matrix.hpp"
+#include "poly/symbolic.hpp"
+
+namespace gbd {
+
+struct EchelonOptions {
+  CoeffOptions coeff;
+  /// Combine surviving rows with equal head monomials (stage 2).
+  bool interreduce = true;
+  /// Worker threads for the pivot sweep (1 = run on the caller). Results are
+  /// identical for any thread count; the caller's cost counter is charged
+  /// the *maximum* per-thread work, modeling parallel makespan.
+  std::size_t nthreads = 1;
+  /// Column tile width for the Zp dense sweep.
+  std::size_t block_cols = 512;
+};
+
+struct EchelonOutput {
+  struct NewRow {
+    Polynomial poly;  ///< canonical (primitive / monic), nonzero
+    std::size_t src;  ///< index of the originating work row
+  };
+  /// Surviving rows in ascending `src` order. With interreduce on, head
+  /// monomials are pairwise distinct.
+  std::vector<NewRow> rows;
+  /// Per work row: true iff it was eliminated to zero.
+  std::vector<bool> src_zeroed;
+};
+
+/// Reduce every work row of `mat` to normal form against the pivot block.
+/// `frame` and `mat` must come from the same symbolic_preprocess/build_matrix
+/// run; opts.coeff must match the build's coefficient ring.
+EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
+                             const MacaulayMatrix& mat, const EchelonOptions& opts);
+
+/// The whole batched pipeline in one call: symbolic preprocessing over
+/// `reducers`, matrix build, elimination. `rows` must be canonical for
+/// opts.coeff (primitive integers / canonical residues); `reducers` must not
+/// be mutated during the call.
+EchelonOutput reduce_batch(const PolyContext& ctx, const std::vector<Polynomial>& rows,
+                           const ReducerSet& reducers, const EchelonOptions& opts);
+
+}  // namespace gbd

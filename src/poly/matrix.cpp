@@ -1,0 +1,75 @@
+#include "poly/matrix.hpp"
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+namespace {
+
+MatrixRow expand_row(const SymbolicFrame& frame, const Polynomial& p) {
+  MatrixRow row;
+  row.cols.reserve(p.nterms());
+  row.coeffs.reserve(p.nterms());
+  for (const Term& t : p.terms()) {
+    std::int64_t c = frame.col_of(t.mono);
+    GBD_CHECK_MSG(c >= 0, "build_matrix: row monomial missing from frame");
+    row.cols.push_back(static_cast<std::uint32_t>(c));
+    row.coeffs.push_back(t.coeff);
+  }
+  // Terms are strictly decreasing monomials and the frame is sorted the same
+  // way, so the column indices come out strictly increasing.
+  return row;
+}
+
+}  // namespace
+
+MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
+                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff) {
+  MacaulayMatrix mat;
+  mat.ncols = frame.ncols();
+  mat.work_rows.reserve(rows.size());
+  std::uint64_t cells = 0;
+  for (const Polynomial& p : rows) {
+    mat.work_rows.push_back(expand_row(frame, p));
+    cells += p.nterms();
+  }
+
+  if (coeff.is_zp()) {
+    ZpField field(coeff.prime);
+    mat.zp_pivots.reserve(frame.pivots.size());
+    for (const PivotProduct& pv : frame.pivots) {
+      const auto& terms = pv.reducer->terms();
+      ZpPivotRow row;
+      row.cols.reserve(terms.size());
+      row.mont.reserve(terms.size());
+      // Monic once per batch: fold hc^{-1} into the Montgomery conversion so
+      // the kernel's per-use factor is just the accumulator cell itself.
+      Zp inv_head = field.inv(field.from_residue(zp_residue_u64(pv.reducer->hcoef())));
+      for (const Term& t : terms) {
+        std::int64_t c = frame.col_of(t.mono * pv.mult);
+        GBD_CHECK_MSG(c >= 0, "build_matrix: pivot monomial missing from frame");
+        row.cols.push_back(static_cast<std::uint32_t>(c));
+        std::uint64_t r = field.mul_canonical(inv_head, zp_residue_u64(t.coeff));
+        row.mont.push_back(field.from_residue(r).m);
+      }
+      cells += terms.size();
+      mat.zp_pivots.push_back(std::move(row));
+    }
+  }
+  CostCounter::charge(cells);
+  (void)ctx;
+  return mat;
+}
+
+Polynomial row_to_poly(const PolyContext& ctx, const SymbolicFrame& frame, const MatrixRow& row) {
+  std::vector<Term> terms;
+  terms.reserve(row.nnz());
+  for (std::size_t i = 0; i < row.nnz(); ++i) {
+    terms.push_back(Term{row.coeffs[i], frame.cols[row.cols[i]]});
+  }
+  CostCounter::charge(terms.size());
+  return Polynomial::from_sorted_terms(ctx, std::move(terms));
+}
+
+}  // namespace gbd

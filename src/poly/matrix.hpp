@@ -1,0 +1,70 @@
+// Sparse Macaulay-style matrix over a symbolic frame (GBLA-like layout).
+//
+// The frame (symbolic.hpp) fixes the columns: one per monomial, decreasing
+// left to right. Rows split GBLA-style into the *pivot block* — one row per
+// scheduled reducer product, upper triangular because each product's head
+// covers a distinct column and its tail lies strictly to the right — and the
+// *work rows* (the batch's s-polynomials), which the elimination kernel
+// (echelon.hpp) reduces against the pivot block. In GBLA's ABCD naming the
+// pivot block is A|B and the work rows are C|D, with the split between
+// pivot columns and non-pivot columns.
+//
+// Storage is per-coefficient-ring:
+//   · exact rows keep sparse (column, BigInt) pairs; the pivot block is NOT
+//     expanded — the fraction-free kernel reads the reducer products straight
+//     from the frame, because expanding them would copy coefficients the
+//     geobucket accumulator never touches more than once;
+//   · Zp pivot rows ARE expanded, made monic, and converted to Montgomery
+//     form once per batch, so eliminating one work-row cell costs one REDC
+//     per pivot-row term with no per-use normalization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/zp.hpp"
+#include "poly/coeff.hpp"
+#include "poly/symbolic.hpp"
+
+namespace gbd {
+
+/// One sparse row: parallel arrays of column indices (strictly increasing —
+/// monomials strictly decreasing) and nonzero coefficients. Exact rows hold
+/// arbitrary integers; Zp rows hold canonical residues.
+struct MatrixRow {
+  std::vector<std::uint32_t> cols;
+  std::vector<BigInt> coeffs;
+
+  bool empty() const { return cols.empty(); }
+  std::size_t nnz() const { return cols.size(); }
+};
+
+/// A Zp pivot row expanded for the elimination hot loop: monic (head
+/// coefficient 1), every coefficient premultiplied into Montgomery form, so
+/// `acc -= f·row` is one mul_canonical per term.
+struct ZpPivotRow {
+  std::vector<std::uint32_t> cols;
+  std::vector<std::uint64_t> mont;
+};
+
+struct MacaulayMatrix {
+  std::size_t ncols = 0;
+  /// The batch rows (C|D block), one per input polynomial, in input order.
+  /// Rows of zero polynomials are empty.
+  std::vector<MatrixRow> work_rows;
+  /// Zp mode only: the pivot block (A|B), parallel to frame.pivots.
+  /// Exact mode leaves this empty and reads frame.pivots directly.
+  std::vector<ZpPivotRow> zp_pivots;
+};
+
+/// Expand the batch rows (and, over Zp, the pivot products) onto the frame.
+/// Every monomial of `rows` must be in the frame — i.e. `rows` must be the
+/// batch symbolic_preprocess was given. Zp rows must carry canonical
+/// residues (the engines' invariant form).
+MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
+                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff);
+
+/// Convert a row back to a polynomial over the frame (no normalization).
+Polynomial row_to_poly(const PolyContext& ctx, const SymbolicFrame& frame, const MatrixRow& row);
+
+}  // namespace gbd

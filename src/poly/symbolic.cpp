@@ -1,0 +1,90 @@
+#include "poly/symbolic.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/cost.hpp"
+
+namespace gbd {
+
+MatrixKernelStats& matrix_kernel_stats() {
+  static thread_local MatrixKernelStats stats;
+  return stats;
+}
+
+void reset_matrix_kernel_stats() { matrix_kernel_stats() = MatrixKernelStats{}; }
+
+SymbolicFrame symbolic_preprocess(const PolyContext& ctx, const std::vector<Polynomial>& rows,
+                                  const ReducerSet& reducers) {
+  MatrixKernelStats& st = matrix_kernel_stats();
+  st.batches += 1;
+
+  SymbolicFrame frame;
+  // Every monomial of the closure, mapped to its chosen reducer (index into
+  // `chosen`, or -1 for irreducible). Worklist order does not affect the
+  // result: each monomial is resolved exactly once and find_reducer is a
+  // pure function of (monomial, reducer set).
+  struct Resolved {
+    const Polynomial* reducer;
+    std::uint64_t reducer_id;
+  };
+  std::unordered_map<Monomial, std::int64_t, SymbolicFrame::MonoHash> seen;
+  std::vector<Resolved> chosen;
+  std::vector<Monomial> worklist;
+
+  auto visit = [&](const Monomial& m) {
+    if (seen.emplace(m, -2).second) worklist.push_back(m);
+  };
+  for (const Polynomial& r : rows) {
+    for (const Term& t : r.terms()) visit(t.mono);
+  }
+
+  while (!worklist.empty()) {
+    Monomial m = std::move(worklist.back());
+    worklist.pop_back();
+    std::uint64_t id = 0;
+    const Polynomial* red = reducers.find_reducer(m, &id);
+    if (red == nullptr) {
+      seen[m] = -1;
+      continue;
+    }
+    // Schedule (m / HMONO(red))·red and feed its tail monomials back. The
+    // head monomial is m itself, already in `seen`.
+    seen[m] = static_cast<std::int64_t>(chosen.size());
+    chosen.push_back(Resolved{red, id});
+    Monomial mult = m / red->hmono();
+    const auto& terms = red->terms();
+    for (std::size_t i = 1; i < terms.size(); ++i) visit(terms[i].mono * mult);
+    CostCounter::charge(terms.size());
+  }
+
+  // Frame columns: the closure in strictly decreasing monomial order.
+  frame.cols.reserve(seen.size());
+  for (const auto& [m, r] : seen) frame.cols.push_back(m);
+  std::sort(frame.cols.begin(), frame.cols.end(),
+            [&](const Monomial& a, const Monomial& b) { return ctx.cmp(a, b) > 0; });
+
+  frame.index_.reserve(frame.cols.size());
+  frame.pivot_of_col.assign(frame.cols.size(), -1);
+  for (std::uint32_t c = 0; c < frame.cols.size(); ++c) {
+    frame.index_.emplace(frame.cols[c], c);
+  }
+  // Pivot products in head-column order (strictly increasing: one product
+  // per reducible monomial).
+  for (std::uint32_t c = 0; c < frame.cols.size(); ++c) {
+    std::int64_t k = seen.at(frame.cols[c]);
+    GBD_DCHECK(k >= -1);
+    if (k < 0) continue;
+    const Resolved& r = chosen[static_cast<std::size_t>(k)];
+    frame.pivot_of_col[c] = static_cast<std::int32_t>(frame.pivots.size());
+    frame.pivots.push_back(
+        PivotProduct{r.reducer, r.reducer_id, frame.cols[c] / r.reducer->hmono()});
+  }
+
+  st.frame_cols += frame.cols.size();
+  st.pivot_rows += frame.pivots.size();
+  st.work_rows += rows.size();
+  return frame;
+}
+
+}  // namespace gbd

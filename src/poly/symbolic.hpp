@@ -1,0 +1,87 @@
+// Symbolic preprocessing for batched (F4-style) matrix reduction.
+//
+// Per-poly reduction (reduce.hpp) re-walks the reducer set once per
+// cancellation step. When many s-polynomials are reduced together, almost all
+// of that search is shared: the monomials they contain overlap heavily, and
+// each distinct monomial needs its reducer chosen exactly once. Symbolic
+// preprocessing (Faugère's F4; GBLA) runs the search ahead of time over the
+// whole batch: starting from the monomials of the batch rows, every monomial
+// some basis head divides gets one scheduled reducer product
+// mult·g (mult = m / HMONO(g)), whose own monomials are fed back into the
+// worklist until closure. The closure — the *frame* — becomes the columns of
+// a Macaulay matrix (matrix.hpp) and the scheduled products its pivot rows;
+// the numeric elimination (echelon.hpp) then never searches for reducers.
+//
+// Reducer choice per monomial delegates to ReducerSet::find_reducer — the
+// same divmask-prefiltered, deterministically-tie-broken lookup the per-poly
+// path uses — so for a fixed reducer set the matrix path cancels each
+// monomial against the exact polynomial the oracle would have picked.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+#include "poly/reduce.hpp"
+
+namespace gbd {
+
+/// Thread-local counters for the batched kernel, mirroring GeobucketStats /
+/// FindReducerStats: windowed per run by the metrics registry.
+struct MatrixKernelStats {
+  std::uint64_t batches = 0;        ///< symbolic_preprocess calls
+  std::uint64_t frame_cols = 0;     ///< frame monomials (matrix columns)
+  std::uint64_t pivot_rows = 0;     ///< scheduled reducer products
+  std::uint64_t work_rows = 0;      ///< batch rows fed in
+  std::uint64_t rows_zeroed = 0;    ///< work rows eliminated to zero
+  std::uint64_t axpys = 0;          ///< row-elimination updates
+  std::uint64_t dense_cells = 0;    ///< Zp accumulator cells scanned
+};
+
+MatrixKernelStats& matrix_kernel_stats();
+void reset_matrix_kernel_stats();
+
+/// One scheduled reducer product mult·(*reducer), covering the frame
+/// monomial mult·HMONO(reducer). The pointer aliases the reducer set's
+/// backing storage and is valid only while that set is not mutated.
+struct PivotProduct {
+  const Polynomial* reducer = nullptr;
+  std::uint64_t reducer_id = 0;  ///< id reported by ReducerSet::find_reducer
+  Monomial mult;
+};
+
+/// Output of symbolic preprocessing: the monomial frame and the pivot
+/// schedule. Columns are the frame monomials in strictly decreasing order
+/// under the context's ordering (column 0 = largest); pivots are sorted by
+/// head column, which is strictly increasing (one pivot per reducible
+/// monomial), so the pivot block is upper triangular by construction.
+struct SymbolicFrame {
+  std::vector<Monomial> cols;        ///< strictly decreasing
+  std::vector<PivotProduct> pivots;  ///< head columns strictly increasing
+  /// Per column: index into `pivots` of the product whose head covers it,
+  /// or -1 when the column's monomial is irreducible.
+  std::vector<std::int32_t> pivot_of_col;
+
+  std::size_t ncols() const { return cols.size(); }
+
+  /// Column of a monomial, or -1 if it is not in the frame.
+  std::int64_t col_of(const Monomial& m) const {
+    auto it = index_.find(m);
+    return it == index_.end() ? -1 : static_cast<std::int64_t>(it->second);
+  }
+
+  struct MonoHash {
+    std::size_t operator()(const Monomial& m) const { return m.hash(); }
+  };
+  std::unordered_map<Monomial, std::uint32_t, MonoHash> index_;
+};
+
+/// Build the frame for a batch of rows against `reducers`. Rows may be zero
+/// (they contribute nothing). The result's PivotProduct pointers alias
+/// `reducers`' backing storage — do not mutate the set until the frame is
+/// consumed.
+SymbolicFrame symbolic_preprocess(const PolyContext& ctx, const std::vector<Polynomial>& rows,
+                                  const ReducerSet& reducers);
+
+}  // namespace gbd

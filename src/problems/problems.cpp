@@ -185,7 +185,94 @@ const std::vector<BuiltinProblem>& builtins() {
   return kProblems;
 }
 
+/// "katsura(7)" -> {"katsura", 7}; nullopt when the name is not a
+/// well-formed, in-range parametric spelling.
+struct ParametricName {
+  bool katsura = false;
+  int n = 0;
+};
+
+bool parse_parametric(const std::string& name, ParametricName* out) {
+  std::size_t open = name.find('(');
+  if (open == std::string::npos || name.empty() || name.back() != ')') return false;
+  std::string base = name.substr(0, open);
+  bool katsura = base == "katsura";
+  if (!katsura && base != "cyclic") return false;
+  std::string digits = name.substr(open + 1, name.size() - open - 2);
+  if (digits.empty() || digits.size() > 2) return false;
+  int n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + (c - '0');
+  }
+  if (katsura ? (n < 1 || n > 16) : (n < 2 || n > 12)) return false;
+  out->katsura = katsura;
+  out->n = n;
+  return true;
+}
+
 }  // namespace
+
+PolySystem katsura_system(int n) {
+  GBD_CHECK_MSG(n >= 1 && n <= 16, "katsura_system: n out of range");
+  PolySystem sys;
+  sys.name = "katsura" + std::to_string(n);
+  sys.ctx.order = OrderKind::kGrLex;
+  for (int i = 0; i <= n; ++i) sys.ctx.vars.push_back("u" + std::to_string(i));
+  const std::size_t nv = sys.ctx.nvars();
+  auto mono = [&](std::initializer_list<int> vars_used) {
+    std::vector<std::uint32_t> e(nv, 0);
+    for (int v : vars_used) e[static_cast<std::size_t>(v)] += 1;
+    return Monomial(std::move(e));
+  };
+  // u0 + 2*u1 + ... + 2*un - 1.
+  std::vector<Term> lin;
+  for (int i = 0; i <= n; ++i) lin.push_back(Term{BigInt(i == 0 ? 1 : 2), mono({i})});
+  lin.push_back(Term{BigInt(-1), mono({})});
+  sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(lin)));
+  // For m = 0..n-1: sum over l of u_|l| * u_|m-l| (indices beyond n drop
+  // out) minus u_m — the convolution identities of Katsura's problem.
+  for (int m = 0; m < n; ++m) {
+    std::vector<Term> ts;
+    for (int l = -n; l <= n; ++l) {
+      int a = l < 0 ? -l : l;
+      int b = m - l < 0 ? l - m : m - l;
+      if (a > n || b > n) continue;
+      ts.push_back(Term{BigInt(1), mono({a, b})});
+    }
+    ts.push_back(Term{BigInt(-1), mono({m})});
+    sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(ts)));
+  }
+  for (auto& p : sys.polys) p.make_primitive();
+  return sys;
+}
+
+PolySystem cyclic_system(int n) {
+  GBD_CHECK_MSG(n >= 2 && n <= 12, "cyclic_system: n out of range");
+  PolySystem sys;
+  sys.name = "cyclic" + std::to_string(n);
+  sys.ctx.order = OrderKind::kGrLex;
+  for (int i = 0; i < n; ++i) sys.ctx.vars.push_back("x" + std::to_string(i));
+  const std::size_t nv = sys.ctx.nvars();
+  // For d = 1..n-1: the rotational sum of length-d products of consecutive
+  // variables (indices mod n).
+  for (int d = 1; d < n; ++d) {
+    std::vector<Term> ts;
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::uint32_t> e(nv, 0);
+      for (int k = 0; k < d; ++k) e[static_cast<std::size_t>((i + k) % n)] += 1;
+      ts.push_back(Term{BigInt(1), Monomial(std::move(e))});
+    }
+    sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(ts)));
+  }
+  // x0*x1*...*x_{n-1} - 1.
+  std::vector<Term> last;
+  last.push_back(Term{BigInt(1), Monomial(std::vector<std::uint32_t>(nv, 1))});
+  last.push_back(Term{BigInt(-1), Monomial(std::vector<std::uint32_t>(nv, 0))});
+  sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(last)));
+  for (auto& p : sys.polys) p.make_primitive();
+  return sys;
+}
 
 const std::vector<ProblemInfo>& problem_list() {
   static const std::vector<ProblemInfo> kInfos = [] {
@@ -200,10 +287,15 @@ bool has_problem(const std::string& name) {
   for (const auto& b : builtins()) {
     if (b.info.name == name) return true;
   }
-  return false;
+  ParametricName pn;
+  return parse_parametric(name, &pn);
 }
 
 PolySystem load_problem(const std::string& name) {
+  ParametricName pn;
+  if (parse_parametric(name, &pn)) {
+    return pn.katsura ? katsura_system(pn.n) : cyclic_system(pn.n);
+  }
   for (const auto& b : builtins()) {
     if (b.info.name != name) continue;
     PolySystem sys = parse_system_or_die(b.text);

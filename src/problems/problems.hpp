@@ -29,10 +29,24 @@ struct ProblemInfo {
 /// by the extra systems. Exhibit benches filter on !extra.
 const std::vector<ProblemInfo>& problem_list();
 
+/// True for built-in names and for the parametric families "katsura(N)"
+/// (1 <= N <= 16) and "cyclic(N)" (2 <= N <= 12), generated on demand.
 bool has_problem(const std::string& name);
 
 /// Load a built-in problem by name; aborts on unknown names (use has_problem).
+/// Accepts the parametric spellings "katsura(N)" / "cyclic(N)" too.
 PolySystem load_problem(const std::string& name);
+
+/// Katsura's magnetism system of order n: n+1 variables u0..un, the linear
+/// charge equation plus the n convolution equations. katsura_system(4)
+/// equals the built-in "katsura4" generator-for-generator (the table text is
+/// the n=4 instance of this family).
+PolySystem katsura_system(int n);
+
+/// The cyclic n-roots system: n variables, the n-1 rotational symmetric sums
+/// plus (product of all variables) - 1. cyclic_system(4) equals the built-in
+/// "arnborg4" up to variable names (same exponent vectors and coefficients).
+PolySystem cyclic_system(int n);
 
 /// The paper's synthetic long-running workloads (§7): `copies` copies of the
 /// base system "with variables named apart". The union ideal over disjoint

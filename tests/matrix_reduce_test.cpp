@@ -1,0 +1,288 @@
+// Differential coverage for the batched F4-style matrix reduction path
+// (poly/symbolic + poly/matrix + poly/echelon and its engine wiring):
+//
+//   · per-row normal forms: reduce_batch with interreduce off must reproduce
+//     the per-poly geobucket oracle (reduce_full, tail_reduce) bit-for-bit —
+//     including which rows die — across random systems × orderings ×
+//     {exact, three primes}. This is the bit-identity claim of echelon.hpp:
+//     symbolic preprocessing delegates reducer *choice* to the same
+//     ReducerSet::find_reducer, and the kernel performs the identical
+//     fraction-free (resp. modular-inverse) cancellation steps;
+//   · whole runs: the sequential engine with matrix_reduce on must reach the
+//     same reduced basis as the per-poly path on the benchmark corpus, over
+//     Q and over Zp, for small batch caps (many rounds) and a threaded
+//     elimination kernel (thread count must not change results);
+//   · the GL-P engine under chaos: batching changes *when* replicas are
+//     polled (never during a matrix round — the frame holds pointers into
+//     replica storage), so the protocol invariants get their own sweep;
+//   · the multi-modular driver passes matrix_reduce through to its per-prime
+//     jobs and still reconstructs the exact rational answer.
+#include "poly/echelon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bigint/zp.hpp"
+#include "gb/modular.hpp"
+#include "gb/parallel.hpp"
+#include "gb/sequential.hpp"
+#include "machine/chaos.hpp"
+#include "poly/coeff.hpp"
+#include "poly/reduce.hpp"
+#include "poly/spoly.hpp"
+#include "problems/problems.hpp"
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+/// Three moduli of very different sizes: a 31-bit engine-sized prime, a
+/// 20-bit one, and a small prime where coefficient collisions (rows dying
+/// mod p that survive over Q) are common.
+const std::uint64_t kPrimes[] = {prev_prime_u64(std::uint64_t{1} << 31),
+                                 prev_prime_u64(std::uint64_t{1} << 20), prev_prime_u64(40000)};
+
+/// Rebuild a system under a different monomial order (terms re-sorted;
+/// content untouched, so primitivity survives).
+PolySystem with_order(const PolySystem& sys, OrderKind order) {
+  PolySystem out;
+  out.name = sys.name;
+  out.ctx = sys.ctx;
+  out.ctx.order = order;
+  for (const auto& p : sys.polys) {
+    std::vector<Term> terms(p.terms().begin(), p.terms().end());
+    out.polys.push_back(Polynomial::from_terms(out.ctx, std::move(terms)));
+  }
+  return out;
+}
+
+/// Canonical nonzero image of a generating set for `coeff` (reduce_batch and
+/// spoly both require canonical inputs; over a small prime a generator can
+/// vanish entirely).
+std::vector<Polynomial> canonical_set(const PolyContext& ctx, const std::vector<Polynomial>& in,
+                                      const CoeffOptions& coeff) {
+  std::vector<Polynomial> out;
+  for (const auto& p : in) {
+    Polynomial q = p;
+    coeff_normalize(ctx, &q, coeff);
+    if (!q.is_zero()) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+/// The differential core: every pairwise non-coprime S-polynomial of
+/// `reducers` goes through the matrix as one batch; each surviving row must
+/// equal the per-poly tail-reduced normal form exactly, and src_zeroed must
+/// flag exactly the rows whose oracle normal form is zero.
+void expect_matrix_matches_per_poly(const PolyContext& ctx,
+                                    const std::vector<Polynomial>& reducers,
+                                    const CoeffOptions& coeff, const std::string& label) {
+  VectorReducerSet set(&reducers);
+  std::vector<Polynomial> rows;
+  for (std::size_t i = 0; i < reducers.size(); ++i) {
+    for (std::size_t j = i + 1; j < reducers.size(); ++j) {
+      if (Monomial::coprime(reducers[i].hmono(), reducers[j].hmono())) continue;
+      Polynomial s = spoly(ctx, reducers[i], reducers[j], coeff);
+      if (!s.is_zero()) rows.push_back(std::move(s));
+    }
+  }
+  if (rows.empty()) return;
+
+  ReduceOptions ropts;
+  ropts.tail_reduce = true;
+  ropts.coeff = coeff;
+  std::vector<Polynomial> oracle;
+  oracle.reserve(rows.size());
+  for (const auto& r : rows) oracle.push_back(reduce_full(ctx, r, set, ropts).poly);
+
+  EchelonOptions eopts;
+  eopts.coeff = coeff;
+  eopts.interreduce = false;  // one output row per input row, no D-block mixing
+  EchelonOutput out = reduce_batch(ctx, rows, set, eopts);
+
+  ASSERT_EQ(out.src_zeroed.size(), rows.size()) << label;
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    if (oracle[s].is_zero()) {
+      EXPECT_TRUE(out.src_zeroed[s]) << label << " row " << s << ": matrix kept a row the "
+                                     << "per-poly path reduces to zero";
+      continue;
+    }
+    ASSERT_LT(next, out.rows.size()) << label << " row " << s << ": matrix zeroed a surviving row";
+    ASSERT_EQ(out.rows[next].src, s) << label;
+    EXPECT_FALSE(out.src_zeroed[s]) << label << " row " << s;
+    EXPECT_TRUE(out.rows[next].poly.equals(oracle[s]))
+        << label << " row " << s << "\n  matrix: " << out.rows[next].poly.to_string(ctx)
+        << "\n  oracle: " << oracle[s].to_string(ctx);
+    ++next;
+  }
+  EXPECT_EQ(next, out.rows.size()) << label << ": matrix produced extra rows";
+}
+
+TEST(MatrixNormalFormTest, RandomSystemsAcrossOrderingsAndFields) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    PolySystem base = random_system(rng, 4, 6, 4, 5, 8);
+    for (OrderKind order : {OrderKind::kGrLex, OrderKind::kGRevLex, OrderKind::kLex}) {
+      PolySystem sys = with_order(base, order);
+      std::string where =
+          "seed " + std::to_string(seed) + " order " + order_name(order);
+      expect_matrix_matches_per_poly(sys.ctx, canonical_set(sys.ctx, sys.polys, {}),
+                                     CoeffOptions{}, where + " exact");
+      for (std::uint64_t p : kPrimes) {
+        CoeffOptions zp = CoeffOptions::zp(p);
+        expect_matrix_matches_per_poly(sys.ctx, canonical_set(sys.ctx, sys.polys, zp), zp,
+                                       where + " mod " + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(MatrixNormalFormTest, CorpusGenerators) {
+  // The real benchmark inputs exercise deeper reduction chains (transitive
+  // symbolic closure) than the random systems do.
+  for (const char* name : {"arnborg4", "katsura4", "trinks2"}) {
+    PolySystem sys = load_problem(name);
+    expect_matrix_matches_per_poly(sys.ctx, canonical_set(sys.ctx, sys.polys, {}),
+                                   CoeffOptions{}, std::string(name) + " exact");
+    CoeffOptions zp = CoeffOptions::zp(kPrimes[0]);
+    expect_matrix_matches_per_poly(sys.ctx, canonical_set(sys.ctx, sys.polys, zp), zp,
+                                   std::string(name) + " zp");
+  }
+}
+
+/// Run the sequential engine both ways and compare canonical reduced bases.
+void expect_equal_reduced_basis(const PolySystem& sys, const CoeffOptions& coeff,
+                                std::size_t batch_max, std::size_t threads) {
+  GbConfig per_poly;
+  per_poly.coeff = coeff;
+  GbConfig matrix = per_poly;
+  matrix.matrix_reduce = true;
+  matrix.matrix_batch_max = batch_max;
+  matrix.matrix_threads = threads;
+
+  SequentialResult a = groebner_sequential(sys, per_poly);
+  SequentialResult b = groebner_sequential(sys, matrix);
+  std::vector<Polynomial> ga = reduce_basis(sys.ctx, a.basis, coeff);
+  std::vector<Polynomial> gb = reduce_basis(sys.ctx, b.basis, coeff);
+  std::string label = sys.name + " batch_max " + std::to_string(batch_max) + " threads " +
+                      std::to_string(threads);
+  ASSERT_EQ(ga.size(), gb.size()) << label;
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_TRUE(ga[i].equals(gb[i])) << label << " element " << i;
+  }
+}
+
+TEST(MatrixSequentialTest, CorpusReducedBasesMatchExact) {
+  for (const char* name : {"arnborg4", "katsura4", "trinks2", "rose"}) {
+    expect_equal_reduced_basis(load_problem(name), CoeffOptions{}, 64, 1);
+  }
+}
+
+TEST(MatrixSequentialTest, CorpusReducedBasesMatchZp) {
+  for (const char* name : {"arnborg4", "katsura4", "trinks1", "rose"}) {
+    for (std::uint64_t p : {kPrimes[0], kPrimes[2]}) {
+      expect_equal_reduced_basis(load_problem(name), CoeffOptions::zp(p), 64, 1);
+    }
+  }
+}
+
+TEST(MatrixSequentialTest, TinyBatchesAndThreadsDoNotChangeResults) {
+  // batch_max 2 forces many small rounds (frame reuse across degrees);
+  // threads 3 exercises the parallel pivot sweep's determinism claim.
+  PolySystem sys = load_problem("katsura4");
+  expect_equal_reduced_basis(sys, CoeffOptions{}, 2, 1);
+  expect_equal_reduced_basis(sys, CoeffOptions::zp(kPrimes[0]), 2, 3);
+  expect_equal_reduced_basis(load_problem("arnborg4"), CoeffOptions::zp(kPrimes[2]), 3, 2);
+}
+
+TEST(MatrixSequentialTest, ParametricFamiliesMatch) {
+  // Generated (not table-text) inputs, one size beyond the builtin corpus.
+  expect_equal_reduced_basis(load_problem("katsura(5)"), CoeffOptions::zp(kPrimes[0]), 64, 1);
+  expect_equal_reduced_basis(load_problem("cyclic(5)"), CoeffOptions::zp(kPrimes[0]), 64, 1);
+}
+
+TEST(MatrixGlpTest, SimMatchesSequentialOracle) {
+  for (const char* name : {"arnborg4", "katsura4"}) {
+    PolySystem sys = load_problem(name);
+    for (bool use_zp : {false, true}) {
+      CoeffOptions coeff = use_zp ? CoeffOptions::zp(kPrimes[0]) : CoeffOptions{};
+      GbConfig seq;
+      seq.coeff = coeff;
+      std::vector<Polynomial> want =
+          reduce_basis(sys.ctx, groebner_sequential(sys, seq).basis, coeff);
+
+      ParallelConfig cfg;
+      cfg.gb.coeff = coeff;
+      cfg.gb.matrix_reduce = true;
+      cfg.gb.matrix_batch_max = 8;
+      cfg.nprocs = 4;
+      cfg.seed = 3;
+      cfg.check_invariants = true;
+      ParallelResult res = groebner_parallel(sys, cfg);
+      EXPECT_TRUE(res.violations.empty())
+          << name << (use_zp ? " zp: " : " exact: ")
+          << (res.violations.empty() ? "" : res.violations.front());
+      EXPECT_GT(res.invariant_sweeps, 0u);
+      std::vector<Polynomial> got = reduce_basis(sys.ctx, res.basis, coeff);
+      ASSERT_EQ(got.size(), want.size()) << name;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].equals(want[i])) << name << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(MatrixGlpTest, ChaosScheduleStaysCoherent) {
+  // Full-intensity schedule adversary: jitter, reordering, duplication of
+  // the idempotent handlers, starvation. Matrix rounds must neither serve
+  // the network mid-frame (pointer stability) nor break protocol
+  // invariants, and the answer must still be the oracle's.
+  PolySystem sys = load_problem("arnborg4");
+  CoeffOptions coeff = CoeffOptions::zp(kPrimes[0]);
+  GbConfig seq;
+  seq.coeff = coeff;
+  std::vector<Polynomial> want =
+      reduce_basis(sys.ctx, groebner_sequential(sys, seq).basis, coeff);
+
+  for (std::uint64_t chaos_seed : {11u, 12u}) {
+    ParallelConfig cfg;
+    cfg.gb.coeff = coeff;
+    cfg.gb.matrix_reduce = true;
+    cfg.gb.matrix_batch_max = 4;
+    cfg.nprocs = 4;
+    cfg.seed = 1;
+    cfg.chaos = ChaosConfig::intensity(3, chaos_seed);
+    cfg.check_invariants = true;
+    ParallelResult res = groebner_parallel(sys, cfg);
+    EXPECT_TRUE(res.violations.empty())
+        << "chaos seed " << chaos_seed << ": "
+        << (res.violations.empty() ? "" : res.violations.front());
+    EXPECT_GT(res.invariant_sweeps, 0u);
+    std::vector<Polynomial> got = reduce_basis(sys.ctx, res.basis, coeff);
+    ASSERT_EQ(got.size(), want.size()) << "chaos seed " << chaos_seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(got[i].equals(want[i])) << "chaos seed " << chaos_seed << " element " << i;
+    }
+  }
+}
+
+TEST(MatrixModularTest, PerPrimeJobsInheritMatrixReduce) {
+  PolySystem sys = load_problem("katsura4");
+  std::vector<Polynomial> want = reduce_basis(sys.ctx, groebner_sequential(sys).basis, {});
+
+  ModularConfig cfg;
+  cfg.gb.matrix_reduce = true;
+  cfg.initial_primes = 3;
+  ModularResult res = groebner_multimodular(sys, cfg);
+  EXPECT_FALSE(res.primes.empty());
+  ASSERT_EQ(res.basis.size(), want.size());
+  for (std::size_t i = 0; i < res.basis.size(); ++i) {
+    EXPECT_TRUE(res.basis[i].equals(want[i])) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gbd

@@ -69,6 +69,52 @@ TEST(ProblemsTest, StandinsAreFlagged) {
   EXPECT_EQ(standins, (std::set<std::string>{"lazard", "morgenstern", "pavelle4", "rose"}));
 }
 
+TEST(ParametricTest, KatsuraGeneratorMatchesTableText) {
+  for (int n : {4, 5}) {
+    PolySystem gen = katsura_system(n);
+    PolySystem text = load_problem("katsura" + std::to_string(n));
+    EXPECT_EQ(gen.ctx.vars, text.ctx.vars) << n;
+    ASSERT_EQ(gen.polys.size(), text.polys.size()) << n;
+    for (std::size_t i = 0; i < gen.polys.size(); ++i) {
+      EXPECT_TRUE(gen.polys[i].equals(text.polys[i])) << "katsura" << n << " eq " << i;
+    }
+  }
+}
+
+TEST(ParametricTest, CyclicGeneratorMatchesArnborg) {
+  // arnborg4/5 ARE cyclic(4)/cyclic(5) with historical variable names;
+  // equals() compares exponent vectors, so the rename is invisible.
+  for (int n : {4, 5}) {
+    PolySystem gen = cyclic_system(n);
+    PolySystem text = load_problem("arnborg" + std::to_string(n));
+    ASSERT_EQ(gen.polys.size(), text.polys.size()) << n;
+    for (std::size_t i = 0; i < gen.polys.size(); ++i) {
+      EXPECT_TRUE(gen.polys[i].equals(text.polys[i])) << "cyclic" << n << " eq " << i;
+    }
+  }
+}
+
+TEST(ParametricTest, ParametricNamesLoad) {
+  EXPECT_TRUE(has_problem("katsura(6)"));
+  EXPECT_TRUE(has_problem("cyclic(7)"));
+  EXPECT_FALSE(has_problem("katsura(0)"));
+  EXPECT_FALSE(has_problem("katsura(17)"));
+  EXPECT_FALSE(has_problem("cyclic(1)"));
+  EXPECT_FALSE(has_problem("cyclic(13)"));
+  EXPECT_FALSE(has_problem("noon(3)"));
+  EXPECT_FALSE(has_problem("katsura("));
+  EXPECT_FALSE(has_problem("katsura(x)"));
+  PolySystem k6 = load_problem("katsura(6)");
+  EXPECT_EQ(k6.ctx.nvars(), 7u);
+  EXPECT_EQ(k6.polys.size(), 7u);
+  EXPECT_EQ(k6.name, "katsura6");
+  for (const auto& p : k6.polys) EXPECT_TRUE(p.is_primitive());
+  PolySystem c7 = load_problem("cyclic(7)");
+  EXPECT_EQ(c7.ctx.nvars(), 7u);
+  EXPECT_EQ(c7.polys.size(), 7u);
+  EXPECT_EQ(c7.polys.back().nterms(), 2u);  // product - 1
+}
+
 TEST(ReplicateRenamedTest, DisjointVariableBlocks) {
   PolySystem base = load_problem("arnborg4");
   PolySystem x3 = replicate_renamed(base, 3);

@@ -4,12 +4,15 @@
 //
 // Run mode (default):
 //   trace_report [--problem NAME] [--procs N] [--threads] [--seed S]
-//                [--chaos SEED] [--reserve] [--ring CAP]
+//                [--chaos SEED] [--reserve] [--matrix] [--ring CAP]
 //                [--perfetto FILE] [--metrics FILE] [--save FILE]
 //
 //   Runs GL-P on the simulator (or, with --threads, on real OS threads) with
 //   a tracer and a metrics registry attached, prints the breakdown table to
 //   stdout, and optionally writes:
+//   --matrix enables the batched F4-style reduction path; the breakdown then
+//   also shows the per-phase matrix split (symbolic/build/eliminate/convert)
+//   inside the reduce bucket, and kernel.matrix.* metrics series appear.
 //     --perfetto FILE   Chrome/Perfetto trace_event JSON (open in ui.perfetto.dev)
 //     --metrics  FILE   unified metrics snapshot JSON
 //     --save     FILE   the raw binary trace, reloadable with --load
@@ -51,6 +54,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t chaos_seed = 0;
   bool reserve = false;
+  bool matrix = false;
   std::size_t ring = 1u << 15;
   std::string perfetto_path;
   std::string metrics_path;
@@ -63,7 +67,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--problem NAME] [--procs N] [--threads] [--seed S]\n"
-               "          [--chaos SEED] [--reserve] [--ring CAP]\n"
+               "          [--chaos SEED] [--reserve] [--matrix] [--ring CAP]\n"
                "          [--perfetto FILE] [--metrics FILE] [--save FILE]\n"
                "       %s --load FILE [--perfetto FILE]\n"
                "       %s --merge OUT.json rank0.gbdt rank1.gbdt ...\n",
@@ -91,6 +95,8 @@ Options parse_args(int argc, char** argv) {
       opt.chaos_seed = std::strtoull(value(i), nullptr, 10);
     } else if (std::strcmp(a, "--reserve") == 0) {
       opt.reserve = true;
+    } else if (std::strcmp(a, "--matrix") == 0) {
+      opt.matrix = true;
     } else if (std::strcmp(a, "--ring") == 0) {
       opt.ring = static_cast<std::size_t>(std::strtoull(value(i), nullptr, 10));
     } else if (std::strcmp(a, "--perfetto") == 0) {
@@ -203,6 +209,7 @@ int main(int argc, char** argv) {
   cfg.nprocs = opt.procs;
   cfg.seed = opt.seed;
   cfg.reserve_coordinator = opt.reserve;
+  cfg.gb.matrix_reduce = opt.matrix;
   cfg.tracer = &tracer;
   cfg.metrics = &metrics;
   if (opt.chaos_seed != 0) {
@@ -215,8 +222,9 @@ int main(int argc, char** argv) {
   ParallelResult res =
       opt.threads ? groebner_parallel_threads(sys, cfg) : groebner_parallel(sys, cfg);
 
-  std::printf("%s  P=%d  backend=%s  seed=%llu  basis=%zu  makespan=%llu%s\n\n",
+  std::printf("%s  P=%d  backend=%s%s  seed=%llu  basis=%zu  makespan=%llu%s\n\n",
               opt.problem.c_str(), opt.procs, opt.threads ? "threads" : "sim",
+              opt.matrix ? "  reduce=matrix" : "",
               static_cast<unsigned long long>(opt.seed), res.basis_ids.size(),
               static_cast<unsigned long long>(res.machine.makespan),
               opt.threads ? " ns" : " units");

@@ -20,6 +20,10 @@
 // coefficient growth makes them minutes-long (katsura 6/7 over Q) are
 // zp-only. --smoke trims to the fast rows for CI; --out writes the JSON
 // consumed as BENCH_pr7.json.
+//
+// A third mode, --pr8, compares the scalar vs vectorized Zp elimination
+// kernel (see below); --repeat N overrides the min-of-N repetition count of
+// both whole-run modes.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -37,6 +41,7 @@
 #include "poly/coeff.hpp"
 #include "poly/divmask.hpp"
 #include "poly/reduce.hpp"
+#include "poly/simd.hpp"
 #include "poly/spoly.hpp"
 #include "poly/symbolic.hpp"
 #include "problems/problems.hpp"
@@ -192,9 +197,9 @@ double timed_run_ms(const PolySystem& sys, const GbConfig& cfg, int reps,
   return best;
 }
 
-int run_matrix_mode(bool smoke, const std::string& out_path) {
+int run_matrix_mode(bool smoke, const std::string& out_path, int repeat) {
   const std::uint64_t prime = prev_prime_u64(std::uint64_t{1} << 31);
-  const int reps = smoke ? 1 : 3;
+  const int reps = repeat > 0 ? repeat : (smoke ? 1 : 3);
   std::string json = "{\n  \"bench\": \"pr7_matrix_reduce\",\n  \"rows\": [\n";
   bool first_row = true;
   bool any_zp_win = false;
@@ -282,22 +287,167 @@ int run_matrix_mode(bool smoke, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --pr8 mode: scalar vs vectorized elimination kernel (PR 8).
+//
+//   reduce_kernel --pr8 [--smoke] [--repeat N] [--out FILE]
+//
+// runs the sequential matrix engine mod p on each problem three ways —
+// dispatch pinned scalar, automatic dispatch (the vector sweep where the
+// host supports it), and vector + 2 kernel lanes — checks all three reach
+// the bit-identical reduced basis, and reports min-of-N whole-run times
+// plus the stage-1 sweep time (the dense-tile phase the SIMD work targets).
+// The JSON records the host's vector features and the dispatch choice so
+// committed numbers are interpretable on other machines.
+
+struct Pr8Row {
+  const char* problem;
+  bool smoke;
+};
+
+const Pr8Row kPr8Rows[] = {
+    {"trinks1", true}, {"katsura(5)", true}, {"cyclic(5)", true},
+    {"katsura(6)", false}, {"katsura(7)", false},
+};
+
+/// One timed configuration: min-of-N wall ms, plus per-run averages of the
+/// kernel counters accumulated across the N runs.
+struct Pr8Timing {
+  double run_ms = 0;
+  double sweep_ms = 0;  ///< stage-1 sweep wall time, per run
+  MatrixKernelStats stats;  ///< per-run averages
+  SequentialResult result;
+};
+
+Pr8Timing pr8_time(const PolySystem& sys, const GbConfig& cfg, int reps) {
+  Pr8Timing t;
+  reset_matrix_kernel_stats();
+  int ran = 0;
+  t.run_ms = timed_run_ms(sys, cfg, reps, &t.result, &ran);
+  MatrixKernelStats ms = matrix_kernel_stats();
+  const std::uint64_t r = static_cast<std::uint64_t>(ran);
+  t.sweep_ms = static_cast<double>(ms.sweep_ns / r) / 1e6;
+  ms.batches /= r;
+  ms.axpys /= r;
+  ms.simd_rows /= r;
+  ms.scalar_rows /= r;
+  ms.simd_cells /= r;
+  ms.memo_hits /= r;
+  ms.memo_misses /= r;
+  t.stats = ms;
+  return t;
+}
+
+int run_pr8_mode(bool smoke, int repeat, const std::string& out_path) {
+  const std::uint64_t prime = prev_prime_u64(std::uint64_t{1} << 31);
+  const int reps = repeat > 0 ? repeat : (smoke ? 1 : 5);
+  const SimdLevel level = simd_level();
+  std::printf("cpu: avx2=%d avx512f=%d dispatch=%s\n", cpu_has_avx2() ? 1 : 0,
+              cpu_has_avx512() ? 1 : 0, simd_level_name(level));
+  std::printf("%-12s %-14s %10s %10s %10s %8s %8s\n", "problem", "coeff", "scalar_ms", "simd_ms",
+              "lanes2_ms", "speedup", "sweep_x");
+
+  std::string json = "{\n  \"bench\": \"pr8_simd_kernel\",\n";
+  json += "  \"cpu\": {\"avx2\": " + std::string(cpu_has_avx2() ? "true" : "false") +
+          ", \"avx512f\": " + std::string(cpu_has_avx512() ? "true" : "false") +
+          ", \"dispatch\": \"" + simd_level_name(level) + "\"},\n  \"rows\": [\n";
+  bool first_row = true;
+
+  for (const Pr8Row& row : kPr8Rows) {
+    if (smoke && !row.smoke) continue;
+    PolySystem sys = load_with_order(row.problem, OrderKind::kGrLex);
+    CoeffOptions coeff = CoeffOptions::zp(prime);
+    GbConfig scalar_cfg;
+    scalar_cfg.coeff = coeff;
+    scalar_cfg.matrix_reduce = true;
+    scalar_cfg.matrix_force_scalar = true;
+    GbConfig simd_cfg = scalar_cfg;
+    simd_cfg.matrix_force_scalar = false;
+    GbConfig lanes_cfg = simd_cfg;
+    lanes_cfg.matrix_threads = 2;
+
+    Pr8Timing sc = pr8_time(sys, scalar_cfg, reps);
+    Pr8Timing vec = pr8_time(sys, simd_cfg, reps);
+    Pr8Timing ln = pr8_time(sys, lanes_cfg, reps);
+
+    // All three configurations must reach the bit-identical reduced basis.
+    std::vector<Polynomial> want = reduce_basis(sys.ctx, sc.result.basis, coeff);
+    for (const Pr8Timing* other : {&vec, &ln}) {
+      std::vector<Polynomial> got = reduce_basis(sys.ctx, other->result.basis, coeff);
+      bool equal = want.size() == got.size();
+      for (std::size_t i = 0; equal && i < want.size(); ++i) equal = want[i].equals(got[i]);
+      if (!equal) {
+        std::fprintf(stderr, "FAIL: %s: dispatch configs disagree on the reduced basis\n",
+                     sys.name.c_str());
+        return 1;
+      }
+    }
+
+    double speedup = vec.run_ms > 0 ? sc.run_ms / vec.run_ms : 0;
+    double sweep_x = vec.sweep_ms > 0 ? sc.sweep_ms / vec.sweep_ms : 0;
+    std::string coeff_name = "zp:" + std::to_string(prime);
+    std::printf("%-12s %-14s %10.2f %10.2f %10.2f %7.2fx %7.2fx\n", sys.name.c_str(),
+                coeff_name.c_str(), sc.run_ms, vec.run_ms, ln.run_ms, speedup, sweep_x);
+    std::fflush(stdout);
+
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"order\": \"grevlex\", \"coeff\": \"%s\", "
+        "\"reps\": %d, \"scalar_ms\": %.3f, \"simd_ms\": %.3f, \"threads2_ms\": %.3f, "
+        "\"speedup\": %.4f, \"sweep_scalar_ms\": %.3f, \"sweep_simd_ms\": %.3f, "
+        "\"sweep_speedup\": %.4f, \"simd_rows\": %llu, \"scalar_rows\": %llu, "
+        "\"simd_cells\": %llu, \"memo_hits\": %llu, \"memo_misses\": %llu}",
+        sys.name.c_str(), coeff_name.c_str(), reps, sc.run_ms, vec.run_ms, ln.run_ms, speedup,
+        sc.sweep_ms, vec.sweep_ms, sweep_x,
+        static_cast<unsigned long long>(vec.stats.simd_rows),
+        static_cast<unsigned long long>(sc.stats.scalar_rows),
+        static_cast<unsigned long long>(vec.stats.simd_cells),
+        static_cast<unsigned long long>(vec.stats.memo_hits),
+        static_cast<unsigned long long>(vec.stats.memo_misses));
+    json += (first_row ? "" : ",\n");
+    json += buf;
+    first_row = false;
+  }
+  json += "\n  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("\nwritten to %s\n", out_path.c_str());
+  }
+  if (level == SimdLevel::kScalar) {
+    std::printf("note: host dispatches scalar — simd columns measure the same kernel\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gbd
 
 int main(int argc, char** argv) {
-  bool matrix = false, smoke = false;
+  bool matrix = false, pr8 = false, smoke = false;
+  int repeat = 0;  // 0 = mode default
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--matrix") == 0) {
       matrix = true;
+    } else if (std::strcmp(argv[i], "--pr8") == 0) {
+      pr8 = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
   }
-  if (matrix) return gbd::run_matrix_mode(smoke, out_path);
+  if (pr8) return gbd::run_pr8_mode(smoke, repeat, out_path);
+  if (matrix) return gbd::run_matrix_mode(smoke, out_path, repeat);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -84,6 +84,20 @@ class ZpField {
   /// result canonical. The per-term scaling primitive of the Zp kernels.
   std::uint64_t mul_canonical(Zp a, std::uint64_t c) const { return redc(mul_128(a.m, c)); }
 
+  // Delayed-reduction support (poly/simd.hpp): the SIMD echelon sweep keeps
+  // accumulator lanes only *congruent* mod p and corrects 64-bit wraps with
+  // 2^64 mod p. Products fneg·coeff must fit a 64-bit lane with room for a
+  // single wrap correction, which holds exactly when p < 2^32 (see the
+  // overflow-budget argument in simd.hpp).
+
+  /// Largest modulus (exclusive) for which the delayed-reduction lane kernel
+  /// is sound: (p−1)² + p < 2^64 for every p below this bound.
+  static constexpr std::uint64_t kDelayedReductionBound = std::uint64_t{1} << 32;
+  bool delayed_reduction_ok() const { return p_ < kDelayedReductionBound; }
+  /// 2^64 mod p — the wrap-correction constant. (R mod p is exactly the
+  /// Montgomery image of 1, precomputed at construction.)
+  std::uint64_t r_mod_p() const { return one_.m; }
+
   bool operator==(const ZpField& o) const { return p_ == o.p_; }
 
  private:

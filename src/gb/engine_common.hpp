@@ -70,10 +70,17 @@ struct GbConfig {
   bool matrix_reduce = false;
   /// Cap on pairs per matrix round (matrix_reduce only).
   std::size_t matrix_batch_max = 64;
-  /// Worker threads for the elimination kernel (sequential engine only; the
-  /// GL-P engines parallelize across procs instead). Results are identical
-  /// for any value.
+  /// Worker threads for the elimination kernel. The sequential engine uses
+  /// the value directly; the GL-P engines clamp it by the machine's
+  /// per-proc kernel-lane grant (Proc::kernel_lanes — SimMachine grants
+  /// freely and keeps virtual time deterministic by charging the parallel
+  /// makespan, Thread/Socket grant what the host has spare). Results are
+  /// identical for any value.
   std::size_t matrix_threads = 1;
+  /// Pin the elimination kernel to the scalar Montgomery sweep even where
+  /// the vectorized path (poly/simd.hpp) is available. Differential knob;
+  /// results and charged costs are identical either way.
+  bool matrix_force_scalar = false;
   /// Abort knob for tests; a correct run never hits it.
   std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();
 };

@@ -14,6 +14,7 @@
 #include "obs/span.hpp"
 #include "poly/echelon.hpp"
 #include "poly/reduce.hpp"
+#include "poly/simd.hpp"
 #include "poly/spoly.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
@@ -479,22 +480,40 @@ class GlpWorker {
     {
       TraceSpan sp(self_, Ev::kMatBuild, rows.size(), frame.ncols());
       CostScope cost;
-      mat = build_matrix(sys_.ctx, frame, rows, cfg_.gb.coeff);
+      // Multiline runs only when the vector sweep could dispatch (mirrors
+      // reduce_batch); build cost charged is dispatch-independent.
+      const bool want_runs = cfg_.gb.coeff.is_zp() && !cfg_.gb.matrix_force_scalar &&
+                             simd_level() != SimdLevel::kScalar;
+      mat = build_matrix(sys_.ctx, frame, rows, cfg_.gb.coeff, want_runs);
       out_->stats.work_units += cost.elapsed();
     }
     EchelonOptions eopts;
     eopts.coeff = cfg_.gb.coeff;
+    eopts.force_scalar = cfg_.gb.matrix_force_scalar;
+    // Parallel elimination inside the task: the configured lane count,
+    // clamped by what this machine grants each processor (SimMachine grants
+    // freely and stays deterministic via makespan charging; Thread/Socket
+    // grant the host's spare threads).
+    eopts.nthreads = std::min(std::max<std::size_t>(1, cfg_.gb.matrix_threads),
+                              std::max<std::size_t>(1, self_.kernel_lanes()));
     EchelonOutput eo;
     {
       TraceSpan sp(self_, Ev::kMatEliminate, rows.size());
       CostScope cost;
       const std::uint64_t axpys_before = matrix_kernel_stats().axpys;
+      const std::uint64_t simd_before = matrix_kernel_stats().simd_rows;
+      const std::uint64_t scalar_before = matrix_kernel_stats().scalar_rows;
       eo = echelon_reduce(sys_.ctx, frame, mat, eopts);
-      out_->stats.reduction_steps += matrix_kernel_stats().axpys - axpys_before;
+      const MatrixKernelStats& ks = matrix_kernel_stats();
+      out_->stats.reduction_steps += ks.axpys - axpys_before;
       std::uint64_t c = cost.elapsed();
       out_->stats.work_units += c;
       out_->stats.max_step_cost = std::max(out_->stats.max_step_cost, c);
       sp.result(eo.rows.size());
+      if (ProcTracer* t = self_.tracer()) {
+        t->instant(Ev::kMatSweep, self_.now(), ks.simd_rows - simd_before,
+                   ks.scalar_rows - scalar_before);
+      }
     }
 
     TraceSpan sp(self_, Ev::kMatConvert, eo.rows.size());

@@ -155,6 +155,10 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
     return false;
   };
 
+  // Reducer resolutions reused across matrix rounds (frame memo): adjacent
+  // rounds share most of their closure monomials, and the basis only grows.
+  SymbolicMemo matrix_memo;
+
   while (!queue.empty()) {
     if (cfg.matrix_reduce) {
       // Batch round: every queued pair of the current minimal lcm degree
@@ -183,8 +187,9 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
       EchelonOptions eopts;
       eopts.coeff = cfg.coeff;
       eopts.nthreads = cfg.matrix_threads;
+      eopts.force_scalar = cfg.matrix_force_scalar;
       const std::uint64_t axpys_before = matrix_kernel_stats().axpys;
-      EchelonOutput eo = reduce_batch(ctx, rows, reducer_set, eopts);
+      EchelonOutput eo = reduce_batch(ctx, rows, reducer_set, eopts, &matrix_memo);
       res.stats.reduction_steps += matrix_kernel_stats().axpys - axpys_before;
       for (const PendingPair& pair : batch) done.mark(pair.i, pair.j);
       res.stats.reductions_to_zero += batch.size() - eo.rows.size();

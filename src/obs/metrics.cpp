@@ -84,6 +84,17 @@ void collect_kernel_delta(MetricsRegistry& reg, int proc, const KernelBaseline& 
   reg.add("kernel.matrix.rows_zeroed", proc, mk.rows_zeroed - base.matrix.rows_zeroed);
   reg.add("kernel.matrix.axpys", proc, mk.axpys - base.matrix.axpys);
   reg.add("kernel.matrix.dense_cells", proc, mk.dense_cells - base.matrix.dense_cells);
+  reg.add("kernel.matrix.memo_hits", proc, mk.memo_hits - base.matrix.memo_hits);
+  reg.add("kernel.matrix.memo_misses", proc, mk.memo_misses - base.matrix.memo_misses);
+  reg.add("kernel.matrix.pivot_cache_builds", proc,
+          mk.pivot_cache_builds - base.matrix.pivot_cache_builds);
+  reg.add("kernel.matrix.pivot_cache_hits", proc,
+          mk.pivot_cache_hits - base.matrix.pivot_cache_hits);
+  reg.add("kernel.simd.rows", proc, mk.simd_rows - base.matrix.simd_rows);
+  reg.add("kernel.simd.scalar_rows", proc, mk.scalar_rows - base.matrix.scalar_rows);
+  reg.add("kernel.simd.cells", proc, mk.simd_cells - base.matrix.simd_cells);
+  reg.add("kernel.simd.runs", proc, mk.simd_runs - base.matrix.simd_runs);
+  reg.add("kernel.simd.sweep_ns", proc, mk.sweep_ns - base.matrix.sweep_ns);
 }
 
 void collect_machine_stats(MetricsRegistry& reg, const MachineStats& ms) {

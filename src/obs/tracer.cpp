@@ -184,6 +184,7 @@ const char* ev_name(Ev kind) {
     case Ev::kMatBuild: return "mat-build";
     case Ev::kMatEliminate: return "mat-eliminate";
     case Ev::kMatConvert: return "mat-convert";
+    case Ev::kMatSweep: return "mat-sweep";
   }
   return "unknown";
 }

@@ -73,6 +73,8 @@ enum class Ev : std::uint8_t {
   kMatBuild = 18,      ///< matrix build; a = work rows, b = frame cols
   kMatEliminate = 19,  ///< blocked row-echelon sweep; a = work rows, b = survivors
   kMatConvert = 20,    ///< surviving rows back to polynomials / augment hand-off
+  // Instants.
+  kMatSweep = 21,  ///< elimination dispatch tally; a = vector rows, b = scalar rows
 };
 
 /// Why a processor entered wait() (the `a` argument of a kWait span).

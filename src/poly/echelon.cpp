@@ -1,9 +1,12 @@
 #include "poly/echelon.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <thread>
 
 #include "poly/geobucket.hpp"
+#include "poly/simd.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
 
@@ -14,6 +17,12 @@ namespace {
 struct SweepTally {
   std::uint64_t axpys = 0;
   std::uint64_t dense_cells = 0;
+  std::uint64_t simd_rows = 0;
+  std::uint64_t scalar_rows = 0;
+  std::uint64_t simd_cells = 0;
+  std::uint64_t simd_runs = 0;
+  std::uint64_t cache_builds = 0;
+  std::uint64_t cache_hits = 0;
   std::uint64_t cost = 0;  // term-operation units this worker charged
 };
 
@@ -49,6 +58,7 @@ Polynomial sweep_row_zp(const PolyContext& ctx, const SymbolicFrame& frame,
     }
   }
   tally->dense_cells += ncols;
+  tally->scalar_rows += 1;
   CostCounter::charge(ncols / 8 + 1);  // the tile scan itself, amortized
 
   std::vector<Term> terms;
@@ -61,12 +71,81 @@ Polynomial sweep_row_zp(const PolyContext& ctx, const SymbolicFrame& frame,
   return out;
 }
 
+/// Vectorized Zp sweep: same left-to-right pass, but accumulator lanes hold
+/// arbitrary 64-bit values merely *congruent* mod p (delayed reduction; see
+/// poly/simd.hpp for the wrap-correction soundness argument). A cell is
+/// canonicalized exactly once — when the pass reaches its column and every
+/// contribution to it is in — so the value the pivot factor (and the output
+/// term) is read from is the same canonical residue the scalar kernel
+/// maintains throughout: the produced row is bit-identical. Eliminations
+/// stream the pivot's multiline runs (matrix.hpp) through the vector AXPY.
+/// Charged cost units match sweep_row_zp exactly — 1 + tail per
+/// elimination, ncols/8 + 1 per row — so virtual-time runs (SimMachine) are
+/// reproducible across hosts regardless of dispatch.
+Polynomial sweep_row_zp_simd(const PolyContext& ctx, const SymbolicFrame& frame,
+                             const MacaulayMatrix& mat, const ZpField& field,
+                             const MatrixRow& row, SimdLevel level,
+                             std::vector<std::uint64_t>* acc, SweepTally* tally) {
+  const std::size_t ncols = mat.ncols;
+  const std::uint64_t p = field.p();
+  const std::uint64_t r64 = field.r_mod_p();
+  std::fill(acc->begin(), acc->end(), 0);
+  for (std::size_t i = 0; i < row.nnz(); ++i) {
+    (*acc)[row.cols[i]] = zp_residue_u64(row.coeffs[i]);
+  }
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::uint64_t v = (*acc)[c];
+    if (v == 0) continue;
+    // Finalize the cell: one division, skipped when no elimination ever
+    // streamed into it (still canonical from the scatter).
+    std::uint64_t f = v < p ? v : v % p;
+    std::int32_t pv = frame.pivot_of_col[c];
+    if (pv < 0) {
+      (*acc)[c] = f;  // final: later eliminations only touch columns > c
+      continue;
+    }
+    (*acc)[c] = 0;  // the monic head cancels exactly
+    if (f == 0) continue;
+    const ZpPivotRuns& runs = mat.zp_runs[static_cast<std::size_t>(pv)];
+    const std::uint64_t fneg = p - f;  // subtraction as lane addition
+    for (const ZpPivotRuns::Run& run : runs.runs) {
+      zp_axpy_delayed(acc->data() + run.col, runs.coeffs.data() + run.off, run.len, fneg, r64,
+                      level);
+    }
+    tally->axpys += 1;
+    tally->simd_cells += runs.coeffs.size();
+    tally->simd_runs += runs.runs.size();
+    // Identical unit charge to the scalar kernel's prow.cols.size():
+    // head (1) + tail (the concatenated run payload).
+    CostCounter::charge(runs.coeffs.size() + 1);
+  }
+  tally->dense_cells += ncols;
+  tally->simd_rows += 1;
+  CostCounter::charge(ncols / 8 + 1);
+
+  std::vector<Term> terms;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::uint64_t v = (*acc)[c];  // already canonical: finalized per column
+    if (v != 0) terms.push_back(Term{BigInt(static_cast<std::int64_t>(v)), frame.cols[c]});
+  }
+  Polynomial out = Polynomial::from_sorted_terms(ctx, std::move(terms));
+  out.make_monic(field);
+  return out;
+}
+
+/// Lazily expanded pivot products for the exact sweep: slot pv holds the
+/// term run of mult·reducer (coefficients verbatim, monomials multiplied
+/// through), built at first touch and reused for every later row that hits
+/// the same pivot column. One cache per worker thread — reuse is amortized
+/// across that worker's rows with no synchronization.
+using ExactPivotCache = std::vector<std::unique_ptr<std::vector<Term>>>;
+
 /// Exact pivot sweep for one work row: the reduce_full geobucket loop with
 /// the reducer choice read off the frame. Bit-identical to the per-poly
 /// oracle's tail-reduced normal form (same reducers, same fraction-free
 /// steps, same final make_primitive inside extract()).
 Polynomial sweep_row_exact(const PolyContext& ctx, const SymbolicFrame& frame,
-                           const MatrixRow& mrow, SweepTally* tally) {
+                           const MatrixRow& mrow, ExactPivotCache* cache, SweepTally* tally) {
   Polynomial p = row_to_poly(ctx, frame, mrow);
   p.make_primitive();
   if (p.is_zero()) return p;
@@ -89,7 +168,21 @@ Polynomial sweep_row_exact(const PolyContext& ctx, const SymbolicFrame& frame,
       b = -b;
     }
     b = -b;
-    acc.axpy(a, b, prod.mult, *prod.reducer);
+    // Expand mult·reducer once per (worker, pivot); later touches skip the
+    // per-term monomial multiplications (axpy's dominant non-BigInt cost).
+    std::unique_ptr<std::vector<Term>>& slot = (*cache)[static_cast<std::size_t>(pv)];
+    if (slot == nullptr) {
+      auto run = std::make_unique<std::vector<Term>>();
+      run->reserve(prod.reducer->nterms());
+      for (const Term& t : prod.reducer->terms()) {
+        run->push_back(Term{t.coeff, t.mono * prod.mult});
+      }
+      slot = std::move(run);
+      tally->cache_builds += 1;
+    } else {
+      tally->cache_hits += 1;
+    }
+    acc.axpy_expanded(a, b, *slot);
     tally->axpys += 1;
   }
   return acc.extract();
@@ -122,9 +215,16 @@ EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
   const bool zp = opts.coeff.is_zp();
   ZpField field(zp ? opts.coeff.prime : 3);
 
+  // Dispatch, resolved once per matrix: the vector sweep needs the multiline
+  // pivot layout (only built for delayed-reduction-safe primes) and an
+  // actual vector unit; force_scalar / GBD_DISABLE_SIMD pin the oracle.
+  SimdLevel level = SimdLevel::kScalar;
+  if (zp && mat.has_runs && !opts.force_scalar) level = simd_level();
+  const bool use_simd = level != SimdLevel::kScalar;
+
   // Stage 1: per-row pivot sweep, parallel across rows. Each worker owns its
-  // accumulator and tally; slot i of `reduced` is written by exactly one
-  // worker.
+  // accumulator, exact-pivot cache and tally; slot i of `reduced` is written
+  // by exactly one worker.
   std::vector<Polynomial> reduced(nrows);
   std::size_t nthreads = std::max<std::size_t>(1, opts.nthreads);
   nthreads = std::min(nthreads, std::max<std::size_t>(1, nrows));
@@ -135,15 +235,23 @@ EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
     CostScope scope;
     std::vector<std::uint64_t> acc;
     if (zp) acc.assign(mat.ncols, 0);
+    ExactPivotCache cache;
+    if (!zp) cache.resize(frame.pivots.size());
     for (std::size_t i = t; i < nrows; i += nthreads) {
       const MatrixRow& row = mat.work_rows[i];
       if (row.empty()) continue;
-      reduced[i] = zp ? sweep_row_zp(ctx, frame, mat, field, row, opts.block_cols, &acc, &tally)
-                      : sweep_row_exact(ctx, frame, row, &tally);
+      if (!zp) {
+        reduced[i] = sweep_row_exact(ctx, frame, row, &cache, &tally);
+      } else if (use_simd) {
+        reduced[i] = sweep_row_zp_simd(ctx, frame, mat, field, row, level, &acc, &tally);
+      } else {
+        reduced[i] = sweep_row_zp(ctx, frame, mat, field, row, opts.block_cols, &acc, &tally);
+      }
     }
     tally.cost = scope.elapsed();
   };
 
+  const auto sweep_t0 = std::chrono::steady_clock::now();
   if (nthreads == 1) {
     sweep_range(0);
   } else {
@@ -158,9 +266,18 @@ EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
     for (const auto& tally : tallies) makespan = std::max(makespan, tally.cost);
     CostCounter::charge(makespan);
   }
+  st.sweep_ns += static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                std::chrono::steady_clock::now() - sweep_t0)
+                                                .count());
   for (const auto& tally : tallies) {
     st.axpys += tally.axpys;
     st.dense_cells += tally.dense_cells;
+    st.simd_rows += tally.simd_rows;
+    st.scalar_rows += tally.scalar_rows;
+    st.simd_cells += tally.simd_cells;
+    st.simd_runs += tally.simd_runs;
+    st.pivot_cache_builds += tally.cache_builds;
+    st.pivot_cache_hits += tally.cache_hits;
   }
 
   // Stage 2: row echelon of the surviving rows. Rows are processed in
@@ -222,9 +339,14 @@ EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
 }
 
 EchelonOutput reduce_batch(const PolyContext& ctx, const std::vector<Polynomial>& rows,
-                           const ReducerSet& reducers, const EchelonOptions& opts) {
-  SymbolicFrame frame = symbolic_preprocess(ctx, rows, reducers);
-  MacaulayMatrix mat = build_matrix(ctx, frame, rows, opts.coeff);
+                           const ReducerSet& reducers, const EchelonOptions& opts,
+                           SymbolicMemo* memo) {
+  SymbolicFrame frame = symbolic_preprocess(ctx, rows, reducers, memo);
+  // Only lay out multiline runs when the vector sweep could actually run, so
+  // scalar-pinned configurations don't pay (or get charged) the extra build.
+  const bool want_runs =
+      opts.coeff.is_zp() && !opts.force_scalar && simd_level() != SimdLevel::kScalar;
+  MacaulayMatrix mat = build_matrix(ctx, frame, rows, opts.coeff, want_runs);
   return echelon_reduce(ctx, frame, mat, opts);
 }
 

@@ -7,7 +7,13 @@
 //     and the sweep walks the columns in cache-sized tiles; eliminating a
 //     cell costs one REDC per pivot-row term (the pivot block was made monic
 //     and Montgomery-converted once at build). This is the GBLA-style dense
-//     tail over the sparse pivot structure.
+//     tail over the sparse pivot structure. When the field admits delayed
+//     reduction (p < 2^32) and the CPU has AVX2, the sweep instead streams
+//     the pivot block's multiline runs through the vector AXPY of
+//     poly/simd.hpp — accumulator lanes stay merely *congruent* mod p and
+//     are canonicalized once per cell as its column is finalized. Dispatch
+//     never changes results or charged cost units (the scalar kernel is the
+//     differential oracle, selectable via force_scalar / GBD_DISABLE_SIMD).
 //   · exact: the row runs through the same geobucket accumulator as
 //     reduce_full, but reducer *lookup* is a frame-indexed array load instead
 //     of a divmask scan — the choice was fixed by symbolic preprocessing.
@@ -40,6 +46,12 @@ struct EchelonOptions {
   std::size_t nthreads = 1;
   /// Column tile width for the Zp dense sweep.
   std::size_t block_cols = 512;
+  /// Force the scalar Montgomery sweep even when the vector kernel is
+  /// available (poly/simd.hpp). The two produce bit-identical rows and
+  /// charge identical cost units; this pins dispatch for differential tests
+  /// and benchmarks. The GBD_DISABLE_SIMD env var has the same effect
+  /// process-wide.
+  bool force_scalar = false;
 };
 
 struct EchelonOutput {
@@ -63,8 +75,11 @@ EchelonOutput echelon_reduce(const PolyContext& ctx, const SymbolicFrame& frame,
 /// The whole batched pipeline in one call: symbolic preprocessing over
 /// `reducers`, matrix build, elimination. `rows` must be canonical for
 /// opts.coeff (primitive integers / canonical residues); `reducers` must not
-/// be mutated during the call.
+/// be mutated during the call. `memo` optionally carries reducer
+/// resolutions across calls (see SymbolicMemo); results are identical with
+/// or without it.
 EchelonOutput reduce_batch(const PolyContext& ctx, const std::vector<Polynomial>& rows,
-                           const ReducerSet& reducers, const EchelonOptions& opts);
+                           const ReducerSet& reducers, const EchelonOptions& opts,
+                           SymbolicMemo* memo = nullptr);
 
 }  // namespace gbd

@@ -211,6 +211,24 @@ void Geobucket::axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m
   if (pending_bits_ > kNormalizeBits) normalize();
 }
 
+void Geobucket::axpy_expanded(const BigInt& scale, const BigInt& coeff,
+                              const std::vector<Term>& expanded) {
+  GBD_DCHECK(!scale.is_zero() && !coeff.is_zero());
+  GBD_DCHECK(zp_ == nullptr || scale.is_one());
+  geobucket_stats().axpys += 1;
+  lead_valid_ = false;
+  if (!scale.is_one()) {
+    for (Bucket& b : buckets_) {
+      if (b.live()) b.scale *= scale;
+    }
+    scale_log_.push_back(scale);
+    pending_bits_ += scale.bit_length();
+  }
+  // The run is already m·p; only the coefficient copy remains per term.
+  insert(expanded, coeff);
+  if (pending_bits_ > kNormalizeBits) normalize();
+}
+
 void Geobucket::settle_done() {
   BigInt acc(1);
   std::size_t j = scale_log_.size();

@@ -89,6 +89,14 @@ class Geobucket {
   /// scale and coeff must be nonzero.
   void axpy(const BigInt& scale, const BigInt& coeff, const Monomial& m, const Polynomial& p);
 
+  /// Same step with the product m·p already expanded into a descending term
+  /// run (coefficients as p carries them — the head coefficient included).
+  /// Bit-identical to axpy(scale, coeff, m, p) when `expanded` holds exactly
+  /// {(c, mono·m) : (c, mono) ∈ p}; the caller amortizes the per-term
+  /// monomial multiplications across repeated touches of the same product
+  /// (the echelon kernel's lazy pivot cache).
+  void axpy_expanded(const BigInt& scale, const BigInt& coeff, const std::vector<Term>& expanded);
+
   /// Materialize done ++ remaining buckets as a primitive polynomial and
   /// reset the accumulator to empty.
   Polynomial extract();

@@ -25,7 +25,8 @@ MatrixRow expand_row(const SymbolicFrame& frame, const Polynomial& p) {
 }  // namespace
 
 MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
-                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff) {
+                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff,
+                            bool build_runs) {
   MacaulayMatrix mat;
   mat.ncols = frame.ncols();
   mat.work_rows.reserve(rows.size());
@@ -37,7 +38,9 @@ MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
 
   if (coeff.is_zp()) {
     ZpField field(coeff.prime);
+    mat.has_runs = build_runs && field.delayed_reduction_ok();
     mat.zp_pivots.reserve(frame.pivots.size());
+    if (mat.has_runs) mat.zp_runs.reserve(frame.pivots.size());
     for (const PivotProduct& pv : frame.pivots) {
       const auto& terms = pv.reducer->terms();
       ZpPivotRow row;
@@ -46,14 +49,39 @@ MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
       // Monic once per batch: fold hc^{-1} into the Montgomery conversion so
       // the kernel's per-use factor is just the accumulator cell itself.
       Zp inv_head = field.inv(field.from_residue(zp_residue_u64(pv.reducer->hcoef())));
+      std::vector<std::uint64_t> canon;  // monic canonical residues, per term
+      if (mat.has_runs) canon.reserve(terms.size());
       for (const Term& t : terms) {
         std::int64_t c = frame.col_of(t.mono * pv.mult);
         GBD_CHECK_MSG(c >= 0, "build_matrix: pivot monomial missing from frame");
         row.cols.push_back(static_cast<std::uint32_t>(c));
         std::uint64_t r = field.mul_canonical(inv_head, zp_residue_u64(t.coeff));
+        if (mat.has_runs) canon.push_back(r);
         row.mont.push_back(field.from_residue(r).m);
       }
       cells += terms.size();
+      if (mat.has_runs) {
+        // Multiline layout: maximal consecutive-column runs of the tail
+        // (j >= 1 — the monic head cancels exactly and is never streamed).
+        ZpPivotRuns runs;
+        for (std::size_t j = 1; j < row.cols.size(); ++j) {
+          if (!runs.runs.empty()) {
+            ZpPivotRuns::Run& last = runs.runs.back();
+            if (row.cols[j] == last.col + last.len) {
+              last.len += 1;
+              runs.coeffs.push_back(static_cast<std::uint32_t>(canon[j]));
+              continue;
+            }
+          }
+          runs.runs.push_back(ZpPivotRuns::Run{
+              row.cols[j], static_cast<std::uint32_t>(runs.coeffs.size()), 1});
+          runs.coeffs.push_back(static_cast<std::uint32_t>(canon[j]));
+        }
+        // Deliberately not charged: whether runs are built depends on host
+        // CPU dispatch, and charged units must be host-independent so
+        // SimMachine virtual time reproduces everywhere.
+        mat.zp_runs.push_back(std::move(runs));
+      }
       mat.zp_pivots.push_back(std::move(row));
     }
   }

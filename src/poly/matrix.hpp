@@ -47,6 +47,22 @@ struct ZpPivotRow {
   std::vector<std::uint64_t> mont;
 };
 
+/// The same pivot row in GBLA-style "multiline" layout for the SIMD sweep
+/// (poly/simd.hpp): the tail's columns grouped into maximal consecutive
+/// runs, coefficients stored densely per run as *canonical residues* (the
+/// delayed-reduction kernel multiplies plain residues, not Montgomery
+/// words). The head term is omitted — it cancels exactly against the swept
+/// cell. Only built when the field admits delayed reduction (p < 2^32).
+struct ZpPivotRuns {
+  struct Run {
+    std::uint32_t col;  ///< first column of the run
+    std::uint32_t off;  ///< offset into `coeffs`
+    std::uint32_t len;  ///< consecutive columns covered
+  };
+  std::vector<Run> runs;
+  std::vector<std::uint32_t> coeffs;  ///< concatenated run payloads
+};
+
 struct MacaulayMatrix {
   std::size_t ncols = 0;
   /// The batch rows (C|D block), one per input polynomial, in input order.
@@ -55,14 +71,23 @@ struct MacaulayMatrix {
   /// Zp mode only: the pivot block (A|B), parallel to frame.pivots.
   /// Exact mode leaves this empty and reads frame.pivots directly.
   std::vector<ZpPivotRow> zp_pivots;
+  /// Multiline mirror of zp_pivots for the SIMD sweep; parallel to
+  /// frame.pivots when has_runs, else empty (scalar dispatch, exact mode,
+  /// or p ≥ 2^32).
+  std::vector<ZpPivotRuns> zp_runs;
+  bool has_runs = false;
 };
 
 /// Expand the batch rows (and, over Zp, the pivot products) onto the frame.
 /// Every monomial of `rows` must be in the frame — i.e. `rows` must be the
 /// batch symbolic_preprocess was given. Zp rows must carry canonical
-/// residues (the engines' invariant form).
+/// residues (the engines' invariant form). `build_runs` additionally lays
+/// the pivot block out as multiline runs for the SIMD sweep (ignored unless
+/// the field admits delayed reduction); callers that know they will
+/// dispatch scalar skip it so the two kernels pay comparable build costs.
 MacaulayMatrix build_matrix(const PolyContext& ctx, const SymbolicFrame& frame,
-                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff);
+                            const std::vector<Polynomial>& rows, const CoeffOptions& coeff,
+                            bool build_runs = false);
 
 /// Convert a row back to a polynomial over the frame (no normalization).
 Polynomial row_to_poly(const PolyContext& ctx, const SymbolicFrame& frame, const MatrixRow& row);

@@ -65,6 +65,28 @@ const Polynomial* VectorReducerSet::find_reducer(const Monomial& m, std::uint64_
   return best;
 }
 
+bool VectorReducerSet::head_added_since(const Monomial& m, std::uint64_t stamp) const {
+  if (polys_ == nullptr || stamp >= polys_->size()) return false;
+  // Extend the mask cache exactly as find_reducer does, then scan only the
+  // suffix appended after `stamp` — the memo-invalidation hot path is a
+  // short suffix walk, not a full reducer search.
+  if (masks_.size() < polys_->size()) {
+    if (ruler_.nvars() != m.nvars()) ruler_ = DivMaskRuler(m.nvars());
+    for (std::size_t i = masks_.size(); i < polys_->size(); ++i) {
+      const Polynomial& r = (*polys_)[i];
+      masks_.push_back(r.is_zero() ? ~std::uint64_t{0} : ruler_.mask(r.hmono()));
+    }
+  }
+  const std::uint64_t tmask = ruler_.mask(m);
+  for (std::size_t i = static_cast<std::size_t>(stamp); i < polys_->size(); ++i) {
+    if (!DivMaskRuler::may_divide(masks_[i], tmask)) continue;
+    const Polynomial& r = (*polys_)[i];
+    if (r.is_zero()) continue;
+    if (r.hmono().divides(m)) return true;
+  }
+  return false;
+}
+
 namespace {
 
 /// Cancel the term of p at index k against reducer r (fraction-free).

@@ -34,6 +34,31 @@ class ReducerSet {
   /// irreducible against this set. *out_id (if non-null) receives a stable
   /// identifier of the reducer for per-reducer accounting.
   virtual const Polynomial* find_reducer(const Monomial& m, std::uint64_t* out_id) const = 0;
+
+  // Optional change-tracking interface, used by SymbolicMemo (symbolic.hpp)
+  // to reuse reducer resolutions across batches. A set that grows append-only
+  // reports a monotone version; find_reducer's answer for m can only change
+  // between two versions if an element whose head divides m was appended in
+  // between (existing elements never change, and a newcomer only displaces
+  // the previous winner if it is itself applicable). Sets that cannot
+  // guarantee this stay kUnversioned and the memo is bypassed.
+
+  static constexpr std::uint64_t kUnversioned = ~std::uint64_t{0};
+  /// Monotone version, or kUnversioned when change tracking is unsupported.
+  virtual std::uint64_t version() const { return kUnversioned; }
+  /// True if an element whose head divides m was added after `stamp`.
+  /// Conservative default: always true (forces re-resolution).
+  virtual bool head_added_since(const Monomial& m, std::uint64_t stamp) const {
+    (void)m;
+    (void)stamp;
+    return true;
+  }
+  /// The element behind an id previously reported by find_reducer, or
+  /// nullptr when ids cannot be resolved back.
+  virtual const Polynomial* by_id(std::uint64_t id) const {
+    (void)id;
+    return nullptr;
+  }
 };
 
 /// Strict preference between two applicable reducers: smaller head
@@ -56,6 +81,16 @@ class VectorReducerSet final : public ReducerSet {
   explicit VectorReducerSet(const std::vector<Polynomial>* polys) : polys_(polys) {}
 
   const Polynomial* find_reducer(const Monomial& m, std::uint64_t* out_id) const override;
+
+  /// Version = backing-vector size: append-only growth makes it monotone.
+  std::uint64_t version() const override {
+    return polys_ == nullptr ? 0 : polys_->size();
+  }
+  bool head_added_since(const Monomial& m, std::uint64_t stamp) const override;
+  const Polynomial* by_id(std::uint64_t id) const override {
+    if (polys_ == nullptr || id >= polys_->size()) return nullptr;
+    return &(*polys_)[static_cast<std::size_t>(id)];
+  }
 
  private:
   const std::vector<Polynomial>* polys_ = nullptr;

@@ -1,0 +1,66 @@
+// Runtime-dispatched SIMD lanes for the Zp echelon sweep (echelon.hpp).
+//
+// The scalar Zp kernel pays one Montgomery REDC (two 64x64 multiplies) per
+// pivot term, walking a sparse column-index array. The vector kernel streams
+// the GBLA-style "multiline" pivot runs (matrix.hpp) through a *delayed
+// reduction* AXPY instead: accumulator lanes hold arbitrary 64-bit values
+// that are only *congruent* mod p to the true entries, each lane update is
+// one 32x32→64 multiply plus a wrap correction, and normalization (`% p`)
+// happens once per cell when the cell is read — not once per update.
+//
+// Overflow-budget argument (the reason the dispatch demands p < 2^32):
+// an AXPY adds prod = fneg·coeff ≤ (p−1)² to a lane. If the 64-bit addition
+// wraps, the lane now holds true_value − 2^64; adding r64 = 2^64 mod p
+// restores the congruence. The correction itself cannot wrap again: a lane
+// that just wrapped is < prod ≤ (p−1)², and (p−1)² + p < 2^64 whenever
+// p < 2^32. So one conditional correction per lane per update keeps every
+// lane exact mod p with no budget counter and no mid-sweep normalization
+// passes. For p ≥ 2^32 the products do not fit a 64-bit lane and the
+// Montgomery scalar kernel (the PR-7 oracle) is used instead.
+//
+// Dispatch: CPUID at first use (AVX2), overridable at runtime with the
+// GBD_DISABLE_SIMD environment variable (any non-empty value forces scalar;
+// re-read on every simd_level() call so tests can flip it), and at compile
+// time with -DGBD_DISABLE_SIMD. The scalar lane kernel performs the
+// identical delayed-reduction arithmetic and is the differential oracle for
+// the vector one; both produce the same canonical residues as the Montgomery
+// kernel, so every dispatch choice yields bit-identical polynomials.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbd {
+
+enum class SimdLevel : std::uint8_t {
+  kScalar = 0,  ///< delayed-reduction lane math, one lane at a time
+  kAvx2 = 1,    ///< 4 lanes per step (vpmuludq + wrap-correct)
+};
+
+/// CPU capability probes (x86 CPUID; false elsewhere). AVX-512 is detected
+/// for reporting only — the vector kernel targets AVX2.
+bool cpu_has_avx2();
+bool cpu_has_avx512();
+
+/// The level the Zp sweep will dispatch to right now: kAvx2 iff the CPU has
+/// it, the build did not define GBD_DISABLE_SIMD, and the GBD_DISABLE_SIMD
+/// environment variable is unset/empty (checked on every call).
+SimdLevel simd_level();
+
+const char* simd_level_name(SimdLevel level);
+
+/// Delayed-reduction AXPY over one multiline run:
+///   acc[i] ← acc[i] + fneg·coeffs[i]   (as values mod p; lanes mod 2^64)
+/// for i in [0, n). Preconditions: fneg and every coeffs[i] are canonical
+/// residues of a prime p < 2^32, and r64 == 2^64 mod p. Lanes of `acc` may
+/// hold any 64-bit value congruent to the true entry; the postcondition is
+/// the same congruence (see the overflow-budget argument above).
+void zp_axpy_delayed(std::uint64_t* acc, const std::uint32_t* coeffs, std::size_t n,
+                     std::uint64_t fneg, std::uint64_t r64, SimdLevel level);
+
+/// The scalar reference for zp_axpy_delayed — exposed so the differential
+/// tests can pit the vector path against it lane for lane.
+void zp_axpy_delayed_scalar(std::uint64_t* acc, const std::uint32_t* coeffs, std::size_t n,
+                            std::uint64_t fneg, std::uint64_t r64);
+
+}  // namespace gbd

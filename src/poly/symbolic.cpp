@@ -15,9 +15,11 @@ MatrixKernelStats& matrix_kernel_stats() {
 void reset_matrix_kernel_stats() { matrix_kernel_stats() = MatrixKernelStats{}; }
 
 SymbolicFrame symbolic_preprocess(const PolyContext& ctx, const std::vector<Polynomial>& rows,
-                                  const ReducerSet& reducers) {
+                                  const ReducerSet& reducers, SymbolicMemo* memo) {
   MatrixKernelStats& st = matrix_kernel_stats();
   st.batches += 1;
+  const std::uint64_t ver = reducers.version();
+  const bool use_memo = memo != nullptr && ver != ReducerSet::kUnversioned;
 
   SymbolicFrame frame;
   // Every monomial of the closure, mapped to its chosen reducer (index into
@@ -43,7 +45,32 @@ SymbolicFrame symbolic_preprocess(const PolyContext& ctx, const std::vector<Poly
     Monomial m = std::move(worklist.back());
     worklist.pop_back();
     std::uint64_t id = 0;
-    const Polynomial* red = reducers.find_reducer(m, &id);
+    const Polynomial* red = nullptr;
+    bool resolved = false;
+    if (use_memo) {
+      if (SymbolicMemo::Entry* e = memo->lookup(m)) {
+        // Reusable iff no head appended after the stamp divides m; a hit
+        // refreshes the stamp so the next check scans an empty suffix.
+        if (e->stamp == ver || !reducers.head_added_since(m, e->stamp)) {
+          e->stamp = ver;
+          if (e->reducible) {
+            red = reducers.by_id(e->reducer_id);
+            id = e->reducer_id;
+            resolved = red != nullptr;  // id must resolve; else fall through
+          } else {
+            resolved = true;  // still irreducible
+          }
+          if (resolved) st.memo_hits += 1;
+        }
+      }
+    }
+    if (!resolved) {
+      red = reducers.find_reducer(m, &id);
+      if (use_memo) {
+        st.memo_misses += 1;
+        memo->store(m, SymbolicMemo::Entry{id, ver, red != nullptr});
+      }
+    }
     if (red == nullptr) {
       seen[m] = -1;
       continue;

@@ -37,6 +37,18 @@ struct MatrixKernelStats {
   std::uint64_t rows_zeroed = 0;    ///< work rows eliminated to zero
   std::uint64_t axpys = 0;          ///< row-elimination updates
   std::uint64_t dense_cells = 0;    ///< Zp accumulator cells scanned
+  // SIMD sweep dispatch (poly/simd.hpp) and multiline streaming.
+  std::uint64_t simd_rows = 0;      ///< work rows swept by the vector kernel
+  std::uint64_t scalar_rows = 0;    ///< Zp work rows swept by the Montgomery kernel
+  std::uint64_t simd_cells = 0;     ///< coefficient lanes streamed by vector AXPYs
+  std::uint64_t simd_runs = 0;      ///< multiline runs streamed
+  std::uint64_t sweep_ns = 0;       ///< wall nanoseconds inside the stage-1 sweep
+  // Symbolic frame reuse across adjacent-degree batches (SymbolicMemo).
+  std::uint64_t memo_hits = 0;      ///< closure monomials resolved from the memo
+  std::uint64_t memo_misses = 0;    ///< closure monomials that ran find_reducer
+  // Exact-path lazy pivot expansion (per touched column, shared per worker).
+  std::uint64_t pivot_cache_builds = 0;  ///< products expanded on first touch
+  std::uint64_t pivot_cache_hits = 0;    ///< reuses of an expanded product
 };
 
 MatrixKernelStats& matrix_kernel_stats();
@@ -77,11 +89,44 @@ struct SymbolicFrame {
   std::unordered_map<Monomial, std::uint32_t, MonoHash> index_;
 };
 
+/// Cross-batch cache of reducer resolutions. Adjacent-degree batches share
+/// most of their closure monomials, so rebuilding the frame from scratch
+/// re-runs find_reducer over a mostly unchanged reducer set. The memo keys
+/// each resolved monomial to (reducer id, set version at resolution time,
+/// reducible?); an entry is reusable iff no head added after its stamp
+/// divides the monomial (ReducerSet::head_added_since) — existing elements
+/// never change under the append-only contract, and a newcomer can only
+/// displace the previous winner if its head divides the monomial. Pointers
+/// are never cached: they are re-fetched by id per batch, because the
+/// backing vector may have reallocated. Only effective against sets that
+/// report a version (VectorReducerSet); unversioned sets bypass the memo.
+class SymbolicMemo {
+ public:
+  struct Entry {
+    std::uint64_t reducer_id = 0;  ///< meaningful iff reducible
+    std::uint64_t stamp = 0;       ///< reducer-set version at resolution
+    bool reducible = false;
+  };
+
+  Entry* lookup(const Monomial& m) {
+    auto it = map_.find(m);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void store(const Monomial& m, Entry e) { map_[m] = e; }
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<Monomial, Entry, SymbolicFrame::MonoHash> map_;
+};
+
 /// Build the frame for a batch of rows against `reducers`. Rows may be zero
 /// (they contribute nothing). The result's PivotProduct pointers alias
 /// `reducers`' backing storage — do not mutate the set until the frame is
-/// consumed.
+/// consumed. `memo`, if given, caches resolutions across calls; it must only
+/// ever be used against the same logical reducer set (the sequential engine
+/// keeps one per run). The frame is bit-identical with or without it.
 SymbolicFrame symbolic_preprocess(const PolyContext& ctx, const std::vector<Polynomial>& rows,
-                                  const ReducerSet& reducers);
+                                  const ReducerSet& reducers, SymbolicMemo* memo = nullptr);
 
 }  // namespace gbd

@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,10 @@
 #include "gb/parallel.hpp"
 #include "gb/sequential.hpp"
 #include "machine/chaos.hpp"
+#include "machine/thread_machine.hpp"
 #include "poly/coeff.hpp"
 #include "poly/reduce.hpp"
+#include "poly/simd.hpp"
 #include "poly/spoly.hpp"
 #include "problems/problems.hpp"
 #include "support/rng.hpp"
@@ -266,6 +269,231 @@ TEST(MatrixGlpTest, ChaosScheduleStaysCoherent) {
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_TRUE(got[i].equals(want[i])) << "chaos seed " << chaos_seed << " element " << i;
     }
+  }
+}
+
+// ——— PR-8: vectorized sweep, dispatch pinning, frame memo, kernel lanes ———
+
+/// Scoped override of the GBD_DISABLE_SIMD environment variable, restoring
+/// whatever was there (so the forced-scalar CI job's setting survives this
+/// binary's dispatch tests).
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* prev = std::getenv("GBD_DISABLE_SIMD");
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    if (value == nullptr) {
+      unsetenv("GBD_DISABLE_SIMD");
+    } else {
+      setenv("GBD_DISABLE_SIMD", value, 1);
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_) {
+      setenv("GBD_DISABLE_SIMD", saved_.c_str(), 1);
+    } else {
+      unsetenv("GBD_DISABLE_SIMD");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(SimdDispatchTest, EnvVarForcesScalarAndBack) {
+  {
+    ScopedSimdEnv force("1");
+    EXPECT_EQ(simd_level(), SimdLevel::kScalar);
+  }
+  {
+    ScopedSimdEnv clear(nullptr);
+    SimdLevel native = simd_level();
+#if defined(__x86_64__) && !defined(GBD_DISABLE_SIMD)
+    EXPECT_EQ(native, cpu_has_avx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar);
+#else
+    EXPECT_EQ(native, SimdLevel::kScalar);
+#endif
+  }
+}
+
+TEST(SimdKernelTest, DelayedAxpyLanesMatchWideOracle) {
+  // Edge moduli for the overflow-budget proof: the smallest legal field,
+  // the Mersenne prime 2^31−1, and the largest SIMD-eligible prime below
+  // 2^32 (products graze the top of the 64-bit lane).
+  for (std::uint64_t p : {std::uint64_t{3}, (std::uint64_t{1} << 31) - 1,
+                          prev_prime_u64(std::uint64_t{1} << 32)}) {
+    ZpField field(p);
+    ASSERT_TRUE(field.delayed_reduction_ok());
+    const std::uint64_t r64 = field.r_mod_p();
+    Rng rng(7 + p);
+    const std::size_t n = 37;  // covers the 4-lane vector body and the tail
+    std::vector<std::uint64_t> lanes(n), lanes_scalar(n);
+    std::vector<std::uint64_t> want(n);  // true residues, tracked alongside
+    for (std::size_t i = 0; i < n; ++i) {
+      lanes[i] = rng.next();  // arbitrary u64 starting point
+      lanes_scalar[i] = lanes[i];
+      want[i] = lanes[i] % p;
+    }
+    std::vector<std::uint32_t> coeffs(n);
+    // Many unnormalized updates in a row: lanes wander the full 64-bit
+    // range and wrap repeatedly — exactly the regime the proof covers.
+    for (int round = 0; round < 64; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        coeffs[i] = static_cast<std::uint32_t>(rng.below(p));
+      }
+      std::uint64_t fneg = p - (1 + rng.below(p - 1));
+      for (std::size_t i = 0; i < n; ++i) {
+        unsigned __int128 t =
+            static_cast<unsigned __int128>(fneg) * coeffs[i] + want[i];
+        want[i] = static_cast<std::uint64_t>(t % p);
+      }
+      zp_axpy_delayed(lanes.data(), coeffs.data(), n, fneg, r64, simd_level());
+      zp_axpy_delayed_scalar(lanes_scalar.data(), coeffs.data(), n, fneg, r64);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // The two kernels perform the identical lane arithmetic: raw 64-bit
+      // lanes agree bit for bit, and both are congruent to the oracle.
+      EXPECT_EQ(lanes[i], lanes_scalar[i]) << "p " << p << " lane " << i;
+      EXPECT_EQ(lanes[i] % p, want[i]) << "p " << p << " lane " << i;
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, ForcedScalarAndAutoDispatchAgreeRowForRow) {
+  // Whole-kernel differential: reduce_batch under pinned-scalar dispatch
+  // against automatic dispatch, row for row, across field sizes including
+  // one past the delayed-reduction bound (2^62: auto dispatch itself must
+  // fall back to the Montgomery kernel).
+  const std::uint64_t primes[] = {3, (std::uint64_t{1} << 31) - 1,
+                                  prev_prime_u64(std::uint64_t{1} << 32),
+                                  prev_prime_u64(std::uint64_t{1} << 62)};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    PolySystem sys = random_system(rng, 4, 6, 4, 5, 8);
+    for (std::uint64_t p : primes) {
+      CoeffOptions zp = CoeffOptions::zp(p);
+      std::vector<Polynomial> reducers = canonical_set(sys.ctx, sys.polys, zp);
+      VectorReducerSet set(&reducers);
+      std::vector<Polynomial> rows;
+      for (std::size_t i = 0; i < reducers.size(); ++i) {
+        for (std::size_t j = i + 1; j < reducers.size(); ++j) {
+          if (Monomial::coprime(reducers[i].hmono(), reducers[j].hmono())) continue;
+          Polynomial s = spoly(sys.ctx, reducers[i], reducers[j], zp);
+          if (!s.is_zero()) rows.push_back(std::move(s));
+        }
+      }
+      if (rows.empty()) continue;
+      EchelonOptions auto_opts;
+      auto_opts.coeff = zp;
+      EchelonOptions scalar_opts = auto_opts;
+      scalar_opts.force_scalar = true;
+      EchelonOutput a = reduce_batch(sys.ctx, rows, set, auto_opts);
+      EchelonOutput b = reduce_batch(sys.ctx, rows, set, scalar_opts);
+      std::string label = "seed " + std::to_string(seed) + " mod " + std::to_string(p);
+      ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+      EXPECT_EQ(a.src_zeroed, b.src_zeroed) << label;
+      for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].src, b.rows[i].src) << label;
+        EXPECT_TRUE(a.rows[i].poly.equals(b.rows[i].poly)) << label << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(MatrixSequentialTest, ForcedScalarMatchesAutoDispatchAndMemoEngages) {
+  PolySystem sys = load_problem("katsura4");
+  CoeffOptions zp = CoeffOptions::zp(kPrimes[0]);
+  GbConfig auto_cfg;
+  auto_cfg.coeff = zp;
+  auto_cfg.matrix_reduce = true;
+  GbConfig scalar_cfg = auto_cfg;
+  scalar_cfg.matrix_force_scalar = true;
+
+  const MatrixKernelStats& ks = matrix_kernel_stats();
+  const std::uint64_t hits_before = ks.memo_hits;
+  const std::uint64_t simd_before = ks.simd_rows;
+  SequentialResult a = groebner_sequential(sys, auto_cfg);
+  // Adjacent-degree rounds share closure monomials: the frame memo must
+  // actually fire, not just exist.
+  EXPECT_GT(ks.memo_hits, hits_before);
+  if (simd_level() != SimdLevel::kScalar) {
+    EXPECT_GT(ks.simd_rows, simd_before) << "host dispatches vector but kernel ran scalar";
+  }
+
+  const std::uint64_t scalar_rows_before = ks.scalar_rows;
+  SequentialResult b = groebner_sequential(sys, scalar_cfg);
+  EXPECT_GT(ks.scalar_rows, scalar_rows_before);
+
+  std::vector<Polynomial> ga = reduce_basis(sys.ctx, a.basis, zp);
+  std::vector<Polynomial> gb = reduce_basis(sys.ctx, b.basis, zp);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_TRUE(ga[i].equals(gb[i])) << "element " << i;
+  }
+}
+
+TEST(MatrixGlpTest, KernelLanesAreDeterministicOnSimAndMatchOracle) {
+  PolySystem sys = load_problem("katsura4");
+  CoeffOptions coeff = CoeffOptions::zp(kPrimes[0]);
+  GbConfig seq;
+  seq.coeff = coeff;
+  std::vector<Polynomial> want =
+      reduce_basis(sys.ctx, groebner_sequential(sys, seq).basis, coeff);
+
+  ParallelConfig cfg;
+  cfg.gb.coeff = coeff;
+  cfg.gb.matrix_reduce = true;
+  cfg.gb.matrix_batch_max = 8;
+  cfg.gb.matrix_threads = 3;  // sim grants lanes freely; makespan-charged
+  cfg.nprocs = 4;
+  cfg.seed = 3;
+  ParallelResult r1 = groebner_parallel(sys, cfg);
+  ParallelResult r2 = groebner_parallel(sys, cfg);
+  // Virtual time must be a pure function of the configuration — real lane
+  // threads may interleave arbitrarily, but the makespan charge is the max
+  // per-lane tally, which is schedule-independent.
+  EXPECT_EQ(r1.machine.makespan, r2.machine.makespan);
+
+  cfg.gb.matrix_threads = 1;
+  ParallelResult r3 = groebner_parallel(sys, cfg);
+  for (const ParallelResult* r : {&r1, &r3}) {
+    std::vector<Polynomial> got = reduce_basis(sys.ctx, r->basis, coeff);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(got[i].equals(want[i])) << "element " << i;
+    }
+  }
+}
+
+TEST(MatrixGlpTest, ThreadBackendKernelLanesMatchOracle) {
+  // Real threads under the elimination kernel (the TSan job runs this):
+  // lanes share nothing but the frame and matrix, so any missing
+  // synchronization shows up as a race or a wrong basis.
+  PolySystem sys = load_problem("arnborg4");
+  CoeffOptions coeff = CoeffOptions::zp(kPrimes[0]);
+  GbConfig seq;
+  seq.coeff = coeff;
+  std::vector<Polynomial> want =
+      reduce_basis(sys.ctx, groebner_sequential(sys, seq).basis, coeff);
+
+  ParallelConfig cfg;
+  cfg.gb.coeff = coeff;
+  cfg.gb.matrix_reduce = true;
+  cfg.gb.matrix_batch_max = 8;
+  cfg.gb.matrix_threads = 2;
+  cfg.nprocs = 2;
+  cfg.seed = 5;
+  // Explicit 2-lane grant: the auto grant divides the host's cores and
+  // would silently degrade to 1 lane on small boxes, skipping the very
+  // path under test.
+  ThreadMachine machine(cfg.nprocs, /*kernel_lanes=*/2);
+  ParallelResult res = groebner_parallel_machine(machine, sys, cfg);
+  std::vector<Polynomial> got = reduce_basis(sys.ctx, res.basis, coeff);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].equals(want[i])) << "element " << i;
   }
 }
 

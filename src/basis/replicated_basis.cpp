@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "machine/chaos.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "support/check.hpp"
 
@@ -441,8 +442,12 @@ LockClient::LockClient(Proc& self, int coordinator) : self_(self), coordinator_(
   self_.on(kLkGrant, [this](Proc&, int, Reader&) {
     GBD_CHECK_MSG(requested_ && !granted_, "unexpected lock grant");
     granted_ = true;
-    wait_units_ += self_.now() - request_time_;
+    std::uint64_t waited = self_.now() - request_time_;
+    wait_units_ += waited;
     if (ProcTracer* t = self_.tracer()) t->async_end(Ev::kLockWait, self_.now(), rounds_);
+    if (ProcTelemetry* te = self_.telemetry()) {
+      te->hist(TeleHist::kLockWait).record(waited);
+    }
   });
 }
 

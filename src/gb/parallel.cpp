@@ -12,6 +12,7 @@
 #include "machine/thread_machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "poly/echelon.hpp"
 #include "poly/reduce.hpp"
 #include "poly/simd.hpp"
@@ -127,6 +128,19 @@ class GlpWorker {
   bool app_idle_now() const { return app_idle(); }
 
   void run() {
+    if (ProcTelemetry* te = self_.telemetry()) {
+      // Live-telemetry sampler: called from this processor's own tick sites
+      // (inside its poll/wait), so plain reads of worker state are safe.
+      te->set_sampler([this](TeleSample& s) {
+        tele_at(s, TeleKey::kQueueDepth) = queue_.local_size() + suspended_.size() +
+                                           stalled_.size() + pending_.size();
+        tele_at(s, TeleKey::kDegree) = cur_degree_;
+        tele_at(s, TeleKey::kBasisSize) = basis_.known_heads().size();
+        tele_at(s, TeleKey::kSpairsRetired) = out_->stats.spolys_computed;
+        tele_at(s, TeleKey::kSpairsZeroed) = out_->stats.reductions_to_zero;
+        tele_at(s, TeleKey::kWorkUnits) = out_->stats.work_units;
+      });
+    }
     {
       // Spanned so a trace's timeline starts at the first real activity
       // (initial pair creation is engine work, not idle time).
@@ -239,6 +253,18 @@ class GlpWorker {
     return cfg_.reserve_coordinator && self_.id() == 0;
   }
 
+  /// Telemetry degree gauge: lcm degree of the dequeued pair, computed
+  /// without Monomial::lcm so no CostCounter work is charged — telemetry
+  /// must observe the run, never perturb its virtual time.
+  void note_task_degree(const PairTask& task) {
+    if (self_.telemetry() == nullptr) return;
+    std::uint64_t deg = 0;
+    for (std::size_t i = 0; i < task.ha.nvars(); ++i) {
+      deg += std::max(task.ha.exp(i), task.hb.exp(i));
+    }
+    cur_degree_ = deg;
+  }
+
   /// Why we are about to block: classifies the wait for the breakdown
   /// analyzer (hold = bodies en route, protocol = augment round in flight,
   /// idle = genuinely nothing to do).
@@ -293,6 +319,8 @@ class GlpWorker {
     reg.add("taskq.tasks_migrated_in", p, q.tasks_migrated_in);
     reg.add("taskq.waves_started", p, q.waves_started);
     reg.add("taskq.token_rounds", p, q.token_rounds);
+    reg.add("tracer.dropped_events", p,
+            self_.tracer() != nullptr ? self_.tracer()->dropped() : 0);
     // Kernel thread-locals: this worker's thread hosts exactly this logical
     // processor on both backends, so the delta since construction is ours.
     collect_kernel_delta(reg, p, kernel_base_);
@@ -356,6 +384,7 @@ class GlpWorker {
 
   void process_task(PairTask task) {
     executing_ = true;
+    note_task_degree(task);
     TraceSpan span(self_, Ev::kTask, task.a, task.b);
     if (cfg_.gb.coprime_criterion && Monomial::coprime(task.ha, task.hb)) {
       out_->stats.pairs_pruned_coprime += 1;
@@ -425,6 +454,7 @@ class GlpWorker {
       TraceSpan span(self_, Ev::kTask);
       for (;;) {
         PairTask task = PairTask::decode(*payload);
+        note_task_degree(task);
         if (cfg_.gb.coprime_criterion && Monomial::coprime(task.ha, task.hb)) {
           out_->stats.pairs_pruned_coprime += 1;
           done_.mark(task.a, task.b);
@@ -593,6 +623,8 @@ class GlpWorker {
   /// reduction step). Appends reducer ids to the trace.
   void reduce_by_replica(Polynomial* h, TaskTrace* trace) {
     TraceSpan span(self_, Ev::kReduce);
+    ProcTelemetry* te = self_.telemetry();
+    std::uint64_t t0 = te != nullptr ? self_.now() : 0;
     std::uint64_t steps = 0;
     if (!zp_) h->make_primitive();
     while (!h->is_zero()) {
@@ -624,6 +656,7 @@ class GlpWorker {
       pump_augment();
     }
     if (zp_) h->make_monic(*zp_);
+    if (te != nullptr) te->hist(TeleHist::kReduce).record(self_.now() - t0);
     span.result(steps);
   }
 
@@ -994,6 +1027,7 @@ class GlpWorker {
   /// windowing this run's deltas for the metrics registry.
   KernelBaseline kernel_base_ = kernel_baseline();
   std::size_t replica_seen_ = 0;
+  std::uint64_t cur_degree_ = 0;  ///< lcm degree of the last dequeued pair (telemetry gauge)
   bool executing_ = false;
   bool in_pump_ = false;
   bool finishing_ = false;
@@ -1104,6 +1138,7 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     register_invariants(monitor, workers);
   }
   machine.set_tracer(cfg.tracer);
+  machine.set_telemetry(cfg.telemetry);
   auto worker = [&](Proc& self) {
     auto& slot = workers[static_cast<std::size_t>(self.id())];
     slot = std::make_unique<GlpWorker>(self, sys, cfg, inputs,
@@ -1122,6 +1157,11 @@ ParallelResult run_on_machine(Machine& machine, bool sim, const PolySystem& sys,
     res.machine.has_mailbox_stats = ms.has_mailbox_stats;
   }
   if (cfg.metrics != nullptr) collect_machine_stats(*cfg.metrics, res.machine);
+  if (cfg.metrics != nullptr && cfg.telemetry != nullptr) {
+    cfg.metrics->add("telemetry.dropped_frames", 0, cfg.telemetry->dropped_frames());
+    cfg.metrics->add("telemetry.frames_received", 0,
+                     cfg.telemetry->aggregator().frames_received());
+  }
   if (mon != nullptr) {
     res.violations = monitor.violations();
     res.invariant_sweeps = monitor.sweeps_run();

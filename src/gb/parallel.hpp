@@ -40,6 +40,7 @@ namespace gbd {
 
 class Tracer;           // obs/tracer.hpp
 class MetricsRegistry;  // obs/metrics.hpp
+class Telemetry;        // obs/telemetry.hpp
 
 /// Basis storage policy (see basis/basis_store.hpp).
 enum class BasisMode : std::uint8_t {
@@ -89,6 +90,11 @@ struct ParallelConfig {
   /// test per site.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Live telemetry pipeline (obs/telemetry.hpp): when non-null, each
+  /// processor periodically snapshots progress counters (queue depth, degree,
+  /// S-pairs retired/zeroed, ...) and latency histograms into best-effort
+  /// frames aggregated at processor 0. Must outlive the call.
+  Telemetry* telemetry = nullptr;
 };
 
 struct ParallelResult : GbResult {

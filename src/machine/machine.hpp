@@ -41,6 +41,8 @@ struct ChaosConfig;      // machine/chaos.hpp
 class InvariantMonitor;  // machine/invariants.hpp
 class ProcTracer;        // obs/tracer.hpp
 class Tracer;            // obs/tracer.hpp
+class ProcTelemetry;     // obs/telemetry.hpp
+class Telemetry;         // obs/telemetry.hpp
 
 class Proc;
 
@@ -150,9 +152,16 @@ class Proc {
   ProcTracer* tracer() const { return tracer_; }
 #endif
 
+  /// This processor's telemetry producer, or nullptr when live telemetry is
+  /// off. The engine registers its sampler and records latency histograms
+  /// through this; the machine backend owns the tick cadence and ships the
+  /// encoded frames (obs/telemetry.hpp).
+  ProcTelemetry* telemetry() const { return telemetry_; }
+
  protected:
   ProcCommStats comm_;
   ProcTracer* tracer_ = nullptr;
+  ProcTelemetry* telemetry_ = nullptr;
 };
 
 /// Machine-wide run statistics.
@@ -187,9 +196,19 @@ class Machine {
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Attach a live telemetry pipeline (obs/telemetry.hpp). run() resets it
+  /// for nprocs(), hands each processor its ProcTelemetry, and ticks each
+  /// processor's sampler on the backend's clock (virtual-time intervals on
+  /// the simulator — with zero cost charged, so attaching telemetry never
+  /// perturbs a deterministic run — steady-clock intervals elsewhere).
+  /// Must outlive run(). Pass nullptr to detach.
+  void set_telemetry(Telemetry* t) { telemetry_ = t; }
+  Telemetry* telemetry() const { return telemetry_; }
+
  protected:
   InvariantMonitor* monitor_ = nullptr;
   Tracer* tracer_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace gbd

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "machine/invariants.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "support/check.hpp"
 #include "support/cost.hpp"
@@ -115,6 +116,7 @@ class SimMachine::SimProc final : public Proc {
 
   bool wait() override {
     drain_cost();
+    maybe_tick();
     std::size_t n = deliver_due();
     if (n > 0) return true;
 
@@ -248,7 +250,19 @@ class SimMachine::SimProc final : public Proc {
       mbox_.drained_messages += delivered;
       mbox_.max_drain_batch = std::max<std::uint64_t>(mbox_.max_drain_batch, delivered);
     }
+    maybe_tick();
     return delivered;
+  }
+
+  /// Telemetry tick at a cost-drained boundary. Pure observation: charges
+  /// nothing, sends nothing, touches no scheduler state — a run with
+  /// telemetry attached is bit-identical (clocks, traces, bases) to one
+  /// without. The frame goes straight to the in-process aggregator.
+  void maybe_tick() {
+    if (telemetry_ == nullptr || !telemetry_->due(clock_)) return;
+    std::vector<std::uint8_t> frame = telemetry_->sample(
+        id_, clock_, comm_, tracer() != nullptr ? tracer()->dropped() : 0);
+    machine_->telemetry_->ingest_bytes(frame.data(), frame.size());
   }
 
   SimMachine* machine_;
@@ -356,6 +370,12 @@ SimStats SimMachine::run_sim(const std::function<void(Proc&)>& worker) {
     tracer_->start_run(nprocs_, ClockDomain::kVirtual);
     for (int i = 0; i < nprocs_; ++i) {
       core_->procs[static_cast<std::size_t>(i)]->tracer_ = &tracer_->at(i);
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->start_run(nprocs_, ClockDomain::kVirtual);
+    for (int i = 0; i < nprocs_; ++i) {
+      core_->procs[static_cast<std::size_t>(i)]->telemetry_ = &telemetry_->at(i);
     }
   }
 

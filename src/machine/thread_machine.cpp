@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "machine/invariants.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "support/check.hpp"
 
@@ -82,12 +83,14 @@ class ThreadMachine::ThreadProc final : public Proc {
 
   std::size_t poll() override {
     ensure_started();
+    maybe_tick();
     return drain();
   }
 
   bool wait() override {
     ensure_started();
     for (;;) {
+      maybe_tick();
       if (drain() > 0) return true;
       Mailbox& mb = *mailbox_;
       std::unique_lock<std::mutex> lock(mb.mu);
@@ -173,6 +176,16 @@ class ThreadMachine::ThreadProc final : public Proc {
     mb.stats.max_drain_batch = std::max<std::uint64_t>(mb.stats.max_drain_batch, scratch_.size());
     for (Envelope& env : scratch_) dispatch(env);
     return scratch_.size();
+  }
+
+  /// Steady-clock telemetry tick; frames land in the in-process aggregator.
+  void maybe_tick() {
+    if (telemetry_ == nullptr) return;
+    std::uint64_t t = now();
+    if (!telemetry_->due(t)) return;
+    std::vector<std::uint8_t> frame = telemetry_->sample(
+        id_, t, comm_, tracer() != nullptr ? tracer()->dropped() : 0);
+    machine_->telemetry_->ingest_bytes(frame.data(), frame.size());
   }
 
   /// First communication call: this processor's registration is complete.
@@ -262,6 +275,12 @@ MachineStats ThreadMachine::run(const std::function<void(Proc&)>& worker) {
     tracer_->start_run(nprocs_, ClockDomain::kSteadyNs);
     for (int i = 0; i < nprocs_; ++i) {
       procs_[static_cast<std::size_t>(i)]->tracer_ = &tracer_->at(i);
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->start_run(nprocs_, ClockDomain::kSteadyNs);
+    for (int i = 0; i < nprocs_; ++i) {
+      procs_[static_cast<std::size_t>(i)]->telemetry_ = &telemetry_->at(i);
     }
   }
   epoch_ns_ = wall_ns();

@@ -67,6 +67,7 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kExitAck: return "exit-ack";
     case FrameType::kGather: return "gather";
     case FrameType::kGatherAck: return "gather-ack";
+    case FrameType::kTelemetry: return "telemetry";
   }
   return "unknown";
 }

@@ -58,10 +58,11 @@ enum class FrameType : std::uint8_t {
   kExitAck = 12,   ///< 0 -> all: stats collected, run() may return
   kGather = 13,    ///< post-run application blob: rank -> 0
   kGatherAck = 14, ///< 0 -> all: gather round complete
+  kTelemetry = 15, ///< best-effort metric snapshot: rank -> 0 (unacked, drop-tolerant)
 };
 
 /// Largest type value the decoder accepts (bump when appending types).
-constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kGatherAck);
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kTelemetry);
 
 const char* frame_type_name(FrameType t);
 

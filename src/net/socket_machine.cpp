@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "machine/invariants.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "support/check.hpp"
 
@@ -54,12 +55,18 @@ class SocketMachine::SocketProc final : public Proc {
     if (dst == id_) {
       selfq_.push_back(Envelope{h, std::move(payload)});
     } else {
-      machine_->transport_->send_app(dst, h, std::move(payload));
+      std::uint64_t seq = machine_->transport_->send_app(dst, h, std::move(payload));
+      // Causal flow stamp: the send instant binds to whatever span is open
+      // here; the matching kMsgRecv at the destination closes the edge.
+      if (tracer() != nullptr) {
+        tracer()->instant(Ev::kMsgSend, now(), flow_id(id_, dst, seq), h);
+      }
     }
   }
 
   std::size_t poll() override {
     ensure_started();
+    maybe_tick();
     if (nprocs() > 1) machine_->transport_->pump(0);
     return deliver_all();
   }
@@ -67,6 +74,7 @@ class SocketMachine::SocketProc final : public Proc {
   bool wait() override {
     ensure_started();
     for (;;) {
+      maybe_tick();
       if (nprocs() > 1) machine_->transport_->pump(0);
       if (deliver_all() > 0) return true;
       if (machine_->quiescent_) return false;
@@ -150,7 +158,7 @@ class SocketMachine::SocketProc final : public Proc {
     }
     AppMessage msg;
     while (machine_->transport_->next_app(&msg)) {
-      dispatch(msg.src, msg.handler, msg.payload);
+      dispatch(msg.src, msg.handler, msg.payload, msg.seq);
       n += 1;
     }
     if (n > 0) {
@@ -163,13 +171,19 @@ class SocketMachine::SocketProc final : public Proc {
     return n;
   }
 
-  void dispatch(int src, HandlerId h, std::vector<std::uint8_t>& payload) {
+  void dispatch(int src, HandlerId h, std::vector<std::uint8_t>& payload,
+                std::uint64_t seq = 0) {
     GBD_CHECK_MSG(h < handlers_.size() && handlers_[h], "message for unregistered handler");
     comm_.messages_received += 1;
     machine_->delivered_total_ += 1;
     mb_stats_.enqueues += 1;
     Reader r(payload.data(), payload.size());
     std::uint64_t t0 = tracer() != nullptr ? now() : 0;
+    // Close the causal edge: the receive instant lands inside the handler
+    // slice that follows (self-sends have no wire seq and carry no edge).
+    if (tracer() != nullptr && seq != 0) {
+      tracer()->instant(Ev::kMsgRecv, t0, flow_id(src, id_, seq), h);
+    }
     handlers_[h](*this, src, r);
     if (tracer() != nullptr) {
       tracer()->complete(Ev::kHandler, t0, now(), h, static_cast<std::uint64_t>(src));
@@ -188,12 +202,30 @@ class SocketMachine::SocketProc final : public Proc {
     }
     while (!machine_->quiescent_) {
       discard_all();
+      maybe_tick();
       machine_->report_idle();
       if (machine_->quiescent_) break;
       machine_->transport_->pump(kPumpMs);
       discard_all();
     }
     discard_all();
+  }
+
+  /// Steady-clock telemetry tick. Rank 0 feeds its own aggregator directly;
+  /// every other rank ships the frame best-effort (unacked, chaos-droppable)
+  /// to rank 0. Neither path touches sent_total_/delivered_total_, so
+  /// telemetry can never perturb Mattern quiescence.
+  void maybe_tick() {
+    if (telemetry_ == nullptr) return;
+    std::uint64_t t = now();
+    if (!telemetry_->due(t)) return;
+    std::vector<std::uint8_t> frame = telemetry_->sample(
+        id_, t, comm_, tracer() != nullptr ? tracer()->dropped() : 0);
+    if (id_ == 0) {
+      machine_->telemetry_->ingest_bytes(frame.data(), frame.size());
+    } else {
+      machine_->transport_->send_telemetry(0, std::move(frame));
+    }
   }
 
   void discard_all() {
@@ -349,6 +381,18 @@ void SocketMachine::on_control(int src, FrameType type, Reader& r) {
     case FrameType::kGatherAck:
       gather_ack_ = true;
       return;
+    case FrameType::kTelemetry: {
+      // Best-effort metric snapshot from a peer rank. Deliberately lenient:
+      // a frame arriving with no aggregator attached (or at a non-zero rank
+      // after a topology mix-up) is dropped, never fatal — loss is already
+      // part of this channel's contract.
+      if (rank() == 0 && telemetry_ != nullptr) {
+        std::vector<std::uint8_t> blob(r.remaining());
+        for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = r.u8();
+        telemetry_->ingest_bytes(blob.data(), blob.size());
+      }
+      return;
+    }
     default:
       GBD_CHECK_MSG(false, "unexpected control frame");
   }
@@ -488,6 +532,13 @@ MachineStats SocketMachine::run(const std::function<void(Proc&)>& worker) {
     tracer_->start_run(nprocs(), ClockDomain::kSteadyNs);
     tracer_->set_wall_epoch_ns(realtime_ns());
     proc_->tracer_ = &tracer_->at(rank());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->start_run(nprocs(), ClockDomain::kSteadyNs);
+    proc_->telemetry_ = &telemetry_->at(rank());
+    transport_->set_rtt_observer([this](std::uint64_t rtt_ms) {
+      telemetry_->at(rank()).hist(TeleHist::kAckRtt).record(rtt_ms);
+    });
   }
   epoch_ns_ = steady_ns();
 

@@ -244,7 +244,7 @@ void Transport::queue_frame(Peer& p, std::vector<std::uint8_t> bytes) {
   flush(p);
 }
 
-void Transport::send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload) {
+std::uint64_t Transport::send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload) {
   Peer& p = peer_for(dst);
   GBD_CHECK_MSG(p.state == Peer::State::kUp, "send_app before rendezvous completed");
   Frame f;
@@ -289,6 +289,47 @@ void Transport::send_app(int dst, HandlerId handler, std::vector<std::uint8_t> p
   }
   (void)dropped;  // a dropped frame still enters unacked; retransmit recovers it
   p.unacked.push_back(Peer::Unacked{f.seq, std::move(bytes), now});
+  return f.seq;
+}
+
+void Transport::send_telemetry(int dst, std::vector<std::uint8_t> payload) {
+  Peer& p = peer_for(dst);
+  if (p.state != Peer::State::kUp || p.fd < 0) return;  // best-effort: no peer, no frame
+  Frame f;
+  f.type = FrameType::kTelemetry;
+  f.src = static_cast<std::uint32_t>(cfg_.rank);
+  f.payload = std::move(payload);
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  stats_.telemetry_sent += 1;
+
+  // Chaos, same scheme as send_app but with its own salts and a local
+  // counter for the key (telemetry frames carry no header seq). Crucially
+  // there is NO unacked entry: a chaos drop here is real, unrecovered loss.
+  const ChaosConfig& ch = cfg_.chaos;
+  std::uint64_t tseq = ++tele_chaos_seq_;
+  if (ch.net_chaos()) {
+    std::uint64_t key = (static_cast<std::uint64_t>(cfg_.rank) << 48) ^
+                        (static_cast<std::uint64_t>(dst) << 40) ^ tseq;
+    if (ch.net_drop_permille != 0 &&
+        chaos_mix2(ch.seed ^ 0x54444d50ULL, key) % 1000 < ch.net_drop_permille) {
+      stats_.chaos_drops += 1;
+      stats_.telemetry_lost += 1;
+      return;
+    }
+    if (ch.net_delay_permille != 0 && ch.net_delay_ms != 0 &&
+        chaos_mix2(ch.seed ^ 0x54444c59ULL, key) % 1000 < ch.net_delay_permille) {
+      std::uint64_t extra = 1 + chaos_mix2(ch.seed ^ 0x54444c32ULL, key) % ch.net_delay_ms;
+      stats_.chaos_delays += 1;
+      p.delayed.emplace_back(now_ms() + extra, std::move(bytes));
+      return;
+    }
+    if (ch.net_dup_permille != 0 &&
+        chaos_mix2(ch.seed ^ 0x54445550ULL, key) % 1000 < ch.net_dup_permille) {
+      stats_.chaos_dups += 1;
+      queue_frame(p, bytes);  // duplicate; the aggregator drops stale snapshot seqs
+    }
+  }
+  queue_frame(p, std::move(bytes));
 }
 
 void Transport::send_control(int dst, FrameType type, std::vector<std::uint8_t> payload) {
@@ -380,7 +421,17 @@ void Transport::handle_frame(Peer& p, Frame f) {
     case FrameType::kAck: {
       Reader r(f.payload);
       std::uint64_t cum = r.u64();
-      while (!p.unacked.empty() && p.unacked.front().seq <= cum) p.unacked.pop_front();
+      std::uint64_t now = now_ms();
+      while (!p.unacked.empty() && p.unacked.front().seq <= cum) {
+        if (on_rtt_) on_rtt_(now - p.unacked.front().last_sent_ms);
+        p.unacked.pop_front();
+      }
+      return;
+    }
+    case FrameType::kTelemetry: {
+      stats_.telemetry_received += 1;
+      Reader r(f.payload);
+      on_control_(static_cast<int>(f.src), f.type, r);
       return;
     }
     case FrameType::kHeartbeat:
@@ -419,7 +470,7 @@ void Transport::deliver_in_order(Peer& p) {
     Frame f = std::move(p.reorder.begin()->second);
     p.reorder.erase(p.reorder.begin());
     p.delivered_cum += 1;
-    inbox_.push_back(AppMessage{p.rank, f.handler, std::move(f.payload)});
+    inbox_.push_back(AppMessage{p.rank, f.handler, f.seq, std::move(f.payload)});
   }
   if (p.delivered_cum >= p.acked_out + kAckEvery) {
     Writer w;

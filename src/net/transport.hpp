@@ -93,12 +93,16 @@ struct TransportStats {
   std::uint64_t chaos_drops = 0;
   std::uint64_t chaos_dups = 0;
   std::uint64_t chaos_delays = 0;
+  std::uint64_t telemetry_sent = 0;  ///< best-effort snapshots queued (once per send_telemetry)
+  std::uint64_t telemetry_received = 0;
+  std::uint64_t telemetry_lost = 0;  ///< chaos-dropped telemetry (real loss; never retransmitted)
 };
 
 /// A delivered application envelope.
 struct AppMessage {
   int src = 0;
   HandlerId handler = 0;
+  std::uint64_t seq = 0;  ///< per-(src,dst) reliability seq — the causal flow id
   std::vector<std::uint8_t> payload;
 };
 
@@ -118,11 +122,25 @@ class Transport {
   void connect_all();
 
   /// Queue an application envelope to `dst` (!= own rank; self-sends are the
-  /// machine's business). Never blocks; bytes drain through pump().
-  void send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload);
+  /// machine's business). Never blocks; bytes drain through pump(). Returns
+  /// the frame's per-(src,dst) sequence number — with the sender's rank it
+  /// uniquely names this envelope machine-wide (the causal flow id).
+  std::uint64_t send_app(int dst, HandlerId handler, std::vector<std::uint8_t> payload);
 
   /// Queue a control frame. dst == -1 broadcasts to every peer.
   void send_control(int dst, FrameType type, std::vector<std::uint8_t> payload = {});
+
+  /// Queue a best-effort kTelemetry frame to `dst`. Unlike send_app there is
+  /// no sequence number, no unacked entry and no retransmit: chaos drop here
+  /// is real loss, by design — telemetry loss must never perturb the run.
+  void send_telemetry(int dst, std::vector<std::uint8_t> payload);
+
+  /// Observe the ack round-trip of reliable frames: called once per acked
+  /// application frame with ms since its last (re)transmission. Feeds the
+  /// telemetry RTT histogram; pass nullptr to disable.
+  void set_rtt_observer(std::function<void(std::uint64_t rtt_ms)> fn) {
+    on_rtt_ = std::move(fn);
+  }
 
   /// One I/O round: flush writes, read + parse, run timers (acks, heartbeats,
   /// retransmits, chaos delays, peer timeouts). Blocks in ::poll up to
@@ -165,7 +183,9 @@ class Transport {
 
   NetConfig cfg_;
   std::function<void(int, FrameType, Reader&)> on_control_;
+  std::function<void(std::uint64_t)> on_rtt_;
   TransportStats stats_;
+  std::uint64_t tele_chaos_seq_ = 0;  ///< keys telemetry chaos decisions (not on the wire)
   int listen_fd_ = -1;
   std::vector<std::unique_ptr<Peer>> peers_;  ///< index == rank; own slot null
   /// Accepted connections whose kHello has not arrived yet.

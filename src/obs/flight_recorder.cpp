@@ -1,0 +1,219 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
+
+namespace gbd {
+
+namespace {
+
+/// Buffered fd writer using only async-signal-safe calls. No allocation,
+/// no stdio, no locale: integers are formatted by hand.
+struct SafeWriter {
+  int fd;
+  char buf[4096];
+  std::size_t len = 0;
+
+  explicit SafeWriter(int f) : fd(f) {}
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // nothing sane to do from a signal handler
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+
+  void ch(char c) {
+    if (len == sizeof buf) flush();
+    buf[len++] = c;
+  }
+
+  void str(const char* s) {
+    for (; *s != 0; ++s) ch(*s);
+  }
+
+  void u64(std::uint64_t v) {
+    char tmp[24];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+};
+
+const char* phase_name(Ph p) {
+  switch (p) {
+    case Ph::kSpan: return "X";
+    case Ph::kAsyncBegin: return "b";
+    case Ph::kAsyncEnd: return "e";
+    case Ph::kInstant: return "i";
+  }
+  return "?";
+}
+
+/// Fatal signals the recorder intercepts.
+const int kSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT, SIGTERM};
+constexpr std::size_t kNumSignals = sizeof(kSignals) / sizeof(kSignals[0]);
+struct sigaction g_old_actions[kNumSignals];
+
+const char* signal_reason(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGTERM: return "SIGTERM";
+  }
+  return "signal";
+}
+
+void on_fatal_signal(int sig) {
+  FlightRecorder::instance().dump_now(signal_reason(sig));
+  // Restore the default disposition and re-raise so the process still dies
+  // with this signal's status (the launcher's drill verdict reads it).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder r;
+  return r;
+}
+
+void FlightRecorder::arm(const std::string& path, int rank, const ProcTracer* tracer,
+                         const ProcTelemetry* telemetry) {
+  std::size_t n = path.size() < sizeof path_ - 1 ? path.size() : sizeof path_ - 1;
+  std::memcpy(path_, path.data(), n);
+  path_[n] = 0;
+  rank_ = rank;
+  tracer_ = tracer;
+  telemetry_ = telemetry;
+  tracer_owner_ = nullptr;
+  telemetry_owner_ = nullptr;
+  dumped_ = false;
+  if (!armed_) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = on_fatal_signal;
+    sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < kNumSignals; ++i) {
+      sigaction(kSignals[i], &sa, &g_old_actions[i]);
+    }
+    armed_ = true;
+  }
+}
+
+void FlightRecorder::arm(const std::string& path, int rank, const Tracer* tracer,
+                         const Telemetry* telemetry) {
+  arm(path, rank, static_cast<const ProcTracer*>(nullptr),
+      static_cast<const ProcTelemetry*>(nullptr));
+  tracer_owner_ = tracer;
+  telemetry_owner_ = telemetry;
+}
+
+void FlightRecorder::disarm() {
+  if (armed_) {
+    for (std::size_t i = 0; i < kNumSignals; ++i) {
+      sigaction(kSignals[i], &g_old_actions[i], nullptr);
+    }
+    armed_ = false;
+  }
+  tracer_ = nullptr;
+  telemetry_ = nullptr;
+  tracer_owner_ = nullptr;
+  telemetry_owner_ = nullptr;
+}
+
+void FlightRecorder::dump_now(const char* reason) {
+  if (!armed_ || dumped_) return;
+  dumped_ = true;  // first caller wins (a racing handler double-write is harmless anyway)
+
+  // Resolve lazily-armed sources now. If the run never started the owner has
+  // no per-proc storage for this rank yet; the dump just omits those parts.
+  const ProcTracer* tracer = tracer_;
+  if (tracer == nullptr && tracer_owner_ != nullptr && rank_ < tracer_owner_->nprocs()) {
+    tracer = &tracer_owner_->at(rank_);
+  }
+  const ProcTelemetry* telemetry = telemetry_;
+  if (telemetry == nullptr && telemetry_owner_ != nullptr &&
+      rank_ < telemetry_owner_->nprocs()) {
+    telemetry = &telemetry_owner_->at(rank_);
+  }
+
+  int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  SafeWriter w(fd);
+  w.str("{\"type\":\"flight_recorder\",\"rank\":");
+  w.u64(static_cast<std::uint64_t>(rank_));
+  w.str(",\"reason\":\"");
+  w.str(reason != nullptr ? reason : "unknown");
+  w.str("\"");
+
+  if (telemetry != nullptr) {
+    const TeleSample& s = telemetry->last_sample();
+    w.str(",\"metrics\":{");
+    for (std::size_t i = 0; i < kTeleKeyCount; ++i) {
+      if (i > 0) w.ch(',');
+      w.ch('"');
+      w.str(tele_key_name(static_cast<TeleKey>(i)));
+      w.str("\":");
+      w.u64(s[i]);
+    }
+    w.str("},\"snapshots\":");
+    w.u64(telemetry->snapshots());
+  }
+
+  if (tracer != nullptr) {
+    w.str(",\"recorded\":");
+    w.u64(tracer->recorded());
+    w.str(",\"dropped\":");
+    w.u64(tracer->dropped());
+    w.str(",\"events\":[");
+    std::size_t n = 0, oldest = 0;
+    const TraceEvent* ring = tracer->raw_ring(&n, &oldest);
+    std::size_t keep = n < kMaxDumpEvents ? n : kMaxDumpEvents;
+    bool first = true;
+    for (std::size_t i = n - keep; i < n; ++i) {
+      const TraceEvent& e = ring[(oldest + i) % (n == 0 ? 1 : n)];
+      if (!first) w.ch(',');
+      first = false;
+      w.str("{\"kind\":\"");
+      w.str(ev_name(e.kind));
+      w.str("\",\"ph\":\"");
+      w.str(phase_name(e.phase));
+      w.str("\",\"t0\":");
+      w.u64(e.t0);
+      w.str(",\"t1\":");
+      w.u64(e.t1);
+      w.str(",\"a\":");
+      w.u64(e.a);
+      w.str(",\"b\":");
+      w.u64(e.b);
+      w.str("}");
+    }
+    w.str("]");
+  }
+  w.str("}\n");
+  w.flush();
+  ::close(fd);
+}
+
+}  // namespace gbd

@@ -1,0 +1,81 @@
+// Crash flight recorder — post-mortem for dying ranks.
+//
+// A SocketMachine rank that hits a fatal signal, an unrecoverable NetError
+// or the launcher's watchdog used to die silently; the --kill-rank chaos
+// drill then proves only that the *survivors* noticed. Armed, this recorder
+// turns any such death into an actionable artifact: a JSON dump of the last
+// N trace events from the rank's ProcTracer ring, the rank's latest
+// telemetry sample, and the reason — written with async-signal-safe
+// primitives only (open/write/strlen-free manual formatting; ev_name()
+// returns string literals), so it works from inside SIGSEGV.
+//
+// Ownership: one process-global recorder (signal handlers have no closure
+// argument). arm() installs handlers for the fatal signals and remembers
+// where the trace ring lives; dump_now() may also be called directly from
+// ordinary code (the NetError catch in gbd_launch, watchdog SIGTERM). The
+// first dump wins; later calls are no-ops. After the handler dumps it
+// restores the default disposition and re-raises, so the exit status still
+// reflects the signal (the launcher's drill verdict depends on that).
+//
+// A SIGKILLed rank (the drill's victim) cannot dump anything — by design.
+// The post-mortem for that drill comes from the survivors: their NetError
+// ("peer rank N failed") dumps name the dead rank and show what each
+// survivor was doing when the machine lost it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gbd {
+
+class ProcTracer;    // obs/tracer.hpp
+class ProcTelemetry; // obs/telemetry.hpp
+class Tracer;        // obs/tracer.hpp
+class Telemetry;     // obs/telemetry.hpp
+
+class FlightRecorder {
+ public:
+  /// The process-global recorder (signal handlers need static reach).
+  static FlightRecorder& instance();
+
+  /// Arm: remember the dump path and data sources, install fatal-signal
+  /// handlers (SEGV, BUS, FPE, ILL, ABRT, TERM). `tracer`/`telemetry` may be
+  /// null (the dump simply omits those sections) and must stay valid until
+  /// disarm(). Re-arming replaces the configuration.
+  void arm(const std::string& path, int rank, const ProcTracer* tracer,
+           const ProcTelemetry* telemetry);
+
+  /// Lazy variant: resolves this rank's ProcTracer/ProcTelemetry views at
+  /// dump time, so it can be armed *before* Machine::run has sized the
+  /// tracer/telemetry (their per-proc storage does not exist yet when a
+  /// launcher arms). Either owner may be null. A dump taken before the run
+  /// starts simply omits the unresolvable sections.
+  void arm(const std::string& path, int rank, const Tracer* tracer, const Telemetry* telemetry);
+
+  /// Restore the previous signal dispositions and forget the sources.
+  void disarm();
+
+  /// Write the dump now (async-signal-safe). Idempotent: the first call
+  /// wins, later calls return immediately. Safe to call when unarmed (no-op).
+  void dump_now(const char* reason);
+
+  bool armed() const { return armed_; }
+  bool dumped() const { return dumped_; }
+
+  /// Events kept in the dump (the tail of the trace ring).
+  static constexpr std::size_t kMaxDumpEvents = 256;
+
+ private:
+  FlightRecorder() = default;
+
+  char path_[512] = {0};
+  int rank_ = 0;
+  const ProcTracer* tracer_ = nullptr;
+  const ProcTelemetry* telemetry_ = nullptr;
+  const Tracer* tracer_owner_ = nullptr;       ///< lazy arm: resolve at(rank_) at dump time
+  const Telemetry* telemetry_owner_ = nullptr;
+  volatile bool armed_ = false;
+  volatile bool dumped_ = false;
+};
+
+}  // namespace gbd

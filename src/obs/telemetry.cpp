@@ -1,0 +1,310 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gbd {
+
+namespace {
+
+/// floor(log2(v)) + 1, i.e. bit width; 0 for v == 0.
+std::size_t bucket_of(std::uint64_t v) {
+  std::size_t b = 0;
+  while (v != 0) {
+    v >>= 1;
+    b += 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+const char* tele_key_name(TeleKey k) {
+  switch (k) {
+    case TeleKey::kTime: return "time";
+    case TeleKey::kQueueDepth: return "queue";
+    case TeleKey::kDegree: return "degree";
+    case TeleKey::kBasisSize: return "basis";
+    case TeleKey::kSpairsRetired: return "retired";
+    case TeleKey::kSpairsZeroed: return "zeroed";
+    case TeleKey::kMsgsSent: return "msgs_sent";
+    case TeleKey::kMsgsRecv: return "msgs_recv";
+    case TeleKey::kIdleUnits: return "idle";
+    case TeleKey::kWorkUnits: return "work";
+    case TeleKey::kTracerDropped: return "tracer_dropped";
+    case TeleKey::kCount: break;
+  }
+  return "?";
+}
+
+const char* tele_hist_name(TeleHist h) {
+  switch (h) {
+    case TeleHist::kReduce: return "reduce";
+    case TeleHist::kLockWait: return "lock_wait";
+    case TeleHist::kAckRtt: return "ack_rtt";
+    case TeleHist::kCount: break;
+  }
+  return "?";
+}
+
+void LogHistogram::record(std::uint64_t v) {
+  buckets[std::min<std::size_t>(bucket_of(v), buckets.size() - 1)] += 1;
+  count += 1;
+  sum += v;
+  max = std::max(max, v);
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  max = std::max(max, o.max);
+}
+
+void LogHistogram::encode(Writer& w) const {
+  w.u64(count);
+  w.u64(sum);
+  w.u64(max);
+  std::uint8_t nonzero = 0;
+  for (std::uint64_t b : buckets) nonzero += (b != 0);
+  w.u8(nonzero);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    w.u8(static_cast<std::uint8_t>(i));
+    w.u64(buckets[i]);
+  }
+}
+
+LogHistogram LogHistogram::decode(Reader& r) {
+  LogHistogram h;
+  h.count = r.u64();
+  h.sum = r.u64();
+  h.max = r.u64();
+  std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n && r.remaining() >= 9; ++i) {
+    std::uint8_t idx = r.u8();
+    std::uint64_t c = r.u64();
+    if (idx < h.buckets.size()) h.buckets[idx] = c;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> ProcTelemetry::sample(int proc, std::uint64_t now,
+                                                const ProcCommStats& comm,
+                                                std::uint64_t tracer_dropped) {
+  TeleSample s{};
+  tele_at(s, TeleKey::kTime) = now;
+  tele_at(s, TeleKey::kMsgsSent) = comm.messages_sent;
+  tele_at(s, TeleKey::kMsgsRecv) = comm.messages_received;
+  tele_at(s, TeleKey::kIdleUnits) = comm.idle_units;
+  tele_at(s, TeleKey::kTracerDropped) = tracer_dropped;
+  if (sampler_) sampler_(s);
+
+  seq_ += 1;
+  last_tick_ = now;
+  bool keyframe = (seq_ % kTelemetryKeyframeEvery) == 1 || kTelemetryKeyframeEvery == 1;
+
+  Writer w;
+  w.u8(kTelemetryFormat);
+  w.u32(static_cast<std::uint32_t>(proc));
+  w.u64(seq_);
+  w.u8(keyframe ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(kTeleKeyCount));
+  for (std::size_t i = 0; i < kTeleKeyCount; ++i) {
+    // Keyframes carry absolute values; delta frames carry wrapping
+    // differences (exact mod 2^64, so gauges may decrease freely).
+    w.u64(keyframe ? s[i] : s[i] - prev_[i]);
+  }
+  prev_ = s;
+
+  w.u8(static_cast<std::uint8_t>(kTeleHistCount));
+  for (std::size_t i = 0; i < kTeleHistCount; ++i) {
+    w.u8(static_cast<std::uint8_t>(i));
+    hists_[i].encode(w);
+  }
+  return w.take();
+}
+
+void TelemetryAggregator::reset(int nprocs, std::size_t series_capacity) {
+  ranks_.assign(static_cast<std::size_t>(nprocs), RankState{});
+  series_cap_ = series_capacity;
+  malformed_ = 0;
+  progress_ = 0.0;
+}
+
+void TelemetryAggregator::ingest(Reader& r) {
+  // The lossy, untrusted path: anything surprising is counted and ignored.
+  // (Length checks precede every read — Reader underrun aborts by design,
+  // and that contract is for trusted engine envelopes, not telemetry.)
+  if (r.remaining() < 1 + 4 + 8 + 1 + 1) {
+    malformed_ += 1;
+    return;
+  }
+  if (r.u8() != kTelemetryFormat) {
+    malformed_ += 1;
+    return;
+  }
+  std::uint32_t proc = r.u32();
+  std::uint64_t seq = r.u64();
+  std::uint8_t flags = r.u8();
+  std::uint8_t nvals = r.u8();
+  if (proc >= ranks_.size() || seq == 0 || r.remaining() < std::size_t(nvals) * 8) {
+    malformed_ += 1;
+    return;
+  }
+  std::array<std::uint64_t, 64> vals{};  // tolerate future senders with more slots
+  for (std::uint8_t i = 0; i < nvals; ++i) {
+    std::uint64_t v = r.u64();
+    if (i < vals.size()) vals[i] = v;
+  }
+
+  RankState& rs = ranks_[proc];
+  if (seq <= rs.last_seq) {
+    rs.stale += 1;  // chaos duplicate or reordered leftover
+    return;
+  }
+  std::uint64_t gap = seq - rs.last_seq - 1;
+  rs.dropped += gap;
+  rs.last_seq = seq;
+  rs.frames += 1;
+
+  bool keyframe = (flags & 1) != 0;
+  std::size_t n = std::min<std::size_t>(nvals, kTeleKeyCount);
+  if (keyframe) {
+    // Absolute values: always applicable, heals any earlier loss.
+    for (std::size_t i = 0; i < n; ++i) rs.values[i] = vals[i];
+    rs.synced = true;
+  } else if (rs.synced && gap == 0) {
+    // Contiguous delta on a synced stream: apply (wrapping add).
+    for (std::size_t i = 0; i < n; ++i) rs.values[i] += vals[i];
+  } else {
+    // A delta after loss can't be applied; wait for the next keyframe.
+    rs.synced = false;
+  }
+
+  if (rs.synced) {
+    rs.series.push_back(rs.values);
+    while (rs.series.size() > series_cap_) rs.series.pop_front();
+  }
+
+  // Histograms: absolute state, replace wholesale.
+  if (r.remaining() >= 1) {
+    std::uint8_t nhist = r.u8();
+    for (std::uint8_t i = 0; i < nhist; ++i) {
+      if (r.remaining() < 1 + 8 * 3 + 1) {
+        malformed_ += 1;
+        return;
+      }
+      std::uint8_t id = r.u8();
+      if (r.remaining() < 8 * 3 + 1) {
+        malformed_ += 1;
+        return;
+      }
+      // Bound the sparse list before handing the reader to decode().
+      LogHistogram h = LogHistogram::decode(r);
+      if (id < kTeleHistCount) rs.hists[id] = h;
+    }
+  }
+
+  // Refresh the monotone progress estimate.
+  std::uint64_t done = 0, depth = 0;
+  for (const RankState& s : ranks_) {
+    if (s.frames == 0 || !s.synced) continue;
+    done += tele_get(s.values, TeleKey::kSpairsRetired) +
+            tele_get(s.values, TeleKey::kSpairsZeroed);
+    depth += tele_get(s.values, TeleKey::kQueueDepth);
+  }
+  if (done + depth > 0) {
+    progress_ = std::max(progress_, double(done) / double(done + depth));
+  }
+}
+
+std::uint64_t TelemetryAggregator::dropped_frames() const {
+  std::uint64_t d = 0;
+  for (const RankState& s : ranks_) d += s.dropped;
+  return d;
+}
+
+std::uint64_t TelemetryAggregator::frames_received() const {
+  std::uint64_t f = 0;
+  for (const RankState& s : ranks_) f += s.frames;
+  return f;
+}
+
+LogHistogram TelemetryAggregator::merged_hist(TeleHist h) const {
+  LogHistogram out;
+  for (const RankState& s : ranks_) out.merge(s.hists[static_cast<std::size_t>(h)]);
+  return out;
+}
+
+std::string TelemetryAggregator::snapshot_json() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", progress_);
+  std::uint64_t stale = 0;
+  for (const RankState& s : ranks_) stale += s.stale;
+  std::string out = "{\"type\":\"sample\",\"progress\":";
+  out += buf;
+  out += ",\"dropped_frames\":" + std::to_string(dropped_frames());
+  out += ",\"stale_frames\":" + std::to_string(stale);
+  out += ",\"ranks\":[";
+  for (std::size_t p = 0; p < ranks_.size(); ++p) {
+    const RankState& s = ranks_[p];
+    if (p > 0) out.push_back(',');
+    out += "{\"rank\":" + std::to_string(p);
+    out += ",\"seq\":" + std::to_string(s.last_seq);
+    out += ",\"dropped\":" + std::to_string(s.dropped);
+    out += ",\"synced\":" + std::string(s.synced ? "true" : "false");
+    for (std::size_t i = 0; i < kTeleKeyCount; ++i) {
+      out += ",\"";
+      out += tele_key_name(static_cast<TeleKey>(i));
+      out += "\":" + std::to_string(s.values[i]);
+    }
+    out.push_back('}');
+  }
+  out += "],\"hist\":{";
+  for (std::size_t i = 0; i < kTeleHistCount; ++i) {
+    if (i > 0) out.push_back(',');
+    LogHistogram h = merged_hist(static_cast<TeleHist>(i));
+    out.push_back('"');
+    out += tele_hist_name(static_cast<TeleHist>(i));
+    out += "\":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Telemetry::start_run(int nprocs, ClockDomain domain) {
+  procs_.assign(static_cast<std::size_t>(nprocs), ProcTelemetry{});
+  std::uint64_t interval = domain == ClockDomain::kVirtual
+                               ? cfg_.sim_interval_units
+                               : std::uint64_t(cfg_.interval_ms) * 1'000'000u;
+  for (ProcTelemetry& p : procs_) p.interval_ = interval;
+  std::lock_guard<std::mutex> lock(mu_);
+  agg_.reset(nprocs, cfg_.series_capacity);
+}
+
+void Telemetry::ingest_bytes(const std::uint8_t* data, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Reader r(data, n);
+  agg_.ingest(r);
+  if (on_update_) on_update_(agg_);
+}
+
+std::uint64_t Telemetry::dropped_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return agg_.dropped_frames();
+}
+
+double Telemetry::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return agg_.progress();
+}
+
+std::string Telemetry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return agg_.snapshot_json();
+}
+
+}  // namespace gbd

@@ -1,0 +1,255 @@
+// Live telemetry pipeline — streaming per-processor metric snapshots.
+//
+// PR 4's tracer/metrics layer answers every question *after* the run; this
+// layer answers them *during* it. Each logical processor periodically
+// (virtual-time ticks on SimMachine, steady-clock ticks on Thread/Socket)
+// samples a small fixed vector of counters and gauges — pair-queue depth,
+// current degree, S-pairs retired/zeroed, message and idle totals — plus
+// log-bucketed latency histograms (reduce-span durations, lock waits, ack
+// RTT), and encodes them into a compact telemetry frame. Frames flow to an
+// aggregator (in-process on Sim/Thread; rank 0 via best-effort kTelemetry
+// wire frames on SocketMachine) that maintains ring-buffered time series,
+// merged histograms and a derived monotone progress estimate.
+//
+// Loss tolerance is the design center. Telemetry frames are UNRELIABLE by
+// construction: on the socket backend they are never acked, never
+// retransmitted, and never counted by the Mattern quiescence layer — a
+// chaos-dropped snapshot is simply gone. To make that loss harmless the
+// codec is delta+keyframe: every kKeyframeEvery-th frame carries absolute
+// values, the rest carry wrapping u64 deltas against the sender's previous
+// sample (wrapping subtraction is lossless mod 2^64, so decreasing gauges
+// round-trip exactly). The aggregator applies a delta only when the frame's
+// snapshot seq is contiguous with the last one applied; on a gap it counts
+// the missing frames (telemetry.dropped_frames) and waits for the next
+// keyframe to resynchronize. Histograms ride every frame as absolute sparse
+// bucket lists, so losing one costs timeline resolution, never correctness.
+//
+// Determinism: sampling never charges virtual time, never sends engine
+// messages and never touches quiescence counters, so a SimMachine run with
+// telemetry attached is bit-identical (virtual clocks, traces, bases) to
+// the same run without it — asserted by telemetry_test and gated in CI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "obs/tracer.hpp"
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+/// Sampled value slots. Fixed order is part of the frame format; append only.
+enum class TeleKey : std::uint8_t {
+  kTime = 0,        ///< sampler's clock at the tick (virtual units / steady ns)
+  kQueueDepth,      ///< local pair-queue depth + suspended + stalled + pending (gauge)
+  kDegree,          ///< degree of the most recent task (gauge)
+  kBasisSize,       ///< local replica size (gauge)
+  kSpairsRetired,   ///< S-pairs fully processed (cumulative)
+  kSpairsZeroed,    ///< S-pairs that reduced to zero (cumulative)
+  kMsgsSent,        ///< engine envelopes sent (cumulative)
+  kMsgsRecv,        ///< engine envelopes received (cumulative)
+  kIdleUnits,       ///< time blocked in wait() (cumulative)
+  kWorkUnits,       ///< reduction work performed (cumulative)
+  kTracerDropped,   ///< trace ring overwrites so far (cumulative)
+  kCount
+};
+constexpr std::size_t kTeleKeyCount = static_cast<std::size_t>(TeleKey::kCount);
+
+/// One sample: value per TeleKey slot.
+using TeleSample = std::array<std::uint64_t, kTeleKeyCount>;
+
+inline std::uint64_t& tele_at(TeleSample& s, TeleKey k) {
+  return s[static_cast<std::size_t>(k)];
+}
+inline std::uint64_t tele_get(const TeleSample& s, TeleKey k) {
+  return s[static_cast<std::size_t>(k)];
+}
+
+/// Short identifier used in JSONL output ("queue", "retired", ...).
+const char* tele_key_name(TeleKey k);
+
+/// Latency histogram slots carried by every frame.
+enum class TeleHist : std::uint8_t {
+  kReduce = 0,   ///< reduce-span durations (virtual units / ns)
+  kLockWait,     ///< lock request -> grant (virtual units / ns)
+  kAckRtt,       ///< reliable-frame ack round trip (ms; socket backend only)
+  kCount
+};
+constexpr std::size_t kTeleHistCount = static_cast<std::size_t>(TeleHist::kCount);
+
+const char* tele_hist_name(TeleHist h);
+
+/// Power-of-two-bucketed histogram: bucket i counts values whose bit width
+/// is i (value 0 lands in bucket 0). 64 buckets cover the whole u64 range.
+struct LogHistogram {
+  std::array<std::uint64_t, 64> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v);
+  void merge(const LogHistogram& o);
+  /// Inclusive lower bound of bucket i's value range.
+  static std::uint64_t bucket_floor(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+  }
+
+  /// Absolute sparse form: count/sum/max then (idx, count) per nonzero bucket.
+  void encode(Writer& w) const;
+  static LogHistogram decode(Reader& r);
+};
+
+/// Telemetry frame payload format version (first payload byte).
+constexpr std::uint8_t kTelemetryFormat = 1;
+/// Every N-th snapshot is a keyframe carrying absolute values.
+constexpr std::uint64_t kTelemetryKeyframeEvery = 8;
+
+struct TelemetryConfig {
+  /// Tick interval on the simulator, in virtual work units.
+  std::uint64_t sim_interval_units = 50'000;
+  /// Tick interval on real-clock backends, in milliseconds.
+  int interval_ms = 100;
+  /// Samples retained per rank in the aggregator's time-series ring.
+  std::size_t series_capacity = 512;
+};
+
+/// One processor's telemetry producer. Owner-thread-only, like ProcTracer:
+/// the engine registers a sampler callback and records histogram values; the
+/// machine backend decides when a tick is due and where the frame goes.
+class ProcTelemetry {
+ public:
+  /// Callback filling the engine-owned TeleSample slots (queue depth,
+  /// degree, basis size, retired/zeroed, work units) at each tick.
+  void set_sampler(std::function<void(TeleSample&)> fn) { sampler_ = std::move(fn); }
+
+  LogHistogram& hist(TeleHist h) { return hists_[static_cast<std::size_t>(h)]; }
+  const LogHistogram& hist(TeleHist h) const { return hists_[static_cast<std::size_t>(h)]; }
+
+  /// True when a tick is due at time `now` (intervals set by Telemetry).
+  bool due(std::uint64_t now) const {
+    return interval_ != 0 && (seq_ == 0 || now - last_tick_ >= interval_);
+  }
+
+  /// Take a snapshot and encode the telemetry frame payload: machine-owned
+  /// slots come from `now`/`comm`/`tracer_dropped`, engine slots from the
+  /// sampler. Advances the snapshot seq and the delta baseline.
+  std::vector<std::uint8_t> sample(int proc, std::uint64_t now, const ProcCommStats& comm,
+                                   std::uint64_t tracer_dropped);
+
+  std::uint64_t snapshots() const { return seq_; }
+
+  /// Last encoded sample — plain POD, safe to read from a signal handler
+  /// (possibly torn if the owner thread is mid-tick; acceptable for a
+  /// post-mortem dump).
+  const TeleSample& last_sample() const { return prev_; }
+
+ private:
+  friend class Telemetry;
+
+  std::function<void(TeleSample&)> sampler_;
+  std::array<LogHistogram, kTeleHistCount> hists_{};
+  TeleSample prev_{};              ///< delta baseline (last encoded sample)
+  std::uint64_t seq_ = 0;          ///< snapshots taken (wire seq starts at 1)
+  std::uint64_t last_tick_ = 0;
+  std::uint64_t interval_ = 0;     ///< 0 until start_run configures the domain
+};
+
+/// Rank-0-side (or in-process) sink: per-rank ring-buffered series, merged
+/// histograms, loss accounting and the derived progress estimate.
+class TelemetryAggregator {
+ public:
+  struct RankState {
+    std::uint64_t last_seq = 0;   ///< highest snapshot seq applied
+    std::uint64_t frames = 0;     ///< frames accepted
+    std::uint64_t dropped = 0;    ///< seq gaps observed (frames lost in flight)
+    std::uint64_t stale = 0;      ///< duplicate / out-of-date frames ignored
+    bool synced = false;          ///< values are absolute-correct (keyframe seen,
+                                  ///< no unhealed gap since)
+    TeleSample values{};          ///< latest absolute sample (valid when synced)
+    std::deque<TeleSample> series;  ///< ring of absolute samples, oldest first
+    std::array<LogHistogram, kTeleHistCount> hists{};  ///< latest absolute hists
+  };
+
+  void reset(int nprocs, std::size_t series_capacity);
+
+  /// Ingest one telemetry frame payload. Malformed or stale frames are
+  /// counted and ignored, never fatal — this is the untrusted lossy path.
+  void ingest(Reader& r);
+
+  int nprocs() const { return static_cast<int>(ranks_.size()); }
+  const RankState& rank(int r) const { return ranks_[static_cast<std::size_t>(r)]; }
+
+  /// Frames known lost across all ranks (from seq gaps).
+  std::uint64_t dropped_frames() const;
+  std::uint64_t frames_received() const;
+  std::uint64_t malformed_frames() const { return malformed_; }
+
+  /// Monotone fraction-done estimate in [0,1]: retired+zeroed over
+  /// retired+zeroed+queued, never decreasing across updates.
+  double progress() const { return progress_; }
+
+  /// Histogram h merged across every rank's latest snapshot.
+  LogHistogram merged_hist(TeleHist h) const;
+
+  /// One JSONL line: progress, loss counters, per-rank latest values and
+  /// merged histogram summaries. Valid standalone JSON.
+  std::string snapshot_json() const;
+
+ private:
+  std::vector<RankState> ranks_;
+  std::size_t series_cap_ = 0;
+  std::uint64_t malformed_ = 0;
+  double progress_ = 0.0;
+};
+
+/// Whole-run telemetry: one ProcTelemetry per processor plus the aggregator.
+/// Attach via Machine::set_telemetry before run(); must outlive the run.
+/// Producer sides are owner-thread-only; ingest/aggregator access is
+/// serialized by an internal mutex (on the socket backend only rank 0's
+/// process ever ingests).
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Called by the machine at run start: sizes per-proc state and picks the
+  /// tick interval for the clock domain.
+  void start_run(int nprocs, ClockDomain domain);
+
+  ProcTelemetry& at(int proc) { return procs_[static_cast<std::size_t>(proc)]; }
+  const ProcTelemetry& at(int proc) const { return procs_[static_cast<std::size_t>(proc)]; }
+  int nprocs() const { return static_cast<int>(procs_.size()); }
+  const TelemetryConfig& config() const { return cfg_; }
+
+  /// Feed one frame payload to the aggregator (thread-safe). Fires the
+  /// on_update callback (under the same lock — the callback must not call
+  /// back into this Telemetry).
+  void ingest_bytes(const std::uint8_t* data, std::size_t n);
+
+  /// Called after each ingested frame — the live dashboard hook.
+  void set_on_update(std::function<void(const TelemetryAggregator&)> fn) {
+    on_update_ = std::move(fn);
+  }
+
+  /// Thread-safe aggregator reads.
+  std::uint64_t dropped_frames() const;
+  double progress() const;
+  std::string snapshot_json() const;
+
+  /// Unlocked aggregator access — only valid once the run has joined.
+  const TelemetryAggregator& aggregator() const { return agg_; }
+
+ private:
+  TelemetryConfig cfg_;
+  std::vector<ProcTelemetry> procs_;
+  TelemetryAggregator agg_;
+  std::function<void(const TelemetryAggregator&)> on_update_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace gbd

@@ -185,6 +185,8 @@ const char* ev_name(Ev kind) {
     case Ev::kMatEliminate: return "mat-eliminate";
     case Ev::kMatConvert: return "mat-convert";
     case Ev::kMatSweep: return "mat-sweep";
+    case Ev::kMsgSend: return "msg-send";
+    case Ev::kMsgRecv: return "msg-recv";
   }
   return "unknown";
 }
@@ -270,6 +272,25 @@ void append_trace_events(std::string* outp, bool* first, const TraceData& data, 
           break;
         }
         case Ph::kInstant: {
+          if (e.kind == Ev::kMsgSend || e.kind == Ev::kMsgRecv) {
+            // Causal flow edge: "s" at the sender binds to the slice open at
+            // send time, "f" (bp:"e") at the receiver binds to the enclosing
+            // handler slice. Perfetto matches the pair on (cat, id) — the
+            // flow id is machine-unique, so every edge resolves 1:1.
+            out.append(e.kind == Ev::kMsgSend ? "{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"msg\""
+                                              : "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\","
+                                                "\"name\":\"msg\"");
+            out.append(",\"id\":\"");
+            out.append(std::to_string(e.a));
+            out.append("\",\"pid\":");
+            out.append(std::to_string(pid));
+            out.append(",\"tid\":");
+            out.append(std::to_string(p));
+            out.append(",\"ts\":");
+            append_ts(&out, e.t0 + shift, data.domain);
+            out.append("}");
+            break;
+          }
           out.append("{\"ph\":\"i\",");
           append_common(&out, pid, static_cast<int>(p), e, data.domain, shift);
           out.append(",\"cat\":\"engine\",\"s\":\"t\",\"args\":{\"a\":");

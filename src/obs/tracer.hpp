@@ -75,7 +75,18 @@ enum class Ev : std::uint8_t {
   kMatConvert = 20,    ///< surviving rows back to polynomials / augment hand-off
   // Instants.
   kMatSweep = 21,  ///< elimination dispatch tally; a = vector rows, b = scalar rows
+  // Instants (cross-rank causal flow; socket backend only).
+  kMsgSend = 22,  ///< wire envelope sent; a = flow id (src,dst,seq), b = handler
+  kMsgRecv = 23,  ///< wire envelope dispatched; a = flow id, b = handler
 };
+
+/// Pack a wire envelope's identity into a machine-unique causal flow id:
+/// the (src, dst) channel plus the transport's per-channel sequence number.
+inline std::uint64_t flow_id(int src, int dst, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32) |
+         (seq & 0xffffffffu);
+}
 
 /// Why a processor entered wait() (the `a` argument of a kWait span).
 enum class WaitReason : std::uint64_t {
@@ -125,6 +136,17 @@ class ProcTracer {
   std::uint64_t recorded() const { return total_; }
   std::uint64_t dropped() const;
   std::size_t open_spans() const { return stack_.size(); }
+
+  /// Async-signal-safe raw view for the crash flight recorder: returns the
+  /// ring storage, sets *n to the valid entry count and *oldest to the index
+  /// of the oldest surviving entry. No allocation, no locks; a reader on a
+  /// foreign thread may observe a torn in-flight entry — acceptable for a
+  /// post-mortem, never for the analyzer (which reads only after join).
+  const TraceEvent* raw_ring(std::size_t* n, std::size_t* oldest) const {
+    *n = ring_.size();
+    *oldest = ring_.size() < cap_ ? 0 : next_;
+    return ring_.data();
+  }
 
   /// Ring contents in recording (completion) order, oldest surviving first.
   std::vector<TraceEvent> events() const;

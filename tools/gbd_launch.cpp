@@ -5,6 +5,7 @@
 //   gbd_launch [--procs N] [--problem NAME] [--port BASE] [--seed S]
 //              [--coeff exact|zp:P] [--net-chaos LEVEL] [--chaos-seed S]
 //              [--batch] [--reserve] [--peer-timeout-ms T] [--trace-dir DIR]
+//              [--watch] [--telemetry-out FILE]
 //              [--timeout SECONDS] [--no-verify]
 //              [--kill-rank R [--kill-after-ms T]]
 //
@@ -14,6 +15,15 @@
 //   certificate, and prints the run summary. --kill-rank is a failure drill:
 //   the launcher SIGKILLs that rank mid-run and then *expects* the survivors
 //   to fail fast with a clean transport error (exit 3) instead of hanging.
+//
+//   --watch turns on live telemetry and renders a dashboard on rank 0's
+//   stderr (per-rank busy bars, queue depth, message rates, a progress/ETA
+//   line); --telemetry-out FILE appends one JSON object per telemetry update
+//   (a flight log replayable offline). Both ride the best-effort kTelemetry
+//   frame path: loss under --net-chaos costs dashboard freshness, never
+//   correctness. With --trace-dir, each rank also arms the crash flight
+//   recorder: a rank dying to a fatal signal or NetError leaves
+//   DIR/rankN.flight.json with its last trace events and metric snapshot.
 //
 // Worker mode (started by the launcher, or by hand on real hosts):
 //   gbd_launch --worker --rank R [--hosts FILE] ...same flags...
@@ -41,7 +51,9 @@
 #include "bigint/zp.hpp"
 #include "gb/verify.hpp"
 #include "net/net_engine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "problems/problems.hpp"
 
@@ -61,6 +73,9 @@ struct Options {
   bool reserve = false;
   int peer_timeout_ms = 10000;
   std::string trace_dir;
+  bool watch = false;
+  std::string telemetry_out;
+  int telemetry_interval_ms = 100;
   int timeout_s = 120;
   bool verify = true;
   int kill_rank = -1;
@@ -76,6 +91,7 @@ struct Options {
                "usage: %s [--procs N] [--problem NAME] [--port BASE] [--seed S]\n"
                "          [--coeff exact|zp:P] [--net-chaos LEVEL] [--chaos-seed S]\n"
                "          [--batch] [--reserve] [--peer-timeout-ms T] [--trace-dir DIR]\n"
+               "          [--watch] [--telemetry-out FILE] [--telemetry-interval-ms T]\n"
                "          [--timeout SECONDS] [--no-verify]\n"
                "          [--kill-rank R [--kill-after-ms T]]\n"
                "       %s --worker --rank R [--hosts FILE] ...\n",
@@ -113,6 +129,12 @@ Options parse_args(int argc, char** argv) {
       opt.peer_timeout_ms = std::atoi(value(i));
     } else if (std::strcmp(a, "--trace-dir") == 0) {
       opt.trace_dir = value(i);
+    } else if (std::strcmp(a, "--watch") == 0) {
+      opt.watch = true;
+    } else if (std::strcmp(a, "--telemetry-out") == 0) {
+      opt.telemetry_out = value(i);
+    } else if (std::strcmp(a, "--telemetry-interval-ms") == 0) {
+      opt.telemetry_interval_ms = std::atoi(value(i));
     } else if (std::strcmp(a, "--timeout") == 0) {
       opt.timeout_s = std::atoi(value(i));
     } else if (std::strcmp(a, "--no-verify") == 0) {
@@ -206,6 +228,103 @@ bool write_file(const std::string& path, const void* data, std::size_t size) {
   return static_cast<bool>(out);
 }
 
+/// Live --watch dashboard. Rendered on stderr from the telemetry on_update
+/// hook (rank 0 only); on a TTY it redraws in place with cursor movement,
+/// otherwise it degrades to an occasional plain status line. Rates (busy %,
+/// msgs/s) come from deltas between consecutive per-rank samples — the wire
+/// carries counters, the renderer differentiates.
+struct WatchRenderer {
+  bool tty = isatty(2) != 0;
+  int lines_drawn = 0;
+  std::chrono::steady_clock::time_point last{};
+  std::vector<TeleSample> prev;  ///< per-rank previous sample, for deltas
+
+  static std::string bar(double f, int width) {
+    if (f < 0) f = 0;
+    if (f > 1) f = 1;
+    int fill = static_cast<int>(f * width + 0.5);
+    std::string s(static_cast<std::size_t>(width), '-');
+    for (int i = 0; i < fill; ++i) s[static_cast<std::size_t>(i)] = '#';
+    return s;
+  }
+
+  void render(const TelemetryAggregator& agg) {
+    auto now = std::chrono::steady_clock::now();
+    auto min_gap = std::chrono::milliseconds(tty ? 100 : 1000);
+    if (last.time_since_epoch().count() != 0 && now - last < min_gap) return;
+    last = now;
+
+    int n = agg.nprocs();
+    prev.resize(static_cast<std::size_t>(n));
+    std::string out;
+    char line[256];
+
+    std::uint64_t retired = 0, zeroed = 0, queued = 0;
+    for (int r = 0; r < n; ++r) {
+      const TelemetryAggregator::RankState& rs = agg.rank(r);
+      retired += tele_get(rs.values, TeleKey::kSpairsRetired);
+      zeroed += tele_get(rs.values, TeleKey::kSpairsZeroed);
+      queued += tele_get(rs.values, TeleKey::kQueueDepth);
+    }
+    std::snprintf(line, sizeof line,
+                  "progress [%s] %5.1f%%  pairs %llu done / %llu queued  "
+                  "frames %llu (lost %llu)\n",
+                  bar(agg.progress(), 30).c_str(), agg.progress() * 100.0,
+                  static_cast<unsigned long long>(retired + zeroed),
+                  static_cast<unsigned long long>(queued),
+                  static_cast<unsigned long long>(agg.frames_received()),
+                  static_cast<unsigned long long>(agg.dropped_frames()));
+    out += line;
+
+    if (!tty) {
+      // Non-interactive: one summary line per second is plenty.
+      std::fputs(out.c_str(), stderr);
+      return;
+    }
+
+    for (int r = 0; r < n; ++r) {
+      const TelemetryAggregator::RankState& rs = agg.rank(r);
+      TeleSample& pv = prev[static_cast<std::size_t>(r)];
+      std::uint64_t dt = tele_get(rs.values, TeleKey::kTime) - tele_get(pv, TeleKey::kTime);
+      double busy = 0.0, msgs_s = 0.0;
+      if (dt > 0) {
+        std::uint64_t didle =
+            tele_get(rs.values, TeleKey::kIdleUnits) - tele_get(pv, TeleKey::kIdleUnits);
+        busy = didle <= dt ? 1.0 - static_cast<double>(didle) / static_cast<double>(dt) : 0.0;
+        std::uint64_t dmsgs =
+            tele_get(rs.values, TeleKey::kMsgsSent) - tele_get(pv, TeleKey::kMsgsSent) +
+            tele_get(rs.values, TeleKey::kMsgsRecv) - tele_get(pv, TeleKey::kMsgsRecv);
+        msgs_s = static_cast<double>(dmsgs) * 1e9 / static_cast<double>(dt);
+      }
+      pv = rs.values;
+      std::snprintf(line, sizeof line,
+                    "rank %2d [%s] %4.0f%% busy  q=%-5llu deg=%-3llu "
+                    "basis=%-4llu %7.0f msg/s%s\n",
+                    r, bar(busy, 16).c_str(), busy * 100.0,
+                    static_cast<unsigned long long>(tele_get(rs.values, TeleKey::kQueueDepth)),
+                    static_cast<unsigned long long>(tele_get(rs.values, TeleKey::kDegree)),
+                    static_cast<unsigned long long>(tele_get(rs.values, TeleKey::kBasisSize)),
+                    msgs_s, rs.synced ? "" : "  (stale)");
+      out += line;
+    }
+
+    // Redraw in place: move the cursor back up over the previous frame and
+    // clear each line as it is rewritten.
+    if (lines_drawn > 0) std::fprintf(stderr, "\x1b[%dA", lines_drawn);
+    lines_drawn = 1 + n;
+    std::string painted;
+    std::size_t start = 0;
+    while (start < out.size()) {
+      std::size_t nl = out.find('\n', start);
+      painted += "\x1b[2K";
+      painted += out.substr(start, nl - start + 1);
+      start = nl + 1;
+    }
+    std::fputs(painted.c_str(), stderr);
+    std::fflush(stderr);
+  }
+};
+
 int run_worker(const Options& opt) {
   if (!has_problem(opt.problem)) {
     std::fprintf(stderr, "error: unknown problem '%s'\n", opt.problem.c_str());
@@ -224,6 +343,11 @@ int run_worker(const Options& opt) {
 
   Tracer tracer;
   MetricsRegistry metrics(opt.procs);
+  TelemetryConfig tc;
+  if (opt.telemetry_interval_ms > 0) {
+    tc.interval_ms = static_cast<std::uint64_t>(opt.telemetry_interval_ms);
+  }
+  Telemetry tele(tc);
   CoeffOptions coeff = parse_coeff(opt.coeff);
   ParallelConfig cfg;
   cfg.gb.coeff = coeff;
@@ -238,6 +362,41 @@ int run_worker(const Options& opt) {
     cfg.tracer = &tracer;
     cfg.metrics = &metrics;
   }
+  bool telemetry_on = opt.watch || !opt.telemetry_out.empty();
+  if (telemetry_on) cfg.telemetry = &tele;
+
+  // Only rank 0 ever aggregates; the dashboard and the JSONL flight log hang
+  // off its on_update hook. The hook runs under the aggregator lock, so it
+  // reads the aggregator it is handed and never calls back into `tele`.
+  WatchRenderer watch;
+  std::FILE* flight_log = nullptr;
+  if (opt.rank == 0 && telemetry_on) {
+    if (!opt.telemetry_out.empty()) {
+      flight_log = std::fopen(opt.telemetry_out.c_str(), "w");
+      if (flight_log == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", opt.telemetry_out.c_str());
+        return 2;
+      }
+    }
+    tele.set_on_update([&](const TelemetryAggregator& agg) {
+      if (flight_log != nullptr) {
+        std::string line = agg.snapshot_json();
+        line += '\n';
+        std::fputs(line.c_str(), flight_log);
+        std::fflush(flight_log);
+      }
+      if (opt.watch) watch.render(agg);
+    });
+  }
+
+  // Arm the crash flight recorder alongside tracing: any rank that dies to a
+  // fatal signal or a NetError leaves DIR/rankN.flight.json behind. Lazy arm:
+  // the per-rank tracer/telemetry views only exist once the run starts.
+  if (!opt.trace_dir.empty()) {
+    FlightRecorder::instance().arm(
+        opt.trace_dir + "/rank" + std::to_string(opt.rank) + ".flight.json", opt.rank, &tracer,
+        telemetry_on ? &tele : nullptr);
+  }
 
   SocketMachine machine(mc);
   ParallelResult res;
@@ -245,7 +404,23 @@ int run_worker(const Options& opt) {
     res = groebner_parallel_socket(machine, sys, cfg);
   } catch (const NetError& e) {
     std::fprintf(stderr, "rank %d: transport failure: %s\n", opt.rank, e.what());
+    std::string reason = "NetError: ";
+    reason += e.what();
+    FlightRecorder::instance().dump_now(reason.c_str());
     return 3;
+  }
+  FlightRecorder::instance().disarm();
+
+  if (opt.rank == 0 && telemetry_on) {
+    // Final state: one closing JSONL line, and step the dashboard off its
+    // in-place redraw so the summary lines below start on a fresh row.
+    if (flight_log != nullptr) {
+      std::string line = tele.snapshot_json();
+      line += '\n';
+      std::fputs(line.c_str(), flight_log);
+      std::fclose(flight_log);
+    }
+    if (opt.watch && watch.lines_drawn > 0) std::fputc('\n', stderr);
   }
 
   const TransportStats& net = machine.transport_stats();
@@ -260,6 +435,9 @@ int run_worker(const Options& opt) {
     metrics.add("net.chaos_drops", opt.rank, net.chaos_drops);
     metrics.add("net.chaos_dups", opt.rank, net.chaos_dups);
     metrics.add("net.chaos_delays", opt.rank, net.chaos_delays);
+    metrics.add("net.telemetry_sent", opt.rank, net.telemetry_sent);
+    metrics.add("net.telemetry_received", opt.rank, net.telemetry_received);
+    metrics.add("net.telemetry_lost", opt.rank, net.telemetry_lost);
     std::string prefix = opt.trace_dir + "/rank" + std::to_string(opt.rank);
     std::vector<std::uint8_t> bytes = tracer.data().encode();
     if (!write_file(prefix + ".gbdt", bytes.data(), bytes.size())) return 1;
@@ -282,6 +460,14 @@ int run_worker(const Options& opt) {
               static_cast<unsigned long long>(net.chaos_drops),
               static_cast<unsigned long long>(net.chaos_dups),
               static_cast<unsigned long long>(net.chaos_delays));
+  if (telemetry_on) {
+    const TelemetryAggregator& agg = tele.aggregator();
+    std::printf("telemetry: frames=%llu lost=%llu stale+malformed=%llu progress=%.1f%%\n",
+                static_cast<unsigned long long>(agg.frames_received()),
+                static_cast<unsigned long long>(agg.dropped_frames()),
+                static_cast<unsigned long long>(agg.malformed_frames()),
+                agg.progress() * 100.0);
+  }
   if (!res.violations.empty()) {
     for (const std::string& v : res.violations) {
       std::fprintf(stderr, "invariant violation: %s\n", v.c_str());

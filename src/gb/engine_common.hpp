@@ -6,6 +6,7 @@
 // compare them exhibit-for-exhibit against the paper.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -83,6 +84,13 @@ struct GbConfig {
   bool matrix_force_scalar = false;
   /// Abort knob for tests; a correct run never hits it.
   std::uint64_t max_spolys = std::numeric_limits<std::uint64_t>::max();
+  /// Cooperative cancellation seam (the serve daemon's deadline/cancel path):
+  /// when non-null and the pointee becomes true, the engine stops at the next
+  /// pair boundary and returns with GbResult::aborted set — the partial basis
+  /// is NOT a Gröbner basis and must be discarded by the caller. Honored by
+  /// the sequential engine (both per-poly and matrix paths); the parallel
+  /// engines run to completion and ignore it.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Counters matching the quantities the paper reports (Tables 1-3, §6).
@@ -117,6 +125,9 @@ struct GbResult {
   /// Engine running time: charged work units for sequential engines,
   /// virtual makespan for simulated parallel engines.
   std::uint64_t elapsed_units = 0;
+  /// True when GbConfig::stop cut the run short: `basis` is a partial state,
+  /// not a Gröbner basis, and must not be used as one.
+  bool aborted = false;
 };
 
 }  // namespace gbd

@@ -160,6 +160,10 @@ SequentialResult groebner_sequential(const PolySystem& sys, const GbConfig& cfg)
   SymbolicMemo matrix_memo;
 
   while (!queue.empty()) {
+    if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed)) {
+      res.aborted = true;
+      break;
+    }
     if (cfg.matrix_reduce) {
       // Batch round: every queued pair of the current minimal lcm degree
       // (the F4 selection), reduced together as one Macaulay matrix. The

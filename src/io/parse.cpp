@@ -8,6 +8,18 @@ namespace gbd {
 
 namespace {
 
+// Hostile-input limits (see parse.hpp). The parser is the daemon's untrusted
+// surface: without these, a crafted input can crash or wedge the process —
+// "((((…" overflows the stack through the recursive-descent grammar,
+// "x^4294967295" spins the exponentiation loop for hours, and products like
+// "(x0+…+x9)^20 * (x0+…+x9)^20" allocate unbounded intermediate terms. Every
+// limit is far above anything a legitimate polynomial system uses; hitting
+// one is a diagnosed parse error, never a crash.
+constexpr int kMaxParenDepth = 200;
+constexpr std::uint32_t kMaxExponent = 1u << 16;
+constexpr std::uint32_t kMaxParseDegree = 1u << 20;
+constexpr std::size_t kMaxParseTerms = 1u << 16;
+
 // Intermediate parse value: an integer polynomial over a positive common
 // denominator. Keeps all arithmetic exact without a rational coefficient
 // type in Polynomial itself.
@@ -123,8 +135,7 @@ class Parser {
     while (accept('*')) {
       RatPoly rhs;
       if (!factor(&rhs)) return false;
-      out->num = out->num.mul(*ctx_, rhs.num);
-      out->den *= rhs.den;
+      if (!mul_checked(out, rhs)) return false;
     }
     return true;
   }
@@ -134,13 +145,32 @@ class Parser {
     if (accept('^')) {
       std::uint32_t e = 0;
       if (!uint_lit(&e)) return false;
+      if (e > kMaxExponent) return fail("exponent too large");
       RatPoly base = *out;
       out->num = Polynomial::constant(*ctx_, BigInt(1));
       out->den = BigInt(1);
       for (std::uint32_t i = 0; i < e; ++i) {
-        out->num = out->num.mul(*ctx_, base.num);
-        out->den *= base.den;
+        if (!mul_checked(out, base)) return false;
       }
+    }
+    return true;
+  }
+
+  /// out *= rhs with blowup guards: bounds the product's term fan-out before
+  /// allocating it and the result's degree/term count after.
+  bool mul_checked(RatPoly* out, const RatPoly& rhs) {
+    if (out->num.nterms() * rhs.num.nterms() > kMaxParseTerms * 4) {
+      return fail("polynomial product too large");
+    }
+    out->num = out->num.mul(*ctx_, rhs.num);
+    out->den *= rhs.den;
+    return size_ok(out->num);
+  }
+
+  bool size_ok(const Polynomial& p) {
+    if (p.nterms() > kMaxParseTerms) return fail("polynomial has too many terms");
+    for (const Term& t : p.terms()) {
+      if (t.mono.degree() > kMaxParseDegree) return fail("term degree too large");
     }
     return true;
   }
@@ -148,9 +178,11 @@ class Parser {
   bool primary(RatPoly* out) {
     char c = peek();
     if (c == '(') {
+      if (++depth_ > kMaxParenDepth) return fail("expression nested too deeply");
       ++pos_;
-      if (!expr(out)) return false;
-      return expect(')');
+      bool ok = expr(out) && expect(')');
+      --depth_;
+      return ok;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       BigInt num;
@@ -211,6 +243,7 @@ class Parser {
   std::string_view text_;
   const PolyContext* ctx_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< open parentheses (recursion guard)
   std::string error_;
 
   friend bool gbd::parse_system(std::string_view, PolySystem*, std::string*);

@@ -14,6 +14,13 @@
 // Parsed polynomials are canonicalized to their primitive integer associate
 // (see polynomial.hpp) — the same polynomial up to a nonzero rational unit,
 // which leaves ideals and Gröbner bases unchanged.
+//
+// The parser is hardened against hostile input (it is the gbd_serve daemon's
+// untrusted surface): parenthesis nesting, exponents, term counts and term
+// degrees are all bounded, and exceeding a bound is a normal parse error
+// with a diagnostic — never a crash, hang or unbounded allocation. The
+// limits (depth 200, exponent 2^16, 2^16 terms, degree 2^20 per parsed
+// expression) are far beyond any legitimate polynomial system.
 #pragma once
 
 #include <string>

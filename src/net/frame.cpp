@@ -68,6 +68,11 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kGather: return "gather";
     case FrameType::kGatherAck: return "gather-ack";
     case FrameType::kTelemetry: return "telemetry";
+    case FrameType::kJobSubmit: return "job-submit";
+    case FrameType::kJobCancel: return "job-cancel";
+    case FrameType::kJobEvent: return "job-event";
+    case FrameType::kJobResult: return "job-result";
+    case FrameType::kServerStats: return "server-stats";
   }
   return "unknown";
 }

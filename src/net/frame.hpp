@@ -59,10 +59,20 @@ enum class FrameType : std::uint8_t {
   kGather = 13,    ///< post-run application blob: rank -> 0
   kGatherAck = 14, ///< 0 -> all: gather round complete
   kTelemetry = 15, ///< best-effort metric snapshot: rank -> 0 (unacked, drop-tolerant)
+
+  // GB-as-a-service job protocol (src/serve): client <-> gbd_serve daemon.
+  // These never appear on rank-to-rank channels; the serve layer speaks raw
+  // GBDF frames over its own client connections (no reliability layer — the
+  // single TCP stream is the ordering and delivery guarantee).
+  kJobSubmit = 16,  ///< client -> server: token + problem + scheduling options
+  kJobCancel = 17,  ///< client -> server: token of a job to cancel
+  kJobEvent = 18,   ///< server -> client: state transition / progress push
+  kJobResult = 19,  ///< server -> client: terminal outcome + basis (exactly once)
+  kServerStats = 20,///< request (empty) and reply (JSON) for daemon statistics
 };
 
 /// Largest type value the decoder accepts (bump when appending types).
-constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kTelemetry);
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kServerStats);
 
 const char* frame_type_name(FrameType t);
 

@@ -61,6 +61,30 @@ void LogHistogram::merge(const LogHistogram& o) {
   max = std::max(max, o.max);
 }
 
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample (1-based), then walk buckets to find it.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Interpolate within [floor, 2·floor) — clamped to the observed max so
+      // quantile(1.0) never exceeds it.
+      std::uint64_t lo = bucket_floor(i);
+      std::uint64_t width = i == 0 ? 1 : lo;
+      double frac = buckets[i] == 1
+                        ? 1.0
+                        : static_cast<double>(rank - seen - 1) / static_cast<double>(buckets[i] - 1);
+      std::uint64_t v = lo + static_cast<std::uint64_t>(frac * static_cast<double>(width - 1));
+      return std::min(v, max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
 void LogHistogram::encode(Writer& w) const {
   w.u64(count);
   w.u64(sum);

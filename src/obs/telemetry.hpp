@@ -100,6 +100,12 @@ struct LogHistogram {
     return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
   }
 
+  /// Estimated q-quantile (q in [0,1]) assuming uniform spread within the
+  /// bucket holding the q·count-th sample — at worst a factor-2 bucketing
+  /// error, which is what the serve daemon's p50/p99 stats need, not exact
+  /// order statistics. Returns 0 on an empty histogram; quantile(1.0) == max.
+  std::uint64_t quantile(double q) const;
+
   /// Absolute sparse form: count/sum/max then (idx, count) per nonzero bucket.
   void encode(Writer& w) const;
   static LogHistogram decode(Reader& r);

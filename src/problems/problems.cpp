@@ -185,30 +185,64 @@ const std::vector<BuiltinProblem>& builtins() {
   return kProblems;
 }
 
-/// "katsura(7)" -> {"katsura", 7}; nullopt when the name is not a
-/// well-formed, in-range parametric spelling.
+/// Parametric spellings: "katsura(7)", "cyclic(5)", "eco(4)",
+/// "sparse(4,123)". `family` is the base name; `args` the comma-separated
+/// non-negative integer arguments, validated per family below.
 struct ParametricName {
-  bool katsura = false;
-  int n = 0;
+  std::string family;
+  std::vector<std::uint64_t> args;
 };
 
 bool parse_parametric(const std::string& name, ParametricName* out) {
   std::size_t open = name.find('(');
-  if (open == std::string::npos || name.empty() || name.back() != ')') return false;
+  if (open == std::string::npos || open == 0 || name.back() != ')') return false;
   std::string base = name.substr(0, open);
-  bool katsura = base == "katsura";
-  if (!katsura && base != "cyclic") return false;
-  std::string digits = name.substr(open + 1, name.size() - open - 2);
-  if (digits.empty() || digits.size() > 2) return false;
-  int n = 0;
-  for (char c : digits) {
-    if (c < '0' || c > '9') return false;
-    n = n * 10 + (c - '0');
+  std::vector<std::uint64_t> args;
+  std::uint64_t cur = 0;
+  std::size_t digits = 0;
+  for (std::size_t i = open + 1; i + 1 <= name.size() - 1; ++i) {
+    char c = name[i];
+    if (c == ',') {
+      if (digits == 0) return false;
+      args.push_back(cur);
+      cur = 0;
+      digits = 0;
+    } else if (c >= '0' && c <= '9') {
+      if (++digits > 9) return false;
+      cur = cur * 10 + static_cast<std::uint64_t>(c - '0');
+    } else {
+      return false;
+    }
   }
-  if (katsura ? (n < 1 || n > 16) : (n < 2 || n > 12)) return false;
-  out->katsura = katsura;
-  out->n = n;
+  if (digits == 0) return false;
+  args.push_back(cur);
+
+  const std::uint64_t n = args[0];
+  if (base == "katsura" && args.size() == 1 && n >= 1 && n <= 16) {
+    // ok
+  } else if (base == "cyclic" && args.size() == 1 && n >= 2 && n <= 12) {
+    // ok
+  } else if (base == "eco" && args.size() == 1 && n >= 3 && n <= 12) {
+    // ok
+  } else if (base == "sparse" && args.size() == 2 && n >= 2 && n <= 8) {
+    // args[1] is the seed; any value is valid
+  } else {
+    return false;
+  }
+  out->family = std::move(base);
+  out->args = std::move(args);
   return true;
+}
+
+PolySystem load_parametric(const ParametricName& pn) {
+  const int n = static_cast<int>(pn.args[0]);
+  if (pn.family == "katsura") return katsura_system(n);
+  if (pn.family == "cyclic") return cyclic_system(n);
+  if (pn.family == "eco") return eco_system(n);
+  // sparse(N,SEED): N vars, N polys, degree <= 2, <= 3 terms — small jobs of
+  // varied shape for the serve throughput corpus.
+  return random_sparse_system(pn.args[1], static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n), 2, 3);
 }
 
 }  // namespace
@@ -274,6 +308,74 @@ PolySystem cyclic_system(int n) {
   return sys;
 }
 
+PolySystem eco_system(int n) {
+  GBD_CHECK_MSG(n >= 3 && n <= 12, "eco_system: n out of range");
+  PolySystem sys;
+  sys.name = "eco" + std::to_string(n);
+  sys.ctx.order = OrderKind::kGrLex;
+  for (int i = 1; i <= n; ++i) sys.ctx.vars.push_back("x" + std::to_string(i));
+  const std::size_t nv = sys.ctx.nvars();
+  auto mono = [&](std::initializer_list<int> vars_used) {
+    // 1-based variable numbers, multiplicities accumulate.
+    std::vector<std::uint32_t> e(nv, 0);
+    for (int v : vars_used) e[static_cast<std::size_t>(v - 1)] += 1;
+    return Monomial(std::move(e));
+  };
+  // f_k = x_n·(x_k + Σ_{i=1}^{n-1-k} x_i·x_{i+k}) − k, k = 1..n-1.
+  for (int k = 1; k < n; ++k) {
+    std::vector<Term> ts;
+    ts.push_back(Term{BigInt(1), mono({k, n})});
+    for (int i = 1; i + k <= n - 1; ++i) {
+      ts.push_back(Term{BigInt(1), mono({i, i + k, n})});
+    }
+    ts.push_back(Term{BigInt(-k), mono({})});
+    sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(ts)));
+  }
+  // x_1 + … + x_{n-1} + 1.
+  std::vector<Term> lin;
+  for (int i = 1; i < n; ++i) lin.push_back(Term{BigInt(1), mono({i})});
+  lin.push_back(Term{BigInt(1), mono({})});
+  sys.polys.push_back(Polynomial::from_terms(sys.ctx, std::move(lin)));
+  for (auto& p : sys.polys) p.make_primitive();
+  return sys;
+}
+
+PolySystem random_sparse_system(std::uint64_t seed, std::size_t nvars, std::size_t npolys,
+                                std::uint32_t maxdeg, std::size_t maxterms) {
+  GBD_CHECK(nvars >= 1 && npolys >= 1 && maxdeg >= 1 && maxterms >= 1);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x51ed270b7a649c1dULL);
+  PolySystem sys;
+  sys.name = "sparse" + std::to_string(nvars) + "_" + std::to_string(npolys) + "_" +
+             std::to_string(seed);
+  sys.ctx.order = OrderKind::kGrLex;
+  for (std::size_t i = 0; i < nvars; ++i) sys.ctx.vars.push_back("x" + std::to_string(i));
+
+  while (sys.polys.size() < npolys) {
+    std::size_t nterms = 1 + rng.below(maxterms);
+    std::vector<Term> terms;
+    for (std::size_t t = 0; t < nterms; ++t) {
+      // Sparse support: each term touches at most two distinct variables.
+      std::vector<std::uint32_t> exps(nvars, 0);
+      std::uint32_t budget = static_cast<std::uint32_t>(1 + rng.below(maxdeg));
+      std::size_t v1 = rng.below(nvars);
+      std::size_t v2 = rng.below(nvars);
+      for (std::uint32_t d = 0; d < budget; ++d) {
+        exps[rng.below(2) == 0 ? v1 : v2] += 1;
+      }
+      std::int64_t c = static_cast<std::int64_t>(rng.below(18)) - 9;
+      if (c >= 0) c += 1;  // exclude zero
+      terms.push_back(Term{BigInt(c), Monomial(std::move(exps))});
+    }
+    // A constant generator makes the ideal trivially (1); skip those so the
+    // generated jobs exercise a real computation.
+    Polynomial p = Polynomial::from_terms(sys.ctx, std::move(terms));
+    if (p.is_zero() || p.hmono().is_one()) continue;
+    p.make_primitive();
+    sys.polys.push_back(std::move(p));
+  }
+  return sys;
+}
+
 const std::vector<ProblemInfo>& problem_list() {
   static const std::vector<ProblemInfo> kInfos = [] {
     std::vector<ProblemInfo> v;
@@ -294,7 +396,7 @@ bool has_problem(const std::string& name) {
 PolySystem load_problem(const std::string& name) {
   ParametricName pn;
   if (parse_parametric(name, &pn)) {
-    return pn.katsura ? katsura_system(pn.n) : cyclic_system(pn.n);
+    return load_parametric(pn);
   }
   for (const auto& b : builtins()) {
     if (b.info.name != name) continue;

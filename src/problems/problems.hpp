@@ -30,11 +30,13 @@ struct ProblemInfo {
 const std::vector<ProblemInfo>& problem_list();
 
 /// True for built-in names and for the parametric families "katsura(N)"
-/// (1 <= N <= 16) and "cyclic(N)" (2 <= N <= 12), generated on demand.
+/// (1 <= N <= 16), "cyclic(N)" (2 <= N <= 12), "eco(N)" (3 <= N <= 12) and
+/// "sparse(N,SEED)" (2 <= N <= 8), generated on demand.
 bool has_problem(const std::string& name);
 
 /// Load a built-in problem by name; aborts on unknown names (use has_problem).
-/// Accepts the parametric spellings "katsura(N)" / "cyclic(N)" too.
+/// Accepts the parametric spellings "katsura(N)" / "cyclic(N)" / "eco(N)" /
+/// "sparse(N,SEED)" too.
 PolySystem load_problem(const std::string& name);
 
 /// Katsura's magnetism system of order n: n+1 variables u0..un, the linear
@@ -47,6 +49,23 @@ PolySystem katsura_system(int n);
 /// plus (product of all variables) - 1. cyclic_system(4) equals the built-in
 /// "arnborg4" up to variable names (same exponent vectors and coefficients).
 PolySystem cyclic_system(int n);
+
+/// The economics ("eco-n") system of Morgan's benchmark suite: n variables
+/// x1..xn with the n-1 price equations
+///   f_k = x_n·(x_k + Σ_{i=1}^{n-1-k} x_i·x_{i+k}) − k      (k = 1..n-1)
+/// plus the normalization x_1 + … + x_{n-1} + 1. Degree-3 generators with a
+/// single linear relation — a different pair-queue shape from the symmetric
+/// katsura/cyclic families.
+PolySystem eco_system(int n);
+
+/// Seeded random-sparse system: `npolys` polynomials in `nvars` variables,
+/// every term touching at most two variables (sparse in the sense of the
+/// support, unlike random_system's dense-ish budget spreading), total degree
+/// <= maxdeg, at most `maxterms` terms, small coefficients. Deterministic in
+/// the seed: the same (seed, shape) always yields the same system, so a
+/// "sparse(N,SEED)" job is a reproducible cache/bench workload.
+PolySystem random_sparse_system(std::uint64_t seed, std::size_t nvars, std::size_t npolys,
+                                std::uint32_t maxdeg, std::size_t maxterms);
 
 /// The paper's synthetic long-running workloads (§7): `copies` copies of the
 /// base system "with variables named apart". The union ideal over disjoint

@@ -1,0 +1,53 @@
+#include "serve/cache.hpp"
+
+namespace gbd {
+
+std::string ResultCache::make_key(const std::string& canonical_key, std::uint64_t zp_prime) {
+  std::string key;
+  key.reserve(canonical_key.size() + 8);
+  for (int i = 0; i < 8; ++i) key.push_back(static_cast<char>((zp_prime >> (8 * i)) & 0xff));
+  key += canonical_key;
+  return key;
+}
+
+bool ResultCache::lookup(const std::string& key, bool want_cert, CacheEntry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || (want_cert && !it->second->second.verified)) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = lru_.front().second;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, CacheEntry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second->second.verified && !entry.verified) return;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.front().second = std::move(entry);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  map_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace gbd

@@ -1,0 +1,72 @@
+// Result cache for the serve daemon.
+//
+// Keyed on the canonical-form bytes (serve/canonical.hpp) plus the
+// coefficient field: two submissions share an entry exactly when they are the
+// same ideal under the same monomial order over the same field, up to
+// positional variable renaming, generator scaling, order and multiplicity.
+// The cached basis is stored in canonical index space and re-rendered with
+// each querying system's variable names.
+//
+// Certificates interact with hits conservatively: an entry remembers whether
+// its basis was certificate-verified when computed. A want_cert lookup only
+// hits a verified entry; otherwise it is a miss and the recomputed (verified)
+// result replaces the entry. A no-cert lookup hits either kind.
+//
+// Bounded LRU with hit/miss/eviction counters; all methods thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace gbd {
+
+struct CacheEntry {
+  std::vector<Polynomial> basis;  ///< reduced basis, canonical index space
+  std::uint64_t spolys = 0;       ///< S-pairs the original computation retired
+  std::uint64_t basis_added = 0;  ///< intermediate basis insertions
+  bool verified = true;           ///< certificate checked when computed
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+class ResultCache {
+ public:
+  /// capacity 0 disables caching (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Composite key: canonical bytes + field (0 = exact, else the Zp prime).
+  static std::string make_key(const std::string& canonical_key, std::uint64_t zp_prime);
+
+  /// On hit copies the entry into *out, promotes it to most-recent and
+  /// returns true. A want_cert lookup misses unverified entries.
+  bool lookup(const std::string& key, bool want_cert, CacheEntry* out);
+
+  /// Insert or replace; evicts least-recently-used beyond capacity. A
+  /// verified entry is never replaced by an unverified one for the same key.
+  void insert(const std::string& key, CacheEntry entry);
+
+  CacheStats stats() const;
+
+ private:
+  using Lru = std::list<std::pair<std::string, CacheEntry>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< most-recent first
+  std::unordered_map<std::string, Lru::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace gbd

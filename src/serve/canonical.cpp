@@ -1,0 +1,53 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+
+#include "support/serialize.hpp"
+
+namespace gbd {
+
+CanonicalSystem canonicalize(const PolySystem& in) {
+  CanonicalSystem out;
+  out.sys.name = "canon";
+  out.sys.ctx.order = in.ctx.order;
+  out.sys.ctx.elim_vars = in.ctx.elim_vars;
+  out.sys.ctx.vars.reserve(in.ctx.nvars());
+  for (std::size_t i = 0; i < in.ctx.nvars(); ++i)
+    out.sys.ctx.vars.push_back("v" + std::to_string(i));
+
+  // Serialize each primitive nonzero generator; sort + dedup on the bytes.
+  // Polynomial::write encodes exponent vectors over variable indices, so the
+  // bytes — and therefore the key — are invariant under positional renaming.
+  std::vector<std::pair<std::string, Polynomial>> gens;
+  gens.reserve(in.polys.size());
+  for (const Polynomial& p : in.polys) {
+    if (p.is_zero()) continue;
+    Polynomial q = p;
+    q.make_primitive();
+    Writer w;
+    q.write(w);
+    gens.emplace_back(std::string(reinterpret_cast<const char*>(w.data().data()),
+                                  w.data().size()),
+                      std::move(q));
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  gens.erase(std::unique(gens.begin(), gens.end(),
+                         [](const auto& a, const auto& b) { return a.first == b.first; }),
+             gens.end());
+
+  Writer key;
+  key.u8(static_cast<std::uint8_t>(in.ctx.order));
+  key.u64(in.ctx.elim_vars);
+  key.u64(in.ctx.nvars());
+  key.u64(gens.size());
+  out.sys.polys.reserve(gens.size());
+  for (auto& [bytes, poly] : gens) {
+    key.str(bytes);
+    out.sys.polys.push_back(std::move(poly));
+  }
+  out.key.assign(reinterpret_cast<const char*>(key.data().data()), key.data().size());
+  return out;
+}
+
+}  // namespace gbd

@@ -1,0 +1,51 @@
+// Canonical form of a polynomial system — the result-cache key.
+//
+// Two submissions must hit the same cache entry exactly when they are
+// guaranteed to have the same Gröbner basis up to positional variable
+// renaming. The canonical form quotients by precisely the transformations
+// with that guarantee:
+//
+//   1. Variable renaming (positional): the key encodes monomials as exponent
+//      vectors over variable *indices*; the names are forgotten. Renaming
+//      variable i of a system to any fresh name is an order-isomorphism of
+//      the monomial semigroup (every supported order — lex, grlex, grevlex,
+//      elim — is defined on indices, not names), so Buchberger's algorithm
+//      commutes with it: GB(rename(F)) = rename(GB(F)). The cached basis is
+//      stored in index space and re-rendered with the querying system's
+//      names on a hit.
+//   2. Generator scaling: each generator is replaced by its primitive
+//      integer associate (positive head coefficient). Over Q — and over Zp
+//      after the engines' canonicalization — a nonzero scalar multiple
+//      generates the same ideal.
+//   3. Generator order and multiplicity: the generator set is sorted by its
+//      serialized byte form and deduplicated; the ideal is a function of the
+//      set, not the list. (The engines' *raw* basis does depend on input
+//      order, so the daemon computes on the canonical ordering: every member
+//      of an equivalence class is served the identical, certificate-valid
+//      basis.)
+//   4. Zero generators are dropped (they generate nothing).
+//
+// What is deliberately NOT quotiented: permuting the variable *order*
+// (changes the monomial order, hence the basis), changing the order kind or
+// elim block, and changing the coefficient field — all of those are part of
+// the key (the field via ResultCache's composite key, see cache.hpp).
+#pragma once
+
+#include <string>
+
+#include "io/parse.hpp"
+
+namespace gbd {
+
+struct CanonicalSystem {
+  /// The canonical representative: variables renamed v0..v{n-1}, generators
+  /// primitive, sorted, deduplicated, zeros dropped. Engines run on this.
+  PolySystem sys;
+  /// Byte key: order kind, elim block, nvars, serialized sorted generators.
+  std::string key;
+};
+
+/// Compute the canonical form. The input system is not modified.
+CanonicalSystem canonicalize(const PolySystem& in);
+
+}  // namespace gbd

@@ -1,0 +1,188 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace gbd {
+
+namespace {
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+bool ServeClient::connect(const std::string& host, std::uint16_t port, std::string* err,
+                          int timeout_ms) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err) *err = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad host: " + host;
+    close();
+    return false;
+  }
+  // Retry briefly: the daemon may still be binding when a test dials it.
+  std::uint64_t deadline = mono_ms() + static_cast<std::uint64_t>(timeout_ms);
+  while (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (mono_ms() >= deadline) {
+      if (err) *err = "connect: " + std::string(std::strerror(errno));
+      close();
+      return false;
+    }
+    ::usleep(10'000);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  dec_ = FrameDecoder(64u << 20);
+}
+
+bool ServeClient::send_frame(std::uint8_t type, std::vector<std::uint8_t> payload) {
+  if (fd_ < 0) return false;
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.payload = std::move(payload);
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ServeClient::submit(const SubmitRequest& req) {
+  Writer w;
+  req.encode(w);
+  return send_frame(static_cast<std::uint8_t>(FrameType::kJobSubmit), w.take());
+}
+
+bool ServeClient::cancel(std::uint64_t token) {
+  Writer w;
+  w.u64(token);
+  return send_frame(static_cast<std::uint8_t>(FrameType::kJobCancel), w.take());
+}
+
+bool ServeClient::request_stats() {
+  return send_frame(static_cast<std::uint8_t>(FrameType::kServerStats), {});
+}
+
+int ServeClient::poll(ClientUpdate* out, int timeout_ms) {
+  if (fd_ < 0) return -1;
+  std::uint64_t deadline = mono_ms() + static_cast<std::uint64_t>(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    Frame f;
+    FrameDecoder::Status st = dec_.next(&f);
+    if (st == FrameDecoder::Status::kError) {
+      close();
+      return -1;
+    }
+    if (st == FrameDecoder::Status::kFrame) {
+      SafeReader r(f.payload.data(), f.payload.size());
+      switch (f.type) {
+        case FrameType::kJobEvent:
+          out->kind = ClientUpdate::Kind::kEvent;
+          if (!JobEventMsg::decode(r, &out->event)) break;
+          return 1;
+        case FrameType::kJobResult:
+          out->kind = ClientUpdate::Kind::kResult;
+          if (!JobResultMsg::decode(r, &out->result)) break;
+          return 1;
+        case FrameType::kServerStats:
+          out->kind = ClientUpdate::Kind::kStats;
+          if (!ServerStatsMsg::decode(r, &out->stats)) break;
+          return 1;
+        default:
+          break;
+      }
+      close();  // malformed or unexpected server message
+      return -1;
+    }
+    std::uint64_t now = mono_ms();
+    if (now >= deadline) return 0;
+    pollfd p{fd_, POLLIN, 0};
+    int pr = ::poll(&p, 1, static_cast<int>(deadline - now));
+    if (pr < 0 && errno != EINTR) {
+      close();
+      return -1;
+    }
+    if (pr <= 0) continue;
+    std::uint8_t buf[65536];
+    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      dec_.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      close();
+      return -1;
+    }
+  }
+}
+
+bool ServeClient::wait_result(std::uint64_t token, JobResultMsg* out, int timeout_ms,
+                              const std::function<void(const JobEventMsg&)>& on_event) {
+  std::uint64_t deadline = mono_ms() + static_cast<std::uint64_t>(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    std::uint64_t now = mono_ms();
+    if (now >= deadline) return false;
+    ClientUpdate u;
+    int pr = poll(&u, static_cast<int>(deadline - now));
+    if (pr <= 0) return false;
+    if (u.kind == ClientUpdate::Kind::kResult && u.result.token == token) {
+      *out = std::move(u.result);
+      return true;
+    }
+    if (u.kind == ClientUpdate::Kind::kEvent && on_event) on_event(u.event);
+  }
+}
+
+bool ServeClient::stats(ServerStatsMsg* out, int timeout_ms,
+                        const std::function<void(const ClientUpdate&)>& on_update) {
+  if (!request_stats()) return false;
+  std::uint64_t deadline = mono_ms() + static_cast<std::uint64_t>(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    std::uint64_t now = mono_ms();
+    if (now >= deadline) return false;
+    ClientUpdate u;
+    int pr = poll(&u, static_cast<int>(deadline - now));
+    if (pr <= 0) return false;
+    if (u.kind == ClientUpdate::Kind::kStats) {
+      *out = u.stats;
+      return true;
+    }
+    if (on_update) on_update(u);
+  }
+}
+
+}  // namespace gbd

@@ -1,0 +1,81 @@
+// Blocking client for the gbd_serve daemon — the library under the
+// gbd_client CLI and the serve tests/benches.
+//
+// One ServeClient owns one TCP connection and speaks the serve/wire.hpp
+// protocol. Sends are synchronous; receives go through poll(), which
+// surfaces every server message (job events, job results, stats replies) in
+// arrival order, or through the wait_result() convenience that routes
+// events to a callback until a specific token's single result lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/wire.hpp"
+
+namespace gbd {
+
+/// One message from the server, tagged by kind.
+struct ClientUpdate {
+  enum class Kind : std::uint8_t { kEvent, kResult, kStats };
+  Kind kind = Kind::kEvent;
+  JobEventMsg event;
+  JobResultMsg result;
+  ServerStatsMsg stats;
+};
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& o) noexcept : fd_(o.fd_), dec_(std::move(o.dec_)) { o.fd_ = -1; }
+  ServeClient& operator=(ServeClient&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      dec_ = std::move(o.dec_);
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Dial the daemon. Returns false with *err on failure.
+  bool connect(const std::string& host, std::uint16_t port, std::string* err = nullptr,
+               int timeout_ms = 5000);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send a submission / cancellation / stats request. False on I/O error.
+  bool submit(const SubmitRequest& req);
+  bool cancel(std::uint64_t token);
+  bool request_stats();
+
+  /// Wait up to timeout_ms for the next server message. Returns 1 with *out
+  /// filled, 0 on timeout, -1 on disconnect or protocol error.
+  int poll(ClientUpdate* out, int timeout_ms);
+
+  /// Drive poll() until `token`'s result arrives (events for any token go to
+  /// on_event when set; results for other tokens are a protocol error here).
+  /// False on timeout/disconnect.
+  bool wait_result(std::uint64_t token, JobResultMsg* out, int timeout_ms,
+                   const std::function<void(const JobEventMsg&)>& on_event = nullptr);
+
+  /// request_stats + wait for the reply, passing through job messages to
+  /// on_update when set. False on timeout/disconnect.
+  bool stats(ServerStatsMsg* out, int timeout_ms,
+             const std::function<void(const ClientUpdate&)>& on_update = nullptr);
+
+ private:
+  bool send_frame(std::uint8_t type, std::vector<std::uint8_t> payload);
+
+  int fd_ = -1;
+  FrameDecoder dec_{64u << 20};
+};
+
+}  // namespace gbd

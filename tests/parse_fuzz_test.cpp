@@ -1,0 +1,128 @@
+// Fuzz-style hardening tests for the text parser — the gbd_serve daemon's
+// untrusted input surface. Every input here must produce a clean accept or a
+// diagnosed parse error: never a crash, an abort, a hang, or an unbounded
+// allocation. Deterministic (seeded) so failures replay.
+#include "io/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace gbd {
+namespace {
+
+const char* kValidSystem =
+    "vars x, y, z;\n"
+    "order grlex;\n"
+    "x^2*y - 3/4*x + 1;\n"
+    "(x + y)*(x - y) - z^2;\n";
+
+/// Parse must return a verdict (and a message on failure) without crashing.
+void expect_survives(const std::string& text) {
+  PolySystem sys;
+  std::string err;
+  bool ok = parse_system(text, &sys, &err);
+  if (!ok) EXPECT_FALSE(err.empty()) << "failure without diagnostic on: " << text;
+}
+
+TEST(ParseFuzzTest, EveryTruncationOfAValidSystemIsHandled) {
+  std::string text = kValidSystem;
+  for (std::size_t n = 0; n <= text.size(); ++n) expect_survives(text.substr(0, n));
+}
+
+TEST(ParseFuzzTest, DeepNestingIsARejectionNotAStackOverflow) {
+  // 100k open parens would overflow the recursive-descent stack unchecked.
+  std::string text = "vars x;\n";
+  text.append(100'000, '(');
+  text += "x";
+  text.append(100'000, ')');
+  text += ";\n";
+  PolySystem sys;
+  std::string err;
+  EXPECT_FALSE(parse_system(text, &sys, &err));
+  EXPECT_NE(err.find("nested too deeply"), std::string::npos) << err;
+}
+
+TEST(ParseFuzzTest, ModerateNestingStillParses) {
+  std::string text = "vars x;\n";
+  text.append(50, '(');
+  text += "x + 1";
+  text.append(50, ')');
+  text += ";\n";
+  PolySystem sys;
+  std::string err;
+  EXPECT_TRUE(parse_system(text, &sys, &err)) << err;
+}
+
+TEST(ParseFuzzTest, HugeExponentIsARejectionNotAHang) {
+  // x^4294967295 would loop for hours multiplying term by term.
+  PolySystem sys;
+  std::string err;
+  EXPECT_FALSE(parse_system("vars x;\nx^4294967295;\n", &sys, &err));
+  EXPECT_FALSE(parse_system("vars x;\nx^70000;\n", &sys, &err));
+  EXPECT_NE(err.find("exponent"), std::string::npos) << err;
+  // The bound itself is fine (a single variable power is one term).
+  EXPECT_TRUE(parse_system("vars x;\nx^65536;\n", &sys, &err)) << err;
+}
+
+TEST(ParseFuzzTest, CombinatorialBlowupIsARejectionNotAnAllocation) {
+  // (x0+...+x9)^20 expands to ~10^7 terms; the parser must refuse before
+  // materializing anything near that.
+  std::string text = "vars x0, x1, x2, x3, x4, x5, x6, x7, x8, x9;\n"
+                     "(x0+x1+x2+x3+x4+x5+x6+x7+x8+x9)^20;\n";
+  PolySystem sys;
+  std::string err;
+  EXPECT_FALSE(parse_system(text, &sys, &err));
+  EXPECT_NE(err.find("too large"), std::string::npos) << err;
+}
+
+TEST(ParseFuzzTest, AccumulatedDegreeIsBounded) {
+  // Each factor is small but the product's degree explodes multiplicatively.
+  std::string text = "vars x;\n(x^65536)^1 * (x^65536) * (x^65536) * "
+                     "(x^65536) * (x^65536) * (x^65536) * (x^65536) * "
+                     "(x^65536) * (x^65536) * (x^65536) * (x^65536) * "
+                     "(x^65536) * (x^65536) * (x^65536) * (x^65536) * "
+                     "(x^65536) * (x^65536);\n";
+  PolySystem sys;
+  std::string err;
+  EXPECT_FALSE(parse_system(text, &sys, &err));
+}
+
+TEST(ParseFuzzTest, RandomGarbageNeverCrashes) {
+  // Random bytes over the parser's alphabet plus noise characters.
+  const std::string alphabet = "xyzab0123456789+-*/^(),;= \n\t#._<>vars order";
+  Rng rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    std::size_t len = rng.below(160);
+    std::string text;
+    text.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) text += alphabet[rng.below(alphabet.size())];
+    expect_survives(text);
+  }
+}
+
+TEST(ParseFuzzTest, MutatedValidInputNeverCrashes) {
+  Rng rng(97);
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = kValidSystem;
+    int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f)
+      text[rng.below(text.size())] = static_cast<char>(rng.below(256));
+    expect_survives(text);
+  }
+}
+
+TEST(ParseFuzzTest, HostileNumericLiterals) {
+  PolySystem sys;
+  std::string err;
+  // Zero denominators, empty fractions, overlong digit strings.
+  expect_survives("vars x;\n1/0*x;\n");
+  expect_survives("vars x;\n/3;\n");
+  expect_survives("vars x;\n99999999999999999999999999999999999999*x;\n");
+  expect_survives(std::string("vars x;\n") + std::string(10000, '9') + "*x;\n");
+}
+
+}  // namespace
+}  // namespace gbd

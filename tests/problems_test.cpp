@@ -176,5 +176,88 @@ TEST(RandomSystemTest, DeterministicPerSeed) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(EcoTest, Eco3MatchesTheClassicalSystem) {
+  PolySystem sys = eco_system(3);
+  EXPECT_EQ(sys.name, "eco3");
+  ASSERT_EQ(sys.ctx.nvars(), 3u);
+  ASSERT_EQ(sys.polys.size(), 3u);
+  // f1 = x1*x2*x3 + x1*x3 - 1, f2 = x2*x3 - 2, f3 = x1 + x2 + 1.
+  EXPECT_TRUE(sys.polys[0].equals(parse_poly_or_die(sys.ctx, "x1*x2*x3 + x1*x3 - 1")));
+  EXPECT_TRUE(sys.polys[1].equals(parse_poly_or_die(sys.ctx, "x2*x3 - 2")));
+  EXPECT_TRUE(sys.polys[2].equals(parse_poly_or_die(sys.ctx, "x1 + x2 + 1")));
+}
+
+TEST(EcoTest, FamilyShape) {
+  for (int n = 3; n <= 7; ++n) {
+    PolySystem sys = eco_system(n);
+    ASSERT_EQ(sys.ctx.nvars(), static_cast<std::size_t>(n));
+    ASSERT_EQ(sys.polys.size(), static_cast<std::size_t>(n));
+    // Price equations are cubic (quadratic for the last one), the
+    // normalization is linear; all primitive, all touch x_n or the tail sum.
+    for (int k = 0; k < n - 1; ++k) {
+      EXPECT_EQ(sys.polys[static_cast<std::size_t>(k)].degree(),
+                k + 1 <= n - 2 ? 3u : 2u)
+          << "n=" << n << " k=" << k;
+      // f_k has 1 (head) + (n-1-k-1+1 when k+1<=n-2) + 1 terms.
+      std::size_t convolution = k + 1 <= n - 2 ? static_cast<std::size_t>(n - 2 - k) : 0u;
+      EXPECT_EQ(sys.polys[static_cast<std::size_t>(k)].nterms(), 2u + convolution);
+    }
+    EXPECT_EQ(sys.polys.back().degree(), 1u);
+    EXPECT_EQ(sys.polys.back().nterms(), static_cast<std::size_t>(n));
+    for (const auto& p : sys.polys) EXPECT_TRUE(p.is_primitive());
+  }
+}
+
+TEST(SparseTest, DeterministicInSeedAndBounded) {
+  PolySystem a = random_sparse_system(42, 4, 5, 2, 3);
+  PolySystem b = random_sparse_system(42, 4, 5, 2, 3);
+  PolySystem c = random_sparse_system(43, 4, 5, 2, 3);
+  EXPECT_EQ(a.name, "sparse4_5_42");
+  ASSERT_EQ(a.polys.size(), 5u);
+  ASSERT_EQ(b.polys.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(a.polys[i].equals(b.polys[i]));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 5; ++i)
+    if (!a.polys[i].equals(c.polys[i])) any_diff = true;
+  EXPECT_TRUE(any_diff);
+  for (const auto& p : a.polys) {
+    EXPECT_FALSE(p.is_zero());
+    EXPECT_TRUE(p.is_primitive());
+    EXPECT_LE(p.nterms(), 3u);
+    for (const auto& t : p.terms()) {
+      EXPECT_LE(t.mono.degree(), 2u);
+      int distinct = 0;
+      for (std::size_t v = 0; v < 4; ++v)
+        if (t.mono.exp(v) != 0) ++distinct;
+      EXPECT_LE(distinct, 2) << "sparse terms touch at most two variables";
+    }
+  }
+}
+
+TEST(ParametricNameTest, EcoAndSparseSpellings) {
+  EXPECT_TRUE(has_problem("eco(3)"));
+  EXPECT_TRUE(has_problem("eco(12)"));
+  EXPECT_FALSE(has_problem("eco(2)"));
+  EXPECT_FALSE(has_problem("eco(13)"));
+  EXPECT_TRUE(has_problem("sparse(4,42)"));
+  EXPECT_TRUE(has_problem("sparse(2,0)"));
+  EXPECT_FALSE(has_problem("sparse(9,1)"));
+  EXPECT_FALSE(has_problem("sparse(4)"));
+  EXPECT_FALSE(has_problem("sparse(4,42,7)"));
+  EXPECT_FALSE(has_problem("eco()"));
+  EXPECT_FALSE(has_problem("eco(99999999999999999999)"));
+
+  PolySystem eco = load_problem("eco(4)");
+  EXPECT_EQ(eco.name, "eco4");
+  EXPECT_EQ(eco.polys.size(), 4u);
+  PolySystem sp = load_problem("sparse(3,7)");
+  EXPECT_EQ(sp.ctx.nvars(), 3u);
+  EXPECT_EQ(sp.polys.size(), 3u);
+  // The spelling is deterministic: same name, same system.
+  PolySystem sp2 = load_problem("sparse(3,7)");
+  for (std::size_t i = 0; i < sp.polys.size(); ++i)
+    EXPECT_TRUE(sp.polys[i].equals(sp2.polys[i]));
+}
+
 }  // namespace
 }  // namespace gbd

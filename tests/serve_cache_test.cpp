@@ -1,0 +1,127 @@
+// Result-cache tests: the canonical-form key must identify exactly the
+// submissions guaranteed to share a Gröbner basis (up to positional variable
+// renaming), and the LRU mechanics must count hits/misses/evictions.
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/parse.hpp"
+#include "serve/canonical.hpp"
+
+namespace gbd {
+namespace {
+
+std::string key_of(const std::string& text) {
+  PolySystem sys = parse_system_or_die(text);
+  return canonicalize(sys).key;
+}
+
+TEST(CanonicalKeyTest, RenamedVariablesHit) {
+  // Positional renaming: same indices, different names.
+  std::string a = key_of("vars x, y;\norder grlex;\nx^2*y - 1;\nx + y;\n");
+  std::string b = key_of("vars u, v;\norder grlex;\nu^2*v - 1;\nu + v;\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalKeyTest, ReorderedGeneratorsHit) {
+  std::string a = key_of("vars x, y;\norder grlex;\nx^2*y - 1;\nx + y;\n");
+  std::string b = key_of("vars x, y;\norder grlex;\nx + y;\nx^2*y - 1;\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalKeyTest, ScaledAndDuplicatedGeneratorsHit) {
+  std::string a = key_of("vars x, y;\norder grlex;\nx^2*y - 1;\nx + y;\n");
+  // 3/7·(x²y−1) has the same primitive associate; the duplicate generator
+  // and the parsed-to-zero generator change nothing about the ideal.
+  std::string b = key_of(
+      "vars x, y;\norder grlex;\n3/7*x^2*y - 3/7;\nx + y;\nx + y;\nx - x;\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalKeyTest, DifferentSystemsNeverHit) {
+  std::string base = key_of("vars x, y;\norder grlex;\nx^2*y - 1;\nx + y;\n");
+  // A different coefficient.
+  EXPECT_NE(base, key_of("vars x, y;\norder grlex;\nx^2*y - 2;\nx + y;\n"));
+  // A different exponent.
+  EXPECT_NE(base, key_of("vars x, y;\norder grlex;\nx^2*y^2 - 1;\nx + y;\n"));
+  // An extra generator.
+  EXPECT_NE(base, key_of("vars x, y;\norder grlex;\nx^2*y - 1;\nx + y;\ny^3;\n"));
+  // A different monomial order (different basis in general).
+  EXPECT_NE(base, key_of("vars x, y;\norder lex;\nx^2*y - 1;\nx + y;\n"));
+  // A *non-positional* renaming — swapping the roles of x and y — is a
+  // different ordered system and must not collide.
+  EXPECT_NE(base, key_of("vars x, y;\norder grlex;\ny^2*x - 1;\nx + y;\n"));
+  // A different number of variables (even unused ones change the ring).
+  EXPECT_NE(base, key_of("vars x, y, z;\norder grlex;\nx^2*y - 1;\nx + y;\n"));
+}
+
+TEST(CanonicalKeyTest, CanonicalSystemIsRunnable) {
+  PolySystem sys = parse_system_or_die("vars b, a;\norder grlex;\n2*b*a - 4;\na + b;\n");
+  CanonicalSystem canon = canonicalize(sys);
+  EXPECT_EQ(canon.sys.ctx.nvars(), 2u);
+  EXPECT_EQ(canon.sys.polys.size(), 2u);
+  for (const auto& p : canon.sys.polys) EXPECT_TRUE(p.is_primitive());
+  // Generators are sorted by serialized form — deterministic across inputs
+  // in the same class.
+  PolySystem sys2 = parse_system_or_die("vars x, y;\norder grlex;\ny + x;\nx*y - 2;\n");
+  CanonicalSystem canon2 = canonicalize(sys2);
+  ASSERT_EQ(canon.sys.polys.size(), canon2.sys.polys.size());
+  for (std::size_t i = 0; i < canon.sys.polys.size(); ++i)
+    EXPECT_TRUE(canon.sys.polys[i].equals(canon2.sys.polys[i]));
+}
+
+TEST(CacheKeyTest, FieldIsPartOfTheKey) {
+  std::string canon = key_of("vars x;\nx^2 - 1;\n");
+  EXPECT_NE(ResultCache::make_key(canon, 0), ResultCache::make_key(canon, 32003));
+  EXPECT_NE(ResultCache::make_key(canon, 32003), ResultCache::make_key(canon, 65537));
+  EXPECT_EQ(ResultCache::make_key(canon, 32003), ResultCache::make_key(canon, 32003));
+}
+
+TEST(ResultCacheTest, LruEvictionAndCounters) {
+  ResultCache cache(2);
+  CacheEntry e;
+  e.verified = true;
+  CacheEntry out;
+  EXPECT_FALSE(cache.lookup("a", false, &out));
+  cache.insert("a", e);
+  cache.insert("b", e);
+  EXPECT_TRUE(cache.lookup("a", false, &out));  // a is now most-recent
+  cache.insert("c", e);                         // evicts b
+  EXPECT_TRUE(cache.lookup("a", false, &out));
+  EXPECT_FALSE(cache.lookup("b", false, &out));
+  EXPECT_TRUE(cache.lookup("c", false, &out));
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ResultCacheTest, WantCertMissesUnverifiedEntries) {
+  ResultCache cache(4);
+  CacheEntry plain;
+  plain.verified = false;
+  cache.insert("k", plain);
+  CacheEntry out;
+  EXPECT_TRUE(cache.lookup("k", false, &out));
+  EXPECT_FALSE(cache.lookup("k", true, &out)) << "unverified entry must not satisfy want_cert";
+  CacheEntry certified;
+  certified.verified = true;
+  cache.insert("k", certified);
+  EXPECT_TRUE(cache.lookup("k", true, &out));
+  // A verified entry is never downgraded by a later unverified insert.
+  cache.insert("k", plain);
+  EXPECT_TRUE(cache.lookup("k", true, &out));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  CacheEntry e;
+  cache.insert("k", e);
+  CacheEntry out;
+  EXPECT_FALSE(cache.lookup("k", false, &out));
+}
+
+}  // namespace
+}  // namespace gbd

@@ -1,0 +1,100 @@
+// gbd_serve — the persistent GB-as-a-service daemon.
+//
+//   gbd_serve [--host H] [--port P] [--workers N]
+//             [--backend seq|sim|thread] [--procs N]
+//             [--queue-capacity N] [--cache-capacity N] [--max-attempts N]
+//             [--deadline-ms T] [--flight PATH]
+//
+// Binds H:P (port 0 picks an ephemeral port), prints one line
+//   gbd_serve listening on H:P
+// to stdout, then serves until SIGINT/SIGTERM. Clients speak the GBDF job
+// protocol (see src/serve/); drive it with gbd_client.
+//
+// Exit codes: 0 clean shutdown, 2 usage, 3 bind failure.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+using namespace gbd;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gbd_serve [--host H] [--port P] [--workers N]\n"
+               "                 [--backend seq|sim|thread] [--procs N]\n"
+               "                 [--queue-capacity N] [--cache-capacity N]\n"
+               "                 [--max-attempts N] [--deadline-ms T] [--flight PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (a == "--host" && (v = next())) {
+      cfg.host = v;
+    } else if (a == "--port" && (v = next())) {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (a == "--workers" && (v = next())) {
+      cfg.workers = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--backend" && (v = next())) {
+      std::string b = v;
+      if (b == "seq") cfg.backend = ServeBackend::kSequential;
+      else if (b == "sim") cfg.backend = ServeBackend::kSim;
+      else if (b == "thread") cfg.backend = ServeBackend::kThread;
+      else return usage();
+    } else if (a == "--procs" && (v = next())) {
+      cfg.backend_procs = std::atoi(v);
+    } else if (a == "--queue-capacity" && (v = next())) {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--cache-capacity" && (v = next())) {
+      cfg.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--max-attempts" && (v = next())) {
+      cfg.max_attempts = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--deadline-ms" && (v = next())) {
+      cfg.default_deadline_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--flight" && (v = next())) {
+      cfg.flight_path = v;
+    } else {
+      return usage();
+    }
+  }
+
+  JobServer server(cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "gbd_serve: %s\n", err.c_str());
+    return 3;
+  }
+  std::printf("gbd_serve listening on %s:%u\n", cfg.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ServerStatsMsg s = server.stats();
+  server.stop();
+  std::fprintf(stderr,
+               "gbd_serve: shutting down (submitted=%llu done=%llu failed=%llu "
+               "cache_hits=%llu)\n",
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.done),
+               static_cast<unsigned long long>(s.failed),
+               static_cast<unsigned long long>(s.cache_hits));
+  return 0;
+}
